@@ -1,0 +1,155 @@
+"""Ext-H — the future-work extensions, measured.
+
+The paper's §6 lists its future work: richer formulations and hardware
+execution. This bench quantifies the extensions built on top of the
+reproduction:
+
+* negative constraints (disequality) via AND-chain quadratization — cost
+  of auxiliary variables vs string length;
+* reverse annealing as a §4.12 pipeline refinement step;
+* the three hardware generations' embedding footprints (Chimera →
+  Pegasus-like → Zephyr-like).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_few, bench_once, emit_table, make_solver
+from repro.anneal import ReverseAnnealingSampler, SimulatedAnnealingSampler
+from repro.core import PalindromeGeneration, StringNotEquals, StringQuboSolver
+from repro.core.affixes import StringPrefixOf, StringSuffixOf
+from repro.hardware import (
+    chimera_graph,
+    find_embedding,
+    pegasus_like_graph,
+    zephyr_like_graph,
+)
+
+
+def test_disequality_cost_table(benchmark):
+    def _run():
+        rows = []
+        for n in [2, 4, 6, 8]:
+            target = "x" * n
+            f = StringNotEquals(target, seed=n)
+            model = f.build_model()
+            solver = make_solver(seed=300 + n)
+            result = solver.solve(f)
+            rows.append([
+                n,
+                7 * n,
+                model.num_variables,
+                model.num_interactions,
+                repr(result.output),
+                result.ok,
+            ])
+        emit_table(
+            "Ext-H — disequality via AND-chain: auxiliary cost vs length",
+            ["n", "string bits", "total vars", "couplings", "witness", "ok"],
+            rows,
+        )
+        assert all(row[-1] for row in rows)
+
+    bench_once(benchmark, _run)
+
+
+def test_reverse_annealing_refinement_table(benchmark):
+    def _run():
+        rng = np.random.default_rng(0)
+        from repro.qubo.model import QuboModel
+
+        model = QuboModel.from_dense(np.triu(rng.normal(size=(24, 24))))
+        rows = []
+        for budget in [3, 10, 30]:
+            rough = SimulatedAnnealingSampler().sample_model(
+                model, num_reads=16, num_sweeps=budget, seed=1
+            )
+            refined = ReverseAnnealingSampler().sample_model(
+                model,
+                initial_states=rough.states,
+                num_reads=16,
+                num_sweeps=200,
+                seed=2,
+            )
+            rows.append([
+                budget,
+                f"{rough.first.energy:.3f}",
+                f"{refined.first.energy:.3f}",
+                refined.first.energy <= rough.first.energy + 1e-9,
+            ])
+        emit_table(
+            "Ext-H — reverse annealing refines short forward anneals (24-var QUBO)",
+            ["forward sweeps", "rough best E", "refined best E", "improved-or-equal"],
+            rows,
+        )
+        assert all(row[-1] for row in rows)
+
+    bench_once(benchmark, _run)
+
+
+def test_topology_generations_table(benchmark):
+    def _run():
+        rows = []
+        k8 = nx.complete_graph(8)
+        for name, topo in [
+            ("chimera C6", chimera_graph(6)),
+            ("pegasus-like P6", pegasus_like_graph(6)),
+            ("zephyr-like Z6", zephyr_like_graph(6)),
+        ]:
+            degrees = [d for _, d in topo.degree()]
+            emb = find_embedding(k8, topo, seed=3)
+            lengths = [len(c) for c in emb.values()]
+            rows.append([
+                name,
+                topo.number_of_edges(),
+                f"{np.mean(degrees):.1f}",
+                max(lengths),
+                sum(lengths),
+            ])
+        emit_table(
+            "Ext-H — hardware generations: connectivity vs K8 embedding cost",
+            ["topology", "couplers", "mean degree", "max chain", "physical qubits"],
+            rows,
+        )
+
+    bench_once(benchmark, _run)
+
+
+def test_affix_constraints_table(benchmark):
+    def _run():
+        solver = make_solver(seed=77)
+        rows = []
+        for name, formulation in [
+            ("prefixof 'GET ' @8", StringPrefixOf(8, "GET ", seed=1)),
+            ("suffixof '.txt' @8", StringSuffixOf(8, ".txt", seed=2)),
+        ]:
+            result = solver.solve(formulation)
+            rows.append([name, repr(result.output), f"{result.success_rate:.0%}", result.ok])
+        emit_table(
+            "Ext-H — affix formulations (indexOf-window corollaries)",
+            ["constraint", "witness", "success", "ok"],
+            rows,
+        )
+        assert all(row[-1] for row in rows)
+
+    bench_once(benchmark, _run)
+
+
+def test_disequality_latency(benchmark):
+    solver = make_solver(seed=5)
+    f = StringNotEquals("hello", seed=6)
+    result = bench_few(benchmark, lambda: solver.solve(StringNotEquals("hello", seed=6)))
+    assert result.ok
+
+
+def test_reverse_annealing_latency(benchmark):
+    model = PalindromeGeneration(6).build_model()
+    starts = np.zeros((16, model.num_variables), dtype=np.int8)
+    sampler = ReverseAnnealingSampler()
+    bench_few(
+        benchmark,
+        lambda: sampler.sample_model(
+            model, initial_states=starts, num_reads=16, num_sweeps=200, seed=7
+        ),
+    )

@@ -1,0 +1,88 @@
+"""Figure 1 — the solver pipeline, instrumented stage by stage.
+
+The paper's Figure 1 shows: operation + args -> binary variables ->
+QUBO matrix (+ penalties) -> annealer -> decode. This bench times each
+stage separately across the supported operations and prints the resulting
+stage-cost table — the quantitative version of the figure.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_few, bench_once, emit_table, make_solver
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.core import (
+    PalindromeGeneration,
+    RegexMatching,
+    StringEquality,
+    StringIncludes,
+    StringReplaceAll,
+    StringReversal,
+    SubstringIndexOf,
+    SubstringMatching,
+)
+from repro.utils.timing import Stopwatch
+
+OPERATIONS = [
+    ("equality", lambda: StringEquality("hello world")),
+    ("substring", lambda: SubstringMatching(8, "cat")),
+    ("includes", lambda: StringIncludes("the cat sat on", "cat")),
+    ("indexOf", lambda: SubstringIndexOf(8, "hi", 3, seed=0)),
+    ("replaceAll", lambda: StringReplaceAll("hello world", "l", "x")),
+    ("reversal", lambda: StringReversal("hello world")),
+    ("palindrome", lambda: PalindromeGeneration(8)),
+    ("regex", lambda: RegexMatching("a[bc]+d", 8)),
+]
+
+
+def _staged_solve(factory, sampler, stopwatch: Stopwatch):
+    with stopwatch.time("build-formulation"):
+        formulation = factory()
+    with stopwatch.time("build-qubo"):
+        model = formulation.build_model()
+    with stopwatch.time("anneal"):
+        sampleset = sampler.sample_model(
+            model, num_reads=48, num_sweeps=400, seed=7
+        )
+    with stopwatch.time("decode+verify"):
+        best = sampleset.first
+        decoded = formulation.decode(best.state(sampleset.variables))
+        ok = formulation.verify(decoded)
+    return decoded, ok
+
+
+def test_figure1_stage_costs(benchmark):
+    sampler = SimulatedAnnealingSampler()
+
+    def run_all():
+        stopwatch = Stopwatch()
+        outputs = {}
+        for name, factory in OPERATIONS:
+            decoded, ok = _staged_solve(factory, sampler, stopwatch)
+            outputs[name] = (decoded, ok)
+        return stopwatch, outputs
+
+    stopwatch, outputs = bench_few(benchmark, run_all)
+    assert all(ok for _, ok in outputs.values())
+    summary = stopwatch.summary()
+    total = sum(summary.values())
+    emit_table(
+        "Figure 1 — pipeline stage costs over all supported operations",
+        ["stage", "total seconds", "share"],
+        [
+            [stage, f"{seconds:.4f}", f"{seconds / total:.1%}"]
+            for stage, seconds in summary.items()
+        ],
+    )
+    emit_table(
+        "Figure 1 — end-to-end outputs per operation",
+        ["operation", "output", "verified"],
+        [[name, repr(out), ok] for name, (out, ok) in outputs.items()],
+    )
+
+
+def test_figure1_single_operation_latency(benchmark):
+    """Latency of one full pipeline pass (the figure's left-to-right arrow)."""
+    solver = make_solver(seed=0)
+    result = bench_few(benchmark, lambda: solver.solve(StringEquality("hello")))
+    assert result.ok

@@ -1,0 +1,82 @@
+"""Ext-B — annealing budget: success probability vs reads and sweeps.
+
+The knobs every annealing user turns. Reported shape: success rate rises
+with both knobs; the geometric schedule dominates the linear one at equal
+budget (it spends more sweeps in the decisive mid-temperature range).
+"""
+
+import pytest
+
+from benchmarks.common import bench_few, bench_once, emit_table
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.core import RegexMatching, StringQuboSolver
+
+PATTERN, LENGTH = "a[bc]+d", 8
+
+
+def _success_rate(num_reads, num_sweeps, schedule="geometric", seed=0):
+    solver = StringQuboSolver(
+        sampler=SimulatedAnnealingSampler(),
+        num_reads=num_reads,
+        seed=seed,
+        sampler_params={"num_sweeps": num_sweeps, "beta_schedule": schedule},
+    )
+    result = solver.solve(RegexMatching(PATTERN, LENGTH))
+    return result
+
+
+def test_success_vs_reads_table(benchmark):
+    def _run():
+        rows = []
+        for reads in [1, 4, 16, 64]:
+            result = _success_rate(reads, 300, seed=reads)
+            rows.append([reads, f"{result.success_rate:.0%}", result.ok])
+        emit_table(
+            f"Ext-B — success vs num_reads (regex {PATTERN} @ {LENGTH}, 300 sweeps)",
+            ["reads", "per-read success", "best verified"],
+            rows,
+        )
+
+    bench_once(benchmark, _run)
+
+
+def test_success_vs_sweeps_table(benchmark):
+    def _run():
+        rows = []
+        for sweeps in [10, 50, 150, 400, 1000]:
+            geo = _success_rate(32, sweeps, "geometric", seed=sweeps)
+            lin = _success_rate(32, sweeps, "linear", seed=sweeps)
+            rows.append([
+                sweeps,
+                f"{geo.success_rate:.0%}",
+                f"{lin.success_rate:.0%}",
+                geo.ok,
+            ])
+        emit_table(
+            "Ext-B — success vs num_sweeps: geometric vs linear beta schedule",
+            ["sweeps", "geometric", "linear", "verified (geo)"],
+            rows,
+        )
+
+    bench_once(benchmark, _run)
+
+
+@pytest.mark.parametrize("reads", [4, 64])
+def test_read_cost_scaling(benchmark, reads):
+    """Wall time should scale sub-linearly in reads (vectorized batch)."""
+    sampler = SimulatedAnnealingSampler()
+    model = RegexMatching(PATTERN, LENGTH).build_model()
+    benchmark(
+        lambda: sampler.sample_model(model, num_reads=reads, num_sweeps=300, seed=1)
+    )
+
+
+@pytest.mark.parametrize("schedule", ["geometric", "linear"])
+def test_schedule_cost(benchmark, schedule):
+    sampler = SimulatedAnnealingSampler()
+    model = RegexMatching(PATTERN, LENGTH).build_model()
+    benchmark(
+        lambda: sampler.sample_model(
+            model, num_reads=32, num_sweeps=300, beta_schedule=schedule, seed=2
+        )
+    )

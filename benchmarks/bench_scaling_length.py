@@ -1,0 +1,77 @@
+"""Ext-A — scaling with string length.
+
+The paper's core claim is that QUBO annealing offers a path through the
+string search-space blowup. This bench sweeps the target length n and
+reports, for the annealer at a fixed budget: wall time, success rate
+(fraction of reads decoding to a verified string), and whether the ground
+state was reached. The search space is 2^(7n), so the interesting shape is
+how gracefully success decays while time stays near-linear in n.
+"""
+
+import pytest
+
+from benchmarks.common import bench_few, bench_once, emit_table, make_solver
+from repro.core import PalindromeGeneration, StringEquality
+
+LENGTHS = [2, 4, 8, 12, 16, 24]
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_equality_scaling(benchmark, length):
+    target = ("quantum strings!" * 3)[:length]
+    solver = make_solver(seed=100 + length)
+    result = bench_few(benchmark, lambda: solver.solve(StringEquality(target)))
+    assert result.ok, f"annealer missed at n={length}"
+
+
+def test_equality_scaling_table(benchmark):
+    def _run():
+        rows = []
+        for length in LENGTHS:
+            target = ("quantum strings!" * 3)[:length]
+            solver = make_solver(seed=100 + length)
+            result = solver.solve(StringEquality(target))
+            rows.append([
+                length,
+                7 * length,
+                f"2^{7 * length}",
+                f"{result.wall_time:.3f}s",
+                f"{result.success_rate:.0%}",
+                result.reached_ground,
+                result.ok,
+            ])
+        emit_table(
+            "Ext-A — equality generation vs string length (48 reads, 400 sweeps)",
+            ["n", "qubits", "search space", "time", "success", "ground", "ok"],
+            rows,
+        )
+
+    bench_once(benchmark, _run)
+
+
+def test_palindrome_scaling_table(benchmark):
+    def _run():
+        rows = []
+        for length in [2, 4, 6, 8, 12]:
+            solver = make_solver(seed=200 + length)
+            result = solver.solve(PalindromeGeneration(length))
+            rows.append([
+                length,
+                7 * length,
+                f"{result.wall_time:.3f}s",
+                f"{result.success_rate:.0%}",
+                result.ok,
+            ])
+        emit_table(
+            "Ext-A — palindrome generation vs length (coupled QUBO)",
+            ["n", "qubits", "time", "success", "ok"],
+            rows,
+        )
+
+    bench_once(benchmark, _run)
+
+
+def test_palindrome_length_12(benchmark):
+    solver = make_solver(seed=212)
+    result = bench_few(benchmark, lambda: solver.solve(PalindromeGeneration(12)))
+    assert result.output == result.output[::-1]

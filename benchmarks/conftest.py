@@ -1,0 +1,16 @@
+"""Benchmark-suite plumbing.
+
+Flushes the reproduction tables queued by :func:`benchmarks.common.emit`
+after pytest's capture ends, so ``pytest benchmarks/ --benchmark-only``
+shows the regenerated paper tables alongside the timing summary.
+"""
+
+from benchmarks.common import REPORT_BUFFER
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORT_BUFFER:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables & figures")
+    for line in REPORT_BUFFER:
+        terminalreporter.write_line(line)

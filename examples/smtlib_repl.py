@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""A miniature SMT-LIB REPL backed by the quantum string solver.
+
+Reads SMT-LIB commands from a file argument or stdin, executes them against
+:class:`repro.smt.QuantumSMTSolver`, and prints solver outputs — the same
+interaction model as ``z3 -in`` for the strings fragment the paper covers.
+
+Run:
+    python examples/smtlib_repl.py                  # demo script
+    python examples/smtlib_repl.py problem.smt2     # your own file
+    echo '(check-sat)' | python examples/smtlib_repl.py -
+"""
+
+import sys
+
+from repro.smt import QuantumSMTSolver
+
+DEMO = """
+(set-logic QF_S)
+(declare-const user String)
+(declare-const banner String)
+(assert (= (str.len user) 5))
+(assert (str.contains user "adm"))
+(assert (= banner (str.++ "hello, " "operator")))
+(check-sat)
+(get-model)
+(get-value (user))
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        source = sys.stdin.read() if sys.argv[1] == "-" else open(sys.argv[1]).read()
+    else:
+        print("; no input file — running the built-in demo script")
+        print(DEMO)
+        source = DEMO
+
+    solver = QuantumSMTSolver(
+        seed=11, num_reads=64, max_attempts=5,
+        sampler_params={"num_sweeps": 500},
+    )
+    for output in solver.run_script_text(source):
+        print(output)
+
+
+if __name__ == "__main__":
+    main()

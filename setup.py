@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments that lack the
+``wheel`` package (PEP-517 editable installs require it). Metadata lives in
+``pyproject.toml``; this file only names what setuptools needs for the
+legacy develop path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,88 @@
+"""repro — Quantum-based SMT solving for the theory of strings.
+
+A full-stack reproduction of "Quantum-Based SMT Solving for String Theory"
+(Casey, Santos, Hennessee — HPDC'25): string constraints are lowered to
+QUBO matrices (:mod:`repro.core`) and solved by a (simulated) quantum
+annealer (:mod:`repro.anneal`, :mod:`repro.hardware`), with an SMT-LIB
+front end and classical baselines (:mod:`repro.smt`).
+
+Quickstart
+----------
+>>> from repro import StringQuboSolver, StringReversal
+>>> solver = StringQuboSolver(seed=0)
+>>> solver.solve(StringReversal("hello")).output
+'olleh'
+
+See ``examples/quickstart.py`` for the guided tour and DESIGN.md for the
+system inventory.
+"""
+
+from repro.core import (
+    ConstraintPipeline,
+    PalindromeGeneration,
+    PipelineResult,
+    PipelineStage,
+    RegexMatching,
+    SolveResult,
+    StringConcatenation,
+    StringEquality,
+    StringIncludes,
+    StringLength,
+    StringCharAt,
+    StringNotEquals,
+    StringPrefixOf,
+    StringQuboSolver,
+    StringReplace,
+    StringReplaceAll,
+    StringReversal,
+    StringSubstr,
+    StringSuffixOf,
+    SubstringIndexOf,
+    SubstringMatching,
+)
+from repro.anneal import (
+    ExactSolver,
+    PathIntegralAnnealer,
+    SampleSet,
+    SimulatedAnnealingSampler,
+)
+from repro.hardware import EmbeddingComposite, SimulatedQPU
+from repro.qubo import BinaryQuadraticModel, QuboModel
+from repro.smt import ClassicalStringSolver, QuantumSMTSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinaryQuadraticModel",
+    "ClassicalStringSolver",
+    "ConstraintPipeline",
+    "EmbeddingComposite",
+    "ExactSolver",
+    "PalindromeGeneration",
+    "PathIntegralAnnealer",
+    "PipelineResult",
+    "PipelineStage",
+    "QuantumSMTSolver",
+    "QuboModel",
+    "RegexMatching",
+    "SampleSet",
+    "SimulatedAnnealingSampler",
+    "SimulatedQPU",
+    "SolveResult",
+    "StringConcatenation",
+    "StringEquality",
+    "StringIncludes",
+    "StringLength",
+    "StringCharAt",
+    "StringNotEquals",
+    "StringPrefixOf",
+    "StringQuboSolver",
+    "StringReplace",
+    "StringReplaceAll",
+    "StringReversal",
+    "StringSubstr",
+    "StringSuffixOf",
+    "SubstringIndexOf",
+    "SubstringMatching",
+    "__version__",
+]

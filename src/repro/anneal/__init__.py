@@ -1,0 +1,67 @@
+"""Samplers and annealers (the D-Wave Ocean substitution).
+
+The paper runs its QUBOs through D-Wave's simulated annealer. This
+subpackage provides a from-scratch, NumPy-vectorized equivalent plus the
+surrounding sampler ecosystem a hardware-ready stack needs:
+
+* :class:`~repro.anneal.simulated.SimulatedAnnealingSampler` — the paper's
+  solver: single-flip Metropolis over the QUBO with a geometric beta
+  schedule, vectorized across reads.
+* :class:`~repro.anneal.sqa.PathIntegralAnnealer` — simulated *quantum*
+  annealing: Trotterized transverse-field Ising dynamics, the standard
+  classical stand-in for real annealing hardware.
+* :class:`~repro.anneal.exact.ExactSolver` — vectorized brute force for
+  ground-truth on small models.
+* :class:`~repro.anneal.tabu.TabuSampler`,
+  :class:`~repro.anneal.greedy.SteepestDescentSampler`,
+  :class:`~repro.anneal.random_sampler.RandomSampler` — classical baselines.
+* :mod:`~repro.anneal.parallel` — multi-process portfolio and batched
+  sampling.
+* :mod:`~repro.anneal.composites` — embedding/scale/truncate wrappers.
+"""
+
+from repro.anneal.sampleset import Sample, SampleSet
+from repro.anneal.schedule import (
+    default_beta_range,
+    geometric_schedule,
+    linear_schedule,
+    transverse_field_schedule,
+)
+from repro.anneal.base import Sampler
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.anneal.sqa import PathIntegralAnnealer
+from repro.anneal.exact import ExactSolver
+from repro.anneal.reverse import ReverseAnnealingSampler
+from repro.anneal.population import PopulationAnnealingSampler
+from repro.anneal.tabu import TabuSampler
+from repro.anneal.greedy import SteepestDescentSampler
+from repro.anneal.random_sampler import RandomSampler
+from repro.anneal.parallel import ParallelSampler, PortfolioSampler
+from repro.anneal.composites import (
+    ScaleComposite,
+    SpinReversalTransformComposite,
+    TruncateComposite,
+)
+
+__all__ = [
+    "ExactSolver",
+    "ParallelSampler",
+    "PathIntegralAnnealer",
+    "PopulationAnnealingSampler",
+    "PortfolioSampler",
+    "RandomSampler",
+    "ReverseAnnealingSampler",
+    "Sample",
+    "SampleSet",
+    "Sampler",
+    "ScaleComposite",
+    "SimulatedAnnealingSampler",
+    "SpinReversalTransformComposite",
+    "SteepestDescentSampler",
+    "TabuSampler",
+    "TruncateComposite",
+    "default_beta_range",
+    "geometric_schedule",
+    "linear_schedule",
+    "transverse_field_schedule",
+]

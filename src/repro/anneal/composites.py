@@ -1,0 +1,155 @@
+"""Sampler composites — wrappers that transform models and/or results.
+
+Mirrors D-Wave's composite pattern: a composite *is* a sampler, holding a
+child sampler and pre/post-processing the problem around it. Composites
+compose, e.g. ``TruncateComposite(ScaleComposite(SimulatedAnnealingSampler()))``.
+The hardware-specific :class:`~repro.hardware.embedding.EmbeddingComposite`
+lives in :mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.anneal.base import Sampler
+from repro.anneal.sampleset import SampleSet
+from repro.qubo.algebra import scale_model
+from repro.qubo.model import QuboModel
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "ScaleComposite",
+    "TruncateComposite",
+    "SpinReversalTransformComposite",
+]
+
+
+class ScaleComposite(Sampler):
+    """Normalize coefficients into ``[-target, target]`` before sampling.
+
+    Annealing hardware has a fixed analog range for ``h``/``J``; oversized
+    coefficients are clipped by the control system, silently deforming the
+    problem. Scaling by a positive constant preserves the argmin, so the
+    child samples the scaled model and this composite **rescores** the
+    returned states against the original model (energies in the result are
+    true energies, not scaled ones).
+    """
+
+    def __init__(self, child: Sampler, target: float = 1.0) -> None:
+        if target <= 0:
+            raise ValueError(f"target range must be positive, got {target}")
+        self.child = child
+        self.target = float(target)
+
+    def sample_model(self, model: QuboModel, **params: Any) -> SampleSet:
+        peak = model.max_abs_coefficient()
+        if peak <= self.target or peak == 0.0:
+            scaled = model
+            factor = 1.0
+        else:
+            factor = self.target / peak
+            scaled = scale_model(model, factor)
+        result = self.child.sample_model(scaled, **params)
+        energies = model.energies(result.states) if len(result) else result.energies
+        out = SampleSet(
+            result.states,
+            energies,
+            variables=result.variables,
+            num_occurrences=result.num_occurrences,
+            info=result.info,
+        )
+        out.info["scale_factor"] = factor
+        return out
+
+
+class TruncateComposite(Sampler):
+    """Keep only the best *k* rows of the child's result."""
+
+    def __init__(self, child: Sampler, k: int = 1, aggregate: bool = True) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.child = child
+        self.k = k
+        self.aggregate = aggregate
+
+    def sample_model(self, model: QuboModel, **params: Any) -> SampleSet:
+        result = self.child.sample_model(model, **params)
+        if self.aggregate:
+            result = result.aggregate()
+        return result.truncate(self.k)
+
+
+class SpinReversalTransformComposite(Sampler):
+    """Gauge-average the child sampler (spin-reversal transforms).
+
+    On analog hardware, systematic biases (h offsets, asymmetric couplers)
+    push all reads in a correlated direction. A *spin-reversal transform*
+    (SRT) relabels a random subset ``G`` of variables by ``x -> 1 - x``:
+    the transformed model has the same spectrum under the bijection, but
+    hardware biases now push the logical problem in a *different* direction
+    per gauge, so averaging over gauges cancels them. On a perfect software
+    sampler an SRT is an exact no-op on energies — which is precisely what
+    the tests assert.
+
+    The transform on the QUBO: with ``S = diag(±1)`` (−1 on flipped
+    variables) and ``g`` the 0/1 indicator of flips, substituting
+    ``x = g + S z`` into ``x^T Q x`` gives
+
+        Q' = S Q S  (quadratic part)  with the linear row
+        ``S (Q + Q^T) g`` folded into the diagonal, and the constant
+        ``g^T Q g`` folded into the offset.
+    """
+
+    def __init__(self, child: Sampler, num_transforms: int = 4) -> None:
+        if num_transforms < 1:
+            raise ValueError(f"num_transforms must be >= 1, got {num_transforms}")
+        self.child = child
+        self.num_transforms = num_transforms
+
+    def sample_model(
+        self, model: QuboModel, *, seed: SeedLike = None, **params: Any
+    ) -> SampleSet:
+        rng = ensure_rng(seed)
+        n = model.num_variables
+        q = model.to_dense()
+        sets = []
+        for _ in range(self.num_transforms):
+            gauge = rng.integers(0, 2, size=n).astype(np.float64)
+            transformed, offset = self._transform(q, model.offset, gauge)
+            child_seed = int(rng.integers(0, 2**63 - 1))
+            result = self.child.sample_model(
+                QuboModel.from_dense(transformed, offset=offset),
+                seed=child_seed,
+                **params,
+            )
+            # Undo the gauge: x = g + S z, i.e. flip the gauged columns.
+            states = result.states.copy()
+            flip = gauge.astype(np.int8)
+            states ^= flip[None, :]
+            sets.append(
+                SampleSet(
+                    states,
+                    result.energies,
+                    variables=result.variables,
+                    num_occurrences=result.num_occurrences,
+                )
+            )
+        merged = SampleSet.concatenate(sets)
+        merged.info["sampler"] = (
+            f"SpinReversalTransformComposite({type(self.child).__name__})"
+        )
+        merged.info["num_transforms"] = self.num_transforms
+        return merged
+
+    @staticmethod
+    def _transform(q: np.ndarray, offset: float, gauge: np.ndarray):
+        """Apply the gauge ``x = g + S z`` to a dense QUBO matrix."""
+        sign = 1.0 - 2.0 * gauge  # +1 keep, -1 flip
+        quadratic = (sign[:, None] * q) * sign[None, :]
+        linear = sign * ((q + q.T) @ gauge)
+        transformed = quadratic.copy()
+        transformed[np.diag_indices_from(transformed)] += linear
+        constant = float(gauge @ q @ gauge)
+        return transformed, offset + constant

@@ -1,0 +1,96 @@
+"""Exact (brute-force) solver for small QUBOs.
+
+Ground truth for tests and benchmark baselines. Enumerates all ``2^n``
+states in vectorized blocks; refuses models beyond
+:data:`ExactSolver.MAX_VARIABLES` variables (the default budget of 2^24
+energy evaluations is about a second of NumPy time).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.anneal.base import Sampler
+from repro.anneal.sampleset import SampleSet
+from repro.qubo.model import QuboModel
+
+__all__ = ["ExactSolver"]
+
+
+class ExactSolver(Sampler):
+    """Enumerate every state; exact, exponential, small models only."""
+
+    #: Hard cap on model size — 2^24 states is the practical NumPy budget.
+    MAX_VARIABLES = 24
+
+    #: States evaluated per vectorized block.
+    BLOCK = 1 << 16
+
+    parameters = {"keep": "'all' or an int: how many best rows to return"}
+
+    def sample_model(
+        self,
+        model: QuboModel,
+        *,
+        keep: Union[str, int] = "all",
+        **unknown: Any,
+    ) -> SampleSet:
+        if unknown:
+            raise TypeError(f"unknown sampler parameters: {sorted(unknown)}")
+        n = model.num_variables
+        if n > self.MAX_VARIABLES:
+            raise ValueError(
+                f"ExactSolver supports at most {self.MAX_VARIABLES} variables, "
+                f"got {n}; use an annealer for larger models"
+            )
+        if keep != "all" and (not isinstance(keep, int) or keep < 1):
+            raise ValueError(f"keep must be 'all' or a positive int, got {keep!r}")
+        if n == 0:
+            return SampleSet(
+                np.zeros((1, 0), dtype=np.int8), np.array([model.offset])
+            )
+
+        total = 1 << n
+        bits = np.arange(n, dtype=np.uint64)
+
+        if keep == "all":
+            states = self._decode_block(np.arange(total, dtype=np.uint64), bits)
+            energies = model.energies(states)
+            return SampleSet(states, energies, info={"sampler": "ExactSolver"})
+
+        # Streaming top-k: keep only the best `keep` rows across blocks.
+        best_states: Optional[np.ndarray] = None
+        best_energies: Optional[np.ndarray] = None
+        for start in range(0, total, self.BLOCK):
+            stop = min(start + self.BLOCK, total)
+            codes = np.arange(start, stop, dtype=np.uint64)
+            states = self._decode_block(codes, bits)
+            energies = model.energies(states)
+            if best_states is None:
+                pool_s, pool_e = states, energies
+            else:
+                pool_s = np.vstack((best_states, states))
+                pool_e = np.concatenate((best_energies, energies))
+            order = np.argsort(pool_e, kind="stable")[:keep]
+            best_states = pool_s[order]
+            best_energies = pool_e[order]
+        assert best_states is not None and best_energies is not None
+        return SampleSet(
+            best_states, best_energies, info={"sampler": "ExactSolver", "keep": keep}
+        )
+
+    @staticmethod
+    def _decode_block(codes: np.ndarray, bits: np.ndarray) -> np.ndarray:
+        """Expand integer codes into {0,1} rows; bit 0 is variable 0."""
+        return ((codes[:, None] >> bits[None, :]) & 1).astype(np.int8)
+
+    def ground_state(self, model: QuboModel) -> tuple:
+        """Convenience: ``(state, energy)`` of the global minimum."""
+        result = self.sample_model(model, keep=1)
+        best = result.first
+        state = np.array(
+            [best.assignment[i] for i in range(model.num_variables)], dtype=np.int8
+        )
+        return state, best.energy

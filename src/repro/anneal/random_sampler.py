@@ -1,0 +1,42 @@
+"""Uniform random sampler — the weakest baseline.
+
+Every serious sampler must beat this; it anchors the ablation benchmarks
+(``benchmarks/bench_samplers.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.anneal.base import Sampler
+from repro.anneal.sampleset import SampleSet
+from repro.qubo.model import QuboModel
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["RandomSampler"]
+
+
+class RandomSampler(Sampler):
+    """Draw states uniformly at random and score them."""
+
+    parameters = {"num_reads": "number of random states", "seed": "RNG seed"}
+
+    def sample_model(
+        self,
+        model: QuboModel,
+        *,
+        num_reads: int = 32,
+        seed: SeedLike = None,
+        **unknown: Any,
+    ) -> SampleSet:
+        if unknown:
+            raise TypeError(f"unknown sampler parameters: {sorted(unknown)}")
+        if num_reads < 1:
+            raise ValueError(f"num_reads must be >= 1, got {num_reads}")
+        rng = ensure_rng(seed)
+        states = rng.integers(0, 2, size=(num_reads, model.num_variables), dtype=np.int8)
+        return SampleSet(
+            states, model.energies(states), info={"sampler": "RandomSampler"}
+        )

@@ -1,0 +1,290 @@
+"""Sample sets: the result container returned by every sampler.
+
+Mirrors the role of ``dimod.SampleSet``: a batch of states with energies and
+multiplicities, stored column-per-variable in a dense NumPy array so that
+post-processing (aggregation, filtering, decoding back to strings) stays
+vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Sample", "SampleSet"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One row of a :class:`SampleSet`."""
+
+    assignment: Dict[Hashable, int]
+    energy: float
+    num_occurrences: int = 1
+
+    def state(self, order: Sequence[Hashable]) -> np.ndarray:
+        """The assignment as an array in the given variable order."""
+        return np.array([self.assignment[v] for v in order], dtype=np.int8)
+
+
+class SampleSet:
+    """A batch of samples with energies and occurrence counts.
+
+    Rows are kept **sorted by energy** (stable), so ``first`` is always the
+    best sample found.
+
+    Parameters
+    ----------
+    states:
+        ``(R, n)`` integer array of variable assignments.
+    energies:
+        ``(R,)`` energies, one per row.
+    variables:
+        Column labels, length ``n``.
+    num_occurrences:
+        Optional ``(R,)`` multiplicities (default all ones).
+    info:
+        Free-form sampler metadata (timings, schedule parameters, ...).
+    """
+
+    def __init__(
+        self,
+        states: np.ndarray,
+        energies: np.ndarray,
+        variables: Optional[Sequence[Hashable]] = None,
+        num_occurrences: Optional[np.ndarray] = None,
+        info: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        states = np.atleast_2d(np.asarray(states, dtype=np.int8))
+        energies = np.atleast_1d(np.asarray(energies, dtype=np.float64))
+        if states.shape[0] != energies.shape[0]:
+            raise ValueError(
+                f"{states.shape[0]} states but {energies.shape[0]} energies"
+            )
+        if variables is None:
+            variables = list(range(states.shape[1]))
+        else:
+            variables = list(variables)
+        if len(variables) != states.shape[1]:
+            raise ValueError(
+                f"{len(variables)} variable labels for {states.shape[1]} columns"
+            )
+        if len(set(variables)) != len(variables):
+            raise ValueError("variable labels must be unique")
+        if num_occurrences is None:
+            num_occurrences = np.ones(states.shape[0], dtype=np.int64)
+        else:
+            num_occurrences = np.asarray(num_occurrences, dtype=np.int64)
+            if num_occurrences.shape != energies.shape:
+                raise ValueError("num_occurrences shape mismatch")
+            if np.any(num_occurrences <= 0):
+                raise ValueError("num_occurrences must be positive")
+        order = np.argsort(energies, kind="stable")
+        self._states = np.ascontiguousarray(states[order])
+        self._energies = energies[order]
+        self._num_occurrences = num_occurrences[order]
+        self._variables: List[Hashable] = variables
+        self._index = {v: i for i, v in enumerate(variables)}
+        self.info: Dict[str, Any] = dict(info or {})
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, variables: Sequence[Hashable] = ()) -> "SampleSet":
+        """A sample set with zero rows."""
+        n = len(list(variables))
+        return cls(
+            np.zeros((0, n), dtype=np.int8),
+            np.zeros(0, dtype=np.float64),
+            variables=variables,
+        )
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[Mapping[Hashable, int]],
+        energies: Sequence[float],
+        info: Optional[Mapping[str, Any]] = None,
+    ) -> "SampleSet":
+        """Build from dict-shaped samples (all must share a key set)."""
+        if not samples:
+            return cls.empty()
+        variables = list(samples[0])
+        states = np.array(
+            [[s[v] for v in variables] for s in samples], dtype=np.int8
+        )
+        return cls(states, np.asarray(energies, float), variables=variables, info=info)
+
+    @classmethod
+    def concatenate(cls, sets: Sequence["SampleSet"]) -> "SampleSet":
+        """Merge sample sets over the same variables (info dicts are merged)."""
+        sets = [s for s in sets if len(s) > 0] or list(sets)
+        if not sets:
+            return cls.empty()
+        variables = sets[0].variables
+        for s in sets[1:]:
+            if s.variables != variables:
+                raise ValueError("cannot concatenate sample sets over different variables")
+        info: Dict[str, Any] = {}
+        for s in sets:
+            info.update(s.info)
+        return cls(
+            np.vstack([s.states for s in sets]),
+            np.concatenate([s.energies for s in sets]),
+            variables=variables,
+            num_occurrences=np.concatenate([s.num_occurrences for s in sets]),
+            info=info,
+        )
+
+    # ------------------------------------------------------------------ #
+    # array views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def states(self) -> np.ndarray:
+        """``(R, n)`` int8 array, sorted by energy. Do not mutate."""
+        return self._states
+
+    @property
+    def energies(self) -> np.ndarray:
+        """``(R,)`` float64 array, ascending."""
+        return self._energies
+
+    @property
+    def num_occurrences(self) -> np.ndarray:
+        """``(R,)`` int64 multiplicities."""
+        return self._num_occurrences
+
+    @property
+    def variables(self) -> List[Hashable]:
+        """Column labels."""
+        return list(self._variables)
+
+    def column(self, variable: Hashable) -> np.ndarray:
+        """All sampled values of one variable, as an ``(R,)`` view."""
+        try:
+            return self._states[:, self._index[variable]]
+        except KeyError:
+            raise KeyError(f"unknown variable: {variable!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # row access
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._states.shape[0]
+
+    def __iter__(self) -> Iterator[Sample]:
+        for row in range(len(self)):
+            yield self.sample(row)
+
+    def sample(self, row: int) -> Sample:
+        """The *row*-th sample (rows are energy-sorted)."""
+        assignment = {
+            v: int(self._states[row, i]) for i, v in enumerate(self._variables)
+        }
+        return Sample(
+            assignment=assignment,
+            energy=float(self._energies[row]),
+            num_occurrences=int(self._num_occurrences[row]),
+        )
+
+    @property
+    def first(self) -> Sample:
+        """The lowest-energy sample."""
+        if len(self) == 0:
+            raise ValueError("sample set is empty")
+        return self.sample(0)
+
+    def __repr__(self) -> str:
+        if len(self) == 0:
+            return "SampleSet(empty)"
+        return (
+            f"SampleSet({len(self)} rows, {len(self._variables)} variables, "
+            f"min_energy={self._energies[0]:.6g})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+
+    def lowest(self, atol: float = 1e-9) -> "SampleSet":
+        """Rows whose energy is within *atol* of the minimum."""
+        if len(self) == 0:
+            return self
+        mask = self._energies <= self._energies[0] + atol
+        return self._select(mask)
+
+    def truncate(self, n: int) -> "SampleSet":
+        """The best *n* rows."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        mask = np.zeros(len(self), dtype=bool)
+        mask[:n] = True
+        return self._select(mask)
+
+    def aggregate(self) -> "SampleSet":
+        """Merge duplicate states, summing occurrence counts."""
+        if len(self) == 0:
+            return self
+        _, first_idx, inverse = np.unique(
+            self._states, axis=0, return_index=True, return_inverse=True
+        )
+        counts = np.zeros(first_idx.shape[0], dtype=np.int64)
+        np.add.at(counts, inverse, self._num_occurrences)
+        return SampleSet(
+            self._states[first_idx],
+            self._energies[first_idx],
+            variables=self._variables,
+            num_occurrences=counts,
+            info=self.info,
+        )
+
+    def filter(self, mask: np.ndarray) -> "SampleSet":
+        """Rows selected by a boolean mask (in energy-sorted order)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError(f"mask shape {mask.shape} != ({len(self)},)")
+        return self._select(mask)
+
+    def relabel_variables(self, mapping: Mapping[Hashable, Hashable]) -> "SampleSet":
+        """Rename columns through *mapping* (unlisted labels unchanged)."""
+        new_vars = [mapping.get(v, v) for v in self._variables]
+        return SampleSet(
+            self._states,
+            self._energies,
+            variables=new_vars,
+            num_occurrences=self._num_occurrences,
+            info=self.info,
+        )
+
+    def _select(self, mask: np.ndarray) -> "SampleSet":
+        return SampleSet(
+            self._states[mask],
+            self._energies[mask],
+            variables=self._variables,
+            num_occurrences=self._num_occurrences[mask],
+            info=self.info,
+        )
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def ground_state_probability(self, ground_energy: float, atol: float = 1e-9) -> float:
+        """Fraction of reads (weighted by occurrences) at the given energy."""
+        if len(self) == 0:
+            return 0.0
+        hits = self._num_occurrences[self._energies <= ground_energy + atol].sum()
+        return float(hits) / float(self._num_occurrences.sum())
+
+    def mean_energy(self) -> float:
+        """Occurrence-weighted mean energy."""
+        if len(self) == 0:
+            raise ValueError("sample set is empty")
+        weights = self._num_occurrences
+        return float(np.average(self._energies, weights=weights))

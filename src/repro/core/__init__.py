@@ -1,0 +1,72 @@
+"""The paper's contribution: QUBO formulations for string constraints.
+
+Each module implements one of the paper's §4 formulations. All of them
+share the 7-bit ASCII encoding of §4's preamble (see
+:mod:`~repro.core.encoding`): a string of length *n* becomes ``7 n`` binary
+variables, most-significant bit first within each character.
+
+The formulations are *objects*: they build a
+:class:`~repro.qubo.model.QuboModel`, decode annealer states back to
+strings (or indices), and verify decoded solutions against the constraint's
+concrete semantics. :class:`~repro.core.solver.StringQuboSolver` drives the
+full Figure-1 pipeline: formulation → QUBO → annealer → decode → verify.
+"""
+
+from repro.core.encoding import (
+    char_to_bits,
+    decode_state,
+    encode_string,
+    state_to_string,
+)
+from repro.core.formulation import FormulationError, StringFormulation
+from repro.core.equality import StringEquality
+from repro.core.concat import StringConcatenation
+from repro.core.substring import SubstringMatching
+from repro.core.includes import StringIncludes
+from repro.core.indexof import SubstringIndexOf
+from repro.core.length import StringLength
+from repro.core.replace import StringReplace, StringReplaceAll
+from repro.core.reverse import StringReversal
+from repro.core.palindrome import PalindromeGeneration
+from repro.core.regex import RegexMatching, parse_pattern, regex_matches
+from repro.core.pipeline import ConstraintPipeline, PipelineResult, PipelineStage
+from repro.core.solver import SolveResult, StringQuboSolver
+from repro.core.affixes import (
+    StringCharAt,
+    StringPrefixOf,
+    StringSubstr,
+    StringSuffixOf,
+)
+from repro.core.notequals import StringNotEquals
+
+__all__ = [
+    "ConstraintPipeline",
+    "StringCharAt",
+    "StringNotEquals",
+    "StringPrefixOf",
+    "StringSubstr",
+    "StringSuffixOf",
+    "FormulationError",
+    "PalindromeGeneration",
+    "PipelineResult",
+    "PipelineStage",
+    "RegexMatching",
+    "SolveResult",
+    "StringConcatenation",
+    "StringEquality",
+    "StringFormulation",
+    "StringIncludes",
+    "StringLength",
+    "StringQuboSolver",
+    "StringReplace",
+    "StringReplaceAll",
+    "StringReversal",
+    "SubstringIndexOf",
+    "SubstringMatching",
+    "char_to_bits",
+    "decode_state",
+    "encode_string",
+    "parse_pattern",
+    "regex_matches",
+    "state_to_string",
+]

@@ -1,0 +1,155 @@
+"""Affix and window constraints: prefixof, suffixof, at, substr.
+
+The paper's future work asks for "more formulations based on this
+preliminary work for other string constraints". These four are direct
+corollaries of the §4.5 indexOf-generation scheme (strong window, soft
+filler), covering the remaining core SMT-LIB string operations:
+
+* ``str.prefixof`` — the window pinned at index 0;
+* ``str.suffixof`` — the window pinned at the end;
+* ``str.at``       — a one-character window at a given index;
+* ``str.substr``   — generation of a known slice of a ground string
+  (an equality against ``source[offset : offset+count]``, SMT-LIB
+  out-of-range semantics included).
+"""
+
+from __future__ import annotations
+
+from repro.core.equality import StringEquality
+from repro.core.formulation import FormulationError
+from repro.core.indexof import SubstringIndexOf
+from repro.utils.asciitab import is_ascii7
+from repro.utils.rng import SeedLike
+
+__all__ = ["StringPrefixOf", "StringSuffixOf", "StringCharAt", "StringSubstr"]
+
+
+class StringPrefixOf(SubstringIndexOf):
+    """Generate a *total_length* string starting with *prefix*."""
+
+    name = "prefixof"
+
+    def __init__(
+        self,
+        total_length: int,
+        prefix: str,
+        penalty_strength: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(
+            total_length, prefix, 0, penalty_strength=penalty_strength, seed=seed
+        )
+        self.prefix = prefix
+
+    def verify(self, decoded: str) -> bool:
+        return len(decoded) == self.total_length and decoded.startswith(self.prefix)
+
+    def describe(self) -> str:
+        return (
+            f"StringPrefixOf(total_length={self.total_length}, "
+            f"prefix={self.prefix!r}, A={self.penalty_strength})"
+        )
+
+
+class StringSuffixOf(SubstringIndexOf):
+    """Generate a *total_length* string ending with *suffix*."""
+
+    name = "suffixof"
+
+    def __init__(
+        self,
+        total_length: int,
+        suffix: str,
+        penalty_strength: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if len(suffix) > total_length:
+            raise FormulationError(
+                f"suffix {suffix!r} longer than total length {total_length}"
+            )
+        super().__init__(
+            total_length,
+            suffix,
+            total_length - len(suffix),
+            penalty_strength=penalty_strength,
+            seed=seed,
+        )
+        self.suffix = suffix
+
+    def verify(self, decoded: str) -> bool:
+        return len(decoded) == self.total_length and decoded.endswith(self.suffix)
+
+    def describe(self) -> str:
+        return (
+            f"StringSuffixOf(total_length={self.total_length}, "
+            f"suffix={self.suffix!r}, A={self.penalty_strength})"
+        )
+
+
+class StringCharAt(SubstringIndexOf):
+    """Generate a *total_length* string with *char* at *index* (str.at)."""
+
+    name = "charat"
+
+    def __init__(
+        self,
+        total_length: int,
+        char: str,
+        index: int,
+        penalty_strength: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if len(char) != 1:
+            raise FormulationError(f"str.at pins a single character, got {char!r}")
+        super().__init__(
+            total_length, char, index, penalty_strength=penalty_strength, seed=seed
+        )
+        self.char = char
+
+    def verify(self, decoded: str) -> bool:
+        return (
+            len(decoded) == self.total_length and decoded[self.index] == self.char
+        )
+
+    def describe(self) -> str:
+        return (
+            f"StringCharAt(total_length={self.total_length}, char={self.char!r}, "
+            f"index={self.index}, A={self.penalty_strength})"
+        )
+
+
+class StringSubstr(StringEquality):
+    """Generate ``source[offset : offset + count]`` (str.substr semantics).
+
+    SMT-LIB: out-of-range offsets yield the empty string; the count is
+    clipped to the available suffix.
+    """
+
+    name = "substr"
+
+    def __init__(
+        self,
+        source: str,
+        offset: int,
+        count: int,
+        penalty_strength: float = 1.0,
+    ) -> None:
+        if not is_ascii7(source):
+            raise FormulationError(f"source must be 7-bit ASCII: {source!r}")
+        if offset < 0 or count < 0 or offset > len(source):
+            slice_value = ""
+        else:
+            slice_value = source[offset : offset + count]
+        super().__init__(slice_value, penalty_strength)
+        self.source = source
+        self.slice_offset = offset
+        self.slice_count = count
+
+    def verify(self, decoded: str) -> bool:
+        return decoded == self.target
+
+    def describe(self) -> str:
+        return (
+            f"StringSubstr(source={self.source!r}, offset={self.slice_offset}, "
+            f"count={self.slice_count}, A={self.penalty_strength})"
+        )

@@ -1,0 +1,42 @@
+"""String concatenation (paper §4.2).
+
+The paper treats concatenation exactly like equality: the desired output is
+the known string ``s1 ‖ s2``, encoded into the diagonal. The formulation
+keeps the two operands so the verifier can check both halves independently.
+"""
+
+from __future__ import annotations
+
+from repro.core.equality import StringEquality
+from repro.core.formulation import FormulationError
+from repro.utils.asciitab import is_ascii7
+
+__all__ = ["StringConcatenation"]
+
+
+class StringConcatenation(StringEquality):
+    """Generate the concatenation of *left* and *right*."""
+
+    name = "concat"
+
+    def __init__(self, left: str, right: str, penalty_strength: float = 1.0) -> None:
+        if not is_ascii7(left):
+            raise FormulationError(f"left operand must be 7-bit ASCII: {left!r}")
+        if not is_ascii7(right):
+            raise FormulationError(f"right operand must be 7-bit ASCII: {right!r}")
+        super().__init__(left + right, penalty_strength)
+        self.left = left
+        self.right = right
+
+    def verify(self, decoded: str) -> bool:
+        return (
+            decoded == self.left + self.right
+            and decoded.startswith(self.left)
+            and decoded.endswith(self.right)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"StringConcatenation(left={self.left!r}, right={self.right!r}, "
+            f"A={self.penalty_strength})"
+        )

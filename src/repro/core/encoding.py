@@ -1,0 +1,87 @@
+"""7-bit ASCII string <-> binary-variable encoding (paper §4, preamble).
+
+The paper defines ``bin : Σ -> {0,1}^7`` mapping each character to a 7-bit
+vector, and ``f : Σ^n -> {0,1}^{7n}`` concatenating per-character vectors:
+``f(s) = bin(s_1) ‖ bin(s_2) ‖ ... ‖ bin(s_n)``.
+
+Bit order is **most-significant first**, matching the paper's worked
+example: 'a' = 97 = ``1100001`` gives diagonal ``[-A,-A,+A,+A,+A,+A,-A]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.asciitab import ALPHABET_SIZE, CHAR_BITS
+
+__all__ = [
+    "char_to_bits",
+    "bits_to_char",
+    "encode_string",
+    "state_to_string",
+    "decode_state",
+    "variable_index",
+]
+
+#: Shift amounts producing MSB-first bit order.
+_SHIFTS = np.arange(CHAR_BITS - 1, -1, -1, dtype=np.uint8)
+
+
+def char_to_bits(char: str) -> np.ndarray:
+    """``bin(c)``: the 7-bit MSB-first vector of one character."""
+    if len(char) != 1:
+        raise ValueError(f"expected a single character, got {char!r}")
+    code = ord(char)
+    if code >= ALPHABET_SIZE:
+        raise ValueError(
+            f"character {char!r} (code point {code}) does not fit in "
+            f"{CHAR_BITS}-bit ASCII"
+        )
+    return ((code >> _SHIFTS) & 1).astype(np.int8)
+
+
+def bits_to_char(bits: np.ndarray) -> str:
+    """Inverse of :func:`char_to_bits`."""
+    bits = np.asarray(bits)
+    if bits.shape != (CHAR_BITS,):
+        raise ValueError(f"expected {CHAR_BITS} bits, got shape {bits.shape}")
+    code = int((bits.astype(np.int64) << _SHIFTS).sum())
+    return chr(code)
+
+
+def encode_string(text: str) -> np.ndarray:
+    """``f(s)``: the ``7 |s|`` binary vector of a whole string (vectorized)."""
+    if not text:
+        return np.zeros(0, dtype=np.int8)
+    codes = np.frombuffer(text.encode("ascii", errors="strict"), dtype=np.uint8)
+    if np.any(codes >= ALPHABET_SIZE):
+        raise ValueError(f"string contains non-7-bit characters: {text!r}")
+    bits = (codes[:, None] >> _SHIFTS[None, :]) & 1
+    return bits.reshape(-1).astype(np.int8)
+
+
+def state_to_string(state: np.ndarray) -> str:
+    """Decode a ``7 n`` binary vector back to its *n*-character string."""
+    state = np.asarray(state)
+    if state.ndim != 1 or state.size % CHAR_BITS:
+        raise ValueError(
+            f"state length {state.size} is not a multiple of {CHAR_BITS}"
+        )
+    if state.size == 0:
+        return ""
+    bits = state.reshape(-1, CHAR_BITS).astype(np.int64)
+    codes = (bits << _SHIFTS[None, :]).sum(axis=1)
+    return "".join(chr(int(c)) for c in codes)
+
+
+#: Alias used by formulation decode() implementations.
+decode_state = state_to_string
+
+
+def variable_index(position: int, bit: int) -> int:
+    """Index of bit *bit* (0 = MSB) of the character at *position*."""
+    if bit < 0 or bit >= CHAR_BITS:
+        raise ValueError(f"bit must lie in [0, {CHAR_BITS}), got {bit}")
+    if position < 0:
+        raise ValueError(f"position must be non-negative, got {position}")
+    return position * CHAR_BITS + bit

@@ -1,0 +1,57 @@
+"""String equality (paper §4.1).
+
+Generate a string *S* equal to a target *T*: each of the ``7 |T|`` bits has
+a diagonal entry ``-A`` when the target bit is 1 and ``+A`` when it is 0.
+The QUBO is purely diagonal, so the ground state is exactly the target's
+binary image and the ground energy is ``-A * popcount(f(T))``.
+"""
+
+from __future__ import annotations
+
+from repro.core.encoding import encode_string
+from repro.core.formulation import (
+    FormulationError,
+    StringFormulation,
+    encode_char_into_diagonal,
+)
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import CHAR_BITS, is_ascii7
+
+__all__ = ["StringEquality"]
+
+
+class StringEquality(StringFormulation):
+    """Generate a string equal to *target*.
+
+    Parameters
+    ----------
+    target:
+        The string to generate (7-bit ASCII).
+    penalty_strength:
+        The paper's coefficient ``A`` (default 1).
+    """
+
+    name = "equality"
+
+    def __init__(self, target: str, penalty_strength: float = 1.0) -> None:
+        super().__init__(penalty_strength)
+        if not is_ascii7(target):
+            raise FormulationError(f"target must be 7-bit ASCII: {target!r}")
+        self.target = target
+
+    def _build(self) -> QuboModel:
+        model = QuboModel(CHAR_BITS * len(self.target))
+        for position, char in enumerate(self.target):
+            encode_char_into_diagonal(model, position, char, self.penalty_strength)
+        return model
+
+    def verify(self, decoded: str) -> bool:
+        return decoded == self.target
+
+    def ground_energy(self) -> float:
+        # -A per 1-bit of the target (0-bits contribute zero at x = 0).
+        ones = int(encode_string(self.target).sum())
+        return -self.penalty_strength * ones
+
+    def describe(self) -> str:
+        return f"StringEquality(target={self.target!r}, A={self.penalty_strength})"

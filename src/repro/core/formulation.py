@@ -1,0 +1,128 @@
+"""Base class shared by every §4 formulation.
+
+A :class:`StringFormulation` owns the full life cycle of one constraint:
+
+* ``build_model()`` — construct (and cache) the QUBO of the constraint;
+* ``decode(state)`` — map an annealer state back to the constraint's output
+  domain (a string for generation constraints, an index for *includes*);
+* ``verify(decoded)`` — check the decoded output against the constraint's
+  concrete semantics (the "consistency check" of classical SMT solving);
+* ``ground_energy()`` — the optimal objective value when known in closed
+  form, used to measure annealer success probabilities.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.encoding import char_to_bits, state_to_string
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import CHAR_BITS
+
+__all__ = ["StringFormulation", "FormulationError", "encode_char_into_diagonal"]
+
+
+class FormulationError(ValueError):
+    """Raised when a constraint is malformed or trivially unsatisfiable."""
+
+
+def encode_char_into_diagonal(
+    model: QuboModel,
+    position: int,
+    char: str,
+    strength: float,
+    accumulate: bool = False,
+) -> None:
+    """Write the ±strength diagonal pattern of *char* at *position*.
+
+    The paper's core encoding move: bit *k* of the character at string
+    position *p* corresponds to variable ``7 p + k``; its diagonal entry is
+    ``-strength`` when the target bit is 1 (reward setting it) and
+    ``+strength`` when the target bit is 0 (penalize setting it).
+
+    With ``accumulate=False`` (default) existing entries are overwritten —
+    the semantics §4.3 relies on.
+    """
+    bits = char_to_bits(char)
+    base = position * CHAR_BITS
+    for k in range(CHAR_BITS):
+        value = -strength if bits[k] else strength
+        if accumulate:
+            model.add_linear(base + k, value)
+        else:
+            model.set_linear(base + k, value)
+
+
+class StringFormulation(abc.ABC):
+    """One string constraint, lowered to QUBO per the paper's §4."""
+
+    #: Short machine-readable identifier (e.g. ``"equality"``).
+    name: str = "abstract"
+
+    def __init__(self, penalty_strength: float = 1.0) -> None:
+        # The paper fixes A = 1 for all formulations ("we find that this
+        # coefficient works best with our simulated annealer"); it is kept
+        # configurable for the penalty-sweep ablation.
+        if penalty_strength <= 0:
+            raise FormulationError(
+                f"penalty strength A must be positive, got {penalty_strength}"
+            )
+        self.penalty_strength = float(penalty_strength)
+        self._model: Optional[QuboModel] = None
+
+    # ------------------------------------------------------------------ #
+    # model construction
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _build(self) -> QuboModel:
+        """Construct the QUBO (called once; the result is cached)."""
+
+    def build_model(self) -> QuboModel:
+        """The constraint's QUBO (cached across calls)."""
+        if self._model is None:
+            self._model = self._build()
+        return self._model
+
+    @property
+    def num_variables(self) -> int:
+        return self.build_model().num_variables
+
+    # ------------------------------------------------------------------ #
+    # decode / verify
+    # ------------------------------------------------------------------ #
+
+    def decode(self, state: np.ndarray) -> Any:
+        """Map an annealer state to the output domain (default: a string)."""
+        return state_to_string(np.asarray(state))
+
+    @abc.abstractmethod
+    def verify(self, decoded: Any) -> bool:
+        """Concrete-semantics check of a decoded output."""
+
+    def ground_energy(self) -> Optional[float]:
+        """Optimal objective value, or ``None`` when not known in closed form.
+
+        For purely diagonal models the optimum is the sum of the negative
+        diagonal entries (each bit independently takes its preferred
+        value); subclasses with couplings override or return ``None``.
+        """
+        model = self.build_model()
+        if model.num_interactions:
+            return None
+        diagonal = model.linear_vector()
+        return float(np.minimum(diagonal, 0.0).sum() + model.offset)
+
+    # ------------------------------------------------------------------ #
+    # description
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{type(self).__name__}(A={self.penalty_strength})"
+
+    def __repr__(self) -> str:
+        return self.describe()

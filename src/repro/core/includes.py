@@ -1,0 +1,181 @@
+"""String includes (paper §4.4).
+
+Decision variant of substring search: *where* in a larger string T does a
+substring S begin? One indicator variable per candidate start position,
+three energy terms:
+
+* **match reward** — ``-A * (number of matching characters)`` on the
+  diagonal of each candidate position (the paper's δ-sum objective);
+* **one-hot penalty** — ``+B`` on every pair ``x_i x_j``, so selecting more
+  than one start costs energy;
+* **first-match bias** — a cumulative penalty ``C_i`` added to the diagonal
+  of *full-match* positions, with ``C`` increasing by ``D`` at each further
+  match, steering the annealer to the earliest occurrence (the paper's
+  §4.4.3 recurrence, reproduced literally: the match at index 0 carries no
+  penalty because the recurrence's ``i = 0`` branch wins).
+
+Defaults: ``B = 2A`` and ``D = A / (2 (n - m + 1))``, chosen so a full
+match (energy ``-A m + C_i``) always beats both the empty selection (0)
+and any partial-match window (``>= -A (m - 1)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.formulation import FormulationError, StringFormulation
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import is_ascii7
+
+__all__ = ["StringIncludes"]
+
+
+class StringIncludes(StringFormulation):
+    """Find the start index of *needle* within *haystack*.
+
+    ``decode`` returns an **index** (or −1): the position whose indicator
+    variable is set; ``verify`` checks it against Python's ``str.find``
+    semantics (the earliest occurrence).
+
+    .. note::
+       The paper's objective rewards *partial* matches, so when the needle
+       does not occur at all but some window shares characters with it, the
+       ground state still selects that window and verification fails. This
+       is a faithful reproduction of the formulation as published; see
+       DESIGN.md §6.
+    """
+
+    name = "includes"
+
+    def __init__(
+        self,
+        haystack: str,
+        needle: str,
+        penalty_strength: float = 1.0,
+        one_hot_penalty: Optional[float] = None,
+        first_match_increment: Optional[float] = None,
+    ) -> None:
+        super().__init__(penalty_strength)
+        if not needle:
+            raise FormulationError("needle must be non-empty")
+        if not is_ascii7(haystack) or not is_ascii7(needle):
+            raise FormulationError("strings must be 7-bit ASCII")
+        if len(needle) > len(haystack):
+            raise FormulationError(
+                f"needle {needle!r} longer than haystack {haystack!r}"
+            )
+        self.haystack = haystack
+        self.needle = needle
+        self.num_positions = len(haystack) - len(needle) + 1
+        a = self.penalty_strength
+        # B must dominate the reward of a *second* full-match selection
+        # (-A m), or the one-hot constraint is not actually enforced.
+        self.one_hot_penalty = (
+            float(one_hot_penalty)
+            if one_hot_penalty is not None
+            else a * (len(needle) + 1.0)
+        )
+        self.first_match_increment = (
+            float(first_match_increment)
+            if first_match_increment is not None
+            else a / (2.0 * self.num_positions)
+        )
+        if self.one_hot_penalty <= 0:
+            raise FormulationError("one_hot_penalty B must be positive")
+        if self.first_match_increment < 0:
+            raise FormulationError("first_match_increment D must be non-negative")
+
+    # ------------------------------------------------------------------ #
+
+    def match_counts(self) -> np.ndarray:
+        """δ-sum per window: matching characters of S against T at each start."""
+        counts = np.zeros(self.num_positions, dtype=np.int64)
+        for i in range(self.num_positions):
+            window = self.haystack[i : i + len(self.needle)]
+            counts[i] = sum(a == b for a, b in zip(window, self.needle))
+        return counts
+
+    def full_match_positions(self) -> List[int]:
+        """Start indices where the whole needle matches."""
+        m = len(self.needle)
+        return [
+            i
+            for i in range(self.num_positions)
+            if self.haystack[i : i + m] == self.needle
+        ]
+
+    def cumulative_penalties(self) -> np.ndarray:
+        """The paper's ``C_i`` sequence (§4.4.3), computed literally."""
+        m = len(self.needle)
+        c = np.zeros(self.num_positions, dtype=np.float64)
+        for i in range(self.num_positions):
+            if i == 0:
+                c[i] = 0.0
+            elif self.haystack[i : i + m] == self.needle:
+                c[i] = c[i - 1] + self.first_match_increment
+            else:
+                c[i] = c[i - 1]
+        return c
+
+    def _build(self) -> QuboModel:
+        model = QuboModel(self.num_positions)
+        a = self.penalty_strength
+        counts = self.match_counts()
+        penalties = self.cumulative_penalties()
+        full = set(self.full_match_positions())
+        for i in range(self.num_positions):
+            diagonal = -a * float(counts[i])
+            if i in full:
+                diagonal += penalties[i]
+            model.set_linear(i, diagonal)
+        for i in range(self.num_positions):
+            for j in range(i + 1, self.num_positions):
+                model.set_quadratic(i, j, self.one_hot_penalty)
+        return model
+
+    # ------------------------------------------------------------------ #
+
+    def decode(self, state: np.ndarray) -> int:
+        """The selected start index; −1 when no indicator is set.
+
+        When the one-hot penalty failed to enforce uniqueness, the earliest
+        selected index is reported (and ``verify`` will catch mismatches).
+        """
+        state = np.asarray(state)
+        selected = np.nonzero(state == 1)[0]
+        return int(selected[0]) if selected.size else -1
+
+    def verify(self, decoded: int) -> bool:
+        return decoded == self.haystack.find(self.needle)
+
+    def ground_energy(self) -> Optional[float]:
+        """Exact optimum, by inspection of the one-hot structure.
+
+        The one-hot penalty makes multi-selection dominated, so the optimum
+        is the best single-selection energy (or 0 for no selection). Only
+        valid when ``B > A * len(needle)`` — with a weaker user-supplied B
+        the true optimum may select several windows, and ``None`` is
+        returned.
+        """
+        a = self.penalty_strength
+        if self.one_hot_penalty <= a * len(self.needle):
+            return None
+        counts = self.match_counts()
+        penalties = self.cumulative_penalties()
+        full = set(self.full_match_positions())
+        best = 0.0
+        for i in range(self.num_positions):
+            energy = -a * float(counts[i])
+            if i in full:
+                energy += penalties[i]
+            best = min(best, energy)
+        return best
+
+    def describe(self) -> str:
+        return (
+            f"StringIncludes(haystack={self.haystack!r}, needle={self.needle!r}, "
+            f"A={self.penalty_strength}, B={self.one_hot_penalty}, "
+            f"D={self.first_match_increment})"
+        )

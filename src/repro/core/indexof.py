@@ -1,0 +1,146 @@
+"""Substring indexOf — generation variant (paper §4.5).
+
+Generate a string of length *t* containing substring *S* at index *p*. The
+window positions get **strong** constraints (``2A`` by default) encoding S;
+every other position gets a **soft** constraint (``0.1A``) so "other valid
+ASCII characters can be generated" there — the paper's Table 1 example
+generates ``qphiqp`` for "length 6, 'hi' at index 2".
+
+The soft target is drawn per position from the printable alphabet (the
+paper leaves the choice open: any valid character may appear); pass
+``soft_target`` to pin it for deterministic tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.formulation import (
+    FormulationError,
+    StringFormulation,
+    encode_char_into_diagonal,
+)
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import CHAR_BITS, is_ascii7, random_printable
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["SubstringIndexOf"]
+
+
+class SubstringIndexOf(StringFormulation):
+    """Generate a *total_length* string with *substring* at *index*.
+
+    Parameters
+    ----------
+    total_length:
+        Length t of the generated string.
+    substring:
+        The substring S to pin.
+    index:
+        The start position of S (0-based).
+    strong_factor:
+        Multiplier on A for the pinned window (paper suggests 2).
+    soft_factor:
+        Multiplier on A for the free positions (paper suggests 0.1).
+    soft_target:
+        Optional single character used as the soft preference at every free
+        position; default draws a random printable character per position.
+    seed:
+        RNG seed for the random soft targets.
+    """
+
+    name = "indexof"
+
+    def __init__(
+        self,
+        total_length: int,
+        substring: str,
+        index: int,
+        penalty_strength: float = 1.0,
+        strong_factor: float = 2.0,
+        soft_factor: float = 0.1,
+        soft_target: Optional[str] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(penalty_strength)
+        if not substring:
+            raise FormulationError("substring must be non-empty")
+        if not is_ascii7(substring):
+            raise FormulationError(f"substring must be 7-bit ASCII: {substring!r}")
+        if index < 0 or index + len(substring) > total_length:
+            raise FormulationError(
+                f"substring {substring!r} at index {index} does not fit in "
+                f"length {total_length}"
+            )
+        if strong_factor <= 0 or soft_factor < 0:
+            raise FormulationError(
+                "strong_factor must be positive and soft_factor non-negative"
+            )
+        if soft_factor >= strong_factor:
+            raise FormulationError(
+                "soft constraints must be weaker than strong ones "
+                f"(soft={soft_factor}, strong={strong_factor})"
+            )
+        if soft_target is not None and (
+            len(soft_target) != 1 or not is_ascii7(soft_target)
+        ):
+            raise FormulationError(
+                f"soft_target must be a single 7-bit character, got {soft_target!r}"
+            )
+        self.total_length = int(total_length)
+        self.substring = substring
+        self.index = int(index)
+        self.strong_factor = float(strong_factor)
+        self.soft_factor = float(soft_factor)
+        self.soft_target = soft_target
+        self._rng = ensure_rng(seed)
+        self._soft_chars: Optional[str] = None
+
+    @property
+    def window(self) -> range:
+        """Positions pinned to the substring."""
+        return range(self.index, self.index + len(self.substring))
+
+    def soft_characters(self) -> str:
+        """The per-position soft targets (drawn once, then cached)."""
+        if self._soft_chars is None:
+            chars = []
+            for position in range(self.total_length):
+                if position in self.window:
+                    chars.append(self.substring[position - self.index])
+                elif self.soft_target is not None:
+                    chars.append(self.soft_target)
+                else:
+                    chars.append(random_printable(self._rng, 1))
+            self._soft_chars = "".join(chars)
+        return self._soft_chars
+
+    def _build(self) -> QuboModel:
+        model = QuboModel(CHAR_BITS * self.total_length)
+        strong = self.strong_factor * self.penalty_strength
+        soft = self.soft_factor * self.penalty_strength
+        targets = self.soft_characters()
+        for position in range(self.total_length):
+            in_window = position in self.window
+            encode_char_into_diagonal(
+                model,
+                position,
+                targets[position],
+                strong if in_window else soft,
+            )
+        return model
+
+    def verify(self, decoded: str) -> bool:
+        return (
+            len(decoded) == self.total_length
+            and decoded[self.index : self.index + len(self.substring)]
+            == self.substring
+        )
+
+    def describe(self) -> str:
+        return (
+            f"SubstringIndexOf(total_length={self.total_length}, "
+            f"substring={self.substring!r}, index={self.index}, "
+            f"A={self.penalty_strength}, strong={self.strong_factor}, "
+            f"soft={self.soft_factor})"
+        )

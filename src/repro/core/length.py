@@ -1,0 +1,149 @@
+"""String length (paper §4.6).
+
+The paper's formulation works at the **bit level**: to say "the string has
+length L", the first ``7 L`` diagonal entries are ``-A`` (those bits should
+be 1) and the remaining ``7 (n - L)`` are ``+A`` (those bits should be 0).
+
+Reproduced literally as ``mode="paper"`` — with the caveat (DESIGN.md §6)
+that an all-ones character is ``0x7F`` (DEL), so the ground state decodes
+to DEL-padding rather than readable text. ``mode="decodable"`` is our
+documented variant: content positions get a *soft* printable preference and
+pad positions are pinned to NUL, so the decoded prefix is a readable string
+of exactly L characters followed by NULs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.formulation import (
+    FormulationError,
+    StringFormulation,
+    encode_char_into_diagonal,
+)
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import CHAR_BITS, random_printable
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["StringLength"]
+
+_NUL = "\x00"
+_DEL = "\x7f"
+
+
+class StringLength(StringFormulation):
+    """Constrain an *n*-character buffer to an effective length *L*.
+
+    Parameters
+    ----------
+    buffer_length:
+        Number of character slots n.
+    length:
+        Desired length L (``0 <= L <= n``).
+    mode:
+        ``"paper"`` (default) — the literal §4.6 objective: first ``7 L``
+        bits 1, rest 0. ``"decodable"`` — printable content, NUL padding.
+    soft_factor:
+        Strength multiplier for the soft printable preference in
+        ``"decodable"`` mode (default 0.5).
+    seed:
+        RNG seed for the random printable targets in ``"decodable"`` mode.
+    """
+
+    name = "length"
+
+    def __init__(
+        self,
+        buffer_length: int,
+        length: int,
+        penalty_strength: float = 1.0,
+        mode: str = "paper",
+        soft_factor: float = 0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(penalty_strength)
+        if buffer_length < 0:
+            raise FormulationError(f"buffer_length must be >= 0, got {buffer_length}")
+        if not (0 <= length <= buffer_length):
+            raise FormulationError(
+                f"length must lie in [0, {buffer_length}], got {length}"
+            )
+        if mode not in ("paper", "decodable"):
+            raise FormulationError(f"mode must be 'paper' or 'decodable', got {mode!r}")
+        if not (0 < soft_factor < 1):
+            raise FormulationError(f"soft_factor must lie in (0, 1), got {soft_factor}")
+        self.buffer_length = int(buffer_length)
+        self.length = int(length)
+        self.mode = mode
+        self.soft_factor = float(soft_factor)
+        self._rng = ensure_rng(seed)
+        self._content: Optional[str] = None
+
+    def content_characters(self) -> str:
+        """Soft targets for the content positions (``decodable`` mode)."""
+        if self._content is None:
+            self._content = random_printable(self._rng, self.length)
+        return self._content
+
+    def _build(self) -> QuboModel:
+        n_bits = CHAR_BITS * self.buffer_length
+        model = QuboModel(n_bits)
+        a = self.penalty_strength
+        if self.mode == "paper":
+            boundary = CHAR_BITS * self.length
+            for bit in range(n_bits):
+                model.set_linear(bit, -a if bit < boundary else a)
+            return model
+        content = self.content_characters()
+        for position in range(self.buffer_length):
+            if position < self.length:
+                encode_char_into_diagonal(
+                    model, position, content[position], self.soft_factor * a
+                )
+            else:
+                encode_char_into_diagonal(model, position, _NUL, a)
+        return model
+
+    # ------------------------------------------------------------------ #
+
+    def decode(self, state: np.ndarray):
+        """Paper mode returns the raw bit vector; decodable mode a string."""
+        if self.mode == "paper":
+            return np.asarray(state).astype(np.int8)
+        from repro.core.encoding import state_to_string
+
+        return state_to_string(np.asarray(state)).rstrip(_NUL)
+
+    def verify(self, decoded) -> bool:
+        if self.mode == "paper":
+            bits = np.asarray(decoded)
+            boundary = CHAR_BITS * self.length
+            return bool(
+                bits.size == CHAR_BITS * self.buffer_length
+                and np.all(bits[:boundary] == 1)
+                and np.all(bits[boundary:] == 0)
+            )
+        return len(decoded) == self.length and _NUL not in decoded
+
+    def effective_length(self, decoded) -> int:
+        """Measured length of a decoded solution, in characters."""
+        if self.mode == "paper":
+            bits = np.asarray(decoded)
+            # Count leading all-ones characters (the paper's DEL padding).
+            chars = bits.reshape(-1, CHAR_BITS)
+            full = np.all(chars == 1, axis=1)
+            run = 0
+            for flag in full:
+                if not flag:
+                    break
+                run += 1
+            return run
+        return len(decoded)
+
+    def describe(self) -> str:
+        return (
+            f"StringLength(buffer={self.buffer_length}, L={self.length}, "
+            f"mode={self.mode!r}, A={self.penalty_strength})"
+        )

@@ -1,0 +1,366 @@
+"""Regex matching (paper §4.11), plus the extended operator set.
+
+The paper supports **literal characters**, **character classes** ``[...]``,
+and **plus** ``+``. Its future work calls for "more formulations based on
+this preliminary work"; this module additionally implements the natural
+next operators under the same fixed-output-length scheme:
+
+* ``*`` — zero or more repetitions,
+* ``?`` — zero or one occurrence,
+* ``.`` — any printable character (a large class).
+
+Each token carries a repetition range ``(min_count, max_count)``:
+literal/class = (1, 1), ``+`` = (1, ∞), ``*`` = (0, ∞), ``?`` = (0, 1).
+Generation targets a fixed output length; repeatable tokens absorb the
+slack ("we consider the plus constraint as a literal when it appears after
+a literal, and a character class when it appears after a character class").
+
+Per-position objectives:
+
+* literal — the usual ±A diagonal pattern of the character;
+* class — the patterns of all member characters, each weighted ``A/|chars|``
+  ("equal and shared preference"). Bits shared by all members keep full
+  strength; bits on which members disagree partially or fully cancel, so
+  every member is a ground state.
+
+This module also provides a standalone backtracking matcher for the same
+subset (:func:`regex_matches`) used for verification, plus the fixed-length
+expansion logic shared with the SMT front end and the classical solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Union
+
+from repro.core.formulation import (
+    FormulationError,
+    StringFormulation,
+)
+from repro.core.encoding import char_to_bits
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import CHAR_BITS, PRINTABLE_MAX, PRINTABLE_MIN, is_ascii7
+
+__all__ = [
+    "RegexToken",
+    "RegexMatching",
+    "parse_pattern",
+    "regex_matches",
+    "expand_to_length",
+    "DOT_CHARS",
+]
+
+#: The character set matched by ``.`` — printable ASCII.
+DOT_CHARS: FrozenSet[str] = frozenset(
+    chr(c) for c in range(PRINTABLE_MIN, PRINTABLE_MAX + 1)
+)
+
+_UNBOUNDED: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RegexToken:
+    """One element of the subset: a character set with a repetition range.
+
+    ``plus=True`` is the paper's original modifier and equivalent to
+    ``min_count=1, max_count=None``.
+    """
+
+    chars: FrozenSet[str]
+    plus: bool = False
+    min_count: int = field(default=1)
+    max_count: Optional[int] = field(default=1)
+
+    def __post_init__(self) -> None:
+        if not self.chars:
+            raise FormulationError("empty character class")
+        for c in self.chars:
+            if len(c) != 1 or not is_ascii7(c):
+                raise FormulationError(f"invalid class member: {c!r}")
+        if self.plus:
+            object.__setattr__(self, "min_count", 1)
+            object.__setattr__(self, "max_count", _UNBOUNDED)
+        if self.min_count < 0:
+            raise FormulationError(f"negative min_count: {self.min_count}")
+        if self.max_count is not None and self.max_count < self.min_count:
+            raise FormulationError(
+                f"max_count {self.max_count} < min_count {self.min_count}"
+            )
+
+    @property
+    def is_literal(self) -> bool:
+        return len(self.chars) == 1
+
+    @property
+    def repeatable(self) -> bool:
+        """Can this token absorb extra positions beyond its minimum?"""
+        return self.max_count is None or self.max_count > self.min_count
+
+    def with_modifier(self, modifier: str) -> "RegexToken":
+        """Apply a postfix modifier (one of ``+ * ?``)."""
+        if self.min_count != 1 or self.max_count != 1:
+            raise FormulationError(f"double modifier on {self.describe()!r}")
+        if modifier == "+":
+            return RegexToken(self.chars, plus=True)
+        ranges = {"*": (0, _UNBOUNDED), "?": (0, 1)}
+        lo, hi = ranges[modifier]
+        return RegexToken(self.chars, min_count=lo, max_count=hi)
+
+    def accepts(self, char: str) -> bool:
+        return char in self.chars
+
+    def describe(self) -> str:
+        if self.chars == DOT_CHARS:
+            body = "."
+        elif self.is_literal:
+            body = next(iter(self.chars))
+        else:
+            body = "[" + "".join(sorted(self.chars)) + "]"
+        suffix = {
+            (1, 1): "",
+            (1, _UNBOUNDED): "+",
+            (0, _UNBOUNDED): "*",
+            (0, 1): "?",
+        }.get((self.min_count, self.max_count), f"{{{self.min_count},{self.max_count}}}")
+        return body + suffix
+
+
+# --------------------------------------------------------------------- #
+# parsing
+# --------------------------------------------------------------------- #
+
+_MODIFIERS = set("+*?")
+
+
+def parse_pattern(pattern: str) -> List[RegexToken]:
+    """Parse the supported subset into a token list.
+
+    Literals (with ``\\`` escapes for specials), classes ``[abc]`` with
+    simple ranges ``[a-z]``, the dot, and postfix ``+ * ?``.
+    """
+    if not pattern:
+        raise FormulationError("empty pattern")
+    tokens: List[RegexToken] = []
+    i = 0
+    n = len(pattern)
+    while i < n:
+        c = pattern[i]
+        if c in _MODIFIERS:
+            if not tokens:
+                raise FormulationError(f"{c!r} with nothing to repeat")
+            tokens[-1] = tokens[-1].with_modifier(c)
+            i += 1
+        elif c == "[":
+            chars, i = _parse_class(pattern, i + 1)
+            tokens.append(RegexToken(frozenset(chars)))
+        elif c == "]":
+            raise FormulationError(f"unmatched ']' at position {i}")
+        elif c == ".":
+            tokens.append(RegexToken(DOT_CHARS))
+            i += 1
+        elif c == "\\":
+            if i + 1 >= n:
+                raise FormulationError("dangling escape at end of pattern")
+            tokens.append(RegexToken(frozenset(pattern[i + 1])))
+            i += 2
+        else:
+            if not is_ascii7(c):
+                raise FormulationError(f"non-ASCII literal {c!r}")
+            tokens.append(RegexToken(frozenset(c)))
+            i += 1
+    return tokens
+
+
+def _parse_class(pattern: str, start: int) -> tuple:
+    chars: List[str] = []
+    i = start
+    n = len(pattern)
+    while i < n and pattern[i] != "]":
+        c = pattern[i]
+        if c == "\\":
+            if i + 1 >= n:
+                raise FormulationError("dangling escape inside class")
+            chars.append(pattern[i + 1])
+            i += 2
+            continue
+        if (
+            i + 2 < n
+            and pattern[i + 1] == "-"
+            and pattern[i + 2] != "]"
+        ):
+            lo, hi = ord(c), ord(pattern[i + 2])
+            if hi < lo:
+                raise FormulationError(
+                    f"inverted range {c}-{pattern[i + 2]} in class"
+                )
+            chars.extend(chr(code) for code in range(lo, hi + 1))
+            i += 3
+            continue
+        chars.append(c)
+        i += 1
+    if i >= n:
+        raise FormulationError("unterminated character class")
+    if not chars:
+        raise FormulationError("empty character class")
+    return chars, i + 1
+
+
+# --------------------------------------------------------------------- #
+# matching (verification semantics)
+# --------------------------------------------------------------------- #
+
+
+def regex_matches(pattern: Union[str, Sequence[RegexToken]], text: str) -> bool:
+    """Full-match of *text* against the subset pattern (backtracking)."""
+    tokens = parse_pattern(pattern) if isinstance(pattern, str) else list(pattern)
+    return _match(tokens, text, 0, 0)
+
+
+def _match(tokens: List[RegexToken], text: str, ti: int, si: int) -> bool:
+    if ti == len(tokens):
+        return si == len(text)
+    token = tokens[ti]
+    # Greedy with backtracking over the token's admissible repeat counts.
+    limit = si
+    hard_cap = len(text) if token.max_count is None else si + token.max_count
+    while limit < min(len(text), hard_cap) and token.accepts(text[limit]):
+        limit += 1
+    lowest = si + token.min_count
+    for end in range(limit, lowest - 1, -1):
+        if end - si < token.min_count:
+            break
+        if _match(tokens, text, ti + 1, end):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# fixed-length expansion
+# --------------------------------------------------------------------- #
+
+
+def expand_to_length(
+    tokens: Sequence[RegexToken], length: int, policy: str = "last"
+) -> List[FrozenSet[str]]:
+    """Assign each output position a character set, for a fixed length.
+
+    Every token consumes its ``min_count`` positions; the remaining slack
+    goes to repeatable tokens, bounded by their ``max_count`` — all of it
+    to the **last** repeatable token first (``policy="last"``, which
+    reproduces the paper's ``a[bc]+`` → ``abcbb``-shaped outputs), or
+    round-robin (``policy="spread"``).
+    """
+    tokens = list(tokens)
+    if policy not in ("last", "spread"):
+        raise FormulationError(f"policy must be 'last' or 'spread', got {policy!r}")
+    minimum = sum(t.min_count for t in tokens)
+    slack = length - minimum
+    if slack < 0:
+        raise FormulationError(
+            f"pattern needs at least {minimum} characters, got length {length}"
+        )
+    capacity = [
+        (None if t.max_count is None else t.max_count - t.min_count)
+        for t in tokens
+    ]
+    repeatable = [i for i, c in enumerate(capacity) if c is None or c > 0]
+    total_capacity = (
+        float("inf")
+        if any(capacity[i] is None for i in repeatable)
+        else sum(capacity[i] for i in repeatable)
+    )
+    if slack > total_capacity:
+        raise FormulationError(
+            f"pattern matches at most {minimum + int(total_capacity)} characters; "
+            f"cannot stretch to {length}"
+        )
+    repeats = [t.min_count for t in tokens]
+    remaining = slack
+    if remaining:
+        if policy == "last":
+            for i in reversed(repeatable):
+                room = remaining if capacity[i] is None else min(capacity[i], remaining)
+                repeats[i] += room
+                remaining -= room
+                if not remaining:
+                    break
+        else:
+            while remaining:
+                progressed = False
+                for i in repeatable:
+                    used = repeats[i] - tokens[i].min_count
+                    if capacity[i] is not None and used >= capacity[i]:
+                        continue
+                    repeats[i] += 1
+                    remaining -= 1
+                    progressed = True
+                    if not remaining:
+                        break
+                if not progressed:
+                    raise FormulationError("internal: slack distribution stalled")
+    positions: List[FrozenSet[str]] = []
+    for token, count in zip(tokens, repeats):
+        positions.extend([token.chars] * count)
+    assert len(positions) == length
+    return positions
+
+
+# --------------------------------------------------------------------- #
+# the formulation
+# --------------------------------------------------------------------- #
+
+
+class RegexMatching(StringFormulation):
+    """Generate a *length*-character string matching *pattern*.
+
+    Parameters
+    ----------
+    pattern:
+        Pattern in the supported subset (literals, classes, dot, ``+ * ?``),
+        either a string or a pre-parsed token list.
+    length:
+        Output length (the paper generates at a fixed length).
+    expand_policy:
+        How slack distributes over repeatable tokens (``"last"`` or
+        ``"spread"``).
+    """
+
+    name = "regex"
+
+    def __init__(
+        self,
+        pattern: Union[str, Sequence[RegexToken]],
+        length: int,
+        penalty_strength: float = 1.0,
+        expand_policy: str = "last",
+    ) -> None:
+        super().__init__(penalty_strength)
+        self.pattern = pattern if isinstance(pattern, str) else None
+        self.tokens = (
+            parse_pattern(pattern) if isinstance(pattern, str) else list(pattern)
+        )
+        self.length = int(length)
+        self.expand_policy = expand_policy
+        self.positions = expand_to_length(self.tokens, self.length, expand_policy)
+
+    def _build(self) -> QuboModel:
+        model = QuboModel(CHAR_BITS * self.length)
+        a = self.penalty_strength
+        for position, chars in enumerate(self.positions):
+            base = CHAR_BITS * position
+            share = a / len(chars)
+            for char in sorted(chars):
+                bits = char_to_bits(char)
+                for k in range(CHAR_BITS):
+                    model.add_linear(base + k, -share if bits[k] else share)
+        return model
+
+    def verify(self, decoded: str) -> bool:
+        return len(decoded) == self.length and regex_matches(self.tokens, decoded)
+
+    def describe(self) -> str:
+        shown = self.pattern or "".join(t.describe() for t in self.tokens)
+        return (
+            f"RegexMatching(pattern={shown!r}, length={self.length}, "
+            f"A={self.penalty_strength}, policy={self.expand_policy!r})"
+        )

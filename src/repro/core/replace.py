@@ -1,0 +1,89 @@
+"""String replace and replaceAll (paper §4.7, §4.8).
+
+Both are equality-style: while building the diagonal, each input position
+is checked against the character to replace; matching positions get the
+replacement's bit pattern, others keep their own. ``replaceAll`` substitutes
+every occurrence (an operation the paper notes z3 lacks), ``replace`` only
+the first.
+"""
+
+from __future__ import annotations
+
+from repro.core.formulation import (
+    FormulationError,
+    StringFormulation,
+    encode_char_into_diagonal,
+)
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import CHAR_BITS, is_ascii7
+
+__all__ = ["StringReplaceAll", "StringReplace"]
+
+
+class StringReplaceAll(StringFormulation):
+    """Generate *source* with every occurrence of *old* replaced by *new*.
+
+    Parameters
+    ----------
+    source:
+        The input string S.
+    old:
+        The single character x to replace.
+    new:
+        The single character y to substitute.
+    """
+
+    name = "replace_all"
+    _count: int | None = None  # None = all occurrences
+
+    def __init__(
+        self, source: str, old: str, new: str, penalty_strength: float = 1.0
+    ) -> None:
+        super().__init__(penalty_strength)
+        if not is_ascii7(source):
+            raise FormulationError(f"source must be 7-bit ASCII: {source!r}")
+        if len(old) != 1 or len(new) != 1:
+            raise FormulationError(
+                "the paper's formulation replaces single characters; "
+                f"got old={old!r}, new={new!r}"
+            )
+        if not is_ascii7(old) or not is_ascii7(new):
+            raise FormulationError("replacement characters must be 7-bit ASCII")
+        self.source = source
+        self.old = old
+        self.new = new
+
+    @property
+    def expected(self) -> str:
+        """The concrete result of the replacement."""
+        if self._count is None:
+            return self.source.replace(self.old, self.new)
+        return self.source.replace(self.old, self.new, self._count)
+
+    def _build(self) -> QuboModel:
+        model = QuboModel(CHAR_BITS * len(self.source))
+        # Walk the input; matching positions take the replacement's pattern.
+        for position, char in enumerate(self.expected):
+            encode_char_into_diagonal(model, position, char, self.penalty_strength)
+        return model
+
+    def verify(self, decoded: str) -> bool:
+        if decoded != self.expected:
+            return False
+        if self._count is None and self.old != self.new:
+            # replaceAll postcondition: no occurrences of `old` survive.
+            return self.old not in decoded
+        return True
+
+    def describe(self) -> str:
+        return (
+            f"{type(self).__name__}(source={self.source!r}, old={self.old!r}, "
+            f"new={self.new!r}, A={self.penalty_strength})"
+        )
+
+
+class StringReplace(StringReplaceAll):
+    """Generate *source* with only the **first** occurrence replaced (§4.8)."""
+
+    name = "replace"
+    _count = 1

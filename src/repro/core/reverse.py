@@ -1,0 +1,31 @@
+"""String reversal (paper §4.9).
+
+The reverse of the input is a known string, so the formulation encodes the
+reversed string into the diagonal, exactly like equality.
+"""
+
+from __future__ import annotations
+
+from repro.core.equality import StringEquality
+from repro.core.formulation import FormulationError
+from repro.utils.asciitab import is_ascii7
+
+__all__ = ["StringReversal"]
+
+
+class StringReversal(StringEquality):
+    """Generate the reverse of *source*."""
+
+    name = "reverse"
+
+    def __init__(self, source: str, penalty_strength: float = 1.0) -> None:
+        if not is_ascii7(source):
+            raise FormulationError(f"source must be 7-bit ASCII: {source!r}")
+        super().__init__(source[::-1], penalty_strength)
+        self.source = source
+
+    def verify(self, decoded: str) -> bool:
+        return decoded == self.source[::-1]
+
+    def describe(self) -> str:
+        return f"StringReversal(source={self.source!r}, A={self.penalty_strength})"

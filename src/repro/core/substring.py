@@ -1,0 +1,91 @@
+"""Substring matching (paper §4.3).
+
+Generate a string of a given total length containing a substring. The
+paper's construction encodes the substring at **every** feasible start
+position, *overwriting* conflicting entries, so the substring effectively
+lands at the last feasible start while residue from earlier encodings fills
+part of the prefix — the paper's own example: generating a 4-character
+string containing ``"cat"`` yields the encoding of ``"ccat"``.
+
+Positions never written remain unconstrained (zero diagonal), so the
+annealer may put *any* bit pattern there; the paper marks these ``?``.
+Verification only checks the substring property.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.formulation import (
+    FormulationError,
+    StringFormulation,
+    encode_char_into_diagonal,
+)
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import CHAR_BITS, is_ascii7
+
+__all__ = ["SubstringMatching"]
+
+
+class SubstringMatching(StringFormulation):
+    """Generate a *total_length* string that contains *substring*.
+
+    Parameters
+    ----------
+    total_length:
+        Length of the generated string T.
+    substring:
+        The required substring S (must fit: ``len(S) <= total_length``).
+    """
+
+    name = "substring"
+
+    def __init__(
+        self, total_length: int, substring: str, penalty_strength: float = 1.0
+    ) -> None:
+        super().__init__(penalty_strength)
+        if not substring:
+            raise FormulationError("substring must be non-empty")
+        if not is_ascii7(substring):
+            raise FormulationError(f"substring must be 7-bit ASCII: {substring!r}")
+        if total_length < len(substring):
+            raise FormulationError(
+                f"total_length {total_length} shorter than substring "
+                f"{substring!r} ({len(substring)} chars)"
+            )
+        self.total_length = int(total_length)
+        self.substring = substring
+
+    @property
+    def last_start(self) -> int:
+        """The final (winning) start position of the overwrite cascade."""
+        return self.total_length - len(self.substring)
+
+    def expected_prefix(self) -> str:
+        """The deterministic portion of the encoded string.
+
+        Writing S at starts ``0, 1, ..., last`` with overwrites leaves
+        position ``p < last`` holding ``S[0]``'s encoding shifted: position
+        ``p`` was last written when the start was ``p`` (it wrote ``S[0]``),
+        so the prefix is ``S[0] * last`` followed by the full substring —
+        e.g. ``"c" + "cat"`` = ``"ccat"``.
+        """
+        return self.substring[0] * self.last_start + self.substring
+
+    def _build(self) -> QuboModel:
+        model = QuboModel(CHAR_BITS * self.total_length)
+        for start in range(self.last_start + 1):
+            for offset, char in enumerate(self.substring):
+                encode_char_into_diagonal(
+                    model, start + offset, char, self.penalty_strength
+                )
+        return model
+
+    def verify(self, decoded: str) -> bool:
+        return len(decoded) == self.total_length and self.substring in decoded
+
+    def describe(self) -> str:
+        return (
+            f"SubstringMatching(total_length={self.total_length}, "
+            f"substring={self.substring!r}, A={self.penalty_strength})"
+        )

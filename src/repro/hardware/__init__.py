@@ -1,0 +1,58 @@
+"""Simulated quantum-annealing hardware.
+
+The paper's future work is executing its QUBOs on a physical annealer. A
+physical annealer differs from the software sampler in three ways that
+matter to a solver stack, and this subpackage models all three:
+
+1. **Topology** — qubits live on a fixed sparse graph (Chimera for D-Wave
+   2000Q, Pegasus for Advantage); arbitrary QUBOs must be *minor-embedded*:
+   each logical variable becomes a connected *chain* of physical qubits.
+   See :mod:`~repro.hardware.chimera`, :mod:`~repro.hardware.pegasus`,
+   :mod:`~repro.hardware.embedding`.
+2. **Chains** — chains are held together by a ferromagnetic coupling whose
+   strength must be chosen, and they sometimes *break* (qubits of one chain
+   disagree); broken chains must be resolved when unembedding.
+   See :mod:`~repro.hardware.chains`.
+3. **Noise** — the analog control system applies Gaussian errors to the
+   programmed fields and couplings. See :mod:`~repro.hardware.noise`.
+
+:class:`~repro.hardware.qpu.SimulatedQPU` ties the three together behind the
+standard :class:`~repro.anneal.base.Sampler` interface, and
+:class:`~repro.hardware.embedding.EmbeddingComposite` makes it accept
+arbitrary (non-native) models, exactly like D-Wave's composite of the same
+name.
+"""
+
+from repro.hardware.chimera import chimera_graph
+from repro.hardware.pegasus import pegasus_like_graph
+from repro.hardware.zephyr import zephyr_like_graph
+from repro.hardware.embedding import (
+    EmbeddingComposite,
+    EmbeddingError,
+    find_embedding,
+    verify_embedding,
+)
+from repro.hardware.chains import (
+    chain_break_fraction,
+    majority_vote,
+    resolve_chain_breaks,
+    uniform_torque_compensation,
+)
+from repro.hardware.noise import GaussianNoiseModel
+from repro.hardware.qpu import SimulatedQPU
+
+__all__ = [
+    "EmbeddingComposite",
+    "EmbeddingError",
+    "GaussianNoiseModel",
+    "SimulatedQPU",
+    "chain_break_fraction",
+    "chimera_graph",
+    "find_embedding",
+    "majority_vote",
+    "pegasus_like_graph",
+    "resolve_chain_breaks",
+    "uniform_torque_compensation",
+    "verify_embedding",
+    "zephyr_like_graph",
+]

@@ -1,0 +1,159 @@
+"""Chain strength selection and chain-break resolution.
+
+When a logical variable is embedded as a chain of physical qubits, the
+chain is held together by a strong ferromagnetic coupling. Too weak and
+chains *break* (physical qubits disagree); too strong and the chain term
+drowns out the problem's own energy scale. After sampling, each physical
+state must be *unembedded* back to logical variables, resolving any broken
+chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.qubo.bqm import BinaryQuadraticModel
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "uniform_torque_compensation",
+    "chain_break_fraction",
+    "majority_vote",
+    "resolve_chain_breaks",
+]
+
+Embedding = Mapping[Hashable, Sequence[Hashable]]
+
+
+def uniform_torque_compensation(
+    bqm: BinaryQuadraticModel, prefactor: float = 1.414
+) -> float:
+    """Chain strength by the uniform torque compensation heuristic.
+
+    Estimates the coupling a chain must withstand as the RMS quadratic bias
+    times the square root of the mean degree, scaled by *prefactor*
+    (D-Wave's default is sqrt(2) ≈ 1.414). Falls back to the maximum
+    absolute bias when the model has no quadratic terms.
+    """
+    if prefactor <= 0:
+        raise ValueError(f"prefactor must be positive, got {prefactor}")
+    quadratic = [c for c in bqm.quadratic.values() if c != 0.0]
+    if quadratic:
+        rms = float(np.sqrt(np.mean(np.square(quadratic))))
+        degrees = [bqm.degree(v) for v in bqm.variables]
+        avg_degree = float(np.mean(degrees)) if degrees else 1.0
+        strength = prefactor * rms * np.sqrt(avg_degree)
+    else:
+        linear = [abs(b) for b in bqm.linear.values()]
+        strength = prefactor * (max(linear) if linear else 1.0)
+    return float(strength) if strength > 0 else 1.0
+
+
+def _chain_columns(
+    embedding: Embedding, variables: Sequence[Hashable]
+) -> List[np.ndarray]:
+    """Column indices of each chain within the physical state matrix."""
+    index = {v: i for i, v in enumerate(variables)}
+    columns = []
+    for logical, chain in embedding.items():
+        try:
+            cols = np.array([index[q] for q in chain], dtype=np.int64)
+        except KeyError as exc:
+            raise KeyError(
+                f"chain of {logical!r} references unknown physical qubit {exc}"
+            ) from None
+        if cols.size == 0:
+            raise ValueError(f"empty chain for logical variable {logical!r}")
+        columns.append(cols)
+    return columns
+
+
+def chain_break_fraction(
+    states: np.ndarray, embedding: Embedding, variables: Sequence[Hashable]
+) -> np.ndarray:
+    """Per-row fraction of chains whose qubits disagree.
+
+    Parameters
+    ----------
+    states:
+        ``(R, num_physical)`` array of physical samples (0/1 or ±1).
+    embedding:
+        ``logical -> [physical...]`` chain map.
+    variables:
+        Column labels of *states*.
+    """
+    states = np.atleast_2d(np.asarray(states))
+    columns = _chain_columns(embedding, variables)
+    broken = np.zeros(states.shape[0], dtype=np.int64)
+    for cols in columns:
+        chain_vals = states[:, cols]
+        broken += np.any(chain_vals != chain_vals[:, :1], axis=1)
+    return broken / max(len(columns), 1)
+
+
+def majority_vote(
+    states: np.ndarray,
+    embedding: Embedding,
+    variables: Sequence[Hashable],
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, List[Hashable]]:
+    """Unembed by per-chain majority vote (random tie-break).
+
+    Returns ``(logical_states, logical_order)`` where ``logical_states`` is
+    ``(R, num_logical)`` in the same value domain as the input.
+    """
+    rng = ensure_rng(seed)
+    states = np.atleast_2d(np.asarray(states))
+    lo = int(states.min(initial=0))
+    low_value = -1 if lo < 0 else 0
+    columns = _chain_columns(embedding, variables)
+    order = list(embedding.keys())
+    out = np.empty((states.shape[0], len(order)), dtype=np.int8)
+    for j, cols in enumerate(columns):
+        chain_vals = states[:, cols]
+        ones = (chain_vals == 1).sum(axis=1)
+        half = cols.size / 2.0
+        decided_one = ones > half
+        decided_low = ones < half
+        out[:, j] = np.where(decided_one, 1, low_value)
+        ties = ~(decided_one | decided_low)
+        if ties.any():
+            coin = rng.integers(0, 2, size=int(ties.sum()))
+            out[ties, j] = np.where(coin == 1, 1, low_value)
+    return out, order
+
+
+def resolve_chain_breaks(
+    states: np.ndarray,
+    embedding: Embedding,
+    variables: Sequence[Hashable],
+    method: str = "majority",
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, List[Hashable], np.ndarray]:
+    """Unembed physical states to logical ones.
+
+    Parameters
+    ----------
+    method:
+        * ``"majority"`` — per-chain majority vote (default).
+        * ``"discard"`` — drop every read containing a broken chain, then
+          majority-vote the survivors (trivially exact on them).
+
+    Returns
+    -------
+    ``(logical_states, logical_order, kept_rows)`` where *kept_rows* indexes
+    the surviving rows of the input (all rows for ``"majority"``).
+    """
+    states = np.atleast_2d(np.asarray(states))
+    all_rows = np.arange(states.shape[0])
+    if method == "majority":
+        logical, order = majority_vote(states, embedding, variables, seed=seed)
+        return logical, order, all_rows
+    if method == "discard":
+        fractions = chain_break_fraction(states, embedding, variables)
+        kept = all_rows[fractions == 0.0]
+        logical, order = majority_vote(states[kept], embedding, variables, seed=seed)
+        return logical, order, kept
+    raise ValueError(f"method must be 'majority' or 'discard', got {method!r}")

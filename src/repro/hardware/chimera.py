@@ -1,0 +1,82 @@
+"""Chimera topology generator.
+
+Chimera ``C(m, n, t)`` — the D-Wave 2000Q working graph — is an ``m x n``
+grid of unit cells; each cell is a complete bipartite ``K_{t,t}`` between
+*t* "vertical" and *t* "horizontal" qubits. Vertical qubits couple to the
+cells above/below, horizontal qubits to the cells left/right, so every
+interior qubit has degree ``t + 2``.
+
+Node labels are integers using the conventional linear index::
+
+    index(row, col, side, k) = ((row * n) + col) * 2t + side * t + k
+
+with ``side = 0`` vertical, ``side = 1`` horizontal, ``k in [0, t)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["chimera_graph", "chimera_index", "chimera_coordinates"]
+
+
+def chimera_index(row: int, col: int, side: int, k: int, n: int, t: int) -> int:
+    """Linear qubit index from Chimera coordinates."""
+    return ((row * n) + col) * 2 * t + side * t + k
+
+
+def chimera_coordinates(index: int, n: int, t: int) -> Tuple[int, int, int, int]:
+    """Inverse of :func:`chimera_index`: ``(row, col, side, k)``."""
+    cell, within = divmod(index, 2 * t)
+    side, k = divmod(within, t)
+    row, col = divmod(cell, n)
+    return row, col, side, k
+
+
+def chimera_graph(m: int, n: Optional[int] = None, t: int = 4) -> nx.Graph:
+    """Build Chimera ``C(m, n, t)``.
+
+    Parameters
+    ----------
+    m:
+        Rows of unit cells.
+    n:
+        Columns of unit cells (default ``m``).
+    t:
+        Shore size of each ``K_{t,t}`` cell (default 4, as on hardware).
+
+    Returns
+    -------
+    A :class:`networkx.Graph` with ``2 t m n`` integer-labelled nodes and
+    graph attributes ``rows``, ``cols``, ``tile`` and ``family="chimera"``.
+    """
+    if n is None:
+        n = m
+    if m < 1 or n < 1 or t < 1:
+        raise ValueError(f"chimera dimensions must be positive, got ({m}, {n}, {t})")
+    g = nx.Graph(family="chimera", rows=m, cols=n, tile=t)
+    for row in range(m):
+        for col in range(n):
+            # Intra-cell K_{t,t}.
+            for kv in range(t):
+                v = chimera_index(row, col, 0, kv, n, t)
+                g.add_node(v)
+                for kh in range(t):
+                    h = chimera_index(row, col, 1, kh, n, t)
+                    g.add_edge(v, h)
+            # Inter-cell couplers.
+            if row + 1 < m:
+                for k in range(t):
+                    g.add_edge(
+                        chimera_index(row, col, 0, k, n, t),
+                        chimera_index(row + 1, col, 0, k, n, t),
+                    )
+            if col + 1 < n:
+                for k in range(t):
+                    g.add_edge(
+                        chimera_index(row, col, 1, k, n, t),
+                        chimera_index(row, col + 1, 1, k, n, t),
+                    )
+    return g

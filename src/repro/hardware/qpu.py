@@ -1,0 +1,120 @@
+"""The simulated quantum processing unit.
+
+:class:`SimulatedQPU` models a physical annealer as seen from software:
+
+* it only accepts models *native* to its qubit topology (use
+  :class:`~repro.hardware.embedding.EmbeddingComposite` for anything else);
+* it perturbs the programmed biases with a control-noise model before
+  annealing;
+* it anneals with a configurable backend — classical SA by default, or
+  :class:`~repro.anneal.sqa.PathIntegralAnnealer` for transverse-field
+  dynamics;
+* reported energies are always those of the **clean** (noise-free) model,
+  because that is what a user of real hardware observes: the device anneals
+  the noisy Hamiltonian but states are scored against the submitted problem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import networkx as nx
+
+from repro.anneal.base import Sampler
+from repro.anneal.sampleset import SampleSet
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.hardware.chimera import chimera_graph
+from repro.hardware.noise import GaussianNoiseModel
+from repro.qubo.bqm import BinaryQuadraticModel
+from repro.qubo.model import QuboModel
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["SimulatedQPU"]
+
+
+class SimulatedQPU(Sampler):
+    """Topology-restricted, noisy annealer.
+
+    Parameters
+    ----------
+    topology:
+        Hardware graph (default: Chimera ``C(4, 4, 4)``, 128 qubits).
+    noise:
+        A :class:`~repro.hardware.noise.GaussianNoiseModel`, or ``None``
+        for an ideal device.
+    backend:
+        The annealing engine; default
+        :class:`~repro.anneal.simulated.SimulatedAnnealingSampler`.
+    name:
+        Device name for reporting.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[nx.Graph] = None,
+        noise: Optional[GaussianNoiseModel] = None,
+        backend: Optional[Sampler] = None,
+        name: str = "simulated-qpu",
+    ) -> None:
+        self.topology = topology if topology is not None else chimera_graph(4)
+        self.noise = noise
+        self.backend = backend if backend is not None else SimulatedAnnealingSampler()
+        self.name = name
+
+    @property
+    def num_qubits(self) -> int:
+        return self.topology.number_of_nodes()
+
+    @property
+    def num_couplers(self) -> int:
+        return self.topology.number_of_edges()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedQPU({self.name!r}, {self.num_qubits} qubits, "
+            f"{self.num_couplers} couplers, noise={self.noise!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def validate_native(self, bqm: BinaryQuadraticModel) -> None:
+        """Raise ``ValueError`` unless *bqm* fits the topology directly."""
+        for v in bqm.variables:
+            if v not in self.topology:
+                raise ValueError(f"variable {v!r} is not a qubit of {self.name}")
+        for (u, v), coupling in bqm.quadratic.items():
+            if coupling != 0.0 and not self.topology.has_edge(u, v):
+                raise ValueError(
+                    f"interaction ({u!r}, {v!r}) has no coupler on {self.name}; "
+                    "use EmbeddingComposite for non-native models"
+                )
+
+    def sample_bqm(
+        self, bqm: BinaryQuadraticModel, *, seed: SeedLike = None, **params: Any
+    ) -> SampleSet:
+        """Anneal a native model; states come back in BINARY values."""
+        self.validate_native(bqm)
+        rng = ensure_rng(seed)
+        programmed = bqm
+        if self.noise is not None:
+            programmed = self.noise.apply(bqm, seed=rng)
+        result = self.backend.sample_bqm(
+            programmed, seed=int(rng.integers(0, 2**63 - 1)), **params
+        )
+        # Score against the *submitted* model, not the noisy one the device ran.
+        clean = bqm if bqm.vartype.name == "BINARY" else bqm.change_vartype("BINARY")
+        energies = clean.energies(result.states, order=result.variables)
+        out = SampleSet(
+            result.states,
+            energies,
+            variables=result.variables,
+            num_occurrences=result.num_occurrences,
+            info=result.info,
+        )
+        out.info.update({"device": self.name, "noisy": self.noise is not None})
+        return out
+
+    def sample_model(self, model: QuboModel, **params: Any) -> SampleSet:
+        """Treat model indices as qubit labels and anneal natively."""
+        bqm = BinaryQuadraticModel.from_qubo_model(model)
+        return self.sample_bqm(bqm, **params)

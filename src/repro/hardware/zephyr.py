@@ -1,0 +1,62 @@
+"""Zephyr-like topology generator.
+
+Zephyr is the topology of D-Wave's Advantage2 generation, raising qubit
+degree to 20 (from Pegasus's 15). As with
+:mod:`~repro.hardware.pegasus`, the experiments here only depend on the
+*degree/chain-length trade-off*, so we generate a **Zephyr-like** graph:
+the Pegasus-like enrichment plus a second diagonal coupler family and
+next-nearest-cell couplers along rows/columns, pushing interior degree to
+the mid-teens. Documented substitution; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.hardware.chimera import chimera_index
+from repro.hardware.pegasus import pegasus_like_graph
+
+__all__ = ["zephyr_like_graph"]
+
+
+def zephyr_like_graph(m: int, t: int = 4) -> nx.Graph:
+    """Build the Zephyr-like topology on an ``m x m`` grid.
+
+    Parameters
+    ----------
+    m:
+        Grid dimension in unit cells.
+    t:
+        Shore size (default 4; must be even).
+    """
+    g = pegasus_like_graph(m, t)
+    g.graph["family"] = "zephyr-like"
+    for row in range(m):
+        for col in range(m):
+            # Second diagonal family (the mirror of Pegasus-like's).
+            if row + 1 < m and col - 1 >= 0:
+                for k in range(t):
+                    g.add_edge(
+                        chimera_index(row, col, 0, k, m, t),
+                        chimera_index(row + 1, col - 1, 0, k, m, t),
+                    )
+            if row + 1 < m and col + 1 < m:
+                for k in range(t):
+                    g.add_edge(
+                        chimera_index(row, col, 1, k, m, t),
+                        chimera_index(row + 1, col + 1, 1, k, m, t),
+                    )
+            # Next-nearest-cell couplers (Zephyr's long-range flavour).
+            if row + 2 < m:
+                for k in range(t):
+                    g.add_edge(
+                        chimera_index(row, col, 0, k, m, t),
+                        chimera_index(row + 2, col, 0, k, m, t),
+                    )
+            if col + 2 < m:
+                for k in range(t):
+                    g.add_edge(
+                        chimera_index(row, col, 1, k, m, t),
+                        chimera_index(row, col + 2, 1, k, m, t),
+                    )
+    return g

@@ -1,0 +1,188 @@
+"""Higher-order binary optimization (HUBO) and quadratization.
+
+The paper's formulations stay quadratic because every §4 constraint is
+*conjunctive at the bit level*. Negative constraints ("x is NOT this
+string") need a penalty on the **conjunction of all 7n bits matching**, a
+degree-7n monomial — inexpressible in a QUBO directly.
+
+The standard fix (and the basis of our `StringNotEquals` extension in
+:mod:`repro.core.notequals`) is **quadratization by auxiliary AND
+variables**: a monomial ``x_1 x_2 ... x_k`` is reduced pairwise, replacing
+``x_i x_j`` with a fresh variable ``a`` constrained by the Rosenberg
+penalty
+
+    P_and(a; x, y) = 3a + xy - 2a(x + y)
+
+which is 0 exactly when ``a = x AND y`` and >= 1 otherwise. Scaling the
+penalty above the monomial's coefficient magnitude guarantees the reduced
+QUBO's minima coincide with the HUBO's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.qubo.model import QuboModel
+
+__all__ = ["HuboModel", "quadratize", "and_penalty_terms"]
+
+Monomial = FrozenSet[int]
+
+
+class HuboModel:
+    """A pseudo-boolean polynomial: ``E(x) = Σ_m c_m Π_{i∈m} x_i + offset``.
+
+    Variables are integers ``0..n-1``; each monomial is a set of variable
+    indices (the empty set folds into the offset). Because ``x² = x`` for
+    binary variables, monomials never repeat a variable.
+    """
+
+    def __init__(self, num_variables: int, offset: float = 0.0) -> None:
+        if num_variables < 0:
+            raise ValueError(f"num_variables must be >= 0, got {num_variables}")
+        self._n = int(num_variables)
+        self._terms: Dict[Monomial, float] = {}
+        self.offset = float(offset)
+
+    @property
+    def num_variables(self) -> int:
+        return self._n
+
+    @property
+    def degree(self) -> int:
+        """Largest monomial size (0 for a constant model)."""
+        return max((len(m) for m in self._terms), default=0)
+
+    def add_term(self, variables, coefficient: float) -> None:
+        """Accumulate ``coefficient * Π x_i`` onto the polynomial."""
+        monomial = frozenset(int(v) for v in variables)
+        for v in monomial:
+            if not (0 <= v < self._n):
+                raise IndexError(f"variable {v} out of range [0, {self._n})")
+        if not monomial:
+            self.offset += float(coefficient)
+            return
+        new = self._terms.get(monomial, 0.0) + float(coefficient)
+        if new == 0.0:
+            self._terms.pop(monomial, None)
+        else:
+            self._terms[monomial] = new
+
+    def terms(self) -> Dict[Monomial, float]:
+        """A copy of the nonzero monomials."""
+        return dict(self._terms)
+
+    def energy(self, state: np.ndarray) -> float:
+        """Evaluate the polynomial at one binary state."""
+        state = np.asarray(state)
+        if state.shape != (self._n,):
+            raise ValueError(f"state shape {state.shape} != ({self._n},)")
+        total = self.offset
+        for monomial, coefficient in self._terms.items():
+            product = 1
+            for v in monomial:
+                product *= int(state[v])
+                if not product:
+                    break
+            total += coefficient * product
+        return float(total)
+
+    def energies(self, states: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation for a batch of states."""
+        states = np.atleast_2d(np.asarray(states)).astype(np.float64)
+        out = np.full(states.shape[0], self.offset, dtype=np.float64)
+        for monomial, coefficient in self._terms.items():
+            idx = sorted(monomial)
+            out += coefficient * states[:, idx].prod(axis=1)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"HuboModel({self._n} variables, {len(self._terms)} terms, "
+            f"degree {self.degree})"
+        )
+
+
+def and_penalty_terms(
+    aux: int, x: int, y: int, strength: float
+) -> List[Tuple[Tuple[int, int], float]]:
+    """Rosenberg AND-gadget entries: ``strength * (3a + xy - 2ax - 2ay)``."""
+    return [
+        ((aux, aux), 3.0 * strength),
+        ((min(x, y), max(x, y)), strength),
+        ((min(aux, x), max(aux, x)), -2.0 * strength),
+        ((min(aux, y), max(aux, y)), -2.0 * strength),
+    ]
+
+
+def quadratize(
+    hubo: HuboModel, penalty: Optional[float] = None
+) -> Tuple[QuboModel, Dict[Tuple[int, int], int]]:
+    """Reduce a HUBO to an equivalent QUBO with auxiliary variables.
+
+    Pairs of variables inside high-degree monomials are replaced by
+    auxiliary AND variables (most-frequent pair first, so shared pairs are
+    reduced once), each enforced by the Rosenberg penalty at strength
+    ``penalty`` (default: ``1 + 2 * Σ|c_m|``, which dominates any energy
+    the objective could recover by violating a gadget).
+
+    Returns ``(qubo, aux_map)`` where ``aux_map[(i, j)]`` is the auxiliary
+    variable representing ``x_i AND x_j`` (indices refer to the *reduced*
+    model's variable space, which extends the original's).
+
+    For every minimizer of the returned QUBO the auxiliary variables equal
+    the ANDs of their parents, and restricting to the first
+    ``hubo.num_variables`` coordinates yields exactly the HUBO's minima.
+    """
+    if penalty is not None and penalty <= 0:
+        raise ValueError(f"penalty must be positive, got {penalty}")
+    terms = {frozenset(m): c for m, c in hubo.terms().items()}
+    if penalty is None:
+        penalty = 1.0 + 2.0 * sum(abs(c) for c in terms.values())
+
+    next_var = hubo.num_variables
+    aux_map: Dict[Tuple[int, int], int] = {}
+    gadgets: List[Tuple[int, int, int]] = []  # (aux, x, y)
+
+    # Iteratively collapse the most frequent pair among high-degree terms.
+    while any(len(m) > 2 for m in terms):
+        pair_counts: Dict[Tuple[int, int], int] = {}
+        for monomial in terms:
+            if len(monomial) <= 2:
+                continue
+            ordered = sorted(monomial)
+            for a in range(len(ordered)):
+                for b in range(a + 1, len(ordered)):
+                    key = (ordered[a], ordered[b])
+                    pair_counts[key] = pair_counts.get(key, 0) + 1
+        pair = max(pair_counts, key=lambda k: (pair_counts[k], -k[0], -k[1]))
+        if pair in aux_map:
+            aux = aux_map[pair]
+        else:
+            aux = next_var
+            next_var += 1
+            aux_map[pair] = aux
+            gadgets.append((aux, pair[0], pair[1]))
+        replaced: Dict[Monomial, float] = {}
+        for monomial, coefficient in terms.items():
+            if len(monomial) > 2 and pair[0] in monomial and pair[1] in monomial:
+                monomial = (monomial - {pair[0], pair[1]}) | {aux}
+            replaced[monomial] = replaced.get(monomial, 0.0) + coefficient
+        terms = {m: c for m, c in replaced.items() if c != 0.0}
+
+    qubo = QuboModel(next_var, offset=hubo.offset)
+    for monomial, coefficient in terms.items():
+        ordered = sorted(monomial)
+        if len(ordered) == 1:
+            qubo.add_linear(ordered[0], coefficient)
+        else:
+            qubo.add_quadratic(ordered[0], ordered[1], coefficient)
+    for aux, x, y in gadgets:
+        for (i, j), value in and_penalty_terms(aux, x, y, penalty):
+            if i == j:
+                qubo.add_linear(i, value)
+            else:
+                qubo.add_quadratic(i, j, value)
+    return qubo, aux_map

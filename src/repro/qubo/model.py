@@ -1,0 +1,239 @@
+"""The index-based QUBO model.
+
+:class:`QuboModel` is the workhorse container produced by every string
+formulation in :mod:`repro.core` and consumed by every sampler in
+:mod:`repro.anneal`. Variables are the integers ``0 .. num_variables-1``;
+labelled models live one level up in
+:class:`repro.qubo.bqm.BinaryQuadraticModel`.
+
+Design notes
+------------
+* Coefficients are stored as an ``i <= j`` dict while the model is being
+  built (cheap incremental updates, exact bookkeeping), and materialized into
+  dense NumPy arrays on demand. The dense view is cached and invalidated on
+  mutation — samplers hit the cached array, builders hit the dict.
+* ``set_`` methods overwrite and ``add_`` methods accumulate. The paper's
+  substring-matching formulation (§4.3) depends on the *overwrite* semantics:
+  later encodings replace earlier ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.qubo.energy import qubo_energies
+from repro.qubo.matrix import (
+    dense_from_dict,
+    dict_from_dense,
+    split_diagonal,
+    to_upper_triangular,
+)
+
+__all__ = ["QuboModel"]
+
+
+class QuboModel:
+    """A QUBO ``E(x) = x^T Q x + offset`` over variables ``0..n-1``.
+
+    Parameters
+    ----------
+    num_variables:
+        Number of binary variables; fixed at construction.
+    coefficients:
+        Optional initial ``(i, j) -> value`` mapping (any triangle
+        convention; folded to ``i <= j``).
+    offset:
+        Constant energy offset.
+    """
+
+    __slots__ = ("_n", "_coeffs", "_offset", "_dense_cache")
+
+    def __init__(
+        self,
+        num_variables: int,
+        coefficients: Optional[Mapping[Tuple[int, int], float]] = None,
+        offset: float = 0.0,
+    ) -> None:
+        if num_variables < 0:
+            raise ValueError(f"num_variables must be non-negative, got {num_variables}")
+        self._n = int(num_variables)
+        self._coeffs: Dict[Tuple[int, int], float] = {}
+        self._offset = float(offset)
+        self._dense_cache: Optional[np.ndarray] = None
+        if coefficients:
+            for (i, j), value in to_upper_triangular(coefficients).items():
+                self._check_index(i)
+                self._check_index(j)
+                self._coeffs[(i, j)] = value
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_variables(self) -> int:
+        """Number of binary variables."""
+        return self._n
+
+    @property
+    def offset(self) -> float:
+        """Constant energy offset."""
+        return self._offset
+
+    @offset.setter
+    def offset(self, value: float) -> None:
+        self._offset = float(value)
+
+    @property
+    def num_interactions(self) -> int:
+        """Number of nonzero off-diagonal couplings."""
+        return sum(1 for (i, j) in self._coeffs if i != j)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return (
+            f"QuboModel(num_variables={self._n}, "
+            f"nnz={len(self._coeffs)}, offset={self._offset})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuboModel):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._offset == other._offset
+            and self._nonzero() == other._nonzero()
+        )
+
+    def _nonzero(self) -> Dict[Tuple[int, int], float]:
+        return {k: v for k, v in self._coeffs.items() if v != 0.0}
+
+    # ------------------------------------------------------------------ #
+    # coefficient access
+    # ------------------------------------------------------------------ #
+
+    def _check_index(self, i: int) -> None:
+        if not (0 <= i < self._n):
+            raise IndexError(f"variable {i} out of range [0, {self._n})")
+
+    @staticmethod
+    def _key(i: int, j: int) -> Tuple[int, int]:
+        return (i, j) if i <= j else (j, i)
+
+    def get(self, i: int, j: Optional[int] = None) -> float:
+        """Coefficient of ``x_i x_j`` (or the linear/diagonal term if j is None)."""
+        if j is None:
+            j = i
+        self._check_index(i)
+        self._check_index(j)
+        return self._coeffs.get(self._key(i, j), 0.0)
+
+    def set_linear(self, i: int, value: float) -> None:
+        """Overwrite the diagonal entry ``Q[i, i]``."""
+        self._check_index(i)
+        self._coeffs[(i, i)] = float(value)
+        self._dense_cache = None
+
+    def add_linear(self, i: int, value: float) -> None:
+        """Accumulate into the diagonal entry ``Q[i, i]``."""
+        self._check_index(i)
+        key = (i, i)
+        self._coeffs[key] = self._coeffs.get(key, 0.0) + float(value)
+        self._dense_cache = None
+
+    def set_quadratic(self, i: int, j: int, value: float) -> None:
+        """Overwrite the coupling ``Q[min(i,j), max(i,j)]``."""
+        if i == j:
+            raise ValueError("use set_linear for diagonal entries")
+        self._check_index(i)
+        self._check_index(j)
+        self._coeffs[self._key(i, j)] = float(value)
+        self._dense_cache = None
+
+    def add_quadratic(self, i: int, j: int, value: float) -> None:
+        """Accumulate into the coupling ``Q[min(i,j), max(i,j)]``."""
+        if i == j:
+            raise ValueError("use add_linear for diagonal entries")
+        self._check_index(i)
+        self._check_index(j)
+        key = self._key(i, j)
+        self._coeffs[key] = self._coeffs.get(key, 0.0) + float(value)
+        self._dense_cache = None
+
+    def iter_coefficients(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(i, j, value)`` for every stored nonzero, ``i <= j``."""
+        for (i, j), value in self._coeffs.items():
+            if value != 0.0:
+                yield i, j, value
+
+    def linear_vector(self) -> np.ndarray:
+        """The diagonal as an ``(n,)`` float64 vector."""
+        d = np.zeros(self._n, dtype=np.float64)
+        for (i, j), value in self._coeffs.items():
+            if i == j:
+                d[i] = value
+        return d
+
+    # ------------------------------------------------------------------ #
+    # matrix views
+    # ------------------------------------------------------------------ #
+
+    def to_dense(self) -> np.ndarray:
+        """Dense upper-triangular ``(n, n)`` matrix (cached; do not mutate)."""
+        if self._dense_cache is None:
+            self._dense_cache = dense_from_dict(self._coeffs, self._n)
+        return self._dense_cache
+
+    def to_dict(self) -> Dict[Tuple[int, int], float]:
+        """A copy of the ``i <= j`` coefficient dict (zeros dropped)."""
+        return self._nonzero()
+
+    def sampler_form(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(diagonal, symmetric off-diagonal)`` arrays for SA kernels."""
+        return split_diagonal(self.to_dense())
+
+    @classmethod
+    def from_dense(cls, q: np.ndarray, offset: float = 0.0) -> "QuboModel":
+        """Build a model from any square matrix (triangles are folded)."""
+        q = np.asarray(q, dtype=np.float64)
+        model = cls(q.shape[0], offset=offset)
+        model._coeffs = dict_from_dense(q)
+        return model
+
+    def copy(self) -> "QuboModel":
+        """An independent deep copy."""
+        clone = QuboModel(self._n, offset=self._offset)
+        clone._coeffs = dict(self._coeffs)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # semantics
+    # ------------------------------------------------------------------ #
+
+    def energy(self, state: np.ndarray) -> float:
+        """Energy of a single state in {0,1}^n."""
+        return float(self.energies(np.asarray(state)))
+
+    def energies(self, states: np.ndarray) -> np.ndarray:
+        """Vectorized energies for a batch of states (shape ``(R, n)``)."""
+        return qubo_energies(states, self.to_dense(), self._offset)
+
+    def interaction_graph(self):
+        """The coupling graph as a :class:`networkx.Graph` (nodes 0..n-1)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(
+            (i, j) for (i, j), v in self._coeffs.items() if i != j and v != 0.0
+        )
+        return g
+
+    def max_abs_coefficient(self) -> float:
+        """Largest absolute coefficient (0.0 for the empty model)."""
+        values = [abs(v) for v in self._coeffs.values()]
+        return max(values) if values else 0.0

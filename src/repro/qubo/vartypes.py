@@ -1,0 +1,45 @@
+"""Variable types for binary quadratic models.
+
+``BINARY`` variables take values in ``{0, 1}`` (the QUBO convention used by
+the paper); ``SPIN`` variables take values in ``{-1, +1}`` (the Ising
+convention used by annealing hardware). The two are affinely related:
+``s = 2 x - 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+__all__ = ["Vartype", "BINARY", "SPIN", "as_vartype"]
+
+
+class Vartype(enum.Enum):
+    """Domain of a binary quadratic model's variables."""
+
+    BINARY = "BINARY"
+    SPIN = "SPIN"
+
+    @property
+    def values(self) -> tuple:
+        """The two admissible values, low first."""
+        return (0, 1) if self is Vartype.BINARY else (-1, 1)
+
+
+BINARY = Vartype.BINARY
+SPIN = Vartype.SPIN
+
+
+def as_vartype(vartype: Union[str, Vartype]) -> Vartype:
+    """Coerce a string or :class:`Vartype` into a :class:`Vartype`.
+
+    Accepts ``"BINARY"``/``"SPIN"`` case-insensitively.
+    """
+    if isinstance(vartype, Vartype):
+        return vartype
+    if isinstance(vartype, str):
+        try:
+            return Vartype[vartype.upper()]
+        except KeyError:
+            pass
+    raise ValueError(f"unknown vartype: {vartype!r} (expected BINARY or SPIN)")

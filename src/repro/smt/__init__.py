@@ -1,0 +1,93 @@
+"""SMT front end, classical baselines, and DPLL(T) machinery.
+
+The paper positions its QUBO solver as an alternative theory engine for
+SMT solving over strings (§1, §2.1). This subpackage supplies everything
+around the QUBO core that a real solver needs:
+
+* :mod:`~repro.smt.sexpr` / :mod:`~repro.smt.parser` — an SMT-LIB 2.6
+  reader for the strings fragment (``declare-const``, ``assert`` over
+  ``str.++ str.len str.contains str.indexof str.replace str.replace_all
+  str.rev str.in_re`` and the ``re.*`` regex constructors).
+* :mod:`~repro.smt.ast` / :mod:`~repro.smt.theory` — typed terms and their
+  concrete SMT-LIB semantics (used to check models).
+* :mod:`~repro.smt.compiler` — lowers assertions to the paper's §4
+  formulations, summing QUBOs when several constraints bind one variable.
+* :mod:`~repro.smt.solver` — :class:`QuantumSMTSolver`, the user-facing
+  check-sat / get-model facade.
+* :mod:`~repro.smt.classical` — a classical baseline string solver
+  (propagation + backtracking enumeration).
+* :mod:`~repro.smt.dpll` / :mod:`~repro.smt.dpllt` — a CDCL SAT core and a
+  DPLL(T) driver using the string theory as its T-solver.
+"""
+
+from repro.smt.ast import (
+    BoolSort,
+    Concat,
+    Contains,
+    Eq,
+    IndexOf,
+    IntLit,
+    IntSort,
+    InRe,
+    Length,
+    Not,
+    ReConcat,
+    ReLit,
+    RePlus,
+    ReRange,
+    ReUnion,
+    Replace,
+    Reverse,
+    StringSort,
+    StrLit,
+    StrVar,
+)
+from repro.smt.sexpr import SExprError, Symbol, parse_sexprs
+from repro.smt.theory import TheoryError, eval_formula, eval_term
+from repro.smt.parser import ParseError, SmtScript, parse_script
+from repro.smt.compiler import CompilationError, CompiledProblem, compile_assertions
+from repro.smt.solver import QuantumSMTSolver, SmtResult
+from repro.smt.classical import ClassicalStringSolver
+from repro.smt.dpll import CdclSolver, DpllResult
+from repro.smt.dpllt import DpllTSolver
+
+__all__ = [
+    "BoolSort",
+    "CdclSolver",
+    "ClassicalStringSolver",
+    "CompilationError",
+    "CompiledProblem",
+    "Concat",
+    "Contains",
+    "DpllResult",
+    "DpllTSolver",
+    "Eq",
+    "IndexOf",
+    "InRe",
+    "IntLit",
+    "IntSort",
+    "Length",
+    "Not",
+    "ParseError",
+    "QuantumSMTSolver",
+    "ReConcat",
+    "ReLit",
+    "RePlus",
+    "ReRange",
+    "ReUnion",
+    "Replace",
+    "Reverse",
+    "SExprError",
+    "SmtResult",
+    "SmtScript",
+    "StringSort",
+    "StrLit",
+    "StrVar",
+    "Symbol",
+    "TheoryError",
+    "compile_assertions",
+    "eval_formula",
+    "eval_term",
+    "parse_script",
+    "parse_sexprs",
+]

@@ -1,0 +1,353 @@
+"""Typed terms for the quantifier-free theory of strings.
+
+A small, immutable AST covering the fragment the paper's formulations can
+express: string variables and literals, concatenation, replace /
+replace-all, reversal, length, containment, index-of, and regular-
+expression membership with the ``re.*`` constructors needed for the
+supported regex subset (literals, unions of literals = classes, ranges,
+plus, concatenation).
+
+Sorts are plain singletons; terms carry their sort via :func:`sort_of`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+__all__ = [
+    "StringSort",
+    "IntSort",
+    "BoolSort",
+    "RegLanSort",
+    "Term",
+    "StrVar",
+    "StrLit",
+    "IntLit",
+    "Concat",
+    "Replace",
+    "Reverse",
+    "At",
+    "Substr",
+    "PrefixOf",
+    "SuffixOf",
+    "Length",
+    "Contains",
+    "IndexOf",
+    "InRe",
+    "Eq",
+    "Not",
+    "ReLit",
+    "ReUnion",
+    "RePlus",
+    "ReConcat",
+    "ReRange",
+    "sort_of",
+    "free_string_variables",
+]
+
+
+class _Sort:
+    """Singleton sort marker."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+StringSort = _Sort("String")
+IntSort = _Sort("Int")
+BoolSort = _Sort("Bool")
+RegLanSort = _Sort("RegLan")
+
+
+# --------------------------------------------------------------------- #
+# string-sorted terms
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StrVar:
+    """A declared string constant (SMT-LIB ``declare-const x String``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StrLit:
+    """A string literal."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class IntLit:
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Concat:
+    """``str.++`` — concatenation of two or more string terms."""
+
+    parts: Tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("str.++ needs at least two operands")
+
+
+@dataclass(frozen=True)
+class Replace:
+    """``str.replace`` / ``str.replace_all``."""
+
+    source: "Term"
+    old: "Term"
+    new: "Term"
+    replace_all: bool = False
+
+
+@dataclass(frozen=True)
+class Reverse:
+    """``str.rev`` (widely-supported extension; z3 implements it)."""
+
+    source: "Term"
+
+
+@dataclass(frozen=True)
+class At:
+    """``str.at s i`` — the one-character string at index i (or empty)."""
+
+    source: "Term"
+    index: "Term"
+
+
+@dataclass(frozen=True)
+class Substr:
+    """``str.substr s i n`` — SMT-LIB substring extraction."""
+
+    source: "Term"
+    offset: "Term"
+    count: "Term"
+
+
+# --------------------------------------------------------------------- #
+# int / bool-sorted terms
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Length:
+    """``str.len``."""
+
+    source: "Term"
+
+
+@dataclass(frozen=True)
+class Contains:
+    """``str.contains haystack needle``."""
+
+    haystack: "Term"
+    needle: "Term"
+
+
+@dataclass(frozen=True)
+class PrefixOf:
+    """``str.prefixof prefix string``."""
+
+    prefix: "Term"
+    string: "Term"
+
+
+@dataclass(frozen=True)
+class SuffixOf:
+    """``str.suffixof suffix string``."""
+
+    suffix: "Term"
+    string: "Term"
+
+
+@dataclass(frozen=True)
+class IndexOf:
+    """``str.indexof haystack needle start`` (−1 when absent)."""
+
+    haystack: "Term"
+    needle: "Term"
+    start: "Term" = field(default_factory=lambda: IntLit(0))
+
+
+@dataclass(frozen=True)
+class InRe:
+    """``str.in_re string regex``."""
+
+    string: "Term"
+    regex: "Term"
+
+
+@dataclass(frozen=True)
+class Eq:
+    """Polymorphic equality."""
+
+    lhs: "Term"
+    rhs: "Term"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Boolean negation."""
+
+    operand: "Term"
+
+
+# --------------------------------------------------------------------- #
+# regular-language terms
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ReLit:
+    """``str.to_re`` of a literal: the language { value }."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class ReUnion:
+    """``re.union``."""
+
+    parts: Tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("re.union needs at least two operands")
+
+
+@dataclass(frozen=True)
+class RePlus:
+    """``re.+``."""
+
+    child: "Term"
+
+
+@dataclass(frozen=True)
+class ReConcat:
+    """``re.++``."""
+
+    parts: Tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("re.++ needs at least two operands")
+
+
+@dataclass(frozen=True)
+class ReRange:
+    """``re.range "a" "z"`` — a contiguous single-character class."""
+
+    lo: str
+    hi: str
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != 1 or len(self.hi) != 1:
+            raise ValueError("re.range endpoints must be single characters")
+        if ord(self.hi) < ord(self.lo):
+            raise ValueError(f"inverted re.range {self.lo!r}..{self.hi!r}")
+
+
+Term = Union[
+    StrVar,
+    StrLit,
+    IntLit,
+    Concat,
+    Replace,
+    Reverse,
+    At,
+    Substr,
+    PrefixOf,
+    SuffixOf,
+    Length,
+    Contains,
+    IndexOf,
+    InRe,
+    Eq,
+    Not,
+    ReLit,
+    ReUnion,
+    RePlus,
+    ReConcat,
+    ReRange,
+]
+
+_STRING_TERMS = (StrVar, StrLit, Concat, Replace, Reverse, At, Substr)
+_INT_TERMS = (IntLit, Length, IndexOf)
+_BOOL_TERMS = (Contains, PrefixOf, SuffixOf, InRe, Eq, Not)
+_RE_TERMS = (ReLit, ReUnion, RePlus, ReConcat, ReRange)
+
+
+def sort_of(term: Term) -> _Sort:
+    """The sort of *term*."""
+    if isinstance(term, _STRING_TERMS):
+        return StringSort
+    if isinstance(term, _INT_TERMS):
+        return IntSort
+    if isinstance(term, _BOOL_TERMS):
+        return BoolSort
+    if isinstance(term, _RE_TERMS):
+        return RegLanSort
+    raise TypeError(f"not a term: {term!r}")
+
+
+def free_string_variables(term: Term) -> set:
+    """Names of all string variables occurring in *term*."""
+    if isinstance(term, StrVar):
+        return {term.name}
+    if isinstance(term, (StrLit, IntLit, ReLit, ReRange)):
+        return set()
+    if isinstance(term, (Concat, ReUnion, ReConcat)):
+        out: set = set()
+        for part in term.parts:
+            out |= free_string_variables(part)
+        return out
+    if isinstance(term, Replace):
+        return (
+            free_string_variables(term.source)
+            | free_string_variables(term.old)
+            | free_string_variables(term.new)
+        )
+    if isinstance(term, (Reverse, Length)):
+        return free_string_variables(term.source)
+    if isinstance(term, At):
+        return free_string_variables(term.source) | free_string_variables(term.index)
+    if isinstance(term, Substr):
+        return (
+            free_string_variables(term.source)
+            | free_string_variables(term.offset)
+            | free_string_variables(term.count)
+        )
+    if isinstance(term, PrefixOf):
+        return free_string_variables(term.prefix) | free_string_variables(term.string)
+    if isinstance(term, SuffixOf):
+        return free_string_variables(term.suffix) | free_string_variables(term.string)
+    if isinstance(term, Contains):
+        return free_string_variables(term.haystack) | free_string_variables(
+            term.needle
+        )
+    if isinstance(term, IndexOf):
+        return (
+            free_string_variables(term.haystack)
+            | free_string_variables(term.needle)
+            | free_string_variables(term.start)
+        )
+    if isinstance(term, InRe):
+        return free_string_variables(term.string) | free_string_variables(term.regex)
+    if isinstance(term, Eq):
+        return free_string_variables(term.lhs) | free_string_variables(term.rhs)
+    if isinstance(term, (Not, RePlus)):
+        inner = term.operand if isinstance(term, Not) else term.child
+        return free_string_variables(inner)
+    raise TypeError(f"not a term: {term!r}")

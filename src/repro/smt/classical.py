@@ -1,0 +1,452 @@
+"""Classical baseline string solver.
+
+The comparison point the paper argues against: a classical search over the
+string space with constraint propagation. The algorithm:
+
+1. infer each variable's length (exactly, or scan a length range),
+2. build per-position character **domains** by propagating the structural
+   constraints (equalities fix characters; regex membership restricts
+   positions to class sets; containment/index-of pin windows — branching
+   over the feasible placements and regex expansions),
+3. run a depth-first search over the remaining free positions (restricted
+   to a *fill alphabet*: the characters occurring in the constraints plus a
+   default letter), verifying complete candidates against the concrete
+   theory semantics.
+
+Complete relative to its fill alphabet and length bound, and exact on the
+fragment the QUBO compiler supports — which is what makes it a fair
+baseline for ``benchmarks/bench_classical_vs_quantum.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.regex import expand_to_length
+from repro.smt import ast
+from repro.smt.theory import TheoryError, eval_formula, regex_term_to_tokens
+
+__all__ = ["ClassicalStringSolver", "ClassicalResult"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class ClassicalResult:
+    """Outcome of a classical solve."""
+
+    status: str
+    model: Dict[str, str] = field(default_factory=dict)
+    nodes_explored: int = 0
+    reason: str = ""
+
+
+class ClassicalStringSolver:
+    """Propagation + backtracking baseline over the same fragment.
+
+    Parameters
+    ----------
+    max_length:
+        Length-scan bound for variables with no exact length constraint.
+    default_fill:
+        Character(s) guaranteed to be in every fill alphabet.
+    node_budget:
+        Hard cap on search nodes before giving up with ``unknown``.
+    """
+
+    def __init__(
+        self,
+        max_length: int = 12,
+        default_fill: str = "a",
+        node_budget: int = 2_000_000,
+    ) -> None:
+        if max_length < 0:
+            raise ValueError(f"max_length must be >= 0, got {max_length}")
+        if node_budget < 1:
+            raise ValueError(f"node_budget must be >= 1, got {node_budget}")
+        self.max_length = max_length
+        self.default_fill = default_fill
+        self.node_budget = node_budget
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self, assertions: Sequence[ast.Term]) -> ClassicalResult:
+        """Decide a conjunction of assertions over string variables."""
+        assertions = list(assertions)
+        # Ground assertions decide immediately.
+        for assertion in assertions:
+            if not ast.free_string_variables(assertion):
+                if not eval_formula(assertion, {}):
+                    return ClassicalResult(
+                        status=UNSAT, reason=f"ground assertion false: {assertion!r}"
+                    )
+        grouped: Dict[str, List[ast.Term]] = {}
+        for assertion in assertions:
+            variables = ast.free_string_variables(assertion)
+            if len(variables) > 1:
+                return ClassicalResult(
+                    status=UNKNOWN,
+                    reason=f"multi-variable assertion unsupported: {assertion!r}",
+                )
+            if variables:
+                (v,) = variables
+                grouped.setdefault(v, []).append(assertion)
+
+        model: Dict[str, str] = {}
+        nodes_total = 0
+        for variable, group in grouped.items():
+            value, nodes, reason = self._solve_variable(variable, group)
+            nodes_total += nodes
+            if value is None:
+                # Exhausting the (complete-up-to-fill-alphabet) search or
+                # proving no feasible length are both refutations; only a
+                # blown node budget is inconclusive.
+                status = UNKNOWN if "budget" in reason else UNSAT
+                return ClassicalResult(
+                    status=status,
+                    nodes_explored=nodes_total,
+                    reason=f"{variable!r}: {reason}",
+                )
+            model[variable] = value
+        return ClassicalResult(status=SAT, model=model, nodes_explored=nodes_total)
+
+    # ------------------------------------------------------------------ #
+
+    def _solve_variable(
+        self, variable: str, group: List[ast.Term]
+    ) -> Tuple[Optional[str], int, str]:
+        lengths = self._candidate_lengths(variable, group)
+        if not lengths:
+            return None, 0, "no feasible length"
+        fill = self._fill_alphabet(group)
+        nodes = 0
+        for length in lengths:
+            for domains in self._domain_branches(variable, group, length):
+                found, used = self._search(variable, group, domains, fill, nodes)
+                nodes = used
+                if nodes >= self.node_budget:
+                    return None, nodes, "node budget exhausted"
+                if found is not None:
+                    return found, nodes, ""
+        return None, nodes, "exhausted"
+
+    def _candidate_lengths(
+        self, variable: str, group: List[ast.Term]
+    ) -> List[int]:
+        exact: Set[int] = set()
+        lower = 0
+        for assertion in group:
+            e, lo = _length_facts(variable, assertion)
+            if e is not None:
+                exact.add(e)
+            if lo is not None:
+                lower = max(lower, lo)
+        if exact:
+            if len(exact) > 1:
+                return []
+            (length,) = exact
+            return [length] if length >= lower else []
+        return list(range(lower, self.max_length + 1))
+
+    def _fill_alphabet(self, group: List[ast.Term]) -> str:
+        chars: Set[str] = set(self.default_fill)
+        for assertion in group:
+            chars |= _constraint_characters(assertion)
+        # Negative constraints ("x is not ...") need at least one character
+        # the constraints never mention, or every candidate collides.
+        for escape in "abcdefghijklmnopqrstuvwxyz0123456789":
+            if escape not in chars:
+                chars.add(escape)
+                break
+        return "".join(sorted(chars))
+
+    # ------------------------------------------------------------------ #
+    # propagation
+    # ------------------------------------------------------------------ #
+
+    def _domain_branches(
+        self, variable: str, group: List[ast.Term], length: int
+    ) -> Iterator[List[Optional[FrozenSet[str]]]]:
+        """Yield per-position domain vectors, branching over placements.
+
+        ``None`` means "unconstrained position" (filled from the fill
+        alphabet during search).
+        """
+        branch_lists: List[List[List[Optional[FrozenSet[str]]]]] = []
+        for assertion in group:
+            options = _propagate(variable, assertion, length)
+            if options is None:
+                continue  # not structurally propagatable; checked at leaves
+            if not options:
+                return  # this assertion is infeasible at this length
+            branch_lists.append(options)
+        if not branch_lists:
+            yield [None] * length
+            return
+        for combo in itertools.product(*branch_lists):
+            merged = _merge_domains(combo, length)
+            if merged is not None:
+                yield merged
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+
+    def _search(
+        self,
+        variable: str,
+        group: List[ast.Term],
+        domains: List[Optional[FrozenSet[str]]],
+        fill: str,
+        nodes: int,
+    ) -> Tuple[Optional[str], int]:
+        position_choices: List[Sequence[str]] = []
+        for domain in domains:
+            if domain is None:
+                position_choices.append(fill)
+            else:
+                position_choices.append(sorted(domain))
+        for candidate in itertools.product(*position_choices):
+            nodes += 1
+            if nodes >= self.node_budget:
+                return None, nodes
+            text = "".join(candidate)
+            if all(eval_formula(a, {variable: text}) for a in group):
+                return text, nodes
+        return None, nodes
+
+
+# --------------------------------------------------------------------- #
+# constraint analysis (module-level, shared with tests)
+# --------------------------------------------------------------------- #
+
+
+def _length_facts(
+    variable: str, assertion: ast.Term
+) -> Tuple[Optional[int], Optional[int]]:
+    if isinstance(assertion, ast.Eq):
+        for a, b in ((assertion.lhs, assertion.rhs), (assertion.rhs, assertion.lhs)):
+            if (
+                isinstance(a, ast.Length)
+                and isinstance(a.source, ast.StrVar)
+                and a.source.name == variable
+                and isinstance(b, ast.IntLit)
+            ):
+                return (b.value, None) if b.value >= 0 else (None, None)
+            if isinstance(a, ast.StrVar) and a.name == variable:
+                value = _try_ground(b)
+                if value is not None:
+                    return len(value), None
+            if (
+                isinstance(a, ast.IndexOf)
+                and isinstance(a.haystack, ast.StrVar)
+                and a.haystack.name == variable
+                and isinstance(b, ast.IntLit)
+                and b.value >= 0
+            ):
+                needle = _try_ground(a.needle)
+                if needle is not None:
+                    return None, b.value + len(needle)
+    if isinstance(assertion, ast.Contains) and isinstance(
+        assertion.haystack, ast.StrVar
+    ):
+        needle = _try_ground(assertion.needle)
+        if needle is not None:
+            return None, len(needle)
+    if isinstance(assertion, ast.PrefixOf) and isinstance(assertion.string, ast.StrVar):
+        prefix = _try_ground(assertion.prefix)
+        if prefix is not None:
+            return None, len(prefix)
+    if isinstance(assertion, ast.SuffixOf) and isinstance(assertion.string, ast.StrVar):
+        suffix = _try_ground(assertion.suffix)
+        if suffix is not None:
+            return None, len(suffix)
+    if isinstance(assertion, ast.InRe):
+        try:
+            tokens = regex_term_to_tokens(assertion.regex)
+        except TheoryError:
+            return None, None
+        return None, len(tokens)
+    return None, None
+
+
+def _try_ground(term: ast.Term) -> Optional[str]:
+    if ast.free_string_variables(term):
+        return None
+    from repro.smt.theory import eval_term
+
+    try:
+        value = eval_term(term, {})
+    except TheoryError:
+        return None
+    return value if isinstance(value, str) else None
+
+
+def _constraint_characters(assertion: ast.Term) -> Set[str]:
+    """Every character literally mentioned by an assertion."""
+    chars: Set[str] = set()
+
+    def walk(term: ast.Term) -> None:
+        if isinstance(term, ast.StrLit):
+            chars.update(term.value)
+        elif isinstance(term, ast.ReLit):
+            chars.update(term.value)
+        elif isinstance(term, ast.ReRange):
+            chars.update(chr(c) for c in range(ord(term.lo), ord(term.hi) + 1))
+        elif isinstance(term, (ast.Concat, ast.ReUnion, ast.ReConcat)):
+            for part in term.parts:
+                walk(part)
+        elif isinstance(term, ast.Replace):
+            walk(term.source)
+            walk(term.old)
+            walk(term.new)
+        elif isinstance(term, (ast.Reverse, ast.Length)):
+            walk(term.source)
+        elif isinstance(term, (ast.At, ast.Substr)):
+            walk(term.source)
+        elif isinstance(term, ast.PrefixOf):
+            walk(term.prefix)
+            walk(term.string)
+        elif isinstance(term, ast.SuffixOf):
+            walk(term.suffix)
+            walk(term.string)
+        elif isinstance(term, ast.Contains):
+            walk(term.haystack)
+            walk(term.needle)
+        elif isinstance(term, ast.IndexOf):
+            walk(term.haystack)
+            walk(term.needle)
+        elif isinstance(term, ast.InRe):
+            walk(term.string)
+            walk(term.regex)
+        elif isinstance(term, ast.Eq):
+            walk(term.lhs)
+            walk(term.rhs)
+        elif isinstance(term, (ast.Not, ast.RePlus)):
+            walk(term.operand if isinstance(term, ast.Not) else term.child)
+
+    walk(assertion)
+    return chars
+
+
+def _propagate(
+    variable: str, assertion: ast.Term, length: int
+) -> Optional[List[List[Optional[FrozenSet[str]]]]]:
+    """Structural propagation of one assertion at a fixed length.
+
+    Returns a list of alternative domain vectors (an OR over placements /
+    expansions), an empty list when infeasible, or ``None`` when the
+    assertion carries no positional structure (leaf-checked instead).
+    """
+    if isinstance(assertion, ast.Eq):
+        for a, b in ((assertion.lhs, assertion.rhs), (assertion.rhs, assertion.lhs)):
+            if isinstance(a, ast.StrVar) and a.name == variable:
+                value = _try_ground(b)
+                if value is not None:
+                    if len(value) != length:
+                        return []
+                    return [[frozenset(c) for c in value]]
+            if (
+                isinstance(a, ast.IndexOf)
+                and isinstance(a.haystack, ast.StrVar)
+                and a.haystack.name == variable
+                and isinstance(b, ast.IntLit)
+            ):
+                needle = _try_ground(a.needle)
+                if needle is None:
+                    return None
+                p = b.value
+                if p < 0 or p + len(needle) > length:
+                    return []
+                domains: List[Optional[FrozenSet[str]]] = [None] * length
+                for k, c in enumerate(needle):
+                    domains[p + k] = frozenset(c)
+                return [domains]
+    if isinstance(assertion, ast.Contains) and isinstance(
+        assertion.haystack, ast.StrVar
+    ):
+        needle = _try_ground(assertion.needle)
+        if needle is None:
+            return None
+        options = []
+        for start in range(length - len(needle) + 1):
+            domains = [None] * length
+            for k, c in enumerate(needle):
+                domains[start + k] = frozenset(c)
+            options.append(domains)
+        return options
+    if isinstance(assertion, ast.InRe) and isinstance(assertion.string, ast.StrVar):
+        try:
+            tokens = regex_term_to_tokens(assertion.regex)
+        except TheoryError:
+            return None
+        return _regex_expansions(tokens, length)
+    return None
+
+
+def _regex_expansions(
+    tokens, length: int, max_options: int = 256
+) -> List[List[Optional[FrozenSet[str]]]]:
+    """All per-position domain vectors a subset-regex admits at *length*.
+
+    Enumerates every distribution of the slack over the plus-tokens (each
+    token consumes >= 1 position), capped at *max_options* compositions —
+    beyond the cap the earliest-token-greedy prefix of the enumeration is
+    kept, an explicit under-approximation for pathological patterns.
+    """
+    slack = length - len(tokens)
+    if slack < 0:
+        return []
+    plus_indices = [i for i, t in enumerate(tokens) if t.plus]
+    if slack > 0 and not plus_indices:
+        return []
+    options: List[List[Optional[FrozenSet[str]]]] = []
+    for composition in _compositions(slack, len(plus_indices) or 1, max_options):
+        repeats = [1] * len(tokens)
+        if plus_indices:
+            for idx, extra in zip(plus_indices, composition):
+                repeats[idx] += extra
+        positions: List[Optional[FrozenSet[str]]] = []
+        for token, count in zip(tokens, repeats):
+            positions.extend([frozenset(token.chars)] * count)
+        if positions not in options:
+            options.append(positions)
+        if len(options) >= max_options:
+            break
+    return options
+
+
+def _compositions(total: int, parts: int, cap: int) -> Iterator[Tuple[int, ...]]:
+    """Weak compositions of *total* into *parts* non-negative summands."""
+    if parts == 1:
+        yield (total,)
+        return
+    count = 0
+    for first in range(total + 1):
+        for rest in _compositions(total - first, parts - 1, cap):
+            yield (first,) + rest
+            count += 1
+            if count >= cap:
+                return
+
+
+def _merge_domains(
+    combo: Sequence[List[Optional[FrozenSet[str]]]], length: int
+) -> Optional[List[Optional[FrozenSet[str]]]]:
+    merged: List[Optional[FrozenSet[str]]] = [None] * length
+    for domains in combo:
+        for i, domain in enumerate(domains):
+            if domain is None:
+                continue
+            if merged[i] is None:
+                merged[i] = domain
+            else:
+                intersect = merged[i] & domain
+                if not intersect:
+                    return None
+                merged[i] = intersect
+    return merged

@@ -1,0 +1,520 @@
+"""Lowering SMT assertions to the paper's §4 QUBO formulations.
+
+The compiler partitions assertions into
+
+* **ground** assertions (no free string variables) — decided concretely by
+  the theory evaluator; a false one makes the whole problem unsat. Ground
+  ``str.contains`` assertions additionally get a
+  :class:`~repro.core.includes.StringIncludes` QUBO so the quantum decision
+  path can be exercised and benchmarked;
+* **single-variable** assertions — compiled to formulations. Several
+  constraints on one variable become a :class:`CompositeFormulation` whose
+  QUBO is the *sum* of the member QUBOs (conjunction of soft objectives),
+  the conjunctive counterpart of the paper's sequential §4.12 pipeline;
+* **multi-variable** assertions — outside the supported fragment; a
+  :class:`CompilationError` explains why.
+
+Length inference: generation formulations need the output length. Exact
+lengths come from ``str.len`` equalities and ground right-hand sides;
+``str.contains`` and ``str.in_re`` provide lower bounds used when nothing
+pins the length exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.affixes import (
+    StringCharAt,
+    StringPrefixOf,
+    StringSubstr,
+    StringSuffixOf,
+)
+from repro.core.concat import StringConcatenation
+from repro.core.equality import StringEquality
+from repro.core.formulation import StringFormulation
+from repro.core.includes import StringIncludes
+from repro.core.indexof import SubstringIndexOf
+from repro.core.length import StringLength
+from repro.core.notequals import StringNotEquals
+from repro.core.regex import RegexMatching, expand_to_length
+from repro.core.replace import StringReplace, StringReplaceAll
+from repro.core.reverse import StringReversal
+from repro.core.substring import SubstringMatching
+from repro.qubo.algebra import add_models
+from repro.qubo.model import QuboModel
+from repro.smt import ast
+from repro.smt.theory import TheoryError, eval_formula, eval_term, regex_term_to_tokens
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["CompilationError", "CompiledProblem", "CompositeFormulation", "compile_assertions"]
+
+
+class CompilationError(ValueError):
+    """Assertion outside the supported QUBO fragment."""
+
+
+class CompositeFormulation(StringFormulation):
+    """Conjunction of constraints on one variable: the sum of their QUBOs.
+
+    All children share the same string-bit prefix (variables ``0..7n-1``
+    encode the string in every §4 formulation); children carrying
+    *auxiliary* variables beyond the string bits (e.g.
+    :class:`~repro.core.notequals.StringNotEquals`'s AND chain) have those
+    blocks relabelled onto disjoint fresh indices before summing.
+    """
+
+    name = "composite"
+
+    def __init__(self, variable: str, children: List[StringFormulation]) -> None:
+        if not children:
+            raise CompilationError(f"no constraints to combine for {variable!r}")
+        super().__init__(penalty_strength=children[0].penalty_strength)
+        self.variable = variable
+        self.children = list(children)
+        self.string_bits = min(c.build_model().num_variables for c in children)
+
+    def _build(self) -> QuboModel:
+        from repro.qubo.algebra import relabel_variables
+
+        widths = [child.build_model().num_variables for child in self.children]
+        total = self.string_bits + sum(w - self.string_bits for w in widths)
+        combined = QuboModel(total)
+        next_aux = self.string_bits
+        for child, width in zip(self.children, widths):
+            mapping = {i: i for i in range(self.string_bits)}
+            for j in range(self.string_bits, width):
+                mapping[j] = next_aux
+                next_aux += 1
+            combined = add_models(
+                combined, relabel_variables(child.build_model(), mapping, total)
+            )
+        return combined
+
+    def decode(self, state) -> str:
+        import numpy as np
+
+        from repro.core.encoding import state_to_string
+
+        return state_to_string(np.asarray(state)[: self.string_bits])
+
+    def verify(self, decoded: str) -> bool:
+        return all(child.verify(decoded) for child in self.children)
+
+    def ground_energy(self) -> Optional[float]:
+        # The sum of per-child optima is only a lower bound in general;
+        # exact only when the model stays diagonal (then bits decouple).
+        model = self.build_model()
+        if model.num_interactions:
+            return None
+        return float(np.minimum(model.linear_vector(), 0.0).sum() + model.offset)
+
+    def describe(self) -> str:
+        inner = ", ".join(child.describe() for child in self.children)
+        return f"CompositeFormulation({self.variable!r}: [{inner}])"
+
+
+@dataclass
+class CompiledProblem:
+    """Everything the SMT driver needs to run the quantum pipeline."""
+
+    #: Per-variable formulation to sample.
+    formulations: Dict[str, StringFormulation] = field(default_factory=dict)
+    #: Ground assertions with their concrete truth value.
+    ground_results: List[Tuple[ast.Term, bool]] = field(default_factory=list)
+    #: Ground str.contains assertions lowered to the §4.4 decision QUBO.
+    includes: List[Tuple[ast.Term, StringIncludes]] = field(default_factory=list)
+    #: Assertions touching each variable, for model checking.
+    per_variable: Dict[str, List[ast.Term]] = field(default_factory=dict)
+
+    @property
+    def trivially_unsat(self) -> bool:
+        """True when some ground assertion is concretely false."""
+        return any(not truth for _, truth in self.ground_results)
+
+
+def compile_assertions(
+    assertions: List[ast.Term],
+    penalty_strength: float = 1.0,
+    seed: SeedLike = None,
+) -> CompiledProblem:
+    """Compile a conjunction of assertions into a :class:`CompiledProblem`."""
+    rng = ensure_rng(seed)
+    problem = CompiledProblem()
+    grouped: Dict[str, List[ast.Term]] = {}
+    for assertion in assertions:
+        variables = ast.free_string_variables(assertion)
+        if not variables:
+            truth = eval_formula(assertion, {})
+            problem.ground_results.append((assertion, truth))
+            includes = _ground_contains_to_includes(assertion, penalty_strength)
+            if includes is not None:
+                problem.includes.append((assertion, includes))
+            continue
+        if len(variables) > 1:
+            raise CompilationError(
+                f"assertion relates several string variables "
+                f"({sorted(variables)}); only single-variable constraints are "
+                f"in the QUBO fragment: {assertion!r}"
+            )
+        (variable,) = variables
+        grouped.setdefault(variable, []).append(assertion)
+
+    for variable, group in grouped.items():
+        problem.per_variable[variable] = list(group)
+        length = _infer_length(variable, group)
+        children: List[StringFormulation] = []
+        for assertion in group:
+            child = _compile_one(
+                variable, assertion, length, penalty_strength, rng, group
+            )
+            if child is not None:
+                children.append(child)
+        if not children:
+            # Every constraint was trivially satisfied (e.g. a disequality
+            # against a string of a different length): fall back to a plain
+            # length-constrained generator and let the final theory check
+            # validate the model.
+            children.append(
+                StringLength(
+                    length,
+                    length,
+                    penalty_strength=penalty_strength,
+                    mode="decodable",
+                    seed=int(rng.integers(0, 2**63 - 1)),
+                )
+            )
+        problem.formulations[variable] = (
+            children[0] if len(children) == 1 else CompositeFormulation(variable, children)
+        )
+    return problem
+
+
+# --------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------- #
+
+
+def _ground_value(term: ast.Term) -> Optional[str]:
+    """Concrete string value of a ground term, else None."""
+    if ast.free_string_variables(term):
+        return None
+    try:
+        value = eval_term(term, {})
+    except TheoryError:
+        return None
+    return value if isinstance(value, str) else None
+
+
+def _ground_contains_to_includes(
+    assertion: ast.Term, penalty_strength: float
+) -> Optional[StringIncludes]:
+    if not isinstance(assertion, ast.Contains):
+        return None
+    haystack = _ground_value(assertion.haystack)
+    needle = _ground_value(assertion.needle)
+    if haystack is None or needle is None or not needle or len(needle) > len(haystack):
+        return None
+    return StringIncludes(haystack, needle, penalty_strength)
+
+
+def _infer_length(variable: str, group: List[ast.Term]) -> int:
+    exact: List[int] = []
+    lower: List[int] = []
+    for assertion in group:
+        exact_len, lower_len = _length_facts(variable, assertion)
+        if exact_len is not None:
+            exact.append(exact_len)
+        if lower_len is not None:
+            lower.append(lower_len)
+    if exact:
+        if len(set(exact)) > 1:
+            raise CompilationError(
+                f"conflicting exact lengths for {variable!r}: {sorted(set(exact))}"
+            )
+        length = exact[0]
+        if lower and max(lower) > length:
+            raise CompilationError(
+                f"{variable!r} needs length >= {max(lower)} but is pinned to {length}"
+            )
+        return length
+    if lower:
+        return max(lower)
+    raise CompilationError(
+        f"cannot infer a length for {variable!r}; add a (= (str.len {variable}) N) "
+        f"assertion or an equality with a ground term"
+    )
+
+
+def _length_facts(
+    variable: str, assertion: ast.Term
+) -> Tuple[Optional[int], Optional[int]]:
+    """``(exact, lower_bound)`` length information from one assertion."""
+    if isinstance(assertion, ast.Eq):
+        lhs, rhs = assertion.lhs, assertion.rhs
+        # (= (str.len x) N) in either orientation.
+        for a, b in ((lhs, rhs), (rhs, lhs)):
+            if (
+                isinstance(a, ast.Length)
+                and isinstance(a.source, ast.StrVar)
+                and a.source.name == variable
+                and isinstance(b, ast.IntLit)
+            ):
+                if b.value < 0:
+                    raise CompilationError(f"negative length for {variable!r}")
+                return b.value, None
+        # (= x <ground>) in either orientation.
+        for a, b in ((lhs, rhs), (rhs, lhs)):
+            if isinstance(a, ast.StrVar) and a.name == variable:
+                value = _ground_value(b)
+                if value is not None:
+                    return len(value), None
+    if isinstance(assertion, ast.Contains):
+        if (
+            isinstance(assertion.haystack, ast.StrVar)
+            and assertion.haystack.name == variable
+        ):
+            needle = _ground_value(assertion.needle)
+            if needle is not None:
+                return None, len(needle)
+    if isinstance(assertion, ast.PrefixOf) and isinstance(assertion.string, ast.StrVar):
+        prefix = _ground_value(assertion.prefix)
+        if prefix is not None:
+            return None, len(prefix)
+    if isinstance(assertion, ast.SuffixOf) and isinstance(assertion.string, ast.StrVar):
+        suffix = _ground_value(assertion.suffix)
+        if suffix is not None:
+            return None, len(suffix)
+    if isinstance(assertion, ast.Eq):
+        # (= (str.at x i) "c") pins position i, so |x| >= i + 1.
+        for a, b in ((assertion.lhs, assertion.rhs), (assertion.rhs, assertion.lhs)):
+            if (
+                isinstance(a, ast.At)
+                and isinstance(a.source, ast.StrVar)
+                and a.source.name == variable
+                and isinstance(a.index, ast.IntLit)
+                and a.index.value >= 0
+            ):
+                char = _ground_value(b)
+                if char is not None and len(char) == 1:
+                    return None, a.index.value + 1
+    if isinstance(assertion, ast.InRe) and isinstance(assertion.string, ast.StrVar):
+        try:
+            tokens = regex_term_to_tokens(assertion.regex)
+        except TheoryError:
+            return None, None
+        return (None, len(tokens))
+    if isinstance(assertion, ast.Eq):
+        # (= (str.indexof x s) p) pins a window ending at p + len(s).
+        for a, b in ((assertion.lhs, assertion.rhs), (assertion.rhs, assertion.lhs)):
+            if (
+                isinstance(a, ast.IndexOf)
+                and isinstance(a.haystack, ast.StrVar)
+                and a.haystack.name == variable
+                and isinstance(b, ast.IntLit)
+                and b.value >= 0
+            ):
+                needle = _ground_value(a.needle)
+                if needle is not None:
+                    return None, b.value + len(needle)
+    return None, None
+
+
+def _compile_one(
+    variable: str,
+    assertion: ast.Term,
+    length: int,
+    a: float,
+    rng,
+    group: List[ast.Term],
+) -> Optional[StringFormulation]:
+    """Lower one single-variable assertion (None = redundant length fact)."""
+    if isinstance(assertion, ast.Eq):
+        lhs, rhs = assertion.lhs, assertion.rhs
+        # Length fact: redundant when a generator exists, else a decodable
+        # length formulation stands alone.
+        for x, other in ((lhs, rhs), (rhs, lhs)):
+            if (
+                isinstance(x, ast.Length)
+                and isinstance(x.source, ast.StrVar)
+                and isinstance(other, ast.IntLit)
+            ):
+                has_generator = any(g is not assertion for g in group)
+                if has_generator:
+                    return None
+                return StringLength(
+                    length,
+                    other.value,
+                    penalty_strength=a,
+                    mode="decodable",
+                    seed=int(rng.integers(0, 2**63 - 1)),
+                )
+        # Generation: x equals a ground term.
+        for x, other in ((lhs, rhs), (rhs, lhs)):
+            if isinstance(x, ast.StrVar) and x.name == variable:
+                return _compile_generation(other, a)
+        # (= (str.indexof x s) p): pin the window.
+        for x, other in ((lhs, rhs), (rhs, lhs)):
+            if (
+                isinstance(x, ast.IndexOf)
+                and isinstance(x.haystack, ast.StrVar)
+                and isinstance(other, ast.IntLit)
+            ):
+                needle = _ground_value(x.needle)
+                if needle is None:
+                    raise CompilationError(
+                        f"str.indexof needle must be ground: {assertion!r}"
+                    )
+                if other.value < 0:
+                    raise CompilationError(
+                        f"cannot generate a witness for indexof = {other.value} "
+                        f"(absence constraints are outside the QUBO fragment)"
+                    )
+                start = eval_term(x.start, {})
+                if start != 0:
+                    raise CompilationError(
+                        f"str.indexof with nonzero start is unsupported: {assertion!r}"
+                    )
+                return SubstringIndexOf(
+                    length,
+                    needle,
+                    other.value,
+                    penalty_strength=a,
+                    seed=int(rng.integers(0, 2**63 - 1)),
+                )
+        # (= (str.at x i) "c"): a one-character pinned window.
+        for x, other in ((lhs, rhs), (rhs, lhs)):
+            if (
+                isinstance(x, ast.At)
+                and isinstance(x.source, ast.StrVar)
+                and isinstance(x.index, ast.IntLit)
+            ):
+                char = _ground_value(other)
+                if char is None:
+                    raise CompilationError(
+                        f"str.at comparand must be ground: {assertion!r}"
+                    )
+                if len(char) != 1:
+                    raise CompilationError(
+                        "generating a witness for an out-of-range str.at "
+                        f"(empty comparand) is outside the QUBO fragment: {assertion!r}"
+                    )
+                return StringCharAt(
+                    length,
+                    char,
+                    x.index.value,
+                    penalty_strength=a,
+                    seed=int(rng.integers(0, 2**63 - 1)),
+                )
+        raise CompilationError(f"unsupported equality shape: {assertion!r}")
+    if isinstance(assertion, ast.PrefixOf):
+        if isinstance(assertion.string, ast.StrVar):
+            prefix = _ground_value(assertion.prefix)
+            if prefix is None:
+                raise CompilationError(
+                    f"str.prefixof prefix must be ground: {assertion!r}"
+                )
+            return StringPrefixOf(
+                length, prefix, penalty_strength=a,
+                seed=int(rng.integers(0, 2**63 - 1)),
+            )
+        raise CompilationError(
+            f"str.prefixof with a variable prefix is unsupported: {assertion!r}"
+        )
+    if isinstance(assertion, ast.SuffixOf):
+        if isinstance(assertion.string, ast.StrVar):
+            suffix = _ground_value(assertion.suffix)
+            if suffix is None:
+                raise CompilationError(
+                    f"str.suffixof suffix must be ground: {assertion!r}"
+                )
+            return StringSuffixOf(
+                length, suffix, penalty_strength=a,
+                seed=int(rng.integers(0, 2**63 - 1)),
+            )
+        raise CompilationError(
+            f"str.suffixof with a variable suffix is unsupported: {assertion!r}"
+        )
+    if isinstance(assertion, ast.Contains):
+        if (
+            isinstance(assertion.haystack, ast.StrVar)
+            and assertion.haystack.name == variable
+        ):
+            needle = _ground_value(assertion.needle)
+            if needle is None:
+                raise CompilationError(
+                    f"str.contains needle must be ground: {assertion!r}"
+                )
+            return SubstringMatching(length, needle, penalty_strength=a)
+        raise CompilationError(
+            f"str.contains with a variable needle is unsupported: {assertion!r}"
+        )
+    if isinstance(assertion, ast.InRe):
+        tokens = regex_term_to_tokens(assertion.regex)
+        # Validate the expansion now for a clean error at compile time.
+        expand_to_length(tokens, length)
+        return RegexMatching(tokens, length, penalty_strength=a)
+    if isinstance(assertion, ast.Not):
+        # Disequality against a ground string: the AND-chain gadget of
+        # repro.core.notequals makes this expressible after all.
+        inner = assertion.operand
+        if isinstance(inner, ast.Eq):
+            for x, other in ((inner.lhs, inner.rhs), (inner.rhs, inner.lhs)):
+                if isinstance(x, ast.StrVar) and x.name == variable:
+                    value = _ground_value(other)
+                    if value is not None:
+                        if len(value) != length:
+                            # Different lengths: trivially satisfied.
+                            return None
+                        if length == 0:
+                            raise CompilationError(
+                                "x != \"\" with |x| = 0 is unsatisfiable"
+                            )
+                        return StringNotEquals(
+                            value,
+                            penalty_strength=a,
+                            seed=int(rng.integers(0, 2**63 - 1)),
+                        )
+        raise CompilationError(
+            f"this negative constraint is outside the QUBO fragment (use the "
+            f"DPLL(T) driver): {assertion!r}"
+        )
+    raise CompilationError(f"unsupported assertion: {assertion!r}")
+
+
+def _compile_generation(term: ast.Term, a: float) -> StringFormulation:
+    """``x = <ground term>``: pick the formulation matching the term's shape."""
+    value = _ground_value(term)
+    if value is None:
+        raise CompilationError(
+            f"right-hand side must be ground (no free variables): {term!r}"
+        )
+    if isinstance(term, ast.Concat) and len(term.parts) == 2:
+        left = _ground_value(term.parts[0])
+        right = _ground_value(term.parts[1])
+        assert left is not None and right is not None
+        return StringConcatenation(left, right, penalty_strength=a)
+    if isinstance(term, ast.Replace):
+        source = _ground_value(term.source)
+        old = _ground_value(term.old)
+        new = _ground_value(term.new)
+        assert source is not None and old is not None and new is not None
+        if len(old) == 1 and len(new) == 1:
+            cls = StringReplaceAll if term.replace_all else StringReplace
+            return cls(source, old, new, penalty_strength=a)
+        # Multi-character replacement: fall back to equality with the result.
+        return StringEquality(value, penalty_strength=a)
+    if isinstance(term, ast.Reverse):
+        source = _ground_value(term.source)
+        assert source is not None
+        return StringReversal(source, penalty_strength=a)
+    if isinstance(term, ast.Substr):
+        source = _ground_value(term.source)
+        offset = eval_term(term.offset, {})
+        count = eval_term(term.count, {})
+        if source is not None and isinstance(offset, int) and isinstance(count, int):
+            return StringSubstr(source, offset, count, penalty_strength=a)
+    return StringEquality(value, penalty_strength=a)

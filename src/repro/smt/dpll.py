@@ -1,0 +1,301 @@
+"""A compact CDCL SAT solver.
+
+The boolean engine behind the DPLL(T) driver (paper §2.1: modern SMT
+solvers pair a SAT core with theory solvers). Features the standard
+modern-solver kit, scaled to this library's needs:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style activity heuristics with decay,
+* Luby-sequence restarts.
+
+Literal encoding: DIMACS-style nonzero integers; ``+v`` is variable ``v``
+true, ``-v`` false. Variables are ``1..num_vars``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["CdclSolver", "DpllResult"]
+
+
+@dataclass
+class DpllResult:
+    """Outcome of a SAT solve."""
+
+    satisfiable: bool
+    assignment: Dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    restarts: int = 0
+
+
+class CdclSolver:
+    """Conflict-driven clause learning over a CNF.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of boolean variables (1-based).
+    clauses:
+        Iterable of clauses; each clause is a sequence of nonzero ints.
+    """
+
+    def __init__(self, num_vars: int, clauses: Sequence[Sequence[int]]) -> None:
+        if num_vars < 0:
+            raise ValueError(f"num_vars must be >= 0, got {num_vars}")
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        self._empty_clause = False
+        # assignment[v] in {None, True, False}
+        self.assign: List[Optional[bool]] = [None] * (num_vars + 1)
+        self.level: List[int] = [0] * (num_vars + 1)
+        self.reason: List[Optional[int]] = [None] * (num_vars + 1)  # clause index
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.activity: List[float] = [0.0] * (num_vars + 1)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        # watches[lit] = clause indices watching lit
+        self.watches: Dict[int, List[int]] = {}
+        for clause in clauses:
+            self._add_clause([int(l) for l in clause], learned=False)
+
+    # ------------------------------------------------------------------ #
+    # clause management
+    # ------------------------------------------------------------------ #
+
+    def _add_clause(self, literals: List[int], learned: bool) -> Optional[int]:
+        for lit in literals:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} out of range for {self.num_vars} vars")
+        # Deduplicate; drop tautologies.
+        seen = set()
+        unique: List[int] = []
+        for lit in literals:
+            if -lit in seen:
+                return None  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                unique.append(lit)
+        if not unique:
+            self._empty_clause = True
+            return None
+        index = len(self.clauses)
+        self.clauses.append(unique)
+        if len(unique) == 1:
+            # Unit clauses are enqueued at level 0 during solve().
+            return index
+        for lit in unique[:2]:
+            self.watches.setdefault(lit, []).append(index)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # assignment helpers
+    # ------------------------------------------------------------------ #
+
+    def _value(self, lit: int) -> Optional[bool]:
+        value = self.assign[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        current = self._value(lit)
+        if current is not None:
+            return current
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Exhaust unit propagation; returns a conflicting clause index or None."""
+        head = getattr(self, "_qhead", 0)
+        while head < len(self.trail):
+            lit = self.trail[head]
+            head += 1
+            falsified = -lit
+            watching = self.watches.get(falsified, [])
+            keep: List[int] = []
+            i = 0
+            while i < len(watching):
+                ci = watching[i]
+                i += 1
+                clause = self.clauses[ci]
+                # Ensure the falsified literal sits at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) is True:
+                    keep.append(ci)
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(ci)
+                if self._value(clause[0]) is False:
+                    # Conflict: restore remaining watchers and report.
+                    keep.extend(watching[i:])
+                    self.watches[falsified] = keep
+                    self._qhead = len(self.trail)
+                    return ci
+                self._enqueue(clause[0], ci)
+            self.watches[falsified] = keep
+        self._qhead = head
+        return None
+
+    # ------------------------------------------------------------------ #
+    # conflict analysis
+    # ------------------------------------------------------------------ #
+
+    def _analyze(self, conflict: int) -> tuple:
+        """First-UIP learning; returns (learned_clause, backjump_level)."""
+        learned: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        clause = self.clauses[conflict]
+        index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+
+        while True:
+            for l in clause:
+                var = abs(l)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(l)
+            # Walk the trail back to the next marked literal.
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self.reason[var]
+            assert reason is not None
+            clause = [l for l in self.clauses[reason] if abs(l) != var]
+        learned.insert(0, -lit)
+        if len(learned) == 1:
+            return learned, 0
+        levels = sorted({self.level[abs(l)] for l in learned[1:]}, reverse=True)
+        return learned, levels[0]
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self._var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _backjump(self, level: int) -> None:
+        while len(self.trail_lim) > level:
+            mark = self.trail_lim.pop()
+            while len(self.trail) > mark:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.assign[var] = None
+                self.reason[var] = None
+        self._qhead = len(self.trail)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+
+    def solve(self, max_conflicts: Optional[int] = None) -> DpllResult:
+        """Run CDCL to completion (or the conflict budget)."""
+        if self._empty_clause:
+            return DpllResult(satisfiable=False)
+        self._qhead = 0
+        conflicts = decisions = restarts = 0
+        luby_index = 1
+        restart_base = 64
+
+        # Level-0 units.
+        for ci, clause in enumerate(self.clauses):
+            if len(clause) == 1:
+                if self._value(clause[0]) is False:
+                    return DpllResult(satisfiable=False, conflicts=conflicts)
+                self._enqueue(clause[0], ci)
+
+        restart_budget = restart_base * _luby(luby_index)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    return DpllResult(satisfiable=False, conflicts=conflicts)
+                if not self.trail_lim:
+                    return DpllResult(
+                        satisfiable=False,
+                        conflicts=conflicts,
+                        decisions=decisions,
+                        restarts=restarts,
+                    )
+                learned, back_level = self._analyze(conflict)
+                self._backjump(back_level)
+                ci = self._add_clause(learned, learned=True)
+                if ci is not None:
+                    self._enqueue(learned[0], ci)
+                self._var_inc /= self._var_decay
+                if conflicts >= restart_budget:
+                    restarts += 1
+                    luby_index += 1
+                    restart_budget = conflicts + restart_base * _luby(luby_index)
+                    self._backjump(0)
+                continue
+            # Pick a branching variable (highest activity, then lowest index).
+            candidate = 0
+            best = -1.0
+            for var in range(1, self.num_vars + 1):
+                if self.assign[var] is None and self.activity[var] > best:
+                    best = self.activity[var]
+                    candidate = var
+            if candidate == 0:
+                assignment = {
+                    v: bool(self.assign[v])
+                    for v in range(1, self.num_vars + 1)
+                    if self.assign[v] is not None
+                }
+                for v in range(1, self.num_vars + 1):
+                    assignment.setdefault(v, False)
+                return DpllResult(
+                    satisfiable=True,
+                    assignment=assignment,
+                    conflicts=conflicts,
+                    decisions=decisions,
+                    restarts=restarts,
+                )
+            decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(-candidate, None)  # negative-phase default
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    while i != (1 << k) - 1:
+        i = i - (1 << k) + 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+    return 1 << (k - 1)

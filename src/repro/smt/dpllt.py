@@ -1,0 +1,175 @@
+"""DPLL(T): the SAT core driving the string theory solver.
+
+The lazy-SMT loop from the paper's §2.1 background: the CDCL engine
+enumerates boolean assignments over the *atoms* (string constraints); each
+candidate assignment's implied conjunction is handed to a theory solver;
+theory-inconsistent assignments are blocked with a learned clause and the
+loop continues until a theory-consistent model or boolean exhaustion.
+
+The theory solver is pluggable: the classical baseline
+(:class:`~repro.smt.classical.ClassicalStringSolver`, default) or the
+quantum path (:class:`~repro.smt.solver.QuantumSMTSolver`) — making this
+module the integration point the paper's future work describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.smt import ast
+from repro.smt.classical import ClassicalStringSolver
+from repro.smt.dpll import CdclSolver
+
+__all__ = ["DpllTSolver", "DpllTResult", "QuantumTheoryAdapter"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class DpllTResult:
+    """Outcome of a DPLL(T) solve."""
+
+    status: str
+    model: Dict[str, str] = field(default_factory=dict)
+    boolean_assignment: Dict[int, bool] = field(default_factory=dict)
+    theory_calls: int = 0
+    reason: str = ""
+
+
+class QuantumTheoryAdapter:
+    """Adapt :class:`~repro.smt.solver.QuantumSMTSolver` to the T-solver
+    interface — the paper's architecture realized end to end: CDCL handles
+    the boolean structure, the quantum annealer decides the theory
+    conjunctions.
+
+    Caveat inherited from the annealing path: the adapter can answer
+    ``sat`` (verified witness) or ``unknown``; it never proves theory
+    *unsatisfiability* on its own, so ``DpllTSolver`` cannot conclude
+    ``unsat`` through it. Pair it with the classical solver when
+    refutations matter (the standard portfolio arrangement).
+    """
+
+    def __init__(self, **solver_kwargs) -> None:
+        self._kwargs = dict(solver_kwargs)
+
+    def solve(self, assertions: Sequence[ast.Term]):
+        from repro.smt.solver import QuantumSMTSolver
+
+        solver = QuantumSMTSolver(**self._kwargs)
+        names = set()
+        for assertion in assertions:
+            names |= ast.free_string_variables(assertion)
+        for name in sorted(names):
+            solver.declare_const(name)
+        for assertion in assertions:
+            solver.add_assertion(assertion)
+        return solver.check_sat()
+
+
+class DpllTSolver:
+    """Boolean structure over string-theory atoms.
+
+    Parameters
+    ----------
+    atoms:
+        The theory atoms; atom ``i`` is boolean variable ``i + 1`` in the
+        CNF. Each atom is a Bool-sorted :mod:`repro.smt.ast` term.
+    clauses:
+        CNF over the atom variables (DIMACS literals). An empty clause list
+        means the bare conjunction of all atoms.
+    theory_solver:
+        Object with ``solve(assertions) -> result`` carrying ``status`` and
+        ``model`` — the classical baseline by default.
+    max_theory_calls:
+        Budget on theory consultations before answering ``unknown``.
+    """
+
+    def __init__(
+        self,
+        atoms: Sequence[ast.Term],
+        clauses: Optional[Sequence[Sequence[int]]] = None,
+        theory_solver=None,
+        max_theory_calls: int = 64,
+    ) -> None:
+        if not atoms:
+            raise ValueError("need at least one theory atom")
+        if max_theory_calls < 1:
+            raise ValueError("max_theory_calls must be >= 1")
+        self.atoms = list(atoms)
+        if clauses is None:
+            # Bare conjunction: a unit clause per atom.
+            clauses = [[i + 1] for i in range(len(atoms))]
+        self.clauses: List[List[int]] = [list(c) for c in clauses]
+        for clause in self.clauses:
+            for lit in clause:
+                if lit == 0 or abs(lit) > len(atoms):
+                    raise ValueError(f"literal {lit} does not name an atom")
+        self.theory = (
+            theory_solver if theory_solver is not None else ClassicalStringSolver()
+        )
+        self.max_theory_calls = max_theory_calls
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self) -> DpllTResult:
+        """Run the lazy DPLL(T) loop."""
+        learned: List[List[int]] = []
+        theory_calls = 0
+        while theory_calls < self.max_theory_calls:
+            sat_solver = CdclSolver(len(self.atoms), self.clauses + learned)
+            boolean = sat_solver.solve()
+            if not boolean.satisfiable:
+                return DpllTResult(
+                    status=UNSAT,
+                    theory_calls=theory_calls,
+                    reason="boolean abstraction exhausted",
+                )
+            assignment = boolean.assignment
+            conjunction = self._implied_conjunction(assignment)
+            theory_calls += 1
+            outcome = self.theory.solve(conjunction)
+            status = getattr(outcome, "status", UNKNOWN)
+            if status == SAT:
+                return DpllTResult(
+                    status=SAT,
+                    model=dict(getattr(outcome, "model", {})),
+                    boolean_assignment=assignment,
+                    theory_calls=theory_calls,
+                )
+            if status == UNKNOWN:
+                return DpllTResult(
+                    status=UNKNOWN,
+                    boolean_assignment=assignment,
+                    theory_calls=theory_calls,
+                    reason=f"theory solver: {getattr(outcome, 'reason', '')}",
+                )
+            # Theory-inconsistent: block this assignment.
+            learned.append(self._blocking_clause(assignment))
+        return DpllTResult(
+            status=UNKNOWN,
+            theory_calls=theory_calls,
+            reason=f"theory-call budget ({self.max_theory_calls}) exhausted",
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _implied_conjunction(self, assignment: Dict[int, bool]) -> List[ast.Term]:
+        """The theory conjunction a boolean assignment selects."""
+        conjunction: List[ast.Term] = []
+        for index, atom in enumerate(self.atoms):
+            if assignment.get(index + 1, False):
+                conjunction.append(atom)
+            else:
+                conjunction.append(ast.Not(atom))
+        return conjunction
+
+    def _blocking_clause(self, assignment: Dict[int, bool]) -> List[int]:
+        """Negate the full atom assignment (a standard naive T-lemma)."""
+        clause: List[int] = []
+        for index in range(len(self.atoms)):
+            var = index + 1
+            clause.append(-var if assignment.get(var, False) else var)
+        return clause

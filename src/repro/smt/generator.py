@@ -1,0 +1,172 @@
+"""Random instance generator for the strings fragment.
+
+Produces satisfiable-by-construction SMT-LIB problems (plant a witness,
+emit constraints it satisfies) and refutation instances, for fuzzing the
+solvers against each other and for throughput benchmarking — the role the
+paper's §2.1.1 assigns to SMT-LIB benchmark libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.smt import ast
+from repro.utils.asciitab import PRINTABLE_MAX, PRINTABLE_MIN
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["InstanceGenerator", "GeneratedInstance"]
+
+_ALPHABET = "abcdefgh"
+
+
+@dataclass
+class GeneratedInstance:
+    """A generated problem with its planted witness."""
+
+    assertions: List[ast.Term]
+    witness: dict
+    script: str = ""
+    satisfiable: bool = True
+
+
+class InstanceGenerator:
+    """Draw random single-variable string problems.
+
+    Parameters
+    ----------
+    min_length, max_length:
+        Witness length range.
+    max_constraints:
+        Constraints per variable (a length fact is always included).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        min_length: int = 3,
+        max_length: int = 8,
+        max_constraints: int = 3,
+        seed: SeedLike = None,
+    ) -> None:
+        if not (1 <= min_length <= max_length):
+            raise ValueError(
+                f"need 1 <= min_length <= max_length, got {min_length}, {max_length}"
+            )
+        if max_constraints < 1:
+            raise ValueError("max_constraints must be >= 1")
+        self.min_length = min_length
+        self.max_length = max_length
+        self.max_constraints = max_constraints
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------ #
+
+    def _random_word(self, length: int) -> str:
+        codes = self._rng.integers(0, len(_ALPHABET), size=length)
+        return "".join(_ALPHABET[int(c)] for c in codes)
+
+    def generate(self, variable: str = "x") -> GeneratedInstance:
+        """One satisfiable instance: plant a witness, describe it."""
+        rng = self._rng
+        length = int(rng.integers(self.min_length, self.max_length + 1))
+        witness = self._random_word(length)
+        var = ast.StrVar(variable)
+        assertions: List[ast.Term] = [
+            ast.Eq(ast.Length(var), ast.IntLit(length))
+        ]
+        picks = rng.integers(0, 5, size=int(rng.integers(1, self.max_constraints + 1)))
+        for pick in picks:
+            assertions.append(self._constraint_from_witness(var, witness, int(pick)))
+        script = self._to_script(variable, assertions)
+        return GeneratedInstance(
+            assertions=assertions, witness={variable: witness}, script=script
+        )
+
+    def generate_unsat(self, variable: str = "x") -> GeneratedInstance:
+        """A refutation instance: two incompatible equalities."""
+        length = int(self._rng.integers(self.min_length, self.max_length + 1))
+        a = self._random_word(length)
+        b = a
+        while b == a:
+            b = self._random_word(length)
+        var = ast.StrVar(variable)
+        assertions = [
+            ast.Eq(var, ast.StrLit(a)),
+            ast.Eq(var, ast.StrLit(b)),
+        ]
+        return GeneratedInstance(
+            assertions=assertions,
+            witness={},
+            script=self._to_script(variable, assertions),
+            satisfiable=False,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _constraint_from_witness(
+        self, var: ast.StrVar, witness: str, pick: int
+    ) -> ast.Term:
+        rng = self._rng
+        n = len(witness)
+        if pick == 0:  # contains a random window
+            size = int(rng.integers(1, min(3, n) + 1))
+            start = int(rng.integers(0, n - size + 1))
+            return ast.Contains(var, ast.StrLit(witness[start : start + size]))
+        if pick == 1:  # prefix
+            size = int(rng.integers(1, n + 1))
+            return ast.PrefixOf(ast.StrLit(witness[:size]), var)
+        if pick == 2:  # suffix
+            size = int(rng.integers(1, n + 1))
+            return ast.SuffixOf(ast.StrLit(witness[-size:]), var)
+        if pick == 3:  # char pinned
+            index = int(rng.integers(0, n))
+            return ast.Eq(
+                ast.At(var, ast.IntLit(index)), ast.StrLit(witness[index])
+            )
+        # indexof of the first character's first occurrence
+        char = witness[int(rng.integers(0, n))]
+        return ast.Eq(
+            ast.IndexOf(var, ast.StrLit(char)),
+            ast.IntLit(witness.find(char)),
+        )
+
+    @staticmethod
+    def _to_script(variable: str, assertions: List[ast.Term]) -> str:
+        """Render the instance as SMT-LIB text (for the REPL/bench paths)."""
+        lines = [f"(declare-const {variable} String)"]
+        for assertion in assertions:
+            lines.append(f"(assert {_render(assertion)})")
+        lines.append("(check-sat)")
+        return "\n".join(lines)
+
+
+def _render(term: ast.Term) -> str:
+    """Minimal SMT-LIB printer for the generated fragment."""
+    if isinstance(term, ast.StrVar):
+        return term.name
+    if isinstance(term, ast.StrLit):
+        return '"' + term.value.replace('"', '""') + '"'
+    if isinstance(term, ast.IntLit):
+        return str(term.value)
+    if isinstance(term, ast.Length):
+        return f"(str.len {_render(term.source)})"
+    if isinstance(term, ast.Contains):
+        return f"(str.contains {_render(term.haystack)} {_render(term.needle)})"
+    if isinstance(term, ast.PrefixOf):
+        return f"(str.prefixof {_render(term.prefix)} {_render(term.string)})"
+    if isinstance(term, ast.SuffixOf):
+        return f"(str.suffixof {_render(term.suffix)} {_render(term.string)})"
+    if isinstance(term, ast.At):
+        return f"(str.at {_render(term.source)} {_render(term.index)})"
+    if isinstance(term, ast.IndexOf):
+        return (
+            f"(str.indexof {_render(term.haystack)} {_render(term.needle)} "
+            f"{_render(term.start)})"
+        )
+    if isinstance(term, ast.Eq):
+        return f"(= {_render(term.lhs)} {_render(term.rhs)})"
+    if isinstance(term, ast.Not):
+        return f"(not {_render(term.operand)})"
+    raise TypeError(f"no printer for {term!r}")

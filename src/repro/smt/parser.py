@@ -1,0 +1,264 @@
+"""SMT-LIB 2.6 script parser for the strings fragment.
+
+Turns script text into an :class:`SmtScript`: declarations, assertions (as
+:mod:`repro.smt.ast` terms), and the command sequence (``check-sat``,
+``get-model``, ``get-value``). ``and`` inside an assert is flattened into
+separate assertions (conjunction of soft objectives = QUBO addition later).
+
+Supported commands: ``set-logic``, ``set-option``, ``set-info``,
+``declare-const``, ``declare-fun`` (0-ary), ``assert``, ``check-sat``,
+``get-model``, ``get-value``, ``echo``, ``exit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.smt import ast
+from repro.smt.sexpr import Symbol, parse_sexprs
+
+__all__ = ["ParseError", "SmtScript", "parse_script", "parse_term"]
+
+
+class ParseError(ValueError):
+    """Malformed SMT-LIB input."""
+
+
+@dataclass
+class SmtScript:
+    """A parsed script: declarations, assertions, and command order."""
+
+    logic: Optional[str] = None
+    declarations: Dict[str, Any] = field(default_factory=dict)
+    assertions: List[ast.Term] = field(default_factory=list)
+    commands: List[Tuple[str, Any]] = field(default_factory=list)
+
+    def string_variables(self) -> List[str]:
+        """Declared String-sorted constants, in declaration order."""
+        return [
+            name
+            for name, sort in self.declarations.items()
+            if sort is ast.StringSort
+        ]
+
+
+_SORTS = {
+    "String": ast.StringSort,
+    "Int": ast.IntSort,
+    "Bool": ast.BoolSort,
+    "RegLan": ast.RegLanSort,
+}
+
+
+def parse_script(text: str) -> SmtScript:
+    """Parse a whole SMT-LIB script."""
+    script = SmtScript()
+    for expr in parse_sexprs(text):
+        if not isinstance(expr, list) or not expr:
+            raise ParseError(f"expected a command list, got {expr!r}")
+        head = expr[0]
+        if not isinstance(head, Symbol):
+            raise ParseError(f"command must start with a symbol: {expr!r}")
+        _dispatch_command(script, str(head), expr)
+    return script
+
+
+def _dispatch_command(script: SmtScript, head: str, expr: list) -> None:
+    if head == "set-logic":
+        _arity(expr, 2)
+        script.logic = str(expr[1])
+        script.commands.append(("set-logic", script.logic))
+    elif head in ("set-option", "set-info", "echo"):
+        script.commands.append((head, expr[1:]))
+    elif head == "declare-const":
+        _arity(expr, 3)
+        _declare(script, expr[1], expr[2])
+    elif head == "declare-fun":
+        _arity(expr, 4)
+        if expr[2] != []:
+            raise ParseError(
+                f"only 0-ary declare-fun is supported, got {expr!r}"
+            )
+        _declare(script, expr[1], expr[3])
+    elif head == "assert":
+        _arity(expr, 2)
+        formula = parse_term(expr[1], script.declarations)
+        for conjunct in _flatten_and(formula):
+            script.assertions.append(conjunct)
+            script.commands.append(("assert", conjunct))
+    elif head == "check-sat":
+        _arity(expr, 1)
+        script.commands.append(("check-sat", None))
+    elif head == "get-model":
+        _arity(expr, 1)
+        script.commands.append(("get-model", None))
+    elif head == "get-value":
+        _arity(expr, 2)
+        if not isinstance(expr[1], list):
+            raise ParseError(f"get-value expects a term list: {expr!r}")
+        terms = [parse_term(t, script.declarations) for t in expr[1]]
+        script.commands.append(("get-value", terms))
+    elif head in ("push", "pop"):
+        if len(expr) == 1:
+            levels = 1
+        elif len(expr) == 2 and isinstance(expr[1], int) and expr[1] >= 0:
+            levels = expr[1]
+        else:
+            raise ParseError(f"{head} expects an optional non-negative numeral: {expr!r}")
+        script.commands.append((head, levels))
+    elif head == "exit":
+        script.commands.append(("exit", None))
+    else:
+        raise ParseError(f"unsupported command: {head!r}")
+
+
+def _arity(expr: list, expected: int) -> None:
+    if len(expr) != expected:
+        raise ParseError(
+            f"{expr[0]} expects {expected - 1} argument(s), got {len(expr) - 1}: {expr!r}"
+        )
+
+
+def _declare(script: SmtScript, name: Any, sort: Any) -> None:
+    if not isinstance(name, Symbol):
+        raise ParseError(f"declaration name must be a symbol, got {name!r}")
+    sort_name = str(sort)
+    if sort_name not in _SORTS:
+        raise ParseError(f"unsupported sort {sort_name!r} for {name!r}")
+    if str(name) in script.declarations:
+        raise ParseError(f"duplicate declaration of {name!r}")
+    script.declarations[str(name)] = _SORTS[sort_name]
+    script.commands.append(("declare-const", (str(name), sort_name)))
+
+
+def _flatten_and(term: ast.Term) -> List[ast.Term]:
+    if isinstance(term, _AndMarker):
+        out: List[ast.Term] = []
+        for part in term.parts:
+            out.extend(_flatten_and(part))
+        return out
+    return [term]
+
+
+@dataclass(frozen=True)
+class _AndMarker:
+    """Internal: an ``and`` node, flattened away before it leaves the parser."""
+
+    parts: Tuple[ast.Term, ...]
+
+
+# --------------------------------------------------------------------- #
+# term parsing
+# --------------------------------------------------------------------- #
+
+
+def parse_term(expr: Any, declarations: Dict[str, Any]) -> ast.Term:
+    """Parse one term s-expression against the declared symbols."""
+    if isinstance(expr, Symbol):
+        name = str(expr)
+        if name not in declarations:
+            raise ParseError(f"undeclared symbol {name!r}")
+        sort = declarations[name]
+        if sort is not ast.StringSort:
+            raise ParseError(
+                f"only String-sorted constants may appear in terms, "
+                f"{name!r} has sort {sort!r}"
+            )
+        return ast.StrVar(name)
+    if isinstance(expr, str):
+        return ast.StrLit(expr)
+    if isinstance(expr, int):
+        return ast.IntLit(expr)
+    if not isinstance(expr, list) or not expr:
+        raise ParseError(f"cannot parse term {expr!r}")
+    head = expr[0]
+    if not isinstance(head, Symbol):
+        raise ParseError(f"application head must be a symbol: {expr!r}")
+    op = str(head)
+    args = [parse_term(a, declarations) for a in expr[1:]]
+    return _apply(op, args, expr)
+
+
+def _apply(op: str, args: List[ast.Term], expr: list) -> ast.Term:
+    if op != "and" and any(isinstance(a, _AndMarker) for a in args):
+        raise ParseError(
+            f"'and' is only supported at the top level of an assertion: {expr!r}"
+        )
+    if op == "str.++":
+        _need(expr, len(args) >= 2, "str.++ needs >= 2 operands")
+        return ast.Concat(tuple(args))
+    if op == "str.len":
+        _need(expr, len(args) == 1, "str.len needs 1 operand")
+        return ast.Length(args[0])
+    if op == "str.contains":
+        _need(expr, len(args) == 2, "str.contains needs 2 operands")
+        return ast.Contains(args[0], args[1])
+    if op == "str.indexof":
+        _need(expr, len(args) in (2, 3), "str.indexof needs 2 or 3 operands")
+        start = args[2] if len(args) == 3 else ast.IntLit(0)
+        return ast.IndexOf(args[0], args[1], start)
+    if op == "str.replace":
+        _need(expr, len(args) == 3, "str.replace needs 3 operands")
+        return ast.Replace(args[0], args[1], args[2], replace_all=False)
+    if op in ("str.replace_all", "str.replace-all", "str.replaceall"):
+        _need(expr, len(args) == 3, "str.replace_all needs 3 operands")
+        return ast.Replace(args[0], args[1], args[2], replace_all=True)
+    if op in ("str.rev", "str.reverse"):
+        _need(expr, len(args) == 1, "str.rev needs 1 operand")
+        return ast.Reverse(args[0])
+    if op == "str.at":
+        _need(expr, len(args) == 2, "str.at needs 2 operands")
+        return ast.At(args[0], args[1])
+    if op == "str.substr":
+        _need(expr, len(args) == 3, "str.substr needs 3 operands")
+        return ast.Substr(args[0], args[1], args[2])
+    if op == "str.prefixof":
+        _need(expr, len(args) == 2, "str.prefixof needs 2 operands")
+        return ast.PrefixOf(args[0], args[1])
+    if op == "str.suffixof":
+        _need(expr, len(args) == 2, "str.suffixof needs 2 operands")
+        return ast.SuffixOf(args[0], args[1])
+    if op == "str.in_re":
+        _need(expr, len(args) == 2, "str.in_re needs 2 operands")
+        return ast.InRe(args[0], args[1])
+    if op == "str.to_re":
+        _need(
+            expr,
+            len(args) == 1 and isinstance(args[0], ast.StrLit),
+            "str.to_re needs 1 literal operand",
+        )
+        return ast.ReLit(args[0].value)
+    if op == "re.union":
+        _need(expr, len(args) >= 2, "re.union needs >= 2 operands")
+        return ast.ReUnion(tuple(args))
+    if op == "re.+":
+        _need(expr, len(args) == 1, "re.+ needs 1 operand")
+        return ast.RePlus(args[0])
+    if op == "re.++":
+        _need(expr, len(args) >= 2, "re.++ needs >= 2 operands")
+        return ast.ReConcat(tuple(args))
+    if op == "re.range":
+        _need(
+            expr,
+            len(args) == 2
+            and isinstance(args[0], ast.StrLit)
+            and isinstance(args[1], ast.StrLit),
+            "re.range needs 2 literal operands",
+        )
+        return ast.ReRange(args[0].value, args[1].value)
+    if op == "=":
+        _need(expr, len(args) == 2, "= needs 2 operands")
+        return ast.Eq(args[0], args[1])
+    if op == "not":
+        _need(expr, len(args) == 1, "not needs 1 operand")
+        return ast.Not(args[0])
+    if op == "and":
+        _need(expr, len(args) >= 2, "and needs >= 2 operands")
+        return _AndMarker(tuple(args))
+    raise ParseError(f"unsupported operator {op!r} in {expr!r}")
+
+
+def _need(expr: list, condition: bool, message: str) -> None:
+    if not condition:
+        raise ParseError(f"{message}: {expr!r}")

@@ -1,0 +1,131 @@
+"""S-expression reader for SMT-LIB scripts.
+
+SMT-LIB is a LISP-like surface syntax (§2.1.1 of the paper): commands are
+parenthesized lists in prefix notation. This module tokenizes and reads a
+script into nested Python lists of atoms:
+
+* ``Symbol`` — identifiers and operators (``assert``, ``str.++``, ...),
+* ``int`` — numerals,
+* ``str`` — string literals (SMT-LIB ``"..."`` with ``""`` escaping).
+
+Comments run from ``;`` to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+__all__ = ["Symbol", "SExprError", "tokenize", "parse_sexprs"]
+
+
+class SExprError(ValueError):
+    """Malformed s-expression input."""
+
+
+class Symbol(str):
+    """An SMT-LIB symbol; a ``str`` subclass distinguishable from literals."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Symbol({str.__repr__(self)})"
+
+
+class _Paren:
+    """Sentinel token; never confusable with a string literal like '('."""
+
+    __slots__ = ("char",)
+
+    def __init__(self, char: str) -> None:
+        self.char = char
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.char
+
+
+_OPEN = _Paren("(")
+_CLOSE = _Paren(")")
+_WHITESPACE = set(" \t\r\n")
+
+
+def tokenize(text: str) -> List[Any]:
+    """Split *text* into parens, symbols, numerals and string literals."""
+    tokens: List[Any] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c in _WHITESPACE:
+            i += 1
+        elif c == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "(":
+            tokens.append(_OPEN)
+            i += 1
+        elif c == ")":
+            tokens.append(_CLOSE)
+            i += 1
+        elif c == '"':
+            literal, i = _read_string(text, i)
+            tokens.append(literal)
+        else:
+            start = i
+            while i < n and text[i] not in _WHITESPACE and text[i] not in '();"':
+                i += 1
+            tokens.append(_atom(text[start:i]))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> Tuple[str, int]:
+    """Read an SMT-LIB string literal; ``""`` inside is an escaped quote."""
+    assert text[start] == '"'
+    parts: List[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == '"':
+            if i + 1 < n and text[i + 1] == '"':
+                parts.append('"')
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(c)
+        i += 1
+    raise SExprError(f"unterminated string literal starting at offset {start}")
+
+
+def _atom(token: str) -> Any:
+    if token.lstrip("-").isdigit() and token not in ("-",):
+        return int(token)
+    return Symbol(token)
+
+
+def parse_sexprs(text: str) -> List[Any]:
+    """Read every top-level s-expression of *text*.
+
+    Returns a list whose elements are atoms or (nested) lists.
+    """
+    tokens = tokenize(text)
+    expressions: List[Any] = []
+    stack: List[List[Any]] = []
+    for token in tokens:
+        if token is _OPEN:
+            stack.append([])
+        elif token is _CLOSE:
+            if not stack:
+                raise SExprError("unbalanced ')'")
+            done = stack.pop()
+            if stack:
+                stack[-1].append(done)
+            else:
+                expressions.append(done)
+        else:
+            if stack:
+                stack[-1].append(token)
+            else:
+                expressions.append(token)
+    if stack:
+        raise SExprError(f"unbalanced '(': {len(stack)} unclosed")
+    return expressions

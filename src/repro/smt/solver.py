@@ -1,0 +1,272 @@
+"""The user-facing quantum SMT solver.
+
+:class:`QuantumSMTSolver` glues the stack together: parse SMT-LIB (or take
+programmatic assertions), compile to QUBO formulations, sample with the
+configured annealer, decode and verify, and answer ``check-sat`` /
+``get-model`` / ``get-value``.
+
+Soundness contract: ``sat`` is only reported for a **verified** model —
+every assertion is re-evaluated under the concrete string semantics. The
+annealer failing to produce a verifying model yields ``unknown`` (the
+method is incomplete, like any stochastic optimizer); a concretely-false
+ground assertion yields ``unsat``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.anneal.base import Sampler
+from repro.core.solver import SolveResult, StringQuboSolver
+from repro.smt import ast
+from repro.smt.compiler import CompilationError, CompiledProblem, compile_assertions
+from repro.smt.parser import ParseError, SmtScript, parse_script
+from repro.smt.theory import eval_formula
+from repro.utils.rng import SeedLike
+
+__all__ = ["QuantumSMTSolver", "SmtResult"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class SmtResult:
+    """Outcome of one ``check_sat`` call."""
+
+    status: str
+    model: Dict[str, str] = field(default_factory=dict)
+    solve_results: Dict[str, SolveResult] = field(default_factory=dict)
+    reason: str = ""
+
+    def __repr__(self) -> str:
+        return f"SmtResult(status={self.status!r}, model={self.model!r})"
+
+
+class QuantumSMTSolver:
+    """Check satisfiability of string constraints by quantum annealing.
+
+    Parameters
+    ----------
+    sampler:
+        Any :class:`~repro.anneal.base.Sampler`; default simulated
+        annealing (the paper's configuration).
+    num_reads, sampler_params, seed:
+        Forwarded to the underlying
+        :class:`~repro.core.solver.StringQuboSolver`.
+    max_attempts:
+        Restarts per variable when verification fails (annealing is
+        stochastic; retrying with fresh seeds recovers most misses).
+    """
+
+    def __init__(
+        self,
+        sampler: Optional[Sampler] = None,
+        num_reads: int = 64,
+        seed: SeedLike = None,
+        sampler_params: Optional[Dict[str, Any]] = None,
+        max_attempts: int = 3,
+        penalty_strength: float = 1.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self._driver = StringQuboSolver(
+            sampler=sampler,
+            num_reads=num_reads,
+            seed=seed,
+            sampler_params=sampler_params,
+        )
+        self.max_attempts = max_attempts
+        self.penalty_strength = penalty_strength
+        self._seed = seed
+        self.assertions: List[ast.Term] = []
+        self.declarations: Dict[str, Any] = {}
+        self._last: Optional[SmtResult] = None
+
+    # ------------------------------------------------------------------ #
+    # problem construction
+    # ------------------------------------------------------------------ #
+
+    def declare_const(self, name: str, sort=ast.StringSort) -> ast.StrVar:
+        """Declare a constant (programmatic equivalent of declare-const)."""
+        if name in self.declarations:
+            raise ValueError(f"duplicate declaration of {name!r}")
+        self.declarations[name] = sort
+        return ast.StrVar(name)
+
+    def add_assertion(self, formula: ast.Term) -> None:
+        """Assert a Bool-sorted term."""
+        self.assertions.append(formula)
+        self._last = None
+
+    def load_script(self, script: SmtScript) -> None:
+        """Adopt declarations and assertions from a parsed script."""
+        for name, sort in script.declarations.items():
+            if name not in self.declarations:
+                self.declarations[name] = sort
+        self.assertions.extend(script.assertions)
+        self._last = None
+
+    @classmethod
+    def from_script_text(cls, text: str, **kwargs: Any) -> "QuantumSMTSolver":
+        """Build a solver directly from SMT-LIB source."""
+        solver = cls(**kwargs)
+        solver.load_script(parse_script(text))
+        return solver
+
+    # ------------------------------------------------------------------ #
+    # solving
+    # ------------------------------------------------------------------ #
+
+    def compile(self) -> CompiledProblem:
+        """Lower the asserted conjunction to QUBO formulations."""
+        return compile_assertions(
+            self.assertions,
+            penalty_strength=self.penalty_strength,
+            seed=self._seed,
+        )
+
+    def check_sat(self, **solve_params: Any) -> SmtResult:
+        """Decide the asserted conjunction; see the soundness contract above."""
+        try:
+            problem = self.compile()
+        except CompilationError as exc:
+            self._last = SmtResult(status=UNKNOWN, reason=f"compilation: {exc}")
+            return self._last
+        if problem.trivially_unsat:
+            failed = [a for a, truth in problem.ground_results if not truth]
+            self._last = SmtResult(
+                status=UNSAT, reason=f"ground assertion false: {failed[0]!r}"
+            )
+            return self._last
+
+        model: Dict[str, str] = {}
+        solve_results: Dict[str, SolveResult] = {}
+        for variable, formulation in problem.formulations.items():
+            result = self._solve_with_retries(formulation, **solve_params)
+            solve_results[variable] = result
+            if not result.ok:
+                self._last = SmtResult(
+                    status=UNKNOWN,
+                    solve_results=solve_results,
+                    reason=(
+                        f"annealer did not produce a verified witness for "
+                        f"{variable!r} in {self.max_attempts} attempts"
+                    ),
+                )
+                return self._last
+            model[variable] = result.output
+
+        # Final end-to-end model check under the concrete semantics.
+        for assertion in self.assertions:
+            if ast.free_string_variables(assertion) and not eval_formula(
+                assertion, model
+            ):
+                self._last = SmtResult(
+                    status=UNKNOWN,
+                    model=model,
+                    solve_results=solve_results,
+                    reason=f"model fails assertion {assertion!r}",
+                )
+                return self._last
+        self._last = SmtResult(status=SAT, model=model, solve_results=solve_results)
+        return self._last
+
+    def _solve_with_retries(self, formulation, **solve_params: Any) -> SolveResult:
+        result = self._driver.solve(formulation, **solve_params)
+        attempts = 1
+        while not result.ok and attempts < self.max_attempts:
+            result = self._driver.solve(formulation, **solve_params)
+            attempts += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # model access
+    # ------------------------------------------------------------------ #
+
+    def get_model(self) -> Dict[str, str]:
+        """The model of the last ``sat`` answer."""
+        if self._last is None:
+            raise RuntimeError("call check_sat() first")
+        if self._last.status != SAT:
+            raise RuntimeError(f"no model: last status was {self._last.status!r}")
+        return dict(self._last.model)
+
+    def get_value(self, name: str) -> str:
+        """Value of one variable in the last model."""
+        model = self.get_model()
+        if name not in model:
+            raise KeyError(f"no value for {name!r} in the model")
+        return model[name]
+
+    # ------------------------------------------------------------------ #
+    # script execution (REPL-style)
+    # ------------------------------------------------------------------ #
+
+    def run_script_text(self, text: str, **solve_params: Any) -> List[str]:
+        """Execute a script; returns the solver's printed outputs in order.
+
+        Commands are processed sequentially with SMT-LIB assertion-stack
+        semantics: ``(push n)`` snapshots the assertion set, ``(pop n)``
+        restores it (declarations, per common solver practice, persist).
+        """
+        script = parse_script(text)
+        for name, sort in script.declarations.items():
+            if name not in self.declarations:
+                self.declarations[name] = sort
+        stack: List[int] = []
+        outputs: List[str] = []
+        for command, payload in script.commands:
+            if command == "assert":
+                self.assertions.append(payload)
+                self._last = None
+            elif command == "push":
+                for _ in range(payload):
+                    stack.append(len(self.assertions))
+            elif command == "pop":
+                if payload > len(stack):
+                    raise ParseError(
+                        f"pop {payload} exceeds the assertion-stack depth {len(stack)}"
+                    )
+                mark = len(self.assertions)
+                for _ in range(payload):
+                    mark = stack.pop()
+                del self.assertions[mark:]
+                self._last = None
+            elif command == "check-sat":
+                outputs.append(self.check_sat(**solve_params).status)
+            elif command == "get-model":
+                model = self.get_model()
+                lines = ["("]
+                for name, value in sorted(model.items()):
+                    escaped = value.replace('"', '""')
+                    lines.append(
+                        f'  (define-fun {name} () String "{escaped}")'
+                    )
+                lines.append(")")
+                outputs.append("\n".join(lines))
+            elif command == "get-value":
+                parts = []
+                for term in payload:
+                    if isinstance(term, ast.StrVar):
+                        value = self.get_value(term.name)
+                        escaped = value.replace('"', '""')
+                        parts.append(f'({term.name} "{escaped}")')
+                    else:
+                        value = eval_formula_or_term(term, self.get_model())
+                        parts.append(f"({term!r} {value!r})")
+                outputs.append("(" + " ".join(parts) + ")")
+            elif command == "echo":
+                outputs.append(" ".join(str(p) for p in payload))
+            elif command == "exit":
+                break
+        return outputs
+
+
+def eval_formula_or_term(term: ast.Term, model: Dict[str, str]):
+    """Evaluate any term under a model (helper for get-value)."""
+    from repro.smt.theory import eval_term
+
+    return eval_term(term, model)

@@ -1,0 +1,178 @@
+"""Concrete semantics of the string theory.
+
+Evaluates ground (or environment-closed) terms per the SMT-LIB Unicode/
+strings standard restricted to 7-bit ASCII:
+
+* ``str.indexof`` returns −1 when the needle does not occur at or after the
+  start index, and the needle's emptiness/start edge cases follow SMT-LIB
+  (empty needle at a valid start returns the start).
+* ``str.replace`` replaces the **first** occurrence (or prepends nothing if
+  absent — SMT-LIB returns the source unchanged); ``str.replace_all``
+  replaces every occurrence.
+* ``str.in_re`` membership is evaluated by compiling the regular-language
+  term to the subset matcher in :mod:`repro.core.regex`.
+
+The evaluator is the library's source of truth: QUBO solutions, classical-
+solver outputs, and DPLL(T) theory checks are all verified against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.core.regex import RegexToken, regex_matches
+from repro.smt import ast
+
+__all__ = ["TheoryError", "eval_term", "eval_formula", "regex_term_to_tokens"]
+
+Env = Dict[str, str]
+Value = Union[str, int, bool]
+
+
+class TheoryError(ValueError):
+    """Evaluation failure: unbound variable or ill-sorted application."""
+
+
+def eval_term(term: ast.Term, env: Env) -> Value:
+    """Evaluate *term* under the string assignment *env*."""
+    if isinstance(term, ast.StrVar):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise TheoryError(f"unbound string variable {term.name!r}") from None
+    if isinstance(term, ast.StrLit):
+        return term.value
+    if isinstance(term, ast.IntLit):
+        return term.value
+    if isinstance(term, ast.Concat):
+        return "".join(_string(part, env) for part in term.parts)
+    if isinstance(term, ast.Replace):
+        source = _string(term.source, env)
+        old = _string(term.old, env)
+        new = _string(term.new, env)
+        if term.replace_all:
+            if old == "":
+                # SMT-LIB: replace_all with empty pattern is the identity.
+                return source
+            return source.replace(old, new)
+        if old == "":
+            # SMT-LIB: replacing the empty string prepends the replacement.
+            return new + source
+        return source.replace(old, new, 1)
+    if isinstance(term, ast.Reverse):
+        return _string(term.source, env)[::-1]
+    if isinstance(term, ast.At):
+        source = _string(term.source, env)
+        index = _int(term.index, env)
+        if 0 <= index < len(source):
+            return source[index]
+        return ""
+    if isinstance(term, ast.Substr):
+        source = _string(term.source, env)
+        offset = _int(term.offset, env)
+        count = _int(term.count, env)
+        if offset < 0 or count < 0 or offset > len(source):
+            # SMT-LIB: out-of-range substr is the empty string. (An offset
+            # equal to the length is in range and yields "" anyway.)
+            return ""
+        return source[offset : offset + count]
+    if isinstance(term, ast.Length):
+        return len(_string(term.source, env))
+    if isinstance(term, ast.Contains):
+        return _string(term.needle, env) in _string(term.haystack, env)
+    if isinstance(term, ast.PrefixOf):
+        return _string(term.string, env).startswith(_string(term.prefix, env))
+    if isinstance(term, ast.SuffixOf):
+        return _string(term.string, env).endswith(_string(term.suffix, env))
+    if isinstance(term, ast.IndexOf):
+        haystack = _string(term.haystack, env)
+        needle = _string(term.needle, env)
+        start = _int(term.start, env)
+        if start < 0 or start > len(haystack):
+            return -1
+        return haystack.find(needle, start)
+    if isinstance(term, ast.InRe):
+        text = _string(term.string, env)
+        tokens = regex_term_to_tokens(term.regex)
+        return regex_matches(tokens, text)
+    if isinstance(term, ast.Eq):
+        return eval_term(term.lhs, env) == eval_term(term.rhs, env)
+    if isinstance(term, ast.Not):
+        return not _bool(term.operand, env)
+    raise TheoryError(f"cannot evaluate term of this kind: {term!r}")
+
+
+def eval_formula(formula: ast.Term, env: Env) -> bool:
+    """Evaluate a Bool-sorted term."""
+    value = eval_term(formula, env)
+    if not isinstance(value, bool):
+        raise TheoryError(f"formula evaluated to non-boolean {value!r}")
+    return value
+
+
+def _string(term: ast.Term, env: Env) -> str:
+    value = eval_term(term, env)
+    if not isinstance(value, str):
+        raise TheoryError(f"expected a string value, got {value!r}")
+    return value
+
+
+def _int(term: ast.Term, env: Env) -> int:
+    value = eval_term(term, env)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TheoryError(f"expected an integer value, got {value!r}")
+    return value
+
+
+def _bool(term: ast.Term, env: Env) -> bool:
+    value = eval_term(term, env)
+    if not isinstance(value, bool):
+        raise TheoryError(f"expected a boolean value, got {value!r}")
+    return value
+
+
+# --------------------------------------------------------------------- #
+# regular-language lowering
+# --------------------------------------------------------------------- #
+
+
+def regex_term_to_tokens(term: ast.Term) -> List[RegexToken]:
+    """Compile a ``re.*`` term to the subset token list.
+
+    Supported shapes (anything else raises :class:`TheoryError`):
+
+    * ``ReLit("abc")`` — a run of literal tokens;
+    * ``ReRange("a", "z")`` — one class token;
+    * ``ReUnion`` of single-character pieces — one class token;
+    * ``RePlus`` of a single-token child — that token, plussed;
+    * ``ReConcat`` — token concatenation.
+    """
+    if isinstance(term, ast.ReLit):
+        if not term.value:
+            raise TheoryError("empty str.to_re literal is not in the subset")
+        return [RegexToken(frozenset(c)) for c in term.value]
+    if isinstance(term, ast.ReRange):
+        chars = frozenset(chr(c) for c in range(ord(term.lo), ord(term.hi) + 1))
+        return [RegexToken(chars)]
+    if isinstance(term, ast.ReUnion):
+        chars: set = set()
+        for part in term.parts:
+            sub = regex_term_to_tokens(part)
+            if len(sub) != 1 or sub[0].plus:
+                raise TheoryError(
+                    "re.union is only supported over single characters / ranges "
+                    "(the paper's character classes)"
+                )
+            chars |= set(sub[0].chars)
+        return [RegexToken(frozenset(chars))]
+    if isinstance(term, ast.RePlus):
+        sub = regex_term_to_tokens(term.child)
+        if len(sub) != 1 or sub[0].plus:
+            raise TheoryError("re.+ is only supported over a single literal/class")
+        return [RegexToken(sub[0].chars, plus=True)]
+    if isinstance(term, ast.ReConcat):
+        out: List[RegexToken] = []
+        for part in term.parts:
+            out.extend(regex_term_to_tokens(part))
+        return out
+    raise TheoryError(f"unsupported regular-language term: {term!r}")

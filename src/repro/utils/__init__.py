@@ -1,0 +1,42 @@
+"""Shared utilities: RNG discipline, timing, ASCII tables, validation.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import from here, but :mod:`repro.utils` imports nothing from the rest of the
+library.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, Timer
+from repro.utils.asciitab import (
+    CHAR_BITS,
+    PRINTABLE_MAX,
+    PRINTABLE_MIN,
+    is_ascii7,
+    is_printable,
+    printable_chars,
+    random_printable,
+)
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "CHAR_BITS",
+    "PRINTABLE_MAX",
+    "PRINTABLE_MIN",
+    "Stopwatch",
+    "Timer",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "ensure_rng",
+    "is_ascii7",
+    "is_printable",
+    "printable_chars",
+    "random_printable",
+    "spawn_rngs",
+]

@@ -1,0 +1,58 @@
+"""7-bit ASCII alphabet helpers.
+
+The paper fixes the alphabet to 7-bit ASCII: every character is encoded as a
+7-bit binary vector (most-significant bit first), so a string of length *n*
+occupies ``7 n`` binary variables. This module centralizes the alphabet
+constants and the printable subset used when formulations need a *soft*
+preference for human-readable output (§4.5 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CHAR_BITS",
+    "ALPHABET_SIZE",
+    "PRINTABLE_MIN",
+    "PRINTABLE_MAX",
+    "is_ascii7",
+    "is_printable",
+    "printable_chars",
+    "random_printable",
+]
+
+#: Bits per character in the paper's encoding (§4, preamble).
+CHAR_BITS: int = 7
+
+#: Number of code points representable with :data:`CHAR_BITS` bits.
+ALPHABET_SIZE: int = 1 << CHAR_BITS
+
+#: First printable ASCII code point (space).
+PRINTABLE_MIN: int = 0x20
+
+#: Last printable ASCII code point (tilde).
+PRINTABLE_MAX: int = 0x7E
+
+
+def is_ascii7(text: str) -> bool:
+    """True when every character of *text* fits in 7 bits."""
+    return all(ord(c) < ALPHABET_SIZE for c in text)
+
+
+def is_printable(text: str) -> bool:
+    """True when every character is printable ASCII (0x20–0x7E)."""
+    return all(PRINTABLE_MIN <= ord(c) <= PRINTABLE_MAX for c in text)
+
+
+def printable_chars() -> str:
+    """The printable ASCII alphabet as a string, in code-point order."""
+    return "".join(chr(c) for c in range(PRINTABLE_MIN, PRINTABLE_MAX + 1))
+
+
+def random_printable(rng: np.random.Generator, length: int = 1) -> str:
+    """Draw *length* printable ASCII characters uniformly at random."""
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    codes = rng.integers(PRINTABLE_MIN, PRINTABLE_MAX + 1, size=length)
+    return "".join(chr(int(c)) for c in codes)

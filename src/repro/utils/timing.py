@@ -1,0 +1,89 @@
+"""Lightweight timing helpers used by benchmarks and the solver drivers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """Context manager measuring wall-clock time with ``perf_counter``.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed; valid after the ``with`` block exits."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing segments across repeated measurements.
+
+    Useful for splitting a solve into build / sample / decode phases when
+    profiling the pipeline (see ``benchmarks/bench_figure1_pipeline.py``).
+    """
+
+    segments: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration for segment {name!r}: {seconds}")
+        self.segments.setdefault(name, []).append(seconds)
+
+    def time(self, name: str) -> "_SegmentTimer":
+        """Return a context manager recording into segment *name*."""
+        return _SegmentTimer(self, name)
+
+    def total(self, name: str) -> float:
+        return sum(self.segments.get(name, ()))
+
+    def mean(self, name: str) -> float:
+        values = self.segments.get(name)
+        if not values:
+            raise KeyError(f"no measurements for segment {name!r}")
+        return sum(values) / len(values)
+
+    def summary(self) -> Dict[str, float]:
+        """Total seconds per segment, in insertion order."""
+        return {name: sum(vals) for name, vals in self.segments.items()}
+
+
+class _SegmentTimer:
+    def __init__(self, stopwatch: Stopwatch, name: str) -> None:
+        self._stopwatch = stopwatch
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_SegmentTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self._stopwatch.record(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,51 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "check_type",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+]
+
+_NUMERIC = (int, float, np.integer, np.floating)
+
+
+def check_type(name: str, value: Any, types: Union[Type, Tuple[Type, ...]]) -> Any:
+    """Raise ``TypeError`` unless *value* is an instance of *types*."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = ", ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Raise unless *value* is a finite number strictly greater than zero."""
+    check_type(name, value, _NUMERIC)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be positive and finite, got {value}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: Any) -> float:
+    """Raise unless *value* is a finite number greater than or equal to zero."""
+    check_type(name, value, _NUMERIC)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be non-negative and finite, got {value}")
+    return float(value)
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Raise unless *value* lies in the closed interval [0, 1]."""
+    check_type(name, value, _NUMERIC)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return float(value)

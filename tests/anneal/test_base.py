@@ -1,0 +1,81 @@
+"""Tests for the Sampler base-class convenience entry points."""
+
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.qubo.bqm import BinaryQuadraticModel
+
+
+class TestSampleQubo:
+    def test_dict_qubo_with_string_labels(self):
+        q = {("a", "a"): -1.0, ("b", "b"): 2.0, ("a", "b"): -3.0}
+        ss = ExactSolver().sample_qubo(q)
+        best = ss.first
+        # minimum at a=1, b=1: -1 + 2 - 3 = -2
+        assert best.assignment == {"a": 1, "b": 1}
+        assert best.energy == pytest.approx(-2.0)
+
+    def test_diagonal_entries_are_linear(self):
+        ss = ExactSolver().sample_qubo({("x", "x"): -5.0})
+        assert ss.first.assignment == {"x": 1}
+        assert ss.first.energy == pytest.approx(-5.0)
+
+    def test_annealer_through_dict_interface(self):
+        q = {(i, i): -1.0 for i in range(10)}
+        ss = SimulatedAnnealingSampler().sample_qubo(
+            q, num_reads=8, num_sweeps=100, seed=0
+        )
+        assert ss.first.energy == pytest.approx(-10.0)
+
+
+class TestSampleIsing:
+    def test_states_come_back_as_spins(self):
+        h = {"s": -2.0}
+        ss = ExactSolver().sample_ising(h, {})
+        assert ss.first.assignment["s"] in (-1, 1)
+        # h favours s = -1 (energy -(-2)? E = h*s = -2*s, minimized at s=+1)
+        assert ss.first.assignment["s"] == 1
+        assert ss.first.energy == pytest.approx(-2.0)
+
+    def test_ferromagnetic_pair(self):
+        ss = ExactSolver().sample_ising({}, {("u", "v"): -1.0})
+        best = ss.first
+        assert best.assignment["u"] == best.assignment["v"]
+        assert best.energy == pytest.approx(-1.0)
+
+    def test_energies_match_manual_ising(self):
+        h = {"a": 0.5, "b": -1.5}
+        j = {("a", "b"): 0.75}
+        ss = ExactSolver().sample_ising(h, j)
+        for sample in ss:
+            sa, sb = sample.assignment["a"], sample.assignment["b"]
+            manual = 0.5 * sa - 1.5 * sb + 0.75 * sa * sb
+            assert sample.energy == pytest.approx(manual)
+
+
+class TestSampleBqm:
+    def test_labels_restored(self):
+        bqm = BinaryQuadraticModel({"x": -1.0, "y": 1.0}, {("x", "y"): 0.5})
+        ss = ExactSolver().sample_bqm(bqm)
+        assert set(ss.variables) == {"x", "y"}
+        assert ss.first.energy == pytest.approx(
+            bqm.energy(ss.first.assignment)
+        )
+
+    def test_spin_bqm_energies_preserved(self):
+        bqm = BinaryQuadraticModel.from_ising({"s": 1.0, "t": -1.0}, {("s", "t"): 2.0})
+        ss = ExactSolver().sample_bqm(bqm)
+        # States are reported in binary, but energies match the spin model
+        # under s = 2x - 1.
+        best = ss.first
+        spins = {v: 2 * val - 1 for v, val in best.assignment.items()}
+        assert best.energy == pytest.approx(bqm.energy(spins))
+
+    def test_parameters_forwarded(self):
+        bqm = BinaryQuadraticModel({"x": -1.0})
+        ss = SimulatedAnnealingSampler().sample_bqm(
+            bqm, num_reads=5, num_sweeps=10, seed=1
+        )
+        assert len(ss) == 5

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.anneal.composites import (
+    ScaleComposite,
+    SpinReversalTransformComposite,
+    TruncateComposite,
+)
+from repro.anneal.exact import ExactSolver
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.qubo.model import QuboModel
+
+
+def _random_model(seed, n=8, scale=10.0):
+    rng = np.random.default_rng(seed)
+    return QuboModel.from_dense(scale * np.triu(rng.normal(size=(n, n))))
+
+
+class TestScaleComposite:
+    def test_energies_are_true_energies(self):
+        m = _random_model(0, scale=50.0)
+        ss = ScaleComposite(SimulatedAnnealingSampler()).sample_model(
+            m, num_reads=8, num_sweeps=200, seed=0
+        )
+        np.testing.assert_allclose(ss.energies, m.energies(ss.states), atol=1e-9)
+
+    def test_scale_factor_recorded(self):
+        m = _random_model(1, scale=4.0)
+        ss = ScaleComposite(SimulatedAnnealingSampler(), target=1.0).sample_model(
+            m, num_reads=2, num_sweeps=20, seed=0
+        )
+        assert 0 < ss.info["scale_factor"] < 1
+
+    def test_small_model_not_scaled(self):
+        m = _random_model(2, scale=0.1)
+        ss = ScaleComposite(SimulatedAnnealingSampler(), target=1.0).sample_model(
+            m, num_reads=2, num_sweeps=20, seed=0
+        )
+        assert ss.info["scale_factor"] == 1.0
+
+    def test_argmin_preserved(self):
+        m = _random_model(3, scale=100.0)
+        _, ground = ExactSolver().ground_state(m)
+        ss = ScaleComposite(SimulatedAnnealingSampler()).sample_model(
+            m, num_reads=16, num_sweeps=300, seed=1
+        )
+        assert ss.first.energy == pytest.approx(ground, abs=1e-6)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            ScaleComposite(SimulatedAnnealingSampler(), target=0.0)
+
+
+class TestTruncateComposite:
+    def test_keeps_best_k(self):
+        m = _random_model(4)
+        ss = TruncateComposite(SimulatedAnnealingSampler(), k=3).sample_model(
+            m, num_reads=16, num_sweeps=50, seed=0
+        )
+        assert len(ss) <= 3
+
+    def test_aggregates_by_default(self):
+        m = QuboModel(2, {(0, 0): -1.0})
+        ss = TruncateComposite(SimulatedAnnealingSampler(), k=10).sample_model(
+            m, num_reads=32, num_sweeps=50, seed=0
+        )
+        # Aggregation merges identical states; at most 4 distinct states.
+        assert len(ss) <= 4
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            TruncateComposite(SimulatedAnnealingSampler(), k=0)
+
+
+class TestSpinReversalTransform:
+    def test_energies_preserved(self):
+        m = _random_model(5)
+        ss = SpinReversalTransformComposite(
+            SimulatedAnnealingSampler(), num_transforms=3
+        ).sample_model(m, num_reads=4, num_sweeps=100, seed=0)
+        np.testing.assert_allclose(ss.energies, m.energies(ss.states), atol=1e-9)
+
+    def test_read_count(self):
+        m = _random_model(6)
+        ss = SpinReversalTransformComposite(
+            SimulatedAnnealingSampler(), num_transforms=4
+        ).sample_model(m, num_reads=3, num_sweeps=20, seed=1)
+        assert len(ss) == 12
+
+    def test_finds_ground_state(self):
+        m = _random_model(7)
+        _, ground = ExactSolver().ground_state(m)
+        ss = SpinReversalTransformComposite(
+            SimulatedAnnealingSampler(), num_transforms=4
+        ).sample_model(m, num_reads=8, num_sweeps=300, seed=2)
+        assert ss.first.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_gauge_transform_is_exact(self):
+        # Directly verify the matrix identity on random gauges.
+        rng = np.random.default_rng(8)
+        q = np.triu(rng.normal(size=(6, 6)))
+        gauge = rng.integers(0, 2, size=6).astype(float)
+        transformed, offset = SpinReversalTransformComposite._transform(q, 0.5, gauge)
+        for _ in range(20):
+            z = rng.integers(0, 2, size=6).astype(float)
+            x = gauge + (1 - 2 * gauge) * z
+            original = x @ q @ x + 0.5
+            gauged = z @ transformed @ z + offset
+            assert original == pytest.approx(gauged)
+
+    def test_bad_num_transforms(self):
+        with pytest.raises(ValueError):
+            SpinReversalTransformComposite(SimulatedAnnealingSampler(), 0)

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.qubo.model import QuboModel
+
+
+class TestExactSolver:
+    def test_enumerates_all_states(self):
+        m = QuboModel(4)
+        ss = ExactSolver().sample_model(m)
+        assert len(ss) == 16
+        unique = np.unique(ss.states, axis=0)
+        assert unique.shape == (16, 4)
+
+    def test_ground_state_of_known_model(self):
+        # E = -x0 + x1 + 2 x0 x1: minimum at x0=1, x1=0 with E=-1.
+        m = QuboModel(2, {(0, 0): -1.0, (1, 1): 1.0, (0, 1): 2.0})
+        state, energy = ExactSolver().ground_state(m)
+        np.testing.assert_array_equal(state, [1, 0])
+        assert energy == pytest.approx(-1.0)
+
+    def test_keep_top_k(self):
+        rng = np.random.default_rng(0)
+        m = QuboModel.from_dense(np.triu(rng.normal(size=(8, 8))))
+        full = ExactSolver().sample_model(m)
+        top = ExactSolver().sample_model(m, keep=5)
+        assert len(top) == 5
+        np.testing.assert_allclose(top.energies, full.energies[:5])
+
+    def test_keep_streaming_crosses_blocks(self):
+        solver = ExactSolver()
+        solver_block = solver.BLOCK
+        try:
+            # Force multiple blocks with a tiny block size.
+            ExactSolver.BLOCK = 8
+            rng = np.random.default_rng(1)
+            m = QuboModel.from_dense(np.triu(rng.normal(size=(6, 6))))
+            top = ExactSolver().sample_model(m, keep=3)
+            full = ExactSolver().sample_model(m)
+            np.testing.assert_allclose(top.energies, full.energies[:3])
+        finally:
+            ExactSolver.BLOCK = solver_block
+
+    def test_too_many_variables_rejected(self):
+        with pytest.raises(ValueError):
+            ExactSolver().sample_model(QuboModel(30))
+
+    def test_bad_keep_rejected(self):
+        with pytest.raises(ValueError):
+            ExactSolver().sample_model(QuboModel(2), keep=0)
+        with pytest.raises(ValueError):
+            ExactSolver().sample_model(QuboModel(2), keep="some")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(TypeError):
+            ExactSolver().sample_model(QuboModel(2), bogus=True)
+
+    def test_empty_model(self):
+        ss = ExactSolver().sample_model(QuboModel(0, offset=3.0))
+        assert len(ss) == 1
+        assert ss.first.energy == 3.0
+
+    def test_offset_included(self):
+        m = QuboModel(1, {(0, 0): -2.0}, offset=5.0)
+        _, energy = ExactSolver().ground_state(m)
+        assert energy == pytest.approx(3.0)
+
+    def test_bit_order_convention(self):
+        # Variable 0 is bit 0 of the enumeration code.
+        m = QuboModel(3, {(0, 0): -10.0})
+        state, _ = ExactSolver().ground_state(m)
+        assert state[0] == 1
+        assert state[1] == 0 and state[2] == 0

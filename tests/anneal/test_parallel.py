@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.anneal.parallel import ParallelSampler, PortfolioSampler
+from repro.anneal.random_sampler import RandomSampler
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.anneal.greedy import SteepestDescentSampler
+from repro.anneal.tabu import TabuSampler
+from repro.qubo.model import QuboModel
+
+
+def _random_model(seed, n=10):
+    rng = np.random.default_rng(seed)
+    return QuboModel.from_dense(np.triu(rng.normal(size=(n, n))))
+
+
+class TestParallelSampler:
+    def test_serial_mode_correct_read_count(self):
+        sampler = ParallelSampler(
+            SimulatedAnnealingSampler(), num_workers=3, executor="serial"
+        )
+        ss = sampler.sample_model(_random_model(0), num_reads=10, num_sweeps=20, seed=0)
+        assert len(ss) == 10
+
+    def test_chunking_never_empty(self):
+        assert ParallelSampler._split_reads(10, 3) == [4, 3, 3]
+        assert ParallelSampler._split_reads(2, 5) == [1, 1]
+        assert ParallelSampler._split_reads(1, 1) == [1]
+
+    def test_serial_finds_ground_state(self):
+        m = _random_model(1, n=10)
+        _, ground = ExactSolver().ground_state(m)
+        sampler = ParallelSampler(
+            SimulatedAnnealingSampler(), num_workers=4, executor="serial"
+        )
+        ss = sampler.sample_model(m, num_reads=16, num_sweeps=300, seed=1)
+        assert ss.first.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_thread_mode_matches_serial(self):
+        m = _random_model(2, n=6)
+        serial = ParallelSampler(
+            SimulatedAnnealingSampler(), num_workers=2, executor="serial"
+        ).sample_model(m, num_reads=6, num_sweeps=20, seed=3)
+        threaded = ParallelSampler(
+            SimulatedAnnealingSampler(), num_workers=2, executor="thread"
+        ).sample_model(m, num_reads=6, num_sweeps=20, seed=3)
+        np.testing.assert_array_equal(serial.states, threaded.states)
+
+    @pytest.mark.slow
+    def test_process_mode_matches_serial(self):
+        m = _random_model(4, n=6)
+        serial = ParallelSampler(
+            SimulatedAnnealingSampler(), num_workers=2, executor="serial"
+        ).sample_model(m, num_reads=4, num_sweeps=10, seed=5)
+        process = ParallelSampler(
+            SimulatedAnnealingSampler(), num_workers=2, executor="process"
+        ).sample_model(m, num_reads=4, num_sweeps=10, seed=5)
+        np.testing.assert_array_equal(serial.states, process.states)
+
+    def test_info_metadata(self):
+        sampler = ParallelSampler(RandomSampler(), num_workers=2, executor="serial")
+        ss = sampler.sample_model(_random_model(5), num_reads=4, seed=0)
+        assert ss.info["num_workers"] == 2
+        assert ss.info["executor"] == "serial"
+        assert sum(ss.info["chunk_reads"]) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelSampler(RandomSampler(), num_workers=0)
+        with pytest.raises(ValueError):
+            ParallelSampler(RandomSampler(), executor="gpu")
+        sampler = ParallelSampler(RandomSampler(), executor="serial")
+        with pytest.raises(ValueError):
+            sampler.sample_model(_random_model(6), num_reads=0)
+
+
+class TestPortfolioSampler:
+    def _portfolio(self, executor="serial"):
+        return PortfolioSampler(
+            [
+                ("sa", SimulatedAnnealingSampler(), {"num_reads": 8, "num_sweeps": 100}),
+                ("tabu", TabuSampler(), {"num_reads": 4}),
+                ("greedy", SteepestDescentSampler(), {"num_reads": 4}),
+                ("random", RandomSampler(), {"num_reads": 8}),
+            ],
+            executor=executor,
+        )
+
+    def test_merges_all_members(self):
+        ss = self._portfolio().sample_model(_random_model(0), seed=0)
+        assert len(ss) == 24
+
+    def test_best_recorded(self):
+        m = _random_model(1, n=10)
+        ss = self._portfolio().sample_model(m, seed=1)
+        best = ss.info["portfolio_best"]
+        assert best in ("sa", "tabu", "greedy", "random")
+        assert ss.info["portfolio_energies"][best] == pytest.approx(
+            ss.first.energy
+        )
+
+    def test_finds_ground_state(self):
+        m = _random_model(2, n=10)
+        _, ground = ExactSolver().ground_state(m)
+        ss = self._portfolio().sample_model(m, seed=2)
+        assert ss.first.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_thread_executor(self):
+        ss = self._portfolio(executor="thread").sample_model(
+            _random_model(3, 6), seed=3
+        )
+        assert len(ss) == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PortfolioSampler([])
+        with pytest.raises(ValueError):
+            PortfolioSampler(
+                [("a", RandomSampler(), {}), ("a", RandomSampler(), {})]
+            )
+        with pytest.raises(ValueError):
+            PortfolioSampler([("a", RandomSampler(), {})], executor="process")

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.anneal.population import PopulationAnnealingSampler
+from repro.qubo.model import QuboModel
+
+
+def _random_model(seed, n=12):
+    rng = np.random.default_rng(seed)
+    return QuboModel.from_dense(np.triu(rng.normal(size=(n, n))))
+
+
+class TestPopulationAnnealing:
+    def test_finds_ground_state(self):
+        m = _random_model(0)
+        _, ground = ExactSolver().ground_state(m)
+        ss = PopulationAnnealingSampler().sample_model(
+            m, population=48, num_steps=32, seed=1
+        )
+        assert ss.first.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_population_size_respected(self):
+        ss = PopulationAnnealingSampler().sample_model(
+            _random_model(1, 6), population=20, num_steps=8, seed=2
+        )
+        assert len(ss) == 20
+
+    def test_num_reads_alias(self):
+        ss = PopulationAnnealingSampler().sample_model(
+            _random_model(2, 6), num_reads=10, num_steps=8, seed=3
+        )
+        assert len(ss) == 10
+
+    def test_energies_consistent(self):
+        m = _random_model(3, 8)
+        ss = PopulationAnnealingSampler().sample_model(
+            m, population=16, num_steps=16, seed=4
+        )
+        np.testing.assert_allclose(ss.energies, m.energies(ss.states), atol=1e-9)
+
+    def test_resampling_events_recorded(self):
+        ss = PopulationAnnealingSampler().sample_model(
+            _random_model(4, 6), population=8, num_steps=10, seed=5
+        )
+        assert ss.info["resampling_events"] >= 1
+        assert ss.info["sampler"] == "PopulationAnnealingSampler"
+
+    def test_population_concentrates_at_low_energy(self):
+        # After a full anneal most of the population should sit at (or very
+        # near) the minimum — the defining property of resampling.
+        m = _random_model(5, 10)
+        _, ground = ExactSolver().ground_state(m)
+        ss = PopulationAnnealingSampler().sample_model(
+            m, population=64, num_steps=32, seed=6
+        )
+        assert ss.ground_state_probability(ground, atol=1e-9) > 0.3
+
+    def test_reproducible(self):
+        m = _random_model(6, 6)
+        a = PopulationAnnealingSampler().sample_model(
+            m, population=8, num_steps=8, seed=7
+        )
+        b = PopulationAnnealingSampler().sample_model(
+            m, population=8, num_steps=8, seed=7
+        )
+        np.testing.assert_array_equal(a.states, b.states)
+
+    def test_empty_model(self):
+        ss = PopulationAnnealingSampler().sample_model(QuboModel(0), population=4)
+        assert len(ss) == 4
+
+    def test_validation(self):
+        m = _random_model(7, 4)
+        with pytest.raises(ValueError):
+            PopulationAnnealingSampler().sample_model(m, population=1)
+        with pytest.raises(ValueError):
+            PopulationAnnealingSampler().sample_model(m, num_steps=0)
+        with pytest.raises(TypeError):
+            PopulationAnnealingSampler().sample_model(m, mystery=1)
+
+    def test_solves_string_formulation(self):
+        from repro.core import StringEquality, StringQuboSolver
+
+        solver = StringQuboSolver(
+            sampler=PopulationAnnealingSampler(),
+            num_reads=48,
+            seed=8,
+            sampler_params={"num_steps": 24},
+        )
+        result = solver.solve(StringEquality("pop"))
+        assert result.output == "pop"
+        assert result.ok

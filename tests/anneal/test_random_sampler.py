@@ -1,0 +1,33 @@
+import numpy as np
+import pytest
+
+from repro.anneal.random_sampler import RandomSampler
+from repro.qubo.model import QuboModel
+
+
+class TestRandomSampler:
+    def test_shape_and_values(self):
+        ss = RandomSampler().sample_model(QuboModel(6), num_reads=20, seed=0)
+        assert ss.states.shape == (20, 6)
+        assert np.isin(ss.states, (0, 1)).all()
+
+    def test_energies_scored(self):
+        m = QuboModel(4, {(0, 0): 1.0, (1, 2): -2.0})
+        ss = RandomSampler().sample_model(m, num_reads=10, seed=1)
+        np.testing.assert_allclose(ss.energies, m.energies(ss.states))
+
+    def test_reproducible(self):
+        a = RandomSampler().sample_model(QuboModel(5), num_reads=4, seed=3)
+        b = RandomSampler().sample_model(QuboModel(5), num_reads=4, seed=3)
+        np.testing.assert_array_equal(a.states, b.states)
+
+    def test_roughly_uniform(self):
+        ss = RandomSampler().sample_model(QuboModel(8), num_reads=500, seed=4)
+        mean = ss.states.mean()
+        assert 0.4 < mean < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSampler().sample_model(QuboModel(2), num_reads=0)
+        with pytest.raises(TypeError):
+            RandomSampler().sample_model(QuboModel(2), whatever=1)

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.anneal.reverse import ReverseAnnealingSampler
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.qubo.model import QuboModel
+
+
+def _random_model(seed, n=12):
+    rng = np.random.default_rng(seed)
+    return QuboModel.from_dense(np.triu(rng.normal(size=(n, n))))
+
+
+class TestReverseAnnealing:
+    def test_requires_initial_states(self):
+        with pytest.raises(ValueError, match="initial_states"):
+            ReverseAnnealingSampler().sample_model(_random_model(0))
+
+    def test_never_worse_than_input(self):
+        m = _random_model(1)
+        rng = np.random.default_rng(2)
+        starts = rng.integers(0, 2, size=(8, 12), dtype=np.int8)
+        start_best = m.energies(starts).min()
+        out = ReverseAnnealingSampler().sample_model(
+            m, initial_states=starts, num_reads=8, num_sweeps=200, seed=3
+        )
+        assert out.first.energy <= start_best + 1e-9
+
+    def test_refines_short_anneal(self):
+        m = _random_model(4)
+        _, ground = ExactSolver().ground_state(m)
+        rough = SimulatedAnnealingSampler().sample_model(
+            m, num_reads=16, num_sweeps=3, seed=5
+        )
+        refined = ReverseAnnealingSampler().sample_model(
+            m,
+            initial_states=rough.states,
+            num_reads=16,
+            num_sweeps=300,
+            seed=6,
+        )
+        assert refined.first.energy <= rough.first.energy + 1e-9
+        assert refined.first.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_zero_reheat_acts_locally(self):
+        # With no re-melt the sampler effectively descends: starting at the
+        # optimum it must stay there.
+        m = QuboModel(6, {(i, i): 1.0 for i in range(6)})
+        zeros = np.zeros((4, 6), dtype=np.int8)
+        out = ReverseAnnealingSampler().sample_model(
+            m,
+            initial_states=zeros,
+            reheat_fraction=0.0,
+            num_reads=4,
+            num_sweeps=50,
+            seed=7,
+        )
+        assert out.first.energy == pytest.approx(0.0)
+        np.testing.assert_array_equal(out.first.state(out.variables), np.zeros(6))
+
+    def test_full_reheat_equivalent_to_forward(self):
+        m = _random_model(8)
+        _, ground = ExactSolver().ground_state(m)
+        out = ReverseAnnealingSampler().sample_model(
+            m,
+            initial_states=np.zeros((16, 12), dtype=np.int8),
+            reheat_fraction=1.0,
+            num_reads=16,
+            num_sweeps=300,
+            seed=9,
+        )
+        assert out.first.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_vee_schedule_shape(self):
+        betas = ReverseAnnealingSampler._vee_schedule(0.1, 10.0, 0.5, 20)
+        assert betas.shape == (20,)
+        assert betas[0] == pytest.approx(10.0)
+        assert betas[-1] == pytest.approx(10.0)
+        turn = betas.min()
+        assert 0.1 < turn < 10.0
+        # monotone down then up
+        k = int(np.argmin(betas))
+        assert np.all(np.diff(betas[: k + 1]) <= 1e-12)
+        assert np.all(np.diff(betas[k:]) >= -1e-12)
+
+    def test_info_metadata(self):
+        m = _random_model(10, n=4)
+        out = ReverseAnnealingSampler().sample_model(
+            m,
+            initial_states=np.zeros((2, 4), dtype=np.int8),
+            num_reads=2,
+            num_sweeps=20,
+            seed=0,
+        )
+        assert out.info["sampler"] == "ReverseAnnealingSampler"
+        assert "turning_beta" in out.info
+
+    def test_validation(self):
+        m = _random_model(11, n=4)
+        starts = np.zeros((2, 4), dtype=np.int8)
+        with pytest.raises(ValueError):
+            ReverseAnnealingSampler().sample_model(
+                m, initial_states=starts, reheat_fraction=1.5, num_reads=2
+            )
+        with pytest.raises(ValueError):
+            ReverseAnnealingSampler().sample_model(
+                m, initial_states=starts, num_sweeps=1, num_reads=2
+            )
+        with pytest.raises(TypeError):
+            ReverseAnnealingSampler().sample_model(
+                m, initial_states=starts, num_reads=2, bogus=1
+            )

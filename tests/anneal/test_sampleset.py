@@ -1,0 +1,161 @@
+import numpy as np
+import pytest
+
+from repro.anneal.sampleset import Sample, SampleSet
+
+
+def _simple_set():
+    states = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.int8)
+    energies = np.array([2.0, -1.0, 0.5])
+    return SampleSet(states, energies, variables=["a", "b"])
+
+
+class TestConstruction:
+    def test_rows_sorted_by_energy(self):
+        ss = _simple_set()
+        np.testing.assert_allclose(ss.energies, [-1.0, 0.5, 2.0])
+        np.testing.assert_array_equal(ss.states[0], [0, 1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSet(np.zeros((2, 3)), np.zeros(3))
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSet(np.zeros((1, 2)), np.zeros(1), variables=["only"])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSet(np.zeros((1, 2)), np.zeros(1), variables=["x", "x"])
+
+    def test_non_positive_occurrences_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSet(
+                np.zeros((1, 1)), np.zeros(1), num_occurrences=np.array([0])
+            )
+
+    def test_default_labels_are_indices(self):
+        ss = SampleSet(np.zeros((1, 3)), np.zeros(1))
+        assert ss.variables == [0, 1, 2]
+
+    def test_empty(self):
+        ss = SampleSet.empty(["a"])
+        assert len(ss) == 0
+        with pytest.raises(ValueError):
+            _ = ss.first
+
+    def test_single_row_1d_input(self):
+        ss = SampleSet(np.array([1, 0]), np.array([3.0]))
+        assert len(ss) == 1
+
+
+class TestAccess:
+    def test_first_is_lowest(self):
+        assert _simple_set().first.energy == -1.0
+
+    def test_sample_assignment(self):
+        sample = _simple_set().first
+        assert sample.assignment == {"a": 0, "b": 1}
+
+    def test_sample_state_ordering(self):
+        sample = _simple_set().first
+        np.testing.assert_array_equal(sample.state(["b", "a"]), [1, 0])
+
+    def test_iteration_yields_sorted_samples(self):
+        energies = [s.energy for s in _simple_set()]
+        assert energies == sorted(energies)
+
+    def test_column_view(self):
+        ss = _simple_set()
+        np.testing.assert_array_equal(ss.column("b"), [1, 1, 0])
+
+    def test_column_unknown_raises(self):
+        with pytest.raises(KeyError):
+            _simple_set().column("zzz")
+
+    def test_repr(self):
+        assert "SampleSet" in repr(_simple_set())
+        assert "empty" in repr(SampleSet.empty())
+
+
+class TestTransformations:
+    def test_lowest(self):
+        states = np.zeros((3, 1), dtype=np.int8)
+        ss = SampleSet(states, np.array([1.0, 1.0, 2.0]))
+        assert len(ss.lowest()) == 2
+
+    def test_truncate(self):
+        assert len(_simple_set().truncate(2)) == 2
+        assert len(_simple_set().truncate(10)) == 3
+
+    def test_truncate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _simple_set().truncate(-1)
+
+    def test_aggregate_merges_duplicates(self):
+        states = np.array([[1, 0], [1, 0], [0, 1]], dtype=np.int8)
+        ss = SampleSet(states, np.array([1.0, 1.0, 2.0]))
+        agg = ss.aggregate()
+        assert len(agg) == 2
+        assert agg.num_occurrences.sum() == 3
+
+    def test_aggregate_weights(self):
+        states = np.array([[1], [1]], dtype=np.int8)
+        ss = SampleSet(
+            states, np.array([1.0, 1.0]), num_occurrences=np.array([2, 3])
+        )
+        assert ss.aggregate().num_occurrences[0] == 5
+
+    def test_filter(self):
+        ss = _simple_set()
+        kept = ss.filter(np.array([True, False, True]))
+        assert len(kept) == 2
+
+    def test_filter_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            _simple_set().filter(np.array([True]))
+
+    def test_relabel(self):
+        out = _simple_set().relabel_variables({"a": "x"})
+        assert out.variables == ["x", "b"]
+
+    def test_concatenate(self):
+        merged = SampleSet.concatenate([_simple_set(), _simple_set()])
+        assert len(merged) == 6
+        assert merged.energies[0] == -1.0
+
+    def test_concatenate_mismatched_variables_rejected(self):
+        other = SampleSet(np.zeros((1, 2)), np.zeros(1), variables=["x", "y"])
+        with pytest.raises(ValueError):
+            SampleSet.concatenate([_simple_set(), other])
+
+    def test_from_samples(self):
+        ss = SampleSet.from_samples(
+            [{"a": 1, "b": 0}, {"a": 0, "b": 0}], [5.0, 1.0]
+        )
+        assert ss.first.assignment == {"a": 0, "b": 0}
+
+
+class TestStatistics:
+    def test_ground_state_probability(self):
+        states = np.array([[0], [1], [1]], dtype=np.int8)
+        ss = SampleSet(states, np.array([0.0, 1.0, 1.0]))
+        assert ss.ground_state_probability(0.0) == pytest.approx(1 / 3)
+
+    def test_ground_state_probability_weighted(self):
+        states = np.array([[0], [1]], dtype=np.int8)
+        ss = SampleSet(
+            states, np.array([0.0, 1.0]), num_occurrences=np.array([3, 1])
+        )
+        assert ss.ground_state_probability(0.0) == pytest.approx(0.75)
+
+    def test_mean_energy(self):
+        states = np.array([[0], [1]], dtype=np.int8)
+        ss = SampleSet(
+            states, np.array([0.0, 4.0]), num_occurrences=np.array([3, 1])
+        )
+        assert ss.mean_energy() == pytest.approx(1.0)
+
+    def test_mean_energy_empty_raises(self):
+        with pytest.raises(ValueError):
+            SampleSet.empty().mean_energy()

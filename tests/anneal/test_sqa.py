@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.anneal.sqa import PathIntegralAnnealer
+from repro.qubo.model import QuboModel
+
+
+def _random_model(seed, n=10):
+    rng = np.random.default_rng(seed)
+    return QuboModel.from_dense(np.triu(rng.normal(size=(n, n))))
+
+
+class TestPathIntegralAnnealer:
+    def test_finds_ground_state(self):
+        m = _random_model(0, n=10)
+        _, ground = ExactSolver().ground_state(m)
+        ss = PathIntegralAnnealer().sample_model(
+            m, num_reads=8, num_sweeps=128, seed=0
+        )
+        assert ss.first.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_energies_consistent(self):
+        m = _random_model(1, n=8)
+        ss = PathIntegralAnnealer().sample_model(m, num_reads=3, num_sweeps=32, seed=1)
+        np.testing.assert_allclose(ss.energies, m.energies(ss.states), atol=1e-9)
+
+    def test_diagonal_model(self):
+        m = QuboModel(14)
+        for i in range(14):
+            m.set_linear(i, -1.0 if i % 2 else 1.0)
+        ss = PathIntegralAnnealer().sample_model(m, num_reads=4, num_sweeps=64, seed=2)
+        assert ss.first.energy == pytest.approx(-7.0)
+
+    def test_reproducible(self):
+        m = _random_model(3, n=6)
+        a = PathIntegralAnnealer().sample_model(m, num_reads=2, num_sweeps=16, seed=7)
+        b = PathIntegralAnnealer().sample_model(m, num_reads=2, num_sweeps=16, seed=7)
+        np.testing.assert_array_equal(a.states, b.states)
+
+    def test_info_records_quantum_parameters(self):
+        ss = PathIntegralAnnealer().sample_model(
+            _random_model(4, 4), num_reads=2, num_sweeps=8, trotter_slices=4, seed=0
+        )
+        assert ss.info["trotter_slices"] == 4
+        assert ss.info["gamma_range"][0] > ss.info["gamma_range"][1]
+        assert ss.info["beta"] > 0
+
+    def test_custom_beta_and_gamma(self):
+        m = _random_model(5, 6)
+        ss = PathIntegralAnnealer().sample_model(
+            m, num_reads=2, num_sweeps=16, beta=2.0, gamma_range=(5.0, 0.1), seed=0
+        )
+        assert ss.info["beta"] == 2.0
+
+    def test_empty_model(self):
+        ss = PathIntegralAnnealer().sample_model(QuboModel(0), num_reads=2)
+        assert len(ss) == 2
+
+    def test_validation(self):
+        m = _random_model(6, 4)
+        with pytest.raises(ValueError):
+            PathIntegralAnnealer().sample_model(m, num_reads=0)
+        with pytest.raises(ValueError):
+            PathIntegralAnnealer().sample_model(m, trotter_slices=3)  # odd
+        with pytest.raises(ValueError):
+            PathIntegralAnnealer().sample_model(m, trotter_slices=0)
+        with pytest.raises(ValueError):
+            PathIntegralAnnealer().sample_model(m, beta=-1.0)
+        with pytest.raises(TypeError):
+            PathIntegralAnnealer().sample_model(m, bogus=1)
+
+    def test_more_slices_still_correct(self):
+        m = _random_model(7, n=8)
+        _, ground = ExactSolver().ground_state(m)
+        ss = PathIntegralAnnealer().sample_model(
+            m, num_reads=6, num_sweeps=128, trotter_slices=16, seed=3
+        )
+        assert ss.first.energy == pytest.approx(ground, abs=1e-9)

@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+Deterministic seeds everywhere: annealing is stochastic, so every test that
+samples pins its seed, and the fixtures hand out fresh-but-reproducible
+generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anneal import SimulatedAnnealingSampler
+from repro.core import StringQuboSolver
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sampler() -> SimulatedAnnealingSampler:
+    return SimulatedAnnealingSampler()
+
+
+@pytest.fixture
+def solver() -> StringQuboSolver:
+    """A solver configured for fast, reliable test runs."""
+    return StringQuboSolver(
+        num_reads=32, seed=7, sampler_params={"num_sweeps": 300}
+    )
+
+
+def random_qubo(rng: np.random.Generator, n: int):
+    """A dense random QUBO for sampler tests."""
+    from repro.qubo import QuboModel
+
+    q = np.triu(rng.normal(size=(n, n)))
+    return QuboModel.from_dense(q)

@@ -1,0 +1,171 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.core.affixes import (
+    StringCharAt,
+    StringPrefixOf,
+    StringSubstr,
+    StringSuffixOf,
+)
+from repro.core.encoding import encode_string
+from repro.core.formulation import FormulationError
+from repro.core.notequals import StringNotEquals, add_and_gadget
+from repro.qubo.model import QuboModel
+
+
+class TestPrefixOf:
+    def test_solved(self, solver):
+        result = solver.solve(StringPrefixOf(6, "ab", seed=0))
+        assert result.ok
+        assert result.output.startswith("ab")
+        assert len(result.output) == 6
+
+    def test_verify(self):
+        f = StringPrefixOf(4, "ab")
+        assert f.verify("abcd")
+        assert not f.verify("bacd")
+        assert not f.verify("ab")
+
+    def test_window_is_index_zero(self):
+        assert StringPrefixOf(5, "xy").index == 0
+
+    def test_full_width_prefix(self, solver):
+        result = solver.solve(StringPrefixOf(2, "ab", seed=1))
+        assert result.output == "ab"
+
+
+class TestSuffixOf:
+    def test_solved(self, solver):
+        result = solver.solve(StringSuffixOf(6, "yz", seed=0))
+        assert result.ok
+        assert result.output.endswith("yz")
+
+    def test_verify(self):
+        f = StringSuffixOf(4, "cd")
+        assert f.verify("abcd")
+        assert not f.verify("cdab")
+
+    def test_window_at_end(self):
+        assert StringSuffixOf(7, "abc").index == 4
+
+    def test_too_long_rejected(self):
+        with pytest.raises(FormulationError):
+            StringSuffixOf(2, "abc")
+
+
+class TestCharAt:
+    def test_solved(self, solver):
+        result = solver.solve(StringCharAt(5, "Q", 2, seed=0))
+        assert result.ok
+        assert result.output[2] == "Q"
+
+    def test_verify(self):
+        f = StringCharAt(3, "x", 1)
+        assert f.verify("axb")
+        assert not f.verify("xab")
+
+    def test_multichar_rejected(self):
+        with pytest.raises(FormulationError):
+            StringCharAt(3, "ab", 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FormulationError):
+            StringCharAt(3, "a", 3)
+
+
+class TestSubstr:
+    def test_slice_semantics(self):
+        f = StringSubstr("hello world", 6, 5)
+        assert f.target == "world"
+
+    def test_clipped_count(self):
+        assert StringSubstr("abc", 1, 99).target == "bc"
+
+    def test_out_of_range_is_empty(self):
+        assert StringSubstr("abc", 5, 2).target == ""
+        assert StringSubstr("abc", -1, 2).target == ""
+        assert StringSubstr("abc", 0, -1).target == ""
+
+    def test_offset_at_length_is_empty(self):
+        assert StringSubstr("abc", 3, 1).target == ""
+
+    def test_solved(self, solver):
+        result = solver.solve(StringSubstr("quantum", 0, 5))
+        assert result.output == "quant"
+        assert result.ok
+
+
+class TestNotEquals:
+    def test_exact_ground_is_template(self):
+        f = StringNotEquals("a", seed=0)
+        state, energy = ExactSolver().ground_state(f.build_model())
+        decoded = f.decode(state)
+        assert decoded == f.template()
+        assert decoded != "a"
+        assert energy == pytest.approx(f.ground_energy())
+
+    def test_solved(self, solver):
+        result = solver.solve(StringNotEquals("hello", seed=1))
+        assert result.ok
+        assert result.output != "hello"
+        assert len(result.output) == 5
+
+    def test_target_state_costs_penalty(self):
+        f = StringNotEquals("ab", seed=2)
+        model = f.build_model()
+        # Build the full state matching the target with consistent aux.
+        bits = encode_string("ab")
+        n_bits = bits.size
+        state = np.zeros(model.num_variables, dtype=np.int8)
+        state[:n_bits] = bits
+        # All match literals are 1, so every aux in the chain is 1.
+        state[n_bits:] = 1
+        energy_target = model.energy(state)
+        # Compare with the template's energy: must be higher by ~penalty.
+        template_state = np.zeros(model.num_variables, dtype=np.int8)
+        template_bits = encode_string(f.template())
+        template_state[:n_bits] = template_bits
+        # Compute consistent aux for the template (first literal AND chain).
+        literals = f.match_literals()
+        values = [
+            (1 - template_state[v]) if neg else template_state[v]
+            for v, neg in literals
+        ]
+        acc = values[0] & values[1]
+        aux_values = [acc]
+        for k in range(2, n_bits):
+            acc &= values[k]
+            aux_values.append(acc)
+        template_state[n_bits:] = aux_values
+        assert energy_target > model.energy(template_state)
+
+    def test_aux_count(self):
+        f = StringNotEquals("abc", seed=3)
+        assert f.build_model().num_variables == 21 + 20
+
+    def test_template_never_equals_target(self):
+        for seed in range(5):
+            f = StringNotEquals("q", seed=seed)
+            assert f.template() != "q"
+
+    def test_verify(self):
+        f = StringNotEquals("ab")
+        assert f.verify("ba")
+        assert not f.verify("ab")
+        assert not f.verify("abc")  # wrong length
+
+    def test_validation(self):
+        with pytest.raises(FormulationError):
+            StringNotEquals("")
+        with pytest.raises(FormulationError):
+            StringNotEquals("a", printable_bias=0.0)
+        with pytest.raises(FormulationError):
+            StringNotEquals("a", mismatch_penalty=-1.0)
+
+
+class TestAndGadgetEdges:
+    def test_output_must_be_fresh(self):
+        m = QuboModel(2)
+        with pytest.raises(FormulationError):
+            add_and_gadget(m, 0, (0, False), (1, False), 1.0)

@@ -1,0 +1,115 @@
+import pytest
+
+from repro.core.concat import StringConcatenation
+from repro.core.formulation import FormulationError
+from repro.core.replace import StringReplace, StringReplaceAll
+from repro.core.reverse import StringReversal
+
+
+class TestConcatenation:
+    def test_target_is_joined(self):
+        f = StringConcatenation("hello ", "world")
+        assert f.target == "hello world"
+        assert f.num_variables == 7 * 11
+
+    def test_verify_checks_both_halves(self):
+        f = StringConcatenation("ab", "cd")
+        assert f.verify("abcd")
+        assert not f.verify("abce")
+        assert not f.verify("abcd ")
+
+    def test_solved(self, solver):
+        result = solver.solve(StringConcatenation("foo", "bar"))
+        assert result.output == "foobar"
+        assert result.ok
+
+    def test_empty_operands(self):
+        f = StringConcatenation("", "x")
+        assert f.target == "x"
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(FormulationError):
+            StringConcatenation("é", "a")
+        with pytest.raises(FormulationError):
+            StringConcatenation("a", "é")
+
+    def test_describe_mentions_operands(self):
+        d = StringConcatenation("l", "r").describe()
+        assert "'l'" in d and "'r'" in d
+
+
+class TestReversal:
+    def test_target_reversed(self):
+        assert StringReversal("hello").target == "olleh"
+
+    def test_palindromic_source(self):
+        f = StringReversal("abba")
+        assert f.target == "abba"
+        assert f.verify("abba")
+
+    def test_verify(self):
+        f = StringReversal("ab")
+        assert f.verify("ba")
+        assert not f.verify("ab")
+
+    def test_solved(self, solver):
+        result = solver.solve(StringReversal("hello"))
+        assert result.output == "olleh"
+        assert result.ok
+
+    def test_single_char(self):
+        f = StringReversal("x")
+        assert f.target == "x"
+
+
+class TestReplaceAll:
+    def test_expected_replaces_every_occurrence(self):
+        f = StringReplaceAll("hello world", "l", "x")
+        assert f.expected == "hexxo worxd"
+
+    def test_no_occurrence_is_identity(self):
+        f = StringReplaceAll("abc", "z", "q")
+        assert f.expected == "abc"
+        assert f.verify("abc")
+
+    def test_verify_requires_total_replacement(self):
+        f = StringReplaceAll("ll", "l", "x")
+        assert f.verify("xx")
+        assert not f.verify("xl")
+        assert not f.verify("ll")
+
+    def test_identity_replacement(self):
+        f = StringReplaceAll("aba", "a", "a")
+        assert f.expected == "aba"
+        assert f.verify("aba")
+
+    def test_solved(self, solver):
+        result = solver.solve(StringReplaceAll("hello", "e", "a"))
+        assert result.output == "hallo"
+        assert result.ok
+
+    def test_multichar_old_rejected(self):
+        with pytest.raises(FormulationError):
+            StringReplaceAll("abc", "ab", "x")
+        with pytest.raises(FormulationError):
+            StringReplaceAll("abc", "a", "xy")
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(FormulationError):
+            StringReplaceAll("abc", "é", "a")
+
+
+class TestReplaceFirst:
+    def test_only_first_occurrence(self):
+        f = StringReplace("hello", "l", "x")
+        assert f.expected == "hexlo"
+
+    def test_verify(self):
+        f = StringReplace("ll", "l", "x")
+        assert f.verify("xl")
+        assert not f.verify("xx")
+
+    def test_solved(self, solver):
+        result = solver.solve(StringReplace("hello world", "o", "0"))
+        assert result.output == "hell0 world"
+        assert result.ok

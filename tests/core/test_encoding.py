@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.core.encoding import (
+    bits_to_char,
+    char_to_bits,
+    decode_state,
+    encode_string,
+    state_to_string,
+    variable_index,
+)
+
+
+class TestCharToBits:
+    def test_paper_example_a(self):
+        # The paper: 'a' = 97 = 1100001 (MSB first).
+        np.testing.assert_array_equal(char_to_bits("a"), [1, 1, 0, 0, 0, 0, 1])
+
+    def test_nul(self):
+        np.testing.assert_array_equal(char_to_bits("\x00"), np.zeros(7))
+
+    def test_del_is_all_ones(self):
+        np.testing.assert_array_equal(char_to_bits("\x7f"), np.ones(7))
+
+    def test_rejects_multichar(self):
+        with pytest.raises(ValueError):
+            char_to_bits("ab")
+
+    def test_rejects_non_ascii(self):
+        with pytest.raises(ValueError):
+            char_to_bits("é")
+
+    def test_round_trip_all_codepoints(self):
+        for code in range(128):
+            c = chr(code)
+            assert bits_to_char(char_to_bits(c)) == c
+
+    def test_bits_to_char_shape_check(self):
+        with pytest.raises(ValueError):
+            bits_to_char(np.zeros(8))
+
+
+class TestEncodeString:
+    def test_empty(self):
+        assert encode_string("").shape == (0,)
+        assert state_to_string(np.zeros(0)) == ""
+
+    def test_length(self):
+        assert encode_string("hello").shape == (35,)
+
+    def test_concatenation_structure(self):
+        # f(s) = bin(s1) || bin(s2) || ...
+        bits = encode_string("ab")
+        np.testing.assert_array_equal(bits[:7], char_to_bits("a"))
+        np.testing.assert_array_equal(bits[7:], char_to_bits("b"))
+
+    def test_round_trip(self):
+        for text in ["", "a", "hello world", "OnFFnO", "\x00\x7f!"]:
+            assert state_to_string(encode_string(text)) == text
+
+    def test_rejects_non_ascii(self):
+        with pytest.raises(ValueError):
+            encode_string("héllo")
+
+    def test_dtype(self):
+        assert encode_string("x").dtype == np.int8
+
+
+class TestStateToString:
+    def test_rejects_non_multiple_of_seven(self):
+        with pytest.raises(ValueError):
+            state_to_string(np.zeros(10))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            state_to_string(np.zeros((2, 7)))
+
+    def test_alias(self):
+        assert decode_state is state_to_string
+
+
+class TestVariableIndex:
+    def test_layout(self):
+        assert variable_index(0, 0) == 0
+        assert variable_index(0, 6) == 6
+        assert variable_index(1, 0) == 7
+        assert variable_index(3, 2) == 23
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            variable_index(0, 7)
+        with pytest.raises(ValueError):
+            variable_index(-1, 0)

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.core.encoding import encode_string
+from repro.core.equality import StringEquality
+from repro.core.formulation import FormulationError
+
+
+class TestModelStructure:
+    def test_paper_example_diagonal_for_a(self):
+        # 'a' = 1100001 -> diag [-A, -A, +A, +A, +A, +A, -A] with A = 1.
+        model = StringEquality("a").build_model()
+        np.testing.assert_allclose(
+            model.linear_vector(), [-1, -1, 1, 1, 1, 1, -1]
+        )
+
+    def test_model_is_diagonal_only(self):
+        model = StringEquality("hello").build_model()
+        assert model.num_interactions == 0
+
+    def test_size_is_7n(self):
+        assert StringEquality("hello").num_variables == 35
+
+    def test_penalty_strength_scales_diagonal(self):
+        weak = StringEquality("a", penalty_strength=1.0).build_model()
+        strong = StringEquality("a", penalty_strength=3.0).build_model()
+        np.testing.assert_allclose(
+            strong.linear_vector(), 3.0 * weak.linear_vector()
+        )
+
+    def test_empty_target(self):
+        f = StringEquality("")
+        assert f.num_variables == 0
+        assert f.ground_energy() == 0.0
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(FormulationError):
+            StringEquality("héllo")
+
+    def test_non_positive_penalty_rejected(self):
+        with pytest.raises(FormulationError):
+            StringEquality("a", penalty_strength=0.0)
+
+
+class TestSemantics:
+    def test_target_is_unique_ground_state(self):
+        f = StringEquality("hi")
+        model = f.build_model()
+        target_bits = encode_string("hi")
+        assert model.energy(target_bits) == pytest.approx(f.ground_energy())
+        # Flipping any single bit strictly increases energy.
+        for i in range(model.num_variables):
+            flipped = target_bits.copy()
+            flipped[i] ^= 1
+            assert model.energy(flipped) > model.energy(target_bits)
+
+    def test_ground_energy_is_negative_popcount(self):
+        f = StringEquality("a")
+        # 'a' has three 1-bits.
+        assert f.ground_energy() == -3.0
+
+    def test_decode(self):
+        f = StringEquality("cat")
+        assert f.decode(encode_string("cat")) == "cat"
+
+    def test_verify(self):
+        f = StringEquality("cat")
+        assert f.verify("cat")
+        assert not f.verify("dog")
+        assert not f.verify("cats")
+
+    def test_solved_by_annealer(self, solver):
+        result = solver.solve(StringEquality("hello"))
+        assert result.output == "hello"
+        assert result.ok
+        assert result.reached_ground
+
+    def test_describe(self):
+        assert "hello" in StringEquality("hello").describe()

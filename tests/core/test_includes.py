@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.core.formulation import FormulationError
+from repro.core.includes import StringIncludes
+
+
+class TestModelStructure:
+    def test_variable_count(self):
+        # |T| - |S| + 1 indicator variables.
+        f = StringIncludes("abcd", "cat")
+        assert f.num_variables == 2
+
+    def test_match_counts(self):
+        f = StringIncludes("the cat", "cat")
+        counts = f.match_counts()
+        assert counts[4] == 3  # full match at index 4
+        assert counts.max() == 3
+
+    def test_one_hot_penalty_on_every_pair(self):
+        f = StringIncludes("abcdef", "ab")
+        model = f.build_model()
+        n = f.num_positions
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert model.get(i, j) == f.one_hot_penalty
+
+    def test_cumulative_penalty_recurrence(self):
+        # Matches at 0 and 2: C_0 = 0 (i=0 branch), C_2 = D.
+        f = StringIncludes("aaa", "a", first_match_increment=0.5)
+        np.testing.assert_allclose(f.cumulative_penalties(), [0.0, 0.5, 1.0])
+
+    def test_first_position_match_carries_no_penalty(self):
+        f = StringIncludes("ab", "a")
+        model = f.build_model()
+        assert model.get(0) == -1.0  # pure reward, no C penalty
+
+
+class TestGroundState:
+    def test_ground_selects_earliest_full_match(self):
+        f = StringIncludes("xcatcat", "cat")
+        state, energy = ExactSolver().ground_state(f.build_model())
+        assert f.decode(state) == 1
+        assert energy == pytest.approx(f.ground_energy())
+
+    def test_match_at_zero(self):
+        f = StringIncludes("cats", "cat")
+        state, _ = ExactSolver().ground_state(f.build_model())
+        assert f.decode(state) == 0
+
+    def test_no_match_no_overlap_selects_nothing(self):
+        f = StringIncludes("xyz", "ab")
+        state, energy = ExactSolver().ground_state(f.build_model())
+        assert f.decode(state) == -1
+        assert energy == pytest.approx(0.0)
+
+    def test_partial_match_weakness_documented(self):
+        # Paper-faithful quirk: partial matches are rewarded, so an absent
+        # needle sharing characters with a window still gets selected.
+        f = StringIncludes("abc", "ad")
+        state, _ = ExactSolver().ground_state(f.build_model())
+        assert f.decode(state) == 0  # window 'ab' shares the 'a'
+        assert not f.verify(f.decode(state))  # and verification flags it
+
+    def test_one_hot_actually_enforced(self):
+        f = StringIncludes("catcatcat", "cat")
+        state, _ = ExactSolver().ground_state(f.build_model())
+        assert int(np.sum(state)) == 1
+
+
+class TestSolverIntegration:
+    def test_annealed(self, solver):
+        result = solver.solve(StringIncludes("the cat sat", "cat"))
+        assert result.ok
+        assert result.output == 4
+
+    def test_verify_uses_find_semantics(self):
+        f = StringIncludes("abab", "ab")
+        assert f.verify(0)
+        assert not f.verify(2)  # later match is not str.find's answer
+        assert not f.verify(-1)
+
+
+class TestValidation:
+    def test_empty_needle_rejected(self):
+        with pytest.raises(FormulationError):
+            StringIncludes("abc", "")
+
+    def test_needle_longer_than_haystack_rejected(self):
+        with pytest.raises(FormulationError):
+            StringIncludes("ab", "abc")
+
+    def test_bad_penalties_rejected(self):
+        with pytest.raises(FormulationError):
+            StringIncludes("abc", "a", one_hot_penalty=0.0)
+        with pytest.raises(FormulationError):
+            StringIncludes("abc", "a", first_match_increment=-0.1)
+
+    def test_weak_one_hot_gives_unknown_ground_energy(self):
+        f = StringIncludes("catcat", "cat", one_hot_penalty=0.5)
+        assert f.ground_energy() is None

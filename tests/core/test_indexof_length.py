@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.core.formulation import FormulationError
+from repro.core.indexof import SubstringIndexOf
+from repro.core.length import StringLength
+from repro.utils.asciitab import CHAR_BITS, is_printable
+
+
+class TestSubstringIndexOf:
+    def test_table1_row5_shape(self, solver):
+        # "length 6, 'hi' at index 2" -> e.g. 'qphiqp'
+        result = solver.solve(SubstringIndexOf(6, "hi", 2, seed=0))
+        assert result.ok
+        assert len(result.output) == 6
+        assert result.output[2:4] == "hi"
+
+    def test_strong_soft_ratio_in_matrix(self):
+        f = SubstringIndexOf(4, "ab", 1, strong_factor=2.0, soft_factor=0.1, seed=0)
+        diag = np.abs(f.build_model().linear_vector())
+        window_bits = diag[CHAR_BITS : 3 * CHAR_BITS]
+        free_bits = np.concatenate([diag[:CHAR_BITS], diag[3 * CHAR_BITS :]])
+        np.testing.assert_allclose(window_bits, 2.0)
+        np.testing.assert_allclose(free_bits, 0.1)
+
+    def test_soft_targets_printable(self):
+        f = SubstringIndexOf(8, "ab", 3, seed=1)
+        assert is_printable(f.soft_characters())
+        assert f.soft_characters()[3:5] == "ab"
+
+    def test_fixed_soft_target(self):
+        f = SubstringIndexOf(5, "hi", 0, soft_target="q")
+        assert f.soft_characters() == "hiqqq"
+
+    def test_soft_targets_cached(self):
+        f = SubstringIndexOf(6, "ab", 2, seed=2)
+        assert f.soft_characters() == f.soft_characters()
+
+    def test_verify(self):
+        f = SubstringIndexOf(6, "hi", 2)
+        assert f.verify("xxhixx")
+        assert not f.verify("hixxxx")
+        assert not f.verify("xxhix")  # wrong length
+
+    def test_substring_at_start_and_end(self, solver):
+        start = solver.solve(SubstringIndexOf(4, "ab", 0, seed=3))
+        end = solver.solve(SubstringIndexOf(4, "ab", 2, seed=4))
+        assert start.ok and start.output.startswith("ab")
+        assert end.ok and end.output.endswith("ab")
+
+    def test_validation(self):
+        with pytest.raises(FormulationError):
+            SubstringIndexOf(3, "abcd", 0)  # does not fit
+        with pytest.raises(FormulationError):
+            SubstringIndexOf(5, "ab", 4)  # overflows the end
+        with pytest.raises(FormulationError):
+            SubstringIndexOf(5, "", 0)
+        with pytest.raises(FormulationError):
+            SubstringIndexOf(5, "ab", -1)
+        with pytest.raises(FormulationError):
+            SubstringIndexOf(5, "ab", 0, soft_factor=3.0)  # soft >= strong
+        with pytest.raises(FormulationError):
+            SubstringIndexOf(5, "ab", 0, soft_target="xy")
+
+
+class TestStringLengthPaperMode:
+    def test_matrix_is_literal_paper_objective(self):
+        f = StringLength(4, 2)  # 28 bits, first 14 want 1
+        diag = f.build_model().linear_vector()
+        np.testing.assert_allclose(diag[:14], -1.0)
+        np.testing.assert_allclose(diag[14:], 1.0)
+
+    def test_ground_energy(self):
+        f = StringLength(4, 2)
+        assert f.ground_energy() == -14.0
+
+    def test_solved_and_verified(self, solver):
+        result = solver.solve(StringLength(5, 3))
+        assert result.ok
+        assert result.reached_ground
+
+    def test_decode_returns_bits(self):
+        f = StringLength(2, 1)
+        bits = f.decode(np.concatenate([np.ones(7), np.zeros(7)]).astype(np.int8))
+        assert bits.shape == (14,)
+
+    def test_effective_length_counts_del_padding(self):
+        f = StringLength(3, 2)
+        state = np.concatenate([np.ones(14), np.zeros(7)]).astype(np.int8)
+        assert f.effective_length(state) == 2
+
+    def test_verify_rejects_wrong_boundary(self):
+        f = StringLength(2, 1)
+        wrong = np.concatenate([np.ones(8), np.zeros(6)]).astype(np.int8)
+        assert not f.verify(wrong)
+
+    def test_zero_length(self, solver):
+        result = solver.solve(StringLength(3, 0))
+        assert result.ok
+
+
+class TestStringLengthDecodableMode:
+    def test_output_has_exact_length(self, solver):
+        result = solver.solve(StringLength(6, 3, mode="decodable", seed=0))
+        assert result.ok
+        assert len(result.output) == 3
+
+    def test_output_printable(self, solver):
+        result = solver.solve(StringLength(5, 4, mode="decodable", seed=1))
+        assert result.ok
+        assert is_printable(result.output)
+
+    def test_full_buffer(self, solver):
+        result = solver.solve(StringLength(3, 3, mode="decodable", seed=2))
+        assert result.ok
+        assert len(result.output) == 3
+
+    def test_content_cached(self):
+        f = StringLength(4, 2, mode="decodable", seed=3)
+        assert f.content_characters() == f.content_characters()
+
+    def test_validation(self):
+        with pytest.raises(FormulationError):
+            StringLength(3, 4)
+        with pytest.raises(FormulationError):
+            StringLength(3, -1)
+        with pytest.raises(FormulationError):
+            StringLength(-1, 0)
+        with pytest.raises(FormulationError):
+            StringLength(3, 2, mode="magic")
+        with pytest.raises(FormulationError):
+            StringLength(3, 2, soft_factor=1.5)

@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.core.encoding import encode_string
+from repro.core.formulation import FormulationError
+from repro.core.palindrome import PalindromeGeneration
+from repro.utils.asciitab import CHAR_BITS
+
+
+class TestModelStructure:
+    def test_table1_matrix_fragment(self):
+        """Paper Table 1 row 2: diag +1.00, mirror coupling -2.00."""
+        f = PalindromeGeneration(6)
+        model = f.build_model()
+        # First bit of char 0 pairs with first bit of char 5.
+        a, b = 0, 5 * CHAR_BITS
+        assert model.get(a) == pytest.approx(1.0)
+        assert model.get(b) == pytest.approx(1.0)
+        assert model.get(a, b) == pytest.approx(-2.0)
+
+    def test_middle_char_unconstrained_for_odd_length(self):
+        f = PalindromeGeneration(3)
+        model = f.build_model()
+        mid = slice(CHAR_BITS, 2 * CHAR_BITS)
+        assert np.all(model.linear_vector()[mid] == 0.0)
+
+    def test_num_couplings(self):
+        f = PalindromeGeneration(6)
+        assert f.build_model().num_interactions == 3 * CHAR_BITS
+
+    def test_single_char_trivial(self):
+        f = PalindromeGeneration(1)
+        assert f.build_model().num_interactions == 0
+        assert f.verify("x")
+
+
+class TestSemantics:
+    def test_every_mirrored_string_is_ground_state(self):
+        f = PalindromeGeneration(2)
+        model = f.build_model()
+        for text in ["aa", "bb", "%%", "\x00\x00"]:
+            assert model.energy(encode_string(text)) == pytest.approx(0.0)
+
+    def test_non_palindrome_has_positive_energy(self):
+        f = PalindromeGeneration(2)
+        model = f.build_model()
+        assert model.energy(encode_string("ab")) > 0.0
+
+    def test_energy_counts_disagreeing_bits(self):
+        f = PalindromeGeneration(2)
+        model = f.build_model()
+        # 'a'=1100001, 'b'=1100010 differ in 2 bits -> energy 2A.
+        assert model.energy(encode_string("ab")) == pytest.approx(2.0)
+
+    def test_ground_energy_zero(self):
+        assert PalindromeGeneration(4).ground_energy() == 0.0
+
+    def test_verify(self):
+        f = PalindromeGeneration(4)
+        assert f.verify("abba")
+        assert not f.verify("abab")
+        assert not f.verify("aba")  # wrong length
+
+    def test_solved(self, solver):
+        result = solver.solve(PalindromeGeneration(6))
+        assert result.ok
+        assert result.output == result.output[::-1]
+        assert result.energy == pytest.approx(0.0)
+
+    def test_odd_length_solved(self, solver):
+        result = solver.solve(PalindromeGeneration(5))
+        assert result.ok
+
+
+class TestPrintableBias:
+    def test_template_is_mirrored(self):
+        f = PalindromeGeneration(6, printable_bias=0.1, seed=0)
+        t = f.template()
+        assert t == t[::-1]
+        assert len(t) == 6
+
+    def test_template_odd_length(self):
+        f = PalindromeGeneration(5, printable_bias=0.1, seed=1)
+        assert f.template() == f.template()[::-1]
+
+    def test_biased_ground_state_is_template(self):
+        f = PalindromeGeneration(2, printable_bias=0.2, seed=2)
+        state, energy = ExactSolver().ground_state(f.build_model())
+        assert f.decode(state) == f.template()
+        assert energy == pytest.approx(f.ground_energy())
+
+    def test_biased_solve_is_printable_palindrome(self, solver):
+        from repro.utils.asciitab import is_printable
+
+        result = solver.solve(PalindromeGeneration(4, printable_bias=0.2, seed=3))
+        assert result.ok
+        assert is_printable(result.output)
+
+    def test_validation(self):
+        with pytest.raises(FormulationError):
+            PalindromeGeneration(0)
+        with pytest.raises(FormulationError):
+            PalindromeGeneration(4, printable_bias=0.6)
+        with pytest.raises(FormulationError):
+            PalindromeGeneration(4, printable_bias=-0.1)

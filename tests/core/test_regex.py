@@ -1,0 +1,173 @@
+import numpy as np
+import pytest
+
+from repro.core.formulation import FormulationError
+from repro.core.regex import (
+    RegexMatching,
+    RegexToken,
+    expand_to_length,
+    parse_pattern,
+    regex_matches,
+)
+from repro.utils.asciitab import CHAR_BITS
+
+
+class TestParsePattern:
+    def test_literals(self):
+        tokens = parse_pattern("abc")
+        assert [t.chars for t in tokens] == [
+            frozenset("a"),
+            frozenset("b"),
+            frozenset("c"),
+        ]
+        assert not any(t.plus for t in tokens)
+
+    def test_class(self):
+        (token,) = parse_pattern("[bc]")
+        assert token.chars == frozenset("bc")
+
+    def test_class_range(self):
+        (token,) = parse_pattern("[a-e]")
+        assert token.chars == frozenset("abcde")
+
+    def test_paper_example(self):
+        tokens = parse_pattern("a[tyz]+b")
+        assert len(tokens) == 3
+        assert tokens[0].chars == frozenset("a") and not tokens[0].plus
+        assert tokens[1].chars == frozenset("tyz") and tokens[1].plus
+        assert tokens[2].chars == frozenset("b") and not tokens[2].plus
+
+    def test_plus_on_literal(self):
+        tokens = parse_pattern("a+")
+        assert tokens[0].plus
+
+    def test_escapes(self):
+        tokens = parse_pattern(r"\+\[")
+        assert [next(iter(t.chars)) for t in tokens] == ["+", "["]
+
+    def test_escape_inside_class(self):
+        (token,) = parse_pattern(r"[\]a]")
+        assert token.chars == frozenset("]a")
+
+    def test_errors(self):
+        for bad in ["", "+a", "a++", "[", "[]", "a]", "\\", "[a", r"[z-a]"]:
+            with pytest.raises(FormulationError):
+                parse_pattern(bad)
+
+
+class TestRegexMatches:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("atytyzb", True),
+            ("azb", True),
+            ("atyzb", True),
+            ("ab", False),        # plus needs at least one
+            ("atyz", False),      # missing trailing literal
+            ("btyzb", False),
+            ("atyzbx", False),
+        ],
+    )
+    def test_paper_examples(self, text, expected):
+        assert regex_matches("a[tyz]+b", text) is expected
+
+    def test_plain_literal_match(self):
+        assert regex_matches("cat", "cat")
+        assert not regex_matches("cat", "car")
+
+    def test_greedy_plus_backtracks(self):
+        # a+ then 'a': must give one 'a' back.
+        assert regex_matches("a+a", "aaa")
+
+    def test_adjacent_plus_tokens(self):
+        assert regex_matches("a+b+", "aabbb")
+        assert not regex_matches("a+b+", "bba")
+
+    def test_full_match_semantics(self):
+        assert not regex_matches("a", "aa")
+
+    def test_empty_text(self):
+        assert not regex_matches("a", "")
+
+    def test_token_list_input(self):
+        tokens = [RegexToken(frozenset("x"))]
+        assert regex_matches(tokens, "x")
+
+
+class TestExpandToLength:
+    def test_minimal_length(self):
+        tokens = parse_pattern("a[bc]+")
+        positions = expand_to_length(tokens, 2)
+        assert positions == [frozenset("a"), frozenset("bc")]
+
+    def test_last_policy_gives_slack_to_last_plus(self):
+        tokens = parse_pattern("a+b+")
+        positions = expand_to_length(tokens, 5, "last")
+        assert positions == [frozenset("a")] + [frozenset("b")] * 4
+
+    def test_spread_policy(self):
+        tokens = parse_pattern("a+b+")
+        positions = expand_to_length(tokens, 4, "spread")
+        assert positions == [frozenset("a")] * 2 + [frozenset("b")] * 2
+
+    def test_too_short_rejected(self):
+        with pytest.raises(FormulationError):
+            expand_to_length(parse_pattern("abc"), 2)
+
+    def test_unstretchable_rejected(self):
+        with pytest.raises(FormulationError):
+            expand_to_length(parse_pattern("ab"), 3)
+
+    def test_bad_policy(self):
+        with pytest.raises(FormulationError):
+            expand_to_length(parse_pattern("a+"), 3, "zigzag")
+
+
+class TestRegexMatchingFormulation:
+    def test_table1_row3(self, solver):
+        result = solver.solve(RegexMatching("a[bc]+", 5))
+        assert result.ok
+        assert result.output[0] == "a"
+        assert all(c in "bc" for c in result.output[1:])
+
+    def test_class_weight_sharing(self):
+        # [bc]: shared MSB bits get full A, disagreeing final bit cancels.
+        f = RegexMatching("[bc]", 1)
+        diag = f.build_model().linear_vector()
+        # b=1100010, c=1100011: first six bits agree, last bit cancels to 0.
+        assert diag[0] == pytest.approx(-1.0)
+        assert diag[6] == pytest.approx(0.0)
+
+    def test_literal_position_full_strength(self):
+        f = RegexMatching("a", 1)
+        np.testing.assert_allclose(
+            f.build_model().linear_vector(), [-1, -1, 1, 1, 1, 1, -1]
+        )
+
+    def test_every_class_member_is_ground_state(self):
+        from repro.core.encoding import encode_string
+
+        f = RegexMatching("[bc]", 1)
+        model = f.build_model()
+        assert model.energy(encode_string("b")) == pytest.approx(
+            model.energy(encode_string("c"))
+        )
+
+    def test_verify_uses_real_matcher(self):
+        f = RegexMatching("a[bc]+", 4)
+        assert f.verify("abcb")
+        assert not f.verify("axcb")
+        assert not f.verify("abc")  # wrong length
+
+    def test_bad_length_rejected_at_construction(self):
+        with pytest.raises(FormulationError):
+            RegexMatching("abc", 2)
+
+    def test_pretty_describe_from_tokens(self):
+        tokens = parse_pattern("a[bc]+")
+        f = RegexMatching(tokens, 3)
+        assert "[bc]+" in f.describe()
+
+    def test_larger_alphabet_class(self, solver):
+        result = solver.solve(RegexMatching("[a-d]+x", 4))
+        assert result.ok or result.output[-1] == "x"

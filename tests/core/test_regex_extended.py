@@ -1,0 +1,127 @@
+"""Tests for the extended regex operators (* ? .) — the paper's future-work
+"more formulations" realized on the same fixed-length scheme."""
+
+import re
+
+import pytest
+
+from repro.core.formulation import FormulationError
+from repro.core.regex import (
+    DOT_CHARS,
+    RegexMatching,
+    expand_to_length,
+    parse_pattern,
+    regex_matches,
+)
+
+
+class TestParsing:
+    def test_star(self):
+        (a, b) = parse_pattern("ab*")
+        assert b.min_count == 0 and b.max_count is None
+
+    def test_question(self):
+        (a, b) = parse_pattern("ab?")
+        assert b.min_count == 0 and b.max_count == 1
+
+    def test_dot(self):
+        (token,) = parse_pattern(".")
+        assert token.chars == DOT_CHARS
+
+    def test_dot_with_modifier(self):
+        (token,) = parse_pattern(".*")
+        assert token.chars == DOT_CHARS and token.min_count == 0
+
+    def test_describe_round_trip(self):
+        tokens = parse_pattern("a[bc]*d?.+")
+        assert "".join(t.describe() for t in tokens) == "a[bc]*d?.+"
+
+    def test_double_modifier_rejected(self):
+        for bad in ["a**", "a+?", "a?*", "a++"]:
+            with pytest.raises(FormulationError):
+                parse_pattern(bad)
+
+    def test_leading_modifier_rejected(self):
+        for bad in ["*a", "?a"]:
+            with pytest.raises(FormulationError):
+                parse_pattern(bad)
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("ab*c", "ac", True),
+            ("ab*c", "abbbc", True),
+            ("ab*c", "adc", False),
+            ("a?b", "b", True),
+            ("a?b", "ab", True),
+            ("a?b", "aab", False),
+            ("a.c", "axc", True),
+            ("a.c", "ac", False),
+            (".*", "", True),
+            (".*", "anything", True),
+            ("a.*z", "az", True),
+            ("a.*z", "a123z", True),
+        ],
+    )
+    def test_against_python_re(self, pattern, text, expected):
+        assert regex_matches(pattern, text) is expected
+        assert bool(re.fullmatch(pattern, text)) is expected
+
+    def test_star_backtracking(self):
+        assert regex_matches("a*ab", "aaab")
+
+    def test_question_backtracking(self):
+        assert regex_matches("a?a", "a")
+
+
+class TestExpansion:
+    def test_star_can_take_zero(self):
+        positions = expand_to_length(parse_pattern("ab*c"), 2)
+        assert [sorted(p)[0] for p in positions] == ["a", "c"]
+
+    def test_star_absorbs_slack(self):
+        positions = expand_to_length(parse_pattern("ab*c"), 5)
+        assert [sorted(p)[0] for p in positions] == ["a", "b", "b", "b", "c"]
+
+    def test_question_capped_at_one(self):
+        positions = expand_to_length(parse_pattern("ab?c"), 3)
+        assert len(positions) == 3
+        with pytest.raises(FormulationError):
+            expand_to_length(parse_pattern("ab?c"), 4)
+
+    def test_question_dropped_when_tight(self):
+        positions = expand_to_length(parse_pattern("ab?c"), 2)
+        assert [sorted(p)[0] for p in positions] == ["a", "c"]
+
+    def test_spread_policy_with_mixed_modifiers(self):
+        positions = expand_to_length(parse_pattern("a*b*"), 4, "spread")
+        assert len(positions) == 4
+
+    def test_bounded_capacity_enforced(self):
+        # a?b? matches at most 2 characters.
+        with pytest.raises(FormulationError, match="at most"):
+            expand_to_length(parse_pattern("a?b?"), 3)
+
+
+class TestFormulation:
+    def test_star_generation(self, solver):
+        result = solver.solve(RegexMatching("ab*c", 5))
+        assert result.ok
+        assert re.fullmatch("ab*c", result.output)
+
+    def test_question_generation(self, solver):
+        result = solver.solve(RegexMatching("ab?c", 3))
+        assert result.ok
+        assert result.output == "abc"
+
+    def test_dot_generation(self, solver):
+        result = solver.solve(RegexMatching("a.c", 3))
+        assert result.ok
+        assert result.output[0] == "a" and result.output[2] == "c"
+
+    def test_mixed_pattern(self, solver):
+        result = solver.solve(RegexMatching("[xy]+z?", 4))
+        assert result.ok
+        assert re.fullmatch("[xy]+z?", result.output)

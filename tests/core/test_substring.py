@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.core.encoding import encode_string
+from repro.core.formulation import FormulationError
+from repro.core.substring import SubstringMatching
+
+
+class TestPaperSemantics:
+    def test_ccat_example(self):
+        """The paper's §4.3 worked example: 'cat' in 4 chars encodes 'ccat'."""
+        f = SubstringMatching(4, "cat")
+        assert f.expected_prefix() == "ccat"
+        model = f.build_model()
+        expected_diag = np.where(encode_string("ccat") == 1, -1.0, 1.0)
+        np.testing.assert_allclose(model.linear_vector(), expected_diag)
+
+    def test_overwrite_cascade_longer(self):
+        f = SubstringMatching(6, "cat")
+        # last_start = 3; prefix = 'c'*3 + 'cat' = 'ccccat'
+        assert f.expected_prefix() == "ccccat"
+
+    def test_exact_fit_no_overwrites(self):
+        f = SubstringMatching(3, "cat")
+        assert f.expected_prefix() == "cat"
+        assert f.last_start == 0
+
+    def test_unconstrained_positions_absent_from_matrix(self):
+        # When total_length == len(substring) the matrix covers everything;
+        # otherwise earlier positions are written by the cascade, so with
+        # this construction every diagonal entry is populated.
+        model = SubstringMatching(5, "ab").build_model()
+        assert np.all(model.linear_vector() != 0.0)
+
+
+class TestBehaviour:
+    def test_verify(self):
+        f = SubstringMatching(4, "cat")
+        assert f.verify("ccat")
+        assert f.verify("catx")
+        assert not f.verify("cxat")
+        assert not f.verify("cat")  # wrong length
+
+    def test_solved_contains_substring(self, solver):
+        result = solver.solve(SubstringMatching(4, "cat"))
+        assert result.ok
+        assert "cat" in result.output
+        assert result.output == "ccat"  # deterministic ground state
+
+    def test_ground_energy_matches_prefix_encoding(self):
+        f = SubstringMatching(4, "cat")
+        ones = int(encode_string(f.expected_prefix()).sum())
+        assert f.ground_energy() == -float(ones)
+
+    def test_single_char_substring(self, solver):
+        result = solver.solve(SubstringMatching(2, "z"))
+        assert result.ok
+        assert "z" in result.output
+
+
+class TestValidation:
+    def test_empty_substring_rejected(self):
+        with pytest.raises(FormulationError):
+            SubstringMatching(3, "")
+
+    def test_too_long_substring_rejected(self):
+        with pytest.raises(FormulationError):
+            SubstringMatching(2, "cat")
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(FormulationError):
+            SubstringMatching(4, "cät")

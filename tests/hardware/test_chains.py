@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.hardware.chains import (
+    chain_break_fraction,
+    majority_vote,
+    resolve_chain_breaks,
+    uniform_torque_compensation,
+)
+from repro.qubo.bqm import BinaryQuadraticModel
+
+
+class TestUniformTorqueCompensation:
+    def test_scales_with_coupling_magnitude(self):
+        weak = BinaryQuadraticModel({}, {("a", "b"): 0.1}, vartype="SPIN")
+        strong = BinaryQuadraticModel({}, {("a", "b"): 10.0}, vartype="SPIN")
+        assert uniform_torque_compensation(strong) > uniform_torque_compensation(weak)
+
+    def test_linear_only_model_uses_max_bias(self):
+        bqm = BinaryQuadraticModel({"a": -3.0, "b": 1.0}, vartype="SPIN")
+        assert uniform_torque_compensation(bqm, prefactor=1.0) == pytest.approx(3.0)
+
+    def test_empty_model_positive(self):
+        assert uniform_torque_compensation(BinaryQuadraticModel()) > 0
+
+    def test_prefactor(self):
+        bqm = BinaryQuadraticModel({}, {("a", "b"): 1.0}, vartype="SPIN")
+        one = uniform_torque_compensation(bqm, prefactor=1.0)
+        two = uniform_torque_compensation(bqm, prefactor=2.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_bad_prefactor(self):
+        with pytest.raises(ValueError):
+            uniform_torque_compensation(BinaryQuadraticModel(), prefactor=0.0)
+
+
+class TestChainBreakFraction:
+    def test_no_breaks(self):
+        states = np.array([[1, 1, 0, 0]], dtype=np.int8)
+        emb = {"x": ["q0", "q1"], "y": ["q2", "q3"]}
+        frac = chain_break_fraction(states, emb, ["q0", "q1", "q2", "q3"])
+        assert frac[0] == 0.0
+
+    def test_one_break(self):
+        states = np.array([[1, 0, 0, 0]], dtype=np.int8)
+        emb = {"x": ["q0", "q1"], "y": ["q2", "q3"]}
+        frac = chain_break_fraction(states, emb, ["q0", "q1", "q2", "q3"])
+        assert frac[0] == 0.5
+
+    def test_multiple_rows(self):
+        states = np.array([[1, 1], [1, 0]], dtype=np.int8)
+        emb = {"x": ["a", "b"]}
+        frac = chain_break_fraction(states, emb, ["a", "b"])
+        np.testing.assert_allclose(frac, [0.0, 1.0])
+
+    def test_unknown_qubit_raises(self):
+        with pytest.raises(KeyError):
+            chain_break_fraction(np.zeros((1, 1)), {"x": ["nope"]}, ["a"])
+
+    def test_empty_chain_raises(self):
+        with pytest.raises(ValueError):
+            chain_break_fraction(np.zeros((1, 1)), {"x": []}, ["a"])
+
+
+class TestMajorityVote:
+    def test_unbroken_chain_passthrough(self):
+        states = np.array([[1, 1, 0]], dtype=np.int8)
+        emb = {"x": ["a", "b"], "y": ["c"]}
+        logical, order = majority_vote(states, emb, ["a", "b", "c"])
+        assert order == ["x", "y"]
+        np.testing.assert_array_equal(logical[0], [1, 0])
+
+    def test_majority_wins(self):
+        states = np.array([[1, 1, 0]], dtype=np.int8)
+        emb = {"x": ["a", "b", "c"]}
+        logical, _ = majority_vote(states, emb, ["a", "b", "c"])
+        assert logical[0, 0] == 1
+
+    def test_tie_broken_randomly_but_validly(self):
+        states = np.array([[1, 0]], dtype=np.int8)
+        emb = {"x": ["a", "b"]}
+        logical, _ = majority_vote(states, emb, ["a", "b"], seed=0)
+        assert logical[0, 0] in (0, 1)
+
+    def test_spin_states_resolve_to_spins(self):
+        states = np.array([[-1, -1, 1]], dtype=np.int8)
+        emb = {"x": ["a", "b"], "y": ["c"]}
+        logical, _ = majority_vote(states, emb, ["a", "b", "c"])
+        np.testing.assert_array_equal(logical[0], [-1, 1])
+
+
+class TestResolveChainBreaks:
+    def test_majority_keeps_all_rows(self):
+        states = np.array([[1, 0], [1, 1]], dtype=np.int8)
+        emb = {"x": ["a", "b"]}
+        logical, order, kept = resolve_chain_breaks(
+            states, emb, ["a", "b"], method="majority", seed=0
+        )
+        assert len(kept) == 2
+        assert logical.shape == (2, 1)
+
+    def test_discard_drops_broken_rows(self):
+        states = np.array([[1, 0], [1, 1], [0, 0]], dtype=np.int8)
+        emb = {"x": ["a", "b"]}
+        logical, order, kept = resolve_chain_breaks(
+            states, emb, ["a", "b"], method="discard"
+        )
+        np.testing.assert_array_equal(kept, [1, 2])
+        np.testing.assert_array_equal(logical[:, 0], [1, 0])
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            resolve_chain_breaks(np.zeros((1, 1)), {"x": ["a"]}, ["a"], method="pray")

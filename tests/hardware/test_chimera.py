@@ -1,0 +1,72 @@
+import networkx as nx
+import pytest
+
+from repro.hardware.chimera import chimera_coordinates, chimera_graph, chimera_index
+
+
+class TestChimeraGraph:
+    def test_node_count(self):
+        g = chimera_graph(2, 3, 4)
+        assert g.number_of_nodes() == 2 * 4 * 2 * 3
+
+    def test_edge_count_formula(self):
+        # Edges: m*n*t^2 intra-cell + (m-1)*n*t vertical + m*(n-1)*t horizontal.
+        m, n, t = 3, 2, 4
+        g = chimera_graph(m, n, t)
+        expected = m * n * t * t + (m - 1) * n * t + m * (n - 1) * t
+        assert g.number_of_edges() == expected
+
+    def test_default_square(self):
+        assert chimera_graph(3).number_of_nodes() == chimera_graph(3, 3).number_of_nodes()
+
+    def test_connected(self):
+        assert nx.is_connected(chimera_graph(3))
+
+    def test_bipartite_cell(self):
+        g = chimera_graph(1, 1, 4)
+        # Single cell: K_{4,4} — no edge within a shore.
+        for k1 in range(4):
+            for k2 in range(k1 + 1, 4):
+                assert not g.has_edge(k1, k2)
+                assert not g.has_edge(4 + k1, 4 + k2)
+
+    def test_interior_degree(self):
+        g = chimera_graph(3, 3, 4)
+        # The center cell's qubits all have degree t + 2 = 6.
+        center = [chimera_index(1, 1, side, k, 3, 4) for side in (0, 1) for k in range(4)]
+        assert all(g.degree(q) == 6 for q in center)
+
+    def test_inter_cell_coupling_pattern(self):
+        g = chimera_graph(2, 2, 4)
+        # Vertical qubit (0,0,0,k) couples to (1,0,0,k), not to (1,0,0,k').
+        a = chimera_index(0, 0, 0, 1, 2, 4)
+        below_same = chimera_index(1, 0, 0, 1, 2, 4)
+        below_other = chimera_index(1, 0, 0, 2, 2, 4)
+        assert g.has_edge(a, below_same)
+        assert not g.has_edge(a, below_other)
+
+    def test_graph_attributes(self):
+        g = chimera_graph(2, 3, 4)
+        assert g.graph["family"] == "chimera"
+        assert (g.graph["rows"], g.graph["cols"], g.graph["tile"]) == (2, 3, 4)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            chimera_graph(0)
+        with pytest.raises(ValueError):
+            chimera_graph(2, 2, 0)
+
+
+class TestIndexing:
+    def test_round_trip(self):
+        n, t = 5, 4
+        for row in range(3):
+            for col in range(n):
+                for side in (0, 1):
+                    for k in range(t):
+                        idx = chimera_index(row, col, side, k, n, t)
+                        assert chimera_coordinates(idx, n, t) == (row, col, side, k)
+
+    def test_indices_dense(self):
+        g = chimera_graph(2, 2, 4)
+        assert sorted(g.nodes()) == list(range(32))

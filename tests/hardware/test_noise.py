@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.hardware.noise import GaussianNoiseModel
+from repro.qubo.bqm import BinaryQuadraticModel
+
+
+def _bqm():
+    return BinaryQuadraticModel(
+        {"a": 1.0, "b": -0.5}, {("a", "b"): 0.25}, vartype="SPIN"
+    )
+
+
+class TestGaussianNoiseModel:
+    def test_input_untouched(self):
+        bqm = _bqm()
+        GaussianNoiseModel(0.5, 0.5).apply(bqm, seed=0)
+        assert bqm.get_linear("a") == 1.0
+        assert bqm.get_quadratic("a", "b") == 0.25
+
+    def test_zero_sigma_is_identity(self):
+        noisy = GaussianNoiseModel(0.0, 0.0).apply(_bqm(), seed=0)
+        assert noisy.get_linear("a") == 1.0
+        assert noisy.get_quadratic("a", "b") == 0.25
+
+    def test_perturbation_magnitude(self):
+        rng_draws = [
+            GaussianNoiseModel(0.1, 0.0).apply(_bqm(), seed=s).get_linear("a")
+            for s in range(200)
+        ]
+        deviations = np.array(rng_draws) - 1.0
+        assert abs(deviations.mean()) < 0.05
+        assert 0.05 < deviations.std() < 0.2
+
+    def test_coupling_noise(self):
+        noisy = GaussianNoiseModel(0.0, 0.5).apply(_bqm(), seed=1)
+        assert noisy.get_quadratic("a", "b") != 0.25
+        assert noisy.get_linear("a") == 1.0
+
+    def test_range_clamping(self):
+        model = GaussianNoiseModel(0.0, 0.0, h_range=0.5, j_range=0.1)
+        noisy = model.apply(_bqm(), seed=0)
+        assert noisy.get_linear("a") == 0.5  # clamped from 1.0
+        assert noisy.get_quadratic("a", "b") == pytest.approx(0.1)
+
+    def test_reproducible(self):
+        a = GaussianNoiseModel(0.2, 0.2).apply(_bqm(), seed=42)
+        b = GaussianNoiseModel(0.2, 0.2).apply(_bqm(), seed=42)
+        assert a.get_linear("a") == b.get_linear("a")
+        assert a.get_quadratic("a", "b") == b.get_quadratic("a", "b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoiseModel(h_sigma=-0.1)
+        with pytest.raises(ValueError):
+            GaussianNoiseModel(h_range=0.0)
+        with pytest.raises(ValueError):
+            GaussianNoiseModel(j_range=-1.0)
+
+    def test_repr(self):
+        assert "GaussianNoiseModel" in repr(GaussianNoiseModel())

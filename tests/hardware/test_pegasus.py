@@ -1,0 +1,55 @@
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.hardware.chimera import chimera_graph
+from repro.hardware.pegasus import pegasus_like_graph
+
+
+class TestPegasusLikeGraph:
+    def test_superset_of_chimera(self):
+        c = chimera_graph(3, 3, 4)
+        p = pegasus_like_graph(3, 4)
+        assert set(c.nodes()) == set(p.nodes())
+        assert all(p.has_edge(*e) for e in c.edges())
+
+    def test_strictly_more_edges(self):
+        c = chimera_graph(3, 3, 4)
+        p = pegasus_like_graph(3, 4)
+        assert p.number_of_edges() > c.number_of_edges()
+
+    def test_higher_mean_degree(self):
+        c = chimera_graph(4, 4, 4)
+        p = pegasus_like_graph(4, 4)
+        c_mean = np.mean([d for _, d in c.degree()])
+        p_mean = np.mean([d for _, d in p.degree()])
+        assert p_mean > c_mean + 1.5
+
+    def test_odd_couplers_present(self):
+        p = pegasus_like_graph(2, 4)
+        # Shore-0 qubits 0 and 1 of cell (0,0) are now paired.
+        assert p.has_edge(0, 1)
+        assert p.has_edge(2, 3)
+
+    def test_connected(self):
+        assert nx.is_connected(pegasus_like_graph(3))
+
+    def test_family_attribute(self):
+        assert pegasus_like_graph(2).graph["family"] == "pegasus-like"
+
+    def test_odd_shore_size_rejected(self):
+        with pytest.raises(ValueError):
+            pegasus_like_graph(2, t=3)
+
+    def test_shorter_chains_than_chimera(self):
+        """The headline hardware effect: richer topology -> shorter chains."""
+        import networkx as nxx
+
+        from repro.hardware.embedding import find_embedding
+
+        k6 = nxx.complete_graph(6)
+        c_emb = find_embedding(k6, chimera_graph(4), seed=0)
+        p_emb = find_embedding(k6, pegasus_like_graph(4), seed=0)
+        c_total = sum(len(ch) for ch in c_emb.values())
+        p_total = sum(len(ch) for ch in p_emb.values())
+        assert p_total <= c_total

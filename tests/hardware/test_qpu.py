@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.anneal.sqa import PathIntegralAnnealer
+from repro.hardware.chimera import chimera_graph
+from repro.hardware.noise import GaussianNoiseModel
+from repro.hardware.qpu import SimulatedQPU
+from repro.qubo.bqm import BinaryQuadraticModel
+from repro.qubo.model import QuboModel
+
+
+def _native_bqm():
+    """A model living directly on Chimera cell (0,0)."""
+    return BinaryQuadraticModel(
+        {0: -1.0, 4: 0.5}, {(0, 4): -2.0}, vartype="BINARY"
+    )
+
+
+class TestSimulatedQPU:
+    def test_counts(self):
+        qpu = SimulatedQPU(topology=chimera_graph(2))
+        assert qpu.num_qubits == 32
+        assert qpu.num_couplers == chimera_graph(2).number_of_edges()
+
+    def test_native_model_sampled(self):
+        qpu = SimulatedQPU(topology=chimera_graph(1))
+        ss = qpu.sample_bqm(_native_bqm(), num_reads=16, num_sweeps=100, seed=0)
+        # Ground state of -x0 + 0.5 x4 - 2 x0 x4 is x0=x4=1 with E=-2.5.
+        assert ss.first.energy == pytest.approx(-2.5)
+
+    def test_non_native_variable_rejected(self):
+        qpu = SimulatedQPU(topology=chimera_graph(1))
+        bqm = BinaryQuadraticModel({"not-a-qubit": 1.0})
+        with pytest.raises(ValueError, match="not a qubit"):
+            qpu.sample_bqm(bqm)
+
+    def test_non_native_coupler_rejected(self):
+        qpu = SimulatedQPU(topology=chimera_graph(1))
+        bqm = BinaryQuadraticModel({0: 0.0, 1: 0.0}, {(0, 1): 1.0})
+        with pytest.raises(ValueError, match="no coupler"):
+            qpu.sample_bqm(bqm)
+
+    def test_energies_scored_against_clean_model(self):
+        qpu = SimulatedQPU(
+            topology=chimera_graph(1), noise=GaussianNoiseModel(0.3, 0.3)
+        )
+        bqm = _native_bqm()
+        ss = qpu.sample_bqm(bqm, num_reads=8, num_sweeps=100, seed=1)
+        recomputed = bqm.energies(ss.states, order=ss.variables)
+        np.testing.assert_allclose(ss.energies, recomputed, atol=1e-9)
+
+    def test_noise_degrades_success(self):
+        # With huge noise the annealer optimizes the wrong Hamiltonian.
+        clean = SimulatedQPU(topology=chimera_graph(1))
+        noisy = SimulatedQPU(
+            topology=chimera_graph(1), noise=GaussianNoiseModel(5.0, 5.0)
+        )
+        bqm = _native_bqm()
+        hits_clean = 0
+        hits_noisy = 0
+        for seed in range(10):
+            c = clean.sample_bqm(bqm, num_reads=4, num_sweeps=100, seed=seed)
+            n = noisy.sample_bqm(bqm, num_reads=4, num_sweeps=100, seed=seed)
+            hits_clean += c.first.energy == pytest.approx(-2.5)
+            hits_noisy += n.first.energy == pytest.approx(-2.5)
+        assert hits_clean > hits_noisy
+
+    def test_sqa_backend(self):
+        qpu = SimulatedQPU(
+            topology=chimera_graph(1), backend=PathIntegralAnnealer()
+        )
+        ss = qpu.sample_bqm(_native_bqm(), num_reads=4, num_sweeps=64, seed=2)
+        assert ss.first.energy == pytest.approx(-2.5)
+
+    def test_sample_model_uses_indices_as_qubits(self):
+        qpu = SimulatedQPU(topology=chimera_graph(1))
+        m = QuboModel(2, {(0, 0): -1.0})  # variables 0 and 1 are real qubits
+        ss = qpu.sample_model(m, num_reads=4, num_sweeps=50, seed=0)
+        assert ss.first.energy == pytest.approx(-1.0)
+
+    def test_info(self):
+        qpu = SimulatedQPU(topology=chimera_graph(1), name="test-qpu")
+        ss = qpu.sample_bqm(_native_bqm(), num_reads=2, num_sweeps=10, seed=0)
+        assert ss.info["device"] == "test-qpu"
+        assert ss.info["noisy"] is False
+
+    def test_repr(self):
+        assert "SimulatedQPU" in repr(SimulatedQPU())

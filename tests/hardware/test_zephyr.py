@@ -1,0 +1,55 @@
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.hardware.chimera import chimera_graph
+from repro.hardware.embedding import find_embedding, verify_embedding
+from repro.hardware.pegasus import pegasus_like_graph
+from repro.hardware.zephyr import zephyr_like_graph
+
+
+class TestZephyrLikeGraph:
+    def test_superset_of_pegasus_like(self):
+        p = pegasus_like_graph(3, 4)
+        z = zephyr_like_graph(3, 4)
+        assert set(p.nodes()) == set(z.nodes())
+        assert all(z.has_edge(*e) for e in p.edges())
+
+    def test_degree_ordering_across_generations(self):
+        """The hardware story: each generation strictly raises connectivity."""
+        degrees = {}
+        for name, g in [
+            ("chimera", chimera_graph(4)),
+            ("pegasus", pegasus_like_graph(4)),
+            ("zephyr", zephyr_like_graph(4)),
+        ]:
+            degrees[name] = np.mean([d for _, d in g.degree()])
+        assert degrees["chimera"] < degrees["pegasus"] < degrees["zephyr"]
+
+    def test_connected(self):
+        assert nx.is_connected(zephyr_like_graph(3))
+
+    def test_family_attribute(self):
+        assert zephyr_like_graph(2).graph["family"] == "zephyr-like"
+
+    def test_odd_shore_rejected(self):
+        with pytest.raises(ValueError):
+            zephyr_like_graph(2, t=3)
+
+    def test_chains_shrink_with_generation(self):
+        k7 = nx.complete_graph(7)
+        totals = {}
+        for name, g in [
+            ("chimera", chimera_graph(4)),
+            ("zephyr", zephyr_like_graph(4)),
+        ]:
+            emb = find_embedding(k7, g, seed=0)
+            verify_embedding(emb, k7, g)
+            totals[name] = sum(len(c) for c in emb.values())
+        assert totals["zephyr"] <= totals["chimera"]
+
+    def test_clique_fallback_works(self):
+        k12 = nx.complete_graph(12)
+        g = zephyr_like_graph(4)
+        emb = find_embedding(k12, g, seed=1)
+        verify_embedding(emb, k12, g)

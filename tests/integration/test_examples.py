@@ -1,0 +1,43 @@
+"""Smoke tests: the runnable examples must execute end to end.
+
+Only the two fastest examples run in the default suite; the heavier ones
+(hardware sweeps, repeated regex batches) are covered by their underlying
+integration tests and the benchmark suite.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart_runs_clean(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "FAIL" not in result.stdout
+        assert "'ollah'" in result.stdout or "ollah" in result.stdout
+
+    def test_smtlib_repl_demo(self):
+        result = _run("smtlib_repl.py")
+        assert result.returncode == 0, result.stderr
+        assert "sat" in result.stdout
+        assert "hello, operator" in result.stdout
+
+    def test_all_examples_compile(self):
+        """Every example must at least be importable as source."""
+        for path in sorted(EXAMPLES.glob("*.py")):
+            source = path.read_text()
+            compile(source, str(path), "exec")

@@ -1,0 +1,69 @@
+"""Integration: string constraints solved through the simulated QPU
+(embed -> noisy anneal -> unembed), the paper's future-work pathway."""
+
+import pytest
+
+from repro.core import StringEquality, StringQuboSolver, PalindromeGeneration
+from repro.hardware import (
+    EmbeddingComposite,
+    GaussianNoiseModel,
+    SimulatedQPU,
+    chimera_graph,
+    pegasus_like_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def chimera_qpu():
+    return SimulatedQPU(
+        topology=chimera_graph(6),
+        noise=GaussianNoiseModel(h_sigma=0.005, j_sigma=0.003),
+        name="chimera-sim",
+    )
+
+
+class TestStringsOnHardware:
+    def test_equality_through_qpu(self, chimera_qpu):
+        solver = StringQuboSolver(
+            sampler=EmbeddingComposite(chimera_qpu),
+            num_reads=32,
+            seed=0,
+            sampler_params={"num_sweeps": 400},
+        )
+        result = solver.solve(StringEquality("hi"))
+        assert result.output == "hi"
+        assert result.ok
+        assert result.info["chain_break_fraction"] >= 0.0
+
+    def test_palindrome_through_qpu(self, chimera_qpu):
+        solver = StringQuboSolver(
+            sampler=EmbeddingComposite(chimera_qpu),
+            num_reads=32,
+            seed=1,
+            sampler_params={"num_sweeps": 400},
+        )
+        result = solver.solve(PalindromeGeneration(2))
+        assert result.ok
+        assert result.output == result.output[::-1]
+
+    def test_pegasus_like_topology(self):
+        qpu = SimulatedQPU(topology=pegasus_like_graph(5), name="pegasus-sim")
+        solver = StringQuboSolver(
+            sampler=EmbeddingComposite(qpu),
+            num_reads=24,
+            seed=2,
+            sampler_params={"num_sweeps": 300},
+        )
+        result = solver.solve(StringEquality("ab"))
+        assert result.output == "ab"
+
+    def test_embedding_stats_exposed(self, chimera_qpu):
+        solver = StringQuboSolver(
+            sampler=EmbeddingComposite(chimera_qpu),
+            num_reads=8,
+            seed=3,
+            sampler_params={"num_sweeps": 200},
+        )
+        result = solver.solve(PalindromeGeneration(2))
+        assert result.info["max_chain_length"] >= 1
+        assert result.info["num_physical_qubits"] >= 14

@@ -1,0 +1,52 @@
+"""Property-based tests for the 7-bit encoding layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import char_to_bits, encode_string, state_to_string
+from repro.utils.asciitab import CHAR_BITS
+
+ascii7_text = st.text(
+    alphabet=st.characters(min_codepoint=0, max_codepoint=127), max_size=24
+)
+ascii7_char = st.characters(min_codepoint=0, max_codepoint=127)
+
+
+class TestEncodingProperties:
+    @given(ascii7_text)
+    def test_round_trip(self, text):
+        assert state_to_string(encode_string(text)) == text
+
+    @given(ascii7_text)
+    def test_length_is_7n(self, text):
+        assert encode_string(text).size == CHAR_BITS * len(text)
+
+    @given(ascii7_text)
+    def test_bits_are_binary(self, text):
+        bits = encode_string(text)
+        assert np.isin(bits, (0, 1)).all()
+
+    @given(ascii7_char)
+    def test_char_bits_msb_first(self, char):
+        bits = char_to_bits(char)
+        code = int("".join(str(int(b)) for b in bits), 2)
+        assert code == ord(char)
+
+    @given(ascii7_text, ascii7_text)
+    def test_concatenation_homomorphism(self, a, b):
+        # f(a || b) = f(a) || f(b) — the paper's definition of f.
+        np.testing.assert_array_equal(
+            encode_string(a + b),
+            np.concatenate([encode_string(a), encode_string(b)]),
+        )
+
+    @given(ascii7_text)
+    def test_injective_on_distinct_strings(self, text):
+        if not text:
+            return
+        # Flip one bit: decoding must give a different string.
+        bits = encode_string(text)
+        flipped = bits.copy()
+        flipped[0] ^= 1
+        assert state_to_string(flipped) != text

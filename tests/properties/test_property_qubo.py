@@ -1,0 +1,95 @@
+"""Property-based tests for the QUBO data model and transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.qubo.algebra import add_models, fix_variables, scale_model
+from repro.qubo.ising import ising_to_qubo, qubo_to_ising
+from repro.qubo.energy import qubo_energies_dict
+from repro.qubo.model import QuboModel
+
+
+@st.composite
+def qubo_models(draw, max_n=6):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    entries = draw(
+        st.dictionaries(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+            max_size=12,
+        )
+    )
+    offset = draw(st.floats(-3, 3, allow_nan=False))
+    return QuboModel(n, entries, offset=offset)
+
+
+def _all_states(n):
+    codes = np.arange(1 << n, dtype=np.uint64)
+    return ((codes[:, None] >> np.arange(n, dtype=np.uint64)[None, :]) & 1).astype(
+        np.int8
+    )
+
+
+class TestModelProperties:
+    @given(qubo_models())
+    def test_dense_and_dict_energies_agree(self, model):
+        states = _all_states(model.num_variables)
+        dense = model.energies(states)
+        sparse = qubo_energies_dict(states, model.to_dict(), model.offset)
+        np.testing.assert_allclose(dense, sparse, atol=1e-9)
+
+    @given(qubo_models())
+    def test_copy_equal_and_independent(self, model):
+        clone = model.copy()
+        assert clone == model
+        clone.add_linear(0, 1.0)
+        assert clone != model or model.get(0) == clone.get(0) - 1.0
+
+    @given(qubo_models(), qubo_models())
+    def test_addition_commutes(self, a, b):
+        if a.num_variables != b.num_variables:
+            return
+        states = _all_states(a.num_variables)
+        ab = add_models(a, b).energies(states)
+        ba = add_models(b, a).energies(states)
+        np.testing.assert_allclose(ab, ba, atol=1e-9)
+
+    @given(qubo_models(), st.floats(0.01, 10, allow_nan=False))
+    def test_scaling_preserves_minimizer(self, model, factor):
+        states = _all_states(model.num_variables)
+        original = model.energies(states)
+        scaled = scale_model(model, factor).energies(states)
+        # The original minimizer stays a minimizer of the scaled model
+        # (up to floating-point rounding of the scaled energies).
+        best = int(np.argmin(original))
+        assert scaled[best] <= scaled.min() + 1e-9 * max(1.0, factor)
+        np.testing.assert_allclose(scaled, factor * original, rtol=1e-9, atol=1e-12)
+
+    @given(qubo_models())
+    def test_ising_round_trip_preserves_energy(self, model):
+        h, j, off = qubo_to_ising(model.to_dict(), model.offset)
+        back, off2 = ising_to_qubo(h, j, off)
+        states = _all_states(model.num_variables)
+        np.testing.assert_allclose(
+            model.energies(states),
+            qubo_energies_dict(states, back, off2),
+            atol=1e-9,
+        )
+
+    @given(qubo_models(max_n=5), st.data())
+    def test_fix_variables_consistent(self, model, data):
+        n = model.num_variables
+        fixed_var = data.draw(st.integers(0, n - 1))
+        fixed_val = data.draw(st.integers(0, 1))
+        reduced, new_index = fix_variables(model, {fixed_var: fixed_val})
+        free = [v for v in range(n) if v != fixed_var]
+        for state in _all_states(len(free)):
+            full = np.zeros(n, dtype=np.int8)
+            full[fixed_var] = fixed_val
+            for v in free:
+                full[v] = state[new_index[v]]
+            assert abs(model.energy(full) - reduced.energy(state)) < 1e-9

@@ -1,0 +1,94 @@
+"""Property tests: the regex matcher against Python's re, and classical
+solver models against the theory evaluator."""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regex import expand_to_length, parse_pattern, regex_matches
+from repro.smt import ast
+from repro.smt.classical import ClassicalStringSolver
+from repro.smt.theory import eval_formula, eval_term
+
+letters = st.text(alphabet="abc", min_size=0, max_size=8)
+
+
+@st.composite
+def subset_patterns(draw):
+    """Random patterns in the supported subset over {a, b, c}."""
+    tokens = draw(
+        st.lists(
+            st.tuples(
+                st.sets(st.sampled_from("abc"), min_size=1, max_size=3),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    parts = []
+    for chars, plus in tokens:
+        body = next(iter(chars)) if len(chars) == 1 else "[" + "".join(sorted(chars)) + "]"
+        parts.append(body + ("+" if plus else ""))
+    return "".join(parts)
+
+
+class TestRegexAgainstPythonRe:
+    @given(subset_patterns(), letters)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_agree_with_re_fullmatch(self, pattern, text):
+        ours = regex_matches(pattern, text)
+        theirs = re.fullmatch(pattern, text) is not None
+        assert ours == theirs, f"pattern={pattern!r} text={text!r}"
+
+    @given(subset_patterns(), st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_expansions_actually_match(self, pattern, length):
+        tokens = parse_pattern(pattern)
+        try:
+            positions = expand_to_length(tokens, length)
+        except Exception:
+            return
+        witness = "".join(sorted(chars)[0] for chars in positions)
+        assert regex_matches(tokens, witness)
+        assert re.fullmatch(pattern, witness) is not None
+
+
+class TestClassicalSolverSoundness:
+    @given(letters.filter(bool))
+    @settings(max_examples=30, deadline=None)
+    def test_equality_model_checks(self, value):
+        assertions = [ast.Eq(ast.StrVar("x"), ast.StrLit(value))]
+        result = ClassicalStringSolver().solve(assertions)
+        assert result.status == "sat"
+        assert eval_formula(assertions[0], result.model)
+
+    @given(letters.filter(lambda s: len(s) >= 1), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_contains_with_padding(self, needle, pad):
+        length = len(needle) + pad
+        assertions = [
+            ast.Eq(ast.Length(ast.StrVar("x")), ast.IntLit(length)),
+            ast.Contains(ast.StrVar("x"), ast.StrLit(needle)),
+        ]
+        result = ClassicalStringSolver().solve(assertions)
+        assert result.status == "sat"
+        for a in assertions:
+            assert eval_formula(a, result.model)
+
+    @given(letters, letters)
+    @settings(max_examples=50, deadline=None)
+    def test_theory_concat_matches_python(self, a, b):
+        term = ast.Concat((ast.StrLit(a), ast.StrLit(b)))
+        assert eval_term(term, {}) == a + b
+
+    @given(letters, st.sampled_from("abc"), st.sampled_from("abc"))
+    @settings(max_examples=50, deadline=None)
+    def test_theory_replace_matches_python(self, text, old, new):
+        first = ast.Replace(ast.StrLit(text), ast.StrLit(old), ast.StrLit(new))
+        every = ast.Replace(
+            ast.StrLit(text), ast.StrLit(old), ast.StrLit(new), replace_all=True
+        )
+        assert eval_term(first, {}) == text.replace(old, new, 1)
+        assert eval_term(every, {}) == text.replace(old, new)

@@ -1,0 +1,98 @@
+"""Property-based tests on sampler invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anneal.exact import ExactSolver
+from repro.anneal.greedy import SteepestDescentSampler
+from repro.anneal.sampleset import SampleSet
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.qubo.model import QuboModel
+
+
+@st.composite
+def small_models(draw, max_n=8):
+    n = draw(st.integers(2, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    q = np.triu(rng.normal(size=(n, n)))
+    return QuboModel.from_dense(q)
+
+
+class TestSamplerInvariants:
+    @given(small_models(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_sa_energies_match_states(self, model, seed):
+        ss = SimulatedAnnealingSampler().sample_model(
+            model, num_reads=4, num_sweeps=20, seed=seed
+        )
+        np.testing.assert_allclose(
+            ss.energies, model.energies(ss.states), atol=1e-9
+        )
+
+    @given(small_models(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_sa_never_beats_exact(self, model, seed):
+        _, ground = ExactSolver().ground_state(model)
+        ss = SimulatedAnnealingSampler().sample_model(
+            model, num_reads=4, num_sweeps=30, seed=seed
+        )
+        assert ss.first.energy >= ground - 1e-9
+
+    @given(small_models(max_n=6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_monotone_improvement(self, model, seed):
+        rng = np.random.default_rng(seed)
+        starts = rng.integers(0, 2, size=(4, model.num_variables), dtype=np.int8)
+        start_energy = model.energies(starts)
+        ss = SteepestDescentSampler().sample_model(
+            model, num_reads=4, initial_states=starts
+        )
+        # Descent from each start can only go down; compare sorted multisets.
+        assert np.sort(ss.energies)[0] <= np.sort(start_energy)[0] + 1e-9
+
+    @given(small_models(max_n=6))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_min_is_true_min(self, model):
+        ss = ExactSolver().sample_model(model)
+        states = ss.states
+        assert ss.first.energy == model.energies(states).min()
+
+
+class TestSampleSetInvariants:
+    @given(
+        st.integers(1, 20),
+        st.integers(1, 6),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_aggregate_preserves_total_occurrences(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        states = rng.integers(0, 2, size=(rows, cols), dtype=np.int8)
+        energies = rng.normal(size=rows)
+        occurrences = rng.integers(1, 5, size=rows)
+        ss = SampleSet(states, energies, num_occurrences=occurrences)
+        agg = ss.aggregate()
+        assert agg.num_occurrences.sum() == occurrences.sum()
+        assert len(agg) <= len(ss)
+
+    @given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_sorted_invariant(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        ss = SampleSet(
+            rng.integers(0, 2, size=(rows, 3), dtype=np.int8),
+            rng.normal(size=rows),
+        )
+        assert np.all(np.diff(ss.energies) >= 0)
+
+    @given(st.integers(1, 10), st.integers(0, 5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_truncate_bounds(self, rows, k, seed):
+        rng = np.random.default_rng(seed)
+        ss = SampleSet(
+            rng.integers(0, 2, size=(rows, 2), dtype=np.int8),
+            rng.normal(size=rows),
+        )
+        assert len(ss.truncate(k)) == min(k, rows)

@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.qubo.algebra import add_models, fix_variables, relabel_variables, scale_model
+from repro.qubo.model import QuboModel
+
+
+def _random_model(seed, n=5):
+    rng = np.random.default_rng(seed)
+    return QuboModel.from_dense(np.triu(rng.normal(size=(n, n))), offset=rng.normal())
+
+
+class TestAddModels:
+    def test_energy_additivity(self):
+        a, b = _random_model(0), _random_model(1)
+        combined = add_models(a, b)
+        rng = np.random.default_rng(2)
+        states = rng.integers(0, 2, size=(10, 5))
+        np.testing.assert_allclose(
+            combined.energies(states), a.energies(states) + b.energies(states)
+        )
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            add_models(QuboModel(2), QuboModel(3))
+
+    def test_inputs_unchanged(self):
+        a, b = _random_model(0), _random_model(1)
+        before = a.to_dict()
+        add_models(a, b)
+        assert a.to_dict() == before
+
+
+class TestScaleModel:
+    def test_energies_scale(self):
+        m = _random_model(3)
+        scaled = scale_model(m, 0.5)
+        rng = np.random.default_rng(4)
+        states = rng.integers(0, 2, size=(8, 5))
+        np.testing.assert_allclose(scaled.energies(states), 0.5 * m.energies(states))
+
+    def test_argmin_preserved(self):
+        from repro.anneal import ExactSolver
+
+        m = _random_model(5)
+        scaled = scale_model(m, 0.1)
+        s1, _ = ExactSolver().ground_state(m)
+        s2, _ = ExactSolver().ground_state(scaled)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scale_model(QuboModel(1), -1.0)
+
+    def test_zero_factor_allowed(self):
+        scaled = scale_model(_random_model(6), 0.0)
+        assert scaled.max_abs_coefficient() == 0.0
+
+
+class TestRelabel:
+    def test_energy_preserved_under_permutation(self):
+        m = _random_model(7, n=4)
+        mapping = {0: 3, 1: 2, 2: 1, 3: 0}
+        relabelled = relabel_variables(m, mapping, 4)
+        rng = np.random.default_rng(8)
+        states = rng.integers(0, 2, size=(10, 4))
+        permuted = states[:, [3, 2, 1, 0]]
+        np.testing.assert_allclose(
+            m.energies(states), relabelled.energies(permuted)
+        )
+
+    def test_into_larger_space(self):
+        m = QuboModel(2, {(0, 1): 1.0, (0, 0): -1.0})
+        out = relabel_variables(m, {0: 4, 1: 7}, 10)
+        assert out.num_variables == 10
+        assert out.get(4, 7) == 1.0
+        assert out.get(4) == -1.0
+
+    def test_missing_mapping_rejected(self):
+        with pytest.raises(KeyError):
+            relabel_variables(QuboModel(2), {0: 0}, 2)
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError):
+            relabel_variables(QuboModel(2), {0: 1, 1: 1}, 2)
+
+    def test_target_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            relabel_variables(QuboModel(1), {0: 5}, 2)
+
+
+class TestFixVariables:
+    def test_energy_consistency(self):
+        m = _random_model(9, n=4)
+        reduced, new_index = fix_variables(m, {1: 1, 3: 0})
+        assert reduced.num_variables == 2
+        rng = np.random.default_rng(10)
+        for _ in range(10):
+            partial = rng.integers(0, 2, size=2)
+            full = np.zeros(4, dtype=int)
+            full[1] = 1
+            full[3] = 0
+            full[0] = partial[new_index[0]]
+            full[2] = partial[new_index[2]]
+            assert m.energy(full) == pytest.approx(reduced.energy(partial))
+
+    def test_fix_all_leaves_offset(self):
+        m = QuboModel(2, {(0, 0): 1.0, (0, 1): 2.0}, offset=0.5)
+        reduced, _ = fix_variables(m, {0: 1, 1: 1})
+        assert reduced.num_variables == 0
+        assert reduced.offset == pytest.approx(3.5)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            fix_variables(QuboModel(1), {0: 2})
+
+    def test_out_of_range_variable_rejected(self):
+        with pytest.raises(IndexError):
+            fix_variables(QuboModel(1), {5: 0})

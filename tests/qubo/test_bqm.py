@@ -1,0 +1,155 @@
+import numpy as np
+import pytest
+
+from repro.qubo.bqm import BinaryQuadraticModel
+from repro.qubo.model import QuboModel
+from repro.qubo.vartypes import BINARY, SPIN
+
+
+class TestConstruction:
+    def test_from_dicts(self):
+        bqm = BinaryQuadraticModel({"a": 1.0}, {("a", "b"): -2.0}, offset=0.5)
+        assert bqm.num_variables == 2
+        assert bqm.get_linear("a") == 1.0
+        assert bqm.get_quadratic("a", "b") == -2.0
+        assert bqm.offset == 0.5
+
+    def test_add_variable_idempotent_accumulates_bias(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_variable("x", 1.0)
+        bqm.add_variable("x", 2.0)
+        assert bqm.num_variables == 1
+        assert bqm.get_linear("x") == 3.0
+
+    def test_self_loop_rejected(self):
+        bqm = BinaryQuadraticModel()
+        with pytest.raises(ValueError):
+            bqm.add_interaction("x", "x", 1.0)
+
+    def test_interaction_accumulates_symmetrically(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_interaction("u", "v", 1.0)
+        bqm.add_interaction("v", "u", 2.0)
+        assert bqm.get_quadratic("u", "v") == 3.0
+        assert bqm.get_quadratic("v", "u") == 3.0
+
+    def test_unknown_variable_raises(self):
+        bqm = BinaryQuadraticModel()
+        with pytest.raises(KeyError):
+            bqm.get_linear("missing")
+
+    def test_variables_in_insertion_order(self):
+        bqm = BinaryQuadraticModel()
+        for name in "cab":
+            bqm.add_variable(name)
+        assert bqm.variables == ["c", "a", "b"]
+
+    def test_degree_and_adjacency(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_interaction("a", "b", 1.0)
+        bqm.add_interaction("a", "c", 2.0)
+        assert bqm.degree("a") == 2
+        assert bqm.adjacency("a") == {"b": 1.0, "c": 2.0}
+
+
+class TestMutation:
+    def test_remove_variable(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_interaction("a", "b", 1.0)
+        bqm.remove_variable("a")
+        assert "a" not in bqm
+        assert bqm.degree("b") == 0
+
+    def test_fix_variable_energy_consistency(self):
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": -2.0}, {("a", "b"): 3.0})
+        full = bqm.energy({"a": 1, "b": 1})
+        bqm.fix_variable("a", 1)
+        assert bqm.energy({"b": 1}) == pytest.approx(full)
+
+    def test_fix_variable_invalid_value(self):
+        bqm = BinaryQuadraticModel({"a": 1.0})
+        with pytest.raises(ValueError):
+            bqm.fix_variable("a", -1)  # BINARY model
+
+    def test_relabel(self):
+        bqm = BinaryQuadraticModel({"a": 1.0}, {("a", "b"): 2.0})
+        out = bqm.relabel_variables({"a": "x"})
+        assert out.get_quadratic("x", "b") == 2.0
+        assert "a" not in out
+
+    def test_relabel_collision_rejected(self):
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": 2.0})
+        with pytest.raises(ValueError):
+            bqm.relabel_variables({"a": "b"})
+
+    def test_copy_independent(self):
+        bqm = BinaryQuadraticModel({"a": 1.0})
+        clone = bqm.copy()
+        clone.set_linear("a", 9.0)
+        assert bqm.get_linear("a") == 1.0
+
+
+class TestVartypeConversion:
+    def test_round_trip_preserves_energy(self):
+        bqm = BinaryQuadraticModel(
+            {"a": 1.0, "b": -0.5}, {("a", "b"): 2.0}, offset=0.25, vartype=BINARY
+        )
+        spin = bqm.change_vartype(SPIN)
+        back = spin.change_vartype(BINARY)
+        for xa in (0, 1):
+            for xb in (0, 1):
+                x = {"a": xa, "b": xb}
+                s = {"a": 2 * xa - 1, "b": 2 * xb - 1}
+                assert bqm.energy(x) == pytest.approx(spin.energy(s))
+                assert bqm.energy(x) == pytest.approx(back.energy(x))
+
+    def test_same_vartype_is_copy(self):
+        bqm = BinaryQuadraticModel({"a": 1.0})
+        clone = bqm.change_vartype(BINARY)
+        assert clone is not bqm
+        assert clone.get_linear("a") == 1.0
+
+
+class TestQuboModelBridge:
+    def test_to_qubo_model_and_back(self):
+        bqm = BinaryQuadraticModel(
+            {"x": -1.0, "y": 2.0}, {("x", "y"): -3.0}, offset=1.0
+        )
+        model, order = bqm.to_qubo_model()
+        assert order == ["x", "y"]
+        lifted = BinaryQuadraticModel.from_qubo_model(model, order)
+        for xa in (0, 1):
+            for xb in (0, 1):
+                sample = {"x": xa, "y": xb}
+                assert bqm.energy(sample) == pytest.approx(lifted.energy(sample))
+
+    def test_spin_model_lowered_through_binary(self):
+        bqm = BinaryQuadraticModel.from_ising({"s": 1.0}, {})
+        model, order = bqm.to_qubo_model()
+        # spin +1 <-> x=1: energies must agree.
+        assert model.energy(np.array([1])) == pytest.approx(bqm.energy({"s": 1}))
+        assert model.energy(np.array([0])) == pytest.approx(bqm.energy({"s": -1}))
+
+    def test_from_qubo_model_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            BinaryQuadraticModel.from_qubo_model(QuboModel(2), ["only-one"])
+
+
+class TestEnergies:
+    def test_vectorized_matches_scalar(self):
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": -1.0}, {("a", "b"): 0.5})
+        states = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        batch = bqm.energies(states, order=["a", "b"])
+        for row, (xa, xb) in zip(batch, states):
+            assert row == pytest.approx(bqm.energy({"a": xa, "b": xb}))
+
+    def test_order_must_cover_variables(self):
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": 1.0})
+        with pytest.raises(ValueError):
+            bqm.energies(np.zeros((1, 1)), order=["a"])
+
+    def test_interaction_graph(self):
+        bqm = BinaryQuadraticModel({"a": 0.0, "b": 0.0, "c": 0.0}, {("a", "b"): 1.0})
+        g = bqm.interaction_graph()
+        assert g.has_edge("a", "b")
+        assert g.number_of_nodes() == 3

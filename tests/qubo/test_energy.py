@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.qubo.energy import (
+    ising_energies,
+    ising_energy,
+    qubo_energies,
+    qubo_energies_dict,
+    qubo_energy,
+)
+
+
+class TestQuboEnergies:
+    def test_single_state(self):
+        q = np.array([[1.0, 2.0], [0.0, -1.0]])
+        # x = [1, 1]: 1 + 2 - 1 = 2
+        assert qubo_energy(np.array([1, 1]), q) == pytest.approx(2.0)
+
+    def test_zero_state_gives_offset(self):
+        q = np.ones((3, 3))
+        assert qubo_energy(np.zeros(3), q, offset=4.5) == pytest.approx(4.5)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        q = rng.normal(size=(5, 5))
+        states = rng.integers(0, 2, size=(8, 5))
+        batch = qubo_energies(states, q)
+        singles = [qubo_energy(s, q) for s in states]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_triangle_convention_irrelevant(self):
+        rng = np.random.default_rng(2)
+        upper = np.triu(rng.normal(size=(4, 4)))
+        lower = np.tril(upper.T, k=-1) + np.diag(np.diag(upper))
+        states = rng.integers(0, 2, size=(6, 4))
+        np.testing.assert_allclose(
+            qubo_energies(states, upper), qubo_energies(states, lower)
+        )
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            qubo_energies(np.zeros((2, 3)), np.zeros((4, 4)))
+
+
+class TestQuboEnergiesDict:
+    def test_matches_dense(self):
+        rng = np.random.default_rng(3)
+        coeffs = {(0, 0): -1.0, (0, 2): 2.0, (1, 2): -3.0}
+        from repro.qubo.matrix import dense_from_dict
+
+        q = dense_from_dict(coeffs, 3)
+        states = rng.integers(0, 2, size=(7, 3))
+        np.testing.assert_allclose(
+            qubo_energies_dict(states, coeffs), qubo_energies(states, q)
+        )
+
+    def test_single_state_dict(self):
+        value = qubo_energies_dict(np.array([1, 0]), {(0, 0): 2.0}, offset=1.0)
+        assert float(value) == pytest.approx(3.0)
+
+
+class TestIsingEnergies:
+    def test_known_value(self):
+        h = np.array([1.0, -1.0])
+        j = np.array([[0.0, 0.5], [0.0, 0.0]])
+        # s = [+1, +1]: 1 - 1 + 0.5 = 0.5
+        assert ising_energy(np.array([1, 1]), h, j) == pytest.approx(0.5)
+
+    def test_batch(self):
+        rng = np.random.default_rng(4)
+        h = rng.normal(size=4)
+        j = np.triu(rng.normal(size=(4, 4)), k=1)
+        states = rng.choice([-1, 1], size=(5, 4))
+        batch = ising_energies(states, h, j)
+        singles = [ising_energy(s, h, j) for s in states]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            ising_energy(np.array([1]), np.zeros(1), np.array([[1.0]]))
+
+    def test_offset(self):
+        assert ising_energy(
+            np.array([-1]), np.array([2.0]), np.zeros((1, 1)), offset=10.0
+        ) == pytest.approx(8.0)

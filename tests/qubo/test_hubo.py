@@ -1,0 +1,140 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.anneal.exact import ExactSolver
+from repro.qubo.hubo import HuboModel, and_penalty_terms, quadratize
+from repro.qubo.model import QuboModel
+
+
+def _all_states(n):
+    return np.array(list(itertools.product((0, 1), repeat=n)), dtype=np.int8)
+
+
+class TestHuboModel:
+    def test_constant_model(self):
+        h = HuboModel(2, offset=1.5)
+        assert h.energy(np.array([0, 1])) == 1.5
+        assert h.degree == 0
+
+    def test_linear_and_quadratic_terms(self):
+        h = HuboModel(3)
+        h.add_term([0], 2.0)
+        h.add_term([0, 1], -1.0)
+        assert h.energy(np.array([1, 1, 0])) == pytest.approx(1.0)
+
+    def test_cubic_term(self):
+        h = HuboModel(3)
+        h.add_term([0, 1, 2], 5.0)
+        assert h.energy(np.array([1, 1, 1])) == 5.0
+        assert h.energy(np.array([1, 1, 0])) == 0.0
+        assert h.degree == 3
+
+    def test_terms_accumulate_and_cancel(self):
+        h = HuboModel(2)
+        h.add_term([0, 1], 1.0)
+        h.add_term([1, 0], -1.0)  # same monomial (sets are unordered)
+        assert h.terms() == {}
+
+    def test_empty_monomial_folds_into_offset(self):
+        h = HuboModel(1)
+        h.add_term([], 2.0)
+        assert h.offset == 2.0
+
+    def test_energies_vectorized(self):
+        h = HuboModel(4)
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            size = rng.integers(1, 5)
+            monomial = rng.choice(4, size=size, replace=False)
+            h.add_term(monomial, float(rng.normal()))
+        states = _all_states(4)
+        batch = h.energies(states)
+        singles = [h.energy(s) for s in states]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HuboModel(-1)
+        h = HuboModel(2)
+        with pytest.raises(IndexError):
+            h.add_term([5], 1.0)
+        with pytest.raises(ValueError):
+            h.energy(np.zeros(3))
+
+
+class TestAndPenalty:
+    def test_truth_table(self):
+        entries = and_penalty_terms(2, 0, 1, 1.0)
+        m = QuboModel(3)
+        for (i, j), v in entries:
+            if i == j:
+                m.add_linear(i, v)
+            else:
+                m.add_quadratic(i, j, v)
+        for x, y, a in itertools.product((0, 1), repeat=3):
+            e = m.energy(np.array([x, y, a]))
+            if a == x * y:
+                assert e == pytest.approx(0.0)
+            else:
+                assert e >= 1.0
+
+
+class TestQuadratize:
+    def test_already_quadratic_is_identity(self):
+        h = HuboModel(3)
+        h.add_term([0], 1.0)
+        h.add_term([1, 2], -2.0)
+        q, aux = quadratize(h)
+        assert aux == {}
+        assert q.num_variables == 3
+        states = _all_states(3)
+        np.testing.assert_allclose(q.energies(states), h.energies(states))
+
+    @pytest.mark.parametrize("degree", [3, 4, 5])
+    def test_single_monomial_minimum_preserved(self, degree):
+        h = HuboModel(degree)
+        h.add_term(range(degree), -1.0)  # minimized by all-ones
+        q, aux = quadratize(h)
+        state, energy = ExactSolver().ground_state(q)
+        assert energy == pytest.approx(-1.0)
+        assert all(state[:degree] == 1)
+
+    def test_positive_monomial_avoided(self):
+        h = HuboModel(3)
+        h.add_term([0, 1, 2], 4.0)
+        h.add_term([0], -0.5)
+        h.add_term([1], -0.5)
+        q, _ = quadratize(h)
+        state, energy = ExactSolver().ground_state(q)
+        # Optimum: x0 = x1 = 1, x2 = 0 -> -1 (the cubic never pays).
+        assert energy == pytest.approx(-1.0)
+        assert state[2] == 0
+
+    def test_minima_match_brute_force(self):
+        rng = np.random.default_rng(1)
+        for trial in range(5):
+            h = HuboModel(5)
+            for _ in range(6):
+                size = int(rng.integers(1, 5))
+                monomial = rng.choice(5, size=size, replace=False)
+                h.add_term(monomial, float(rng.normal()))
+            q, _ = quadratize(h)
+            # Brute-force the HUBO.
+            states = _all_states(5)
+            hubo_min = h.energies(states).min()
+            _, qubo_min = ExactSolver().ground_state(q)
+            assert qubo_min == pytest.approx(hubo_min, abs=1e-9)
+
+    def test_shared_pairs_reuse_auxiliaries(self):
+        h = HuboModel(4)
+        h.add_term([0, 1, 2], 1.0)
+        h.add_term([0, 1, 3], 1.0)
+        _, aux = quadratize(h)
+        # (0,1) occurs in both monomials and should be reduced once.
+        assert len(aux) == 1
+
+    def test_bad_penalty(self):
+        with pytest.raises(ValueError):
+            quadratize(HuboModel(1), penalty=0.0)

@@ -1,0 +1,87 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.qubo.energy import qubo_energies_dict
+from repro.qubo.ising import (
+    binary_to_spins,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_binary,
+)
+
+
+def _ising_energy(state, h, j, offset):
+    e = offset
+    for v, bias in h.items():
+        e += bias * state[v]
+    for (a, b), coupling in j.items():
+        e += coupling * state[a] * state[b]
+    return e
+
+
+class TestQuboToIsing:
+    def test_energy_preserved_exhaustively(self):
+        coeffs = {(0, 0): -1.0, (1, 1): 2.0, (0, 1): -3.0, (1, 2): 0.5}
+        h, j, off = qubo_to_ising(coeffs, offset=0.75)
+        for bits in itertools.product((0, 1), repeat=3):
+            x = np.array(bits)
+            s = 2 * x - 1
+            qubo_e = float(qubo_energies_dict(x, coeffs, 0.75))
+            ising_e = _ising_energy(s, h, j, off)
+            assert qubo_e == pytest.approx(ising_e)
+
+    def test_diagonal_only(self):
+        h, j, off = qubo_to_ising({(0, 0): 4.0})
+        assert j == {}
+        assert h[0] == pytest.approx(2.0)
+        assert off == pytest.approx(2.0)
+
+
+class TestIsingToQubo:
+    def test_round_trip(self):
+        coeffs = {(0, 0): 1.0, (0, 1): -2.0, (1, 2): 3.0}
+        h, j, off1 = qubo_to_ising(coeffs, offset=0.0)
+        back, off2 = ising_to_qubo(h, j, off1)
+        for bits in itertools.product((0, 1), repeat=3):
+            x = np.array(bits)
+            original = float(qubo_energies_dict(x, coeffs))
+            recovered = float(qubo_energies_dict(x, back, off2))
+            assert original == pytest.approx(recovered)
+
+    def test_diagonal_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            ising_to_qubo({}, {(0, 0): 1.0})
+
+    def test_energy_preserved_exhaustively(self):
+        h = {0: 0.5, 1: -1.0}
+        j = {(0, 1): 2.0}
+        q, off = ising_to_qubo(h, j, offset=-0.5)
+        for spins in itertools.product((-1, 1), repeat=2):
+            s = np.array(spins)
+            x = (s + 1) // 2
+            ising_e = _ising_energy(s, h, j, -0.5)
+            qubo_e = float(qubo_energies_dict(x, q, off))
+            assert ising_e == pytest.approx(qubo_e)
+
+
+class TestStateMaps:
+    def test_binary_to_spins(self):
+        np.testing.assert_array_equal(
+            binary_to_spins(np.array([0, 1, 0])), [-1, 1, -1]
+        )
+
+    def test_spins_to_binary(self):
+        np.testing.assert_array_equal(
+            spins_to_binary(np.array([-1, 1, 1])), [0, 1, 1]
+        )
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, size=(4, 6))
+        np.testing.assert_array_equal(spins_to_binary(binary_to_spins(x)), x)
+
+    def test_dtype_is_int8(self):
+        assert binary_to_spins(np.array([0, 1])).dtype == np.int8
+        assert spins_to_binary(np.array([-1, 1])).dtype == np.int8

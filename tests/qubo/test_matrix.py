@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.qubo.matrix import (
+    coo_from_dict,
+    dense_from_dict,
+    dict_from_dense,
+    split_diagonal,
+    to_symmetric,
+    to_upper_triangular,
+)
+
+
+class TestToUpperTriangular:
+    def test_folds_lower_into_upper(self):
+        out = to_upper_triangular({(2, 1): 3.0, (1, 2): 1.0})
+        assert out == {(1, 2): 4.0}
+
+    def test_diagonal_kept(self):
+        assert to_upper_triangular({(0, 0): -1.0}) == {(0, 0): -1.0}
+
+    def test_zero_sum_dropped(self):
+        assert to_upper_triangular({(0, 1): 1.0, (1, 0): -1.0}) == {}
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            to_upper_triangular({(-1, 0): 1.0})
+
+    def test_empty(self):
+        assert to_upper_triangular({}) == {}
+
+
+class TestDenseRoundTrip:
+    def test_dense_from_dict_shape(self):
+        q = dense_from_dict({(0, 1): 2.0}, 3)
+        assert q.shape == (3, 3)
+        assert q[0, 1] == 2.0
+        assert q[1, 0] == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            dense_from_dict({(0, 5): 1.0}, 3)
+
+    def test_round_trip(self):
+        original = {(0, 0): -1.5, (0, 2): 2.0, (1, 2): -0.5}
+        q = dense_from_dict(original, 3)
+        assert dict_from_dense(q) == original
+
+    def test_dict_from_dense_folds_lower_triangle(self):
+        q = np.array([[0.0, 0.0], [3.0, 0.0]])
+        assert dict_from_dense(q) == {(0, 1): 3.0}
+
+    def test_dict_from_dense_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            dict_from_dense(np.zeros((2, 3)))
+
+    def test_atol_filters_small_entries(self):
+        q = np.array([[1e-12, 0.0], [0.0, 1.0]])
+        assert dict_from_dense(q, atol=1e-9) == {(1, 1): 1.0}
+
+
+class TestSymmetricForms:
+    def test_to_symmetric_zero_diagonal(self):
+        q = np.array([[5.0, 2.0], [0.0, -3.0]])
+        w = to_symmetric(q)
+        assert w[0, 0] == 0.0 and w[1, 1] == 0.0
+        assert w[0, 1] == w[1, 0] == 2.0
+
+    def test_split_diagonal_energy_identity(self):
+        rng = np.random.default_rng(0)
+        q = np.triu(rng.normal(size=(6, 6)))
+        d, w = split_diagonal(q)
+        x = rng.integers(0, 2, size=(10, 6)).astype(float)
+        direct = np.einsum("ri,ij,rj->r", x, q, x)
+        via_split = x @ d + 0.5 * ((x @ w) * x).sum(axis=1)
+        np.testing.assert_allclose(direct, via_split, atol=1e-12)
+
+
+class TestCoo:
+    def test_coo_matches_dense(self):
+        entries = {(0, 1): 1.0, (1, 1): -2.0}
+        coo = coo_from_dict(entries, 3)
+        np.testing.assert_allclose(coo.toarray(), dense_from_dict(entries, 3))
+
+    def test_empty_coo(self):
+        coo = coo_from_dict({}, 4)
+        assert coo.nnz == 0
+        assert coo.shape == (4, 4)

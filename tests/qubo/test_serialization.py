@@ -1,0 +1,111 @@
+import json
+
+import numpy as np
+import pytest
+
+from repro.qubo.bqm import BinaryQuadraticModel
+from repro.qubo.model import QuboModel
+from repro.qubo.serialization import (
+    bqm_from_dict,
+    bqm_to_dict,
+    load_model,
+    qubo_from_dict,
+    qubo_to_dict,
+    save_model,
+)
+
+
+def _model():
+    return QuboModel(4, {(0, 0): -1.0, (1, 3): 2.5, (2, 2): 0.75}, offset=1.25)
+
+
+def _bqm():
+    return BinaryQuadraticModel(
+        {"a": 1.0, ("pair", 3): -2.0},
+        {("a", ("pair", 3)): 0.5},
+        offset=-0.25,
+        vartype="SPIN",
+    )
+
+
+class TestQuboRoundTrip:
+    def test_dict_round_trip(self):
+        m = _model()
+        assert qubo_from_dict(qubo_to_dict(m)) == m
+
+    def test_payload_is_json_compatible(self):
+        payload = qubo_to_dict(_model())
+        json.dumps(payload)  # must not raise
+
+    def test_empty_model(self):
+        m = QuboModel(0, offset=3.0)
+        restored = qubo_from_dict(qubo_to_dict(m))
+        assert restored.num_variables == 0
+        assert restored.offset == 3.0
+
+    def test_energies_preserved(self):
+        m = _model()
+        restored = qubo_from_dict(qubo_to_dict(m))
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, 2, size=(8, 4))
+        np.testing.assert_allclose(m.energies(states), restored.energies(states))
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            qubo_from_dict({"format": "other", "version": 1})
+
+    def test_bad_version_rejected(self):
+        payload = qubo_to_dict(_model())
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            qubo_from_dict(payload)
+
+
+class TestBqmRoundTrip:
+    def test_round_trip_with_tuple_labels(self):
+        bqm = _bqm()
+        restored = bqm_from_dict(bqm_to_dict(bqm))
+        assert restored.vartype.name == "SPIN"
+        assert restored.variables == bqm.variables
+        assert restored.get_linear(("pair", 3)) == -2.0
+        assert restored.get_quadratic("a", ("pair", 3)) == 0.5
+        assert restored.offset == -0.25
+
+    def test_energy_preserved(self):
+        bqm = _bqm()
+        restored = bqm_from_dict(bqm_to_dict(bqm))
+        sample = {"a": 1, ("pair", 3): -1}
+        assert restored.energy(sample) == pytest.approx(bqm.energy(sample))
+
+
+class TestFileRoundTrip:
+    def test_qubo_file(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(_model(), path)
+        assert load_model(path) == _model()
+
+    def test_bqm_file(self, tmp_path):
+        path = tmp_path / "bqm.json"
+        save_model(_bqm(), path)
+        restored = load_model(path)
+        assert isinstance(restored, BinaryQuadraticModel)
+        assert restored.num_variables == 2
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model("not a model", tmp_path / "x.json")
+
+    def test_unknown_format_file(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text('{"format": "mystery"}')
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_formulation_model_survives(self, tmp_path):
+        """The practical path: persist a compiled string constraint."""
+        from repro.core import PalindromeGeneration
+
+        model = PalindromeGeneration(4).build_model()
+        path = tmp_path / "palindrome.json"
+        save_model(model, path)
+        assert load_model(path) == model

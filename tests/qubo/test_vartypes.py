@@ -1,0 +1,29 @@
+import pytest
+
+from repro.qubo.vartypes import BINARY, SPIN, Vartype, as_vartype
+
+
+class TestVartype:
+    def test_values_binary(self):
+        assert BINARY.values == (0, 1)
+
+    def test_values_spin(self):
+        assert SPIN.values == (-1, 1)
+
+    def test_as_vartype_passthrough(self):
+        assert as_vartype(BINARY) is BINARY
+
+    def test_as_vartype_from_string(self):
+        assert as_vartype("SPIN") is SPIN
+        assert as_vartype("binary") is BINARY
+
+    def test_as_vartype_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            as_vartype("qutrit")
+
+    def test_as_vartype_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            as_vartype(3)
+
+    def test_enum_members(self):
+        assert set(Vartype) == {BINARY, SPIN}

@@ -1,0 +1,99 @@
+import pytest
+
+from repro.smt import ast
+
+
+class TestSorts:
+    def test_sort_of_string_terms(self):
+        assert ast.sort_of(ast.StrVar("x")) is ast.StringSort
+        assert ast.sort_of(ast.StrLit("a")) is ast.StringSort
+        assert (
+            ast.sort_of(ast.Concat((ast.StrLit("a"), ast.StrLit("b"))))
+            is ast.StringSort
+        )
+        assert (
+            ast.sort_of(ast.Reverse(ast.StrLit("a"))) is ast.StringSort
+        )
+
+    def test_sort_of_int_terms(self):
+        assert ast.sort_of(ast.IntLit(3)) is ast.IntSort
+        assert ast.sort_of(ast.Length(ast.StrVar("x"))) is ast.IntSort
+        assert (
+            ast.sort_of(ast.IndexOf(ast.StrVar("x"), ast.StrLit("a")))
+            is ast.IntSort
+        )
+
+    def test_sort_of_bool_terms(self):
+        assert (
+            ast.sort_of(ast.Contains(ast.StrVar("x"), ast.StrLit("a")))
+            is ast.BoolSort
+        )
+        assert (
+            ast.sort_of(ast.Eq(ast.StrVar("x"), ast.StrLit("a"))) is ast.BoolSort
+        )
+        assert ast.sort_of(ast.Not(ast.Eq(ast.StrLit("a"), ast.StrLit("b")))) is ast.BoolSort
+
+    def test_sort_of_regex_terms(self):
+        assert ast.sort_of(ast.ReLit("a")) is ast.RegLanSort
+        assert ast.sort_of(ast.RePlus(ast.ReLit("a"))) is ast.RegLanSort
+
+    def test_sort_of_non_term(self):
+        with pytest.raises(TypeError):
+            ast.sort_of("just a string")
+
+
+class TestConstructorValidation:
+    def test_concat_needs_two_parts(self):
+        with pytest.raises(ValueError):
+            ast.Concat((ast.StrLit("a"),))
+
+    def test_reunion_needs_two_parts(self):
+        with pytest.raises(ValueError):
+            ast.ReUnion((ast.ReLit("a"),))
+
+    def test_rerange_validation(self):
+        with pytest.raises(ValueError):
+            ast.ReRange("ab", "c")
+        with pytest.raises(ValueError):
+            ast.ReRange("z", "a")
+
+    def test_indexof_default_start(self):
+        term = ast.IndexOf(ast.StrVar("x"), ast.StrLit("a"))
+        assert term.start == ast.IntLit(0)
+
+    def test_terms_hashable_and_equal(self):
+        a = ast.Eq(ast.StrVar("x"), ast.StrLit("v"))
+        b = ast.Eq(ast.StrVar("x"), ast.StrLit("v"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestFreeVariables:
+    def test_var(self):
+        assert ast.free_string_variables(ast.StrVar("x")) == {"x"}
+
+    def test_literal(self):
+        assert ast.free_string_variables(ast.StrLit("abc")) == set()
+
+    def test_nested(self):
+        term = ast.Eq(
+            ast.StrVar("x"),
+            ast.Concat((ast.StrVar("y"), ast.StrLit("z"))),
+        )
+        assert ast.free_string_variables(term) == {"x", "y"}
+
+    def test_replace(self):
+        term = ast.Replace(ast.StrVar("a"), ast.StrVar("b"), ast.StrLit("c"))
+        assert ast.free_string_variables(term) == {"a", "b"}
+
+    def test_inre(self):
+        term = ast.InRe(ast.StrVar("s"), ast.RePlus(ast.ReLit("a")))
+        assert ast.free_string_variables(term) == {"s"}
+
+    def test_not(self):
+        term = ast.Not(ast.Contains(ast.StrVar("h"), ast.StrLit("n")))
+        assert ast.free_string_variables(term) == {"h"}
+
+    def test_indexof_start(self):
+        term = ast.IndexOf(ast.StrLit("t"), ast.StrLit("s"), ast.IntLit(1))
+        assert ast.free_string_variables(term) == set()

@@ -1,0 +1,153 @@
+import pytest
+
+from repro.smt import ast
+from repro.smt.classical import ClassicalStringSolver
+from repro.smt.parser import parse_script
+from repro.smt.theory import eval_formula
+
+
+def _assertions(body, decls="(declare-const x String)"):
+    return parse_script(decls + body).assertions
+
+
+def _check_model(result, assertions):
+    assert result.status == "sat"
+    for assertion in assertions:
+        assert eval_formula(assertion, result.model)
+
+
+class TestSatCases:
+    def test_equality(self):
+        assertions = _assertions('(assert (= x "hello"))')
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+        assert result.model["x"] == "hello"
+
+    def test_length_and_contains(self):
+        assertions = _assertions(
+            '(assert (= (str.len x) 4))(assert (str.contains x "cat"))'
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+        assert len(result.model["x"]) == 4
+        assert "cat" in result.model["x"]
+
+    def test_indexof(self):
+        assertions = _assertions(
+            '(assert (= (str.len x) 5))(assert (= (str.indexof x "ab") 2))'
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+
+    def test_regex(self):
+        assertions = _assertions(
+            "(assert (= (str.len x) 4))"
+            '(assert (str.in_re x (re.++ (str.to_re "a") (re.+ (re.range "b" "c")))))'
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+
+    def test_regex_multiple_plus_distributions(self):
+        # Needs a slack distribution other than all-to-one-token.
+        assertions = _assertions(
+            "(assert (= (str.len x) 6))"
+            '(assert (str.in_re x (re.++ (re.+ (str.to_re "a")) (re.+ (str.to_re "b")))))'
+            '(assert (= (str.indexof x "b") 2))'
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+        assert result.model["x"] == "aabbbb"
+
+    def test_negative_constraint(self):
+        assertions = _assertions(
+            '(assert (= (str.len x) 1))(assert (not (= x "a")))'
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+        assert result.model["x"] != "a"
+
+    def test_length_scan_without_exact_length(self):
+        assertions = _assertions('(assert (str.contains x "zz"))')
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+
+    def test_multiple_variables(self):
+        assertions = _assertions(
+            '(assert (= x "a"))(assert (= y "b"))',
+            decls="(declare-const x String)(declare-const y String)",
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        assert result.model == {"x": "a", "y": "b"}
+
+    def test_ground_true_assertions_ignored(self):
+        assertions = _assertions(
+            '(assert (str.contains "abc" "b"))(assert (= x "q"))'
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+
+
+class TestUnsatCases:
+    def test_ground_false(self):
+        result = ClassicalStringSolver().solve(
+            _assertions('(assert (= "a" "b"))', decls="")
+        )
+        assert result.status == "unsat"
+
+    def test_conflicting_equalities(self):
+        result = ClassicalStringSolver().solve(
+            _assertions('(assert (= x "a"))(assert (= x "b"))')
+        )
+        assert result.status == "unsat"
+
+    def test_length_conflict(self):
+        result = ClassicalStringSolver().solve(
+            _assertions('(assert (= x "abc"))(assert (= (str.len x) 2))')
+        )
+        assert result.status == "unsat"
+
+    def test_contains_does_not_fit(self):
+        result = ClassicalStringSolver().solve(
+            _assertions(
+                '(assert (= (str.len x) 2))(assert (str.contains x "abc"))'
+            )
+        )
+        assert result.status == "unsat"
+
+    def test_regex_length_mismatch(self):
+        result = ClassicalStringSolver().solve(
+            _assertions(
+                '(assert (= (str.len x) 2))'
+                '(assert (str.in_re x (str.to_re "abc")))'
+            )
+        )
+        assert result.status == "unsat"
+
+
+class TestLimits:
+    def test_multi_variable_assertion_unknown(self):
+        result = ClassicalStringSolver().solve(
+            _assertions(
+                "(assert (= x y))",
+                decls="(declare-const x String)(declare-const y String)",
+            )
+        )
+        assert result.status == "unknown"
+
+    def test_node_budget(self):
+        solver = ClassicalStringSolver(node_budget=3, max_length=4)
+        result = solver.solve(_assertions('(assert (not (= x "aaaa")))'))
+        # With a 3-node budget the scan may or may not finish; it must not
+        # return a wrong answer.
+        if result.status == "sat":
+            assert result.model["x"] != "aaaa"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClassicalStringSolver(max_length=-1)
+        with pytest.raises(ValueError):
+            ClassicalStringSolver(node_budget=0)
+
+    def test_nodes_reported(self):
+        result = ClassicalStringSolver().solve(_assertions('(assert (= x "ab"))'))
+        assert result.nodes_explored >= 1

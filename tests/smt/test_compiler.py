@@ -1,0 +1,265 @@
+import pytest
+
+from repro.core.concat import StringConcatenation
+from repro.core.equality import StringEquality
+from repro.core.indexof import SubstringIndexOf
+from repro.core.length import StringLength
+from repro.core.regex import RegexMatching
+from repro.core.replace import StringReplace, StringReplaceAll
+from repro.core.reverse import StringReversal
+from repro.core.substring import SubstringMatching
+from repro.smt.compiler import (
+    CompilationError,
+    CompositeFormulation,
+    compile_assertions,
+)
+from repro.smt.parser import parse_script
+
+
+def _assertions(body: str, decls='(declare-const x String)'):
+    return parse_script(decls + body).assertions
+
+
+class TestShapeDispatch:
+    def test_equality_literal(self):
+        problem = compile_assertions(_assertions('(assert (= x "hi"))'))
+        assert isinstance(problem.formulations["x"], StringEquality)
+
+    def test_equality_reversed_orientation(self):
+        problem = compile_assertions(_assertions('(assert (= "hi" x))'))
+        assert isinstance(problem.formulations["x"], StringEquality)
+
+    def test_concat(self):
+        problem = compile_assertions(
+            _assertions('(assert (= x (str.++ "a" "b")))')
+        )
+        assert isinstance(problem.formulations["x"], StringConcatenation)
+
+    def test_replace_all(self):
+        problem = compile_assertions(
+            _assertions('(assert (= x (str.replace_all "ll" "l" "x")))')
+        )
+        f = problem.formulations["x"]
+        assert isinstance(f, StringReplaceAll) and not isinstance(f, StringReplace)
+
+    def test_replace_first(self):
+        problem = compile_assertions(
+            _assertions('(assert (= x (str.replace "ll" "l" "x")))')
+        )
+        assert isinstance(problem.formulations["x"], StringReplace)
+
+    def test_multichar_replace_falls_back_to_equality(self):
+        problem = compile_assertions(
+            _assertions('(assert (= x (str.replace "abab" "ab" "z")))')
+        )
+        f = problem.formulations["x"]
+        assert isinstance(f, StringEquality)
+        assert f.target == "zab"
+
+    def test_reverse(self):
+        problem = compile_assertions(
+            _assertions('(assert (= x (str.rev "abc")))')
+        )
+        assert isinstance(problem.formulations["x"], StringReversal)
+
+    def test_contains_with_length(self):
+        problem = compile_assertions(
+            _assertions(
+                '(assert (= (str.len x) 4))(assert (str.contains x "cat"))'
+            )
+        )
+        f = problem.formulations["x"]
+        assert isinstance(f, SubstringMatching)
+        assert f.total_length == 4
+
+    def test_indexof_with_length(self):
+        problem = compile_assertions(
+            _assertions(
+                '(assert (= (str.len x) 6))(assert (= (str.indexof x "hi") 2))'
+            )
+        )
+        f = problem.formulations["x"]
+        assert isinstance(f, SubstringIndexOf)
+        assert f.index == 2 and f.total_length == 6
+
+    def test_regex_with_length(self):
+        problem = compile_assertions(
+            _assertions(
+                "(assert (= (str.len x) 5))"
+                '(assert (str.in_re x (re.++ (str.to_re "a") (re.+ (re.range "b" "c")))))'
+            )
+        )
+        assert isinstance(problem.formulations["x"], RegexMatching)
+
+    def test_length_only_uses_decodable_mode(self):
+        problem = compile_assertions(_assertions("(assert (= (str.len x) 3))"))
+        f = problem.formulations["x"]
+        assert isinstance(f, StringLength)
+        assert f.mode == "decodable"
+
+
+class TestComposition:
+    def test_multiple_constraints_compose(self):
+        problem = compile_assertions(
+            _assertions(
+                '(assert (= (str.len x) 5))(assert (str.contains x "ab"))'
+                '(assert (= (str.indexof x "ab") 1))'
+            )
+        )
+        f = problem.formulations["x"]
+        assert isinstance(f, CompositeFormulation)
+        assert len(f.children) == 2  # the length fact is absorbed
+
+    def test_composite_verify_all_children(self):
+        problem = compile_assertions(
+            _assertions(
+                '(assert (= (str.len x) 4))(assert (str.contains x "ab"))'
+                '(assert (= (str.indexof x "ab") 2))'
+            )
+        )
+        f = problem.formulations["x"]
+        assert f.verify("xxab")
+        assert not f.verify("abxx")  # indexof wants position 2
+
+    def test_two_variables_compiled_independently(self):
+        problem = compile_assertions(
+            _assertions(
+                '(assert (= x "a"))(assert (= y "b"))',
+                decls="(declare-const x String)(declare-const y String)",
+            )
+        )
+        assert set(problem.formulations) == {"x", "y"}
+
+
+class TestGroundHandling:
+    def test_ground_true_recorded(self):
+        problem = compile_assertions(_assertions('(assert (str.contains "abc" "b"))'))
+        assert problem.ground_results[0][1] is True
+        assert not problem.trivially_unsat
+
+    def test_ground_false_flags_unsat(self):
+        problem = compile_assertions(_assertions('(assert (= "a" "b"))'))
+        assert problem.trivially_unsat
+
+    def test_ground_contains_gets_includes_qubo(self):
+        problem = compile_assertions(
+            _assertions('(assert (str.contains "the cat" "cat"))')
+        )
+        assert len(problem.includes) == 1
+        _, includes = problem.includes[0]
+        assert includes.haystack == "the cat"
+
+
+class TestErrors:
+    def test_multi_variable_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_assertions(
+                _assertions(
+                    "(assert (= x y))",
+                    decls="(declare-const x String)(declare-const y String)",
+                )
+            )
+
+    def test_no_length_inferable_rejected(self):
+        # `not` carries no length information, so inference fails first.
+        with pytest.raises(CompilationError, match="length"):
+            compile_assertions(_assertions('(assert (not (= x "ab")))'))
+
+    def test_indexof_alone_supplies_length_bound(self):
+        # (= (str.indexof x "ab") 1) implies |x| >= 3; the compiler uses it.
+        problem = compile_assertions(
+            _assertions('(assert (= (str.indexof x "ab") 1))')
+        )
+        f = problem.formulations["x"]
+        assert isinstance(f, SubstringIndexOf)
+        assert f.total_length == 3
+
+    def test_conflicting_lengths_rejected(self):
+        with pytest.raises(CompilationError, match="conflicting"):
+            compile_assertions(
+                _assertions(
+                    '(assert (= x "ab"))(assert (= (str.len x) 5))'
+                )
+            )
+
+    def test_length_below_lower_bound_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_assertions(
+                _assertions(
+                    '(assert (= (str.len x) 2))(assert (str.contains x "abc"))'
+                )
+            )
+
+    def test_unsupported_negation_rejected(self):
+        # Disequality is now supported (StringNotEquals); other negations
+        # remain outside the fragment.
+        with pytest.raises(CompilationError, match="negative"):
+            compile_assertions(
+                _assertions(
+                    '(assert (= (str.len x) 2))(assert (not (str.contains x "a")))'
+                )
+            )
+
+    def test_disequality_compiles_to_not_equals(self):
+        from repro.core.notequals import StringNotEquals
+
+        problem = compile_assertions(
+            _assertions('(assert (= (str.len x) 2))(assert (not (= x "ab")))')
+        )
+        assert isinstance(problem.formulations["x"], StringNotEquals)
+
+    def test_variable_needle_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_assertions(
+                _assertions("(assert (= (str.len x) 3))(assert (str.contains x x))")
+            )
+
+    def test_negative_indexof_witness_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_assertions(
+                _assertions(
+                    '(assert (= (str.len x) 3))(assert (= (str.indexof x "a") -1))'
+                )
+            )
+
+
+class TestCompositeFormulation:
+    def test_model_is_sum(self):
+        import numpy as np
+
+        a = StringEquality("ab")
+        b = SubstringMatching(2, "a")
+        composite = CompositeFormulation("v", [a, b])
+        states = np.random.default_rng(0).integers(0, 2, size=(5, 14))
+        np.testing.assert_allclose(
+            composite.build_model().energies(states),
+            a.build_model().energies(states) + b.build_model().energies(states),
+        )
+
+    def test_auxiliary_children_get_disjoint_blocks(self):
+        from repro.core.notequals import StringNotEquals
+
+        eq_like = SubstringMatching(2, "a")
+        neq = StringNotEquals("ab", seed=0)
+        composite = CompositeFormulation("v", [eq_like, neq])
+        model = composite.build_model()
+        # 14 string bits + the disequality's 13 AND-chain auxiliaries.
+        assert composite.string_bits == 14
+        assert model.num_variables == 14 + (14 - 1)
+
+    def test_composite_decode_strips_auxiliaries(self):
+        import numpy as np
+
+        from repro.core.encoding import encode_string
+        from repro.core.notequals import StringNotEquals
+
+        composite = CompositeFormulation(
+            "v", [SubstringMatching(2, "a"), StringNotEquals("ab", seed=0)]
+        )
+        state = np.zeros(composite.build_model().num_variables, dtype=np.int8)
+        state[:14] = encode_string("ax")
+        assert composite.decode(state) == "ax"
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompilationError):
+            CompositeFormulation("v", [])

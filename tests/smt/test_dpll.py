@@ -1,0 +1,138 @@
+import itertools
+
+import pytest
+
+from repro.smt.dpll import CdclSolver, _luby
+
+
+def _check_model(clauses, assignment):
+    for clause in clauses:
+        assert any(
+            assignment[abs(l)] == (l > 0) for l in clause
+        ), f"clause {clause} unsatisfied"
+
+
+class TestBasicSat:
+    def test_single_unit(self):
+        result = CdclSolver(1, [[1]]).solve()
+        assert result.satisfiable
+        assert result.assignment[1] is True
+
+    def test_negative_unit(self):
+        result = CdclSolver(1, [[-1]]).solve()
+        assert result.satisfiable
+        assert result.assignment[1] is False
+
+    def test_contradiction(self):
+        assert not CdclSolver(1, [[1], [-1]]).solve().satisfiable
+
+    def test_empty_clause_unsat(self):
+        assert not CdclSolver(2, [[1], []]).solve().satisfiable
+
+    def test_no_clauses_sat(self):
+        assert CdclSolver(3, []).solve().satisfiable
+
+    def test_tautology_ignored(self):
+        result = CdclSolver(2, [[1, -1], [2]]).solve()
+        assert result.satisfiable
+        assert result.assignment[2] is True
+
+    def test_implication_chain(self):
+        # 1 -> 2 -> 3 -> 4, with 1 asserted.
+        clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+        result = CdclSolver(4, clauses).solve()
+        assert result.satisfiable
+        assert all(result.assignment[v] for v in range(1, 5))
+
+    def test_model_satisfies_clauses(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        result = CdclSolver(3, clauses).solve()
+        assert result.satisfiable
+        _check_model(clauses, result.assignment)
+
+
+class TestHarderInstances:
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Variables p_{i,j}: pigeon i in hole j; i in 0..2, j in 0..1.
+        def var(i, j):
+            return i * 2 + j + 1
+
+        clauses = [[var(i, 0), var(i, 1)] for i in range(3)]
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        result = CdclSolver(6, clauses).solve()
+        assert not result.satisfiable
+        assert result.conflicts >= 1
+
+    def test_pigeonhole_4_into_3_unsat(self):
+        def var(i, j):
+            return i * 3 + j + 1
+
+        clauses = [[var(i, j) for j in range(3)] for i in range(4)]
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        assert not CdclSolver(12, clauses).solve().satisfiable
+
+    def test_random_3sat_agrees_with_brute_force(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        n = 8
+        for trial in range(10):
+            clauses = []
+            for _ in range(30):
+                vs = rng.choice(n, size=3, replace=False) + 1
+                signs = rng.choice([-1, 1], size=3)
+                clauses.append([int(v * s) for v, s in zip(vs, signs)])
+            brute = any(
+                all(
+                    any((assignment[abs(l) - 1] == 1) == (l > 0) for l in clause)
+                    for clause in clauses
+                )
+                for assignment in itertools.product((0, 1), repeat=n)
+            )
+            result = CdclSolver(n, clauses).solve()
+            assert result.satisfiable == brute, f"trial {trial}"
+            if result.satisfiable:
+                _check_model(clauses, result.assignment)
+
+    def test_all_solutions_blockable(self):
+        # Enumerate models of a small formula by adding blocking clauses.
+        clauses = [[1, 2]]
+        models = set()
+        for _ in range(10):
+            result = CdclSolver(2, clauses).solve()
+            if not result.satisfiable:
+                break
+            model = (result.assignment[1], result.assignment[2])
+            assert model not in models
+            models.add(model)
+            clauses.append(
+                [-(v) if result.assignment[v] else v for v in (1, 2)]
+            )
+        assert len(models) == 3  # TT, TF, FT
+
+
+class TestValidation:
+    def test_out_of_range_literal(self):
+        with pytest.raises(ValueError):
+            CdclSolver(1, [[2]])
+
+    def test_zero_literal(self):
+        with pytest.raises(ValueError):
+            CdclSolver(1, [[0]])
+
+    def test_negative_num_vars(self):
+        with pytest.raises(ValueError):
+            CdclSolver(-1, [])
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]

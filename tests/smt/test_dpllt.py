@@ -1,0 +1,85 @@
+import pytest
+
+from repro.smt import ast
+from repro.smt.dpllt import DpllTSolver
+from repro.smt.parser import parse_script
+from repro.smt.theory import eval_formula
+
+
+def _atoms(*bodies, decls="(declare-const x String)"):
+    out = []
+    for body in bodies:
+        out.extend(parse_script(decls + f"(assert {body})").assertions)
+    return out
+
+
+class TestConjunction:
+    def test_consistent_conjunction_sat(self):
+        atoms = _atoms('(= (str.len x) 3)', '(str.contains x "ab")')
+        result = DpllTSolver(atoms).solve()
+        assert result.status == "sat"
+        assert len(result.model["x"]) == 3
+        assert "ab" in result.model["x"]
+
+    def test_inconsistent_conjunction_unsat(self):
+        atoms = _atoms('(= x "aa")', '(= x "bb")')
+        result = DpllTSolver(atoms).solve()
+        assert result.status == "unsat"
+
+    def test_model_satisfies_all_atoms(self):
+        atoms = _atoms('(= (str.len x) 2)', '(str.contains x "z")')
+        result = DpllTSolver(atoms).solve()
+        assert result.status == "sat"
+        for atom in atoms:
+            assert eval_formula(atom, result.model)
+
+
+class TestBooleanStructure:
+    def test_disjunction_picks_consistent_branch(self):
+        # (a1 and a2) inconsistent; clause structure allows a3 instead.
+        atoms = _atoms('(= x "aa")', '(= x "bb")', '(= x "cc")')
+        solver = DpllTSolver(atoms, clauses=[[1, 3], [2, 3]])
+        result = solver.solve()
+        assert result.status == "sat"
+        assert result.model["x"] == "cc"
+
+    def test_negated_atom_respected(self):
+        # Clause forces atom 1 false: not (x = "a"), with len 1.
+        atoms = _atoms('(= x "a")', "(= (str.len x) 1)")
+        solver = DpllTSolver(atoms, clauses=[[-1], [2]])
+        result = solver.solve()
+        assert result.status == "sat"
+        assert result.model["x"] != "a"
+        assert len(result.model["x"]) == 1
+
+    def test_exclusive_choice(self):
+        atoms = _atoms('(= x "left")', '(= x "right")')
+        solver = DpllTSolver(atoms, clauses=[[1, 2], [-1, -2]])
+        result = solver.solve()
+        assert result.status == "sat"
+        assert result.model["x"] in ("left", "right")
+
+    def test_all_branches_blocked_unsat(self):
+        # Both branches theory-inconsistent with the shared atom.
+        atoms = _atoms('(= x "aa")', '(= x "bb")', "(= (str.len x) 3)")
+        solver = DpllTSolver(atoms, clauses=[[1, 2], [3]])
+        result = solver.solve()
+        assert result.status == "unsat"
+        assert result.theory_calls >= 2
+
+
+class TestBudgets:
+    def test_theory_call_budget(self):
+        atoms = _atoms('(= x "aa")', '(= x "bb")', "(= (str.len x) 3)")
+        solver = DpllTSolver(atoms, clauses=[[1, 2], [3]], max_theory_calls=1)
+        result = solver.solve()
+        assert result.status == "unknown"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DpllTSolver([])
+        atoms = _atoms('(= x "a")')
+        with pytest.raises(ValueError):
+            DpllTSolver(atoms, clauses=[[5]])
+        with pytest.raises(ValueError):
+            DpllTSolver(atoms, max_theory_calls=0)

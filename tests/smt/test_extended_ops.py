@@ -1,0 +1,203 @@
+"""Tests for the extended SMT surface: str.at / str.substr / str.prefixof /
+str.suffixof, disequalities, and push/pop scoping."""
+
+import pytest
+
+from repro.core.affixes import (
+    StringCharAt,
+    StringPrefixOf,
+    StringSubstr,
+    StringSuffixOf,
+)
+from repro.core.notequals import StringNotEquals
+from repro.smt import ast
+from repro.smt.classical import ClassicalStringSolver
+from repro.smt.compiler import CompilationError, compile_assertions
+from repro.smt.parser import ParseError, parse_script
+from repro.smt.solver import QuantumSMTSolver
+from repro.smt.theory import eval_formula, eval_term
+
+
+def _assertions(body, decls="(declare-const x String)"):
+    return parse_script(decls + body).assertions
+
+
+def _solver(**kwargs):
+    defaults = dict(
+        seed=0, num_reads=48, max_attempts=5, sampler_params={"num_sweeps": 500}
+    )
+    defaults.update(kwargs)
+    return QuantumSMTSolver(**defaults)
+
+
+class TestTheoryEvaluation:
+    def test_at_in_range(self):
+        assert eval_term(ast.At(ast.StrLit("abc"), ast.IntLit(1)), {}) == "b"
+
+    def test_at_out_of_range(self):
+        assert eval_term(ast.At(ast.StrLit("abc"), ast.IntLit(3)), {}) == ""
+        assert eval_term(ast.At(ast.StrLit("abc"), ast.IntLit(-1)), {}) == ""
+
+    def test_substr(self):
+        assert eval_term(
+            ast.Substr(ast.StrLit("hello"), ast.IntLit(1), ast.IntLit(3)), {}
+        ) == "ell"
+
+    def test_substr_out_of_range(self):
+        term = ast.Substr(ast.StrLit("abc"), ast.IntLit(9), ast.IntLit(1))
+        assert eval_term(term, {}) == ""
+        term = ast.Substr(ast.StrLit("abc"), ast.IntLit(0), ast.IntLit(-2))
+        assert eval_term(term, {}) == ""
+
+    def test_prefixof_suffixof(self):
+        assert eval_formula(
+            ast.PrefixOf(ast.StrLit("ab"), ast.StrLit("abc")), {}
+        )
+        assert not eval_formula(
+            ast.PrefixOf(ast.StrLit("bc"), ast.StrLit("abc")), {}
+        )
+        assert eval_formula(
+            ast.SuffixOf(ast.StrLit("bc"), ast.StrLit("abc")), {}
+        )
+
+
+class TestParsing:
+    def test_new_operators_parse(self):
+        assertions = _assertions(
+            '(assert (str.prefixof "a" x))(assert (str.suffixof "z" x))'
+            '(assert (= (str.at x 1) "b"))(assert (= x (str.substr "hello" 0 2)))'
+        )
+        assert isinstance(assertions[0], ast.PrefixOf)
+        assert isinstance(assertions[1], ast.SuffixOf)
+        assert isinstance(assertions[2].lhs, ast.At)
+        assert isinstance(assertions[3].rhs, ast.Substr)
+
+
+class TestCompilation:
+    def test_prefixof(self):
+        problem = compile_assertions(
+            _assertions('(assert (= (str.len x) 5))(assert (str.prefixof "ab" x))')
+        )
+        assert isinstance(problem.formulations["x"], StringPrefixOf)
+
+    def test_suffixof(self):
+        problem = compile_assertions(
+            _assertions('(assert (= (str.len x) 5))(assert (str.suffixof "yz" x))')
+        )
+        f = problem.formulations["x"]
+        assert isinstance(f, StringSuffixOf)
+        assert f.index == 3
+
+    def test_char_at(self):
+        problem = compile_assertions(
+            _assertions('(assert (= (str.len x) 4))(assert (= (str.at x 2) "Q"))')
+        )
+        assert isinstance(problem.formulations["x"], StringCharAt)
+
+    def test_at_supplies_length_bound(self):
+        problem = compile_assertions(
+            _assertions('(assert (= (str.at x 3) "Q"))')
+        )
+        f = problem.formulations["x"]
+        assert f.total_length == 4  # index 3 + 1
+
+    def test_substr_generation(self):
+        problem = compile_assertions(
+            _assertions('(assert (= x (str.substr "hello world" 6 5)))')
+        )
+        f = problem.formulations["x"]
+        assert isinstance(f, StringSubstr)
+        assert f.target == "world"
+
+    def test_disequality(self):
+        problem = compile_assertions(
+            _assertions('(assert (= (str.len x) 3))(assert (not (= x "abc")))')
+        )
+        assert isinstance(problem.formulations["x"], StringNotEquals)
+
+    def test_disequality_wrong_length_trivial(self):
+        # x has length 2; x != "abc" holds vacuously -> plain generator.
+        problem = compile_assertions(
+            _assertions('(assert (= (str.len x) 2))(assert (not (= x "abc")))')
+        )
+        f = problem.formulations["x"]
+        assert not isinstance(f, StringNotEquals)
+
+    def test_out_of_range_at_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_assertions(
+                _assertions(
+                    '(assert (= (str.len x) 4))(assert (= (str.at x 2) ""))'
+                )
+            )
+
+
+class TestEndToEnd:
+    def test_affix_constraints_solved(self):
+        script = """
+        (declare-const x String)
+        (assert (= (str.len x) 6))
+        (assert (str.prefixof "ab" x))
+        (assert (str.suffixof "yz" x))
+        (check-sat)
+        """
+        result = _solver().run_script_text(script)
+        assert result == ["sat"]
+
+    def test_disequality_solved(self):
+        s = _solver(seed=1)
+        s.declare_const("x")
+        s.add_assertion(ast.Eq(ast.Length(ast.StrVar("x")), ast.IntLit(4)))
+        s.add_assertion(ast.Not(ast.Eq(ast.StrVar("x"), ast.StrLit("aaaa"))))
+        result = s.check_sat()
+        assert result.status == "sat"
+        assert result.model["x"] != "aaaa"
+
+    def test_classical_handles_new_ops(self):
+        assertions = _assertions(
+            '(assert (= (str.len x) 4))(assert (str.prefixof "ab" x))'
+            '(assert (str.suffixof "cd" x))'
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        assert result.status == "sat"
+        assert result.model["x"] == "abcd"
+        for a in assertions:
+            assert eval_formula(a, result.model)
+
+
+class TestPushPop:
+    def test_pop_restores_assertions(self):
+        script = """
+        (declare-const x String)
+        (assert (= (str.len x) 2))
+        (check-sat)
+        (push 1)
+        (assert (= x "zz"))
+        (check-sat) (get-value (x))
+        (pop 1)
+        (push 1)
+        (assert (= x "qq"))
+        (check-sat) (get-value (x))
+        """
+        outputs = _solver(seed=2).run_script_text(script)
+        assert outputs[0] == "sat"
+        assert outputs[1] == "sat" and outputs[2] == '((x "zz"))'
+        assert outputs[3] == "sat" and outputs[4] == '((x "qq"))'
+
+    def test_nested_push(self):
+        script = """
+        (declare-const x String)
+        (push 2)
+        (assert (= x "a"))
+        (pop 1)
+        (pop 1)
+        (check-sat)
+        """
+        # After popping everything there are no constraints on x; with no
+        # assertions at all, check-sat over an empty conjunction is sat.
+        outputs = _solver(seed=3).run_script_text(script)
+        assert outputs == ["sat"]
+
+    def test_pop_beyond_stack_raises(self):
+        with pytest.raises(ParseError):
+            _solver().run_script_text("(pop 1)")

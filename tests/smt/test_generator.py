@@ -1,0 +1,78 @@
+import pytest
+
+from repro.smt.classical import ClassicalStringSolver
+from repro.smt.generator import InstanceGenerator
+from repro.smt.parser import parse_script
+from repro.smt.theory import eval_formula
+
+
+class TestSatisfiableInstances:
+    def test_witness_satisfies_assertions(self):
+        gen = InstanceGenerator(seed=0)
+        for _ in range(20):
+            inst = gen.generate()
+            assert inst.satisfiable
+            for assertion in inst.assertions:
+                assert eval_formula(assertion, inst.witness), assertion
+
+    def test_script_parses_back_to_same_assertions(self):
+        gen = InstanceGenerator(seed=1)
+        for _ in range(10):
+            inst = gen.generate()
+            script = parse_script(inst.script)
+            assert script.assertions == inst.assertions
+
+    def test_classical_solver_agrees(self):
+        gen = InstanceGenerator(seed=2, max_length=6)
+        for _ in range(10):
+            inst = gen.generate()
+            result = ClassicalStringSolver().solve(inst.assertions)
+            assert result.status == "sat"
+            for assertion in inst.assertions:
+                assert eval_formula(assertion, result.model)
+
+    def test_quantum_solver_agrees(self):
+        from repro.smt.solver import QuantumSMTSolver
+
+        gen = InstanceGenerator(seed=3, max_length=5, max_constraints=2)
+        inst = gen.generate()
+        solver = QuantumSMTSolver(
+            seed=4, num_reads=48, max_attempts=5,
+            sampler_params={"num_sweeps": 500},
+        )
+        solver.declare_const("x")
+        for assertion in inst.assertions:
+            solver.add_assertion(assertion)
+        result = solver.check_sat()
+        assert result.status == "sat"
+
+    def test_lengths_in_range(self):
+        gen = InstanceGenerator(min_length=4, max_length=4, seed=5)
+        for _ in range(5):
+            inst = gen.generate()
+            assert len(inst.witness["x"]) == 4
+
+
+class TestUnsatInstances:
+    def test_unsat_by_construction(self):
+        gen = InstanceGenerator(seed=6)
+        for _ in range(10):
+            inst = gen.generate_unsat()
+            assert not inst.satisfiable
+            result = ClassicalStringSolver().solve(inst.assertions)
+            assert result.status == "unsat"
+
+    def test_script_round_trip(self):
+        inst = InstanceGenerator(seed=7).generate_unsat()
+        script = parse_script(inst.script)
+        assert script.assertions == inst.assertions
+
+
+class TestValidation:
+    def test_bad_lengths(self):
+        with pytest.raises(ValueError):
+            InstanceGenerator(min_length=0)
+        with pytest.raises(ValueError):
+            InstanceGenerator(min_length=5, max_length=3)
+        with pytest.raises(ValueError):
+            InstanceGenerator(max_constraints=0)

@@ -1,0 +1,167 @@
+import pytest
+
+from repro.smt import ast
+from repro.smt.parser import ParseError, parse_script
+
+
+class TestDeclarations:
+    def test_declare_const(self):
+        script = parse_script("(declare-const x String)")
+        assert script.declarations == {"x": ast.StringSort}
+        assert script.string_variables() == ["x"]
+
+    def test_declare_fun_zero_ary(self):
+        script = parse_script("(declare-fun y () String)")
+        assert script.declarations["y"] is ast.StringSort
+
+    def test_declare_fun_with_args_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(declare-fun f (Int) String)")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(declare-const x String)(declare-const x String)")
+
+    def test_unsupported_sort_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(declare-const a (Array Int Int))")
+
+    def test_set_logic_recorded(self):
+        script = parse_script("(set-logic QF_S)")
+        assert script.logic == "QF_S"
+
+
+class TestTermParsing:
+    def _parse_assert(self, body, decls="(declare-const x String)"):
+        return parse_script(f"{decls}(assert {body})").assertions[0]
+
+    def test_equality_with_literal(self):
+        term = self._parse_assert('(= x "hello")')
+        assert term == ast.Eq(ast.StrVar("x"), ast.StrLit("hello"))
+
+    def test_concat(self):
+        term = self._parse_assert('(= x (str.++ "a" "b" "c"))')
+        assert isinstance(term.rhs, ast.Concat)
+        assert len(term.rhs.parts) == 3
+
+    def test_length(self):
+        term = self._parse_assert("(= (str.len x) 5)")
+        assert term == ast.Eq(ast.Length(ast.StrVar("x")), ast.IntLit(5))
+
+    def test_contains(self):
+        term = self._parse_assert('(str.contains x "cat")')
+        assert isinstance(term, ast.Contains)
+
+    def test_indexof_two_and_three_args(self):
+        t2 = self._parse_assert('(= (str.indexof x "a") 0)')
+        assert t2.lhs.start == ast.IntLit(0)
+        t3 = self._parse_assert('(= (str.indexof x "a" 2) 3)')
+        assert t3.lhs.start == ast.IntLit(2)
+
+    def test_replace_variants(self):
+        first = self._parse_assert('(= x (str.replace "ll" "l" "x"))')
+        assert not first.rhs.replace_all
+        every = self._parse_assert('(= x (str.replace_all "ll" "l" "x"))')
+        assert every.rhs.replace_all
+
+    def test_reverse(self):
+        term = self._parse_assert('(= x (str.rev "abc"))')
+        assert isinstance(term.rhs, ast.Reverse)
+
+    def test_in_re_with_constructors(self):
+        term = self._parse_assert(
+            '(str.in_re x (re.++ (str.to_re "a") '
+            '(re.+ (re.union (str.to_re "b") (str.to_re "c")))))'
+        )
+        assert isinstance(term, ast.InRe)
+        assert isinstance(term.regex, ast.ReConcat)
+
+    def test_re_range(self):
+        term = self._parse_assert('(str.in_re x (re.range "a" "z"))')
+        assert term.regex == ast.ReRange("a", "z")
+
+    def test_and_flattened(self):
+        script = parse_script(
+            '(declare-const x String)'
+            '(assert (and (= (str.len x) 3) (str.contains x "a")))'
+        )
+        assert len(script.assertions) == 2
+
+    def test_nested_and_flattened(self):
+        script = parse_script(
+            "(declare-const x String)"
+            '(assert (and (and (= x "a") (= x "b")) (= x "c")))'
+        )
+        assert len(script.assertions) == 3
+
+    def test_and_below_not_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script(
+                '(declare-const x String)(assert (not (and (= x "a") (= x "b"))))'
+            )
+
+    def test_not(self):
+        term = self._parse_assert('(not (= x "a"))')
+        assert isinstance(term, ast.Not)
+
+    def test_undeclared_symbol_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script('(assert (= y "a"))')
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script('(declare-const x String)(assert (str.to_lower x))')
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(declare-const x String)(assert (str.len))")
+
+
+class TestCommands:
+    def test_command_sequence(self):
+        script = parse_script(
+            '(set-logic QF_S)(declare-const x String)'
+            '(assert (= x "a"))(check-sat)(get-model)(exit)'
+        )
+        kinds = [kind for kind, _ in script.commands]
+        assert kinds == [
+            "set-logic",
+            "declare-const",
+            "assert",
+            "check-sat",
+            "get-model",
+            "exit",
+        ]
+
+    def test_get_value(self):
+        script = parse_script(
+            "(declare-const x String)(get-value (x))"
+        )
+        kind, terms = script.commands[-1]
+        assert kind == "get-value"
+        assert terms == [ast.StrVar("x")]
+
+    def test_unsupported_command(self):
+        with pytest.raises(ParseError):
+            parse_script("(define-sort MySort () String)")
+
+    def test_push_pop_commands(self):
+        script = parse_script("(push 1)(pop 1)(push)(pop)")
+        assert script.commands == [
+            ("push", 1),
+            ("pop", 1),
+            ("push", 1),
+            ("pop", 1),
+        ]
+
+    def test_push_invalid_argument(self):
+        with pytest.raises(ParseError):
+            parse_script("(push -1)")
+
+    def test_bare_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("check-sat")
+
+    def test_set_option_tolerated(self):
+        script = parse_script('(set-option :produce-models true)')
+        assert script.commands[0][0] == "set-option"

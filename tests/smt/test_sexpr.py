@@ -1,0 +1,63 @@
+import pytest
+
+from repro.smt.sexpr import SExprError, Symbol, parse_sexprs, tokenize
+
+
+class TestTokenize:
+    def test_symbols_and_ints(self):
+        tokens = tokenize("foo 42 -3 str.++")
+        assert tokens == [Symbol("foo"), 42, -3, Symbol("str.++")]
+        assert isinstance(tokens[0], Symbol)
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens == ["hello world"]
+        assert not isinstance(tokens[0], Symbol)
+
+    def test_escaped_quote(self):
+        assert tokenize('"say ""hi"""') == ['say "hi"']
+
+    def test_string_containing_parens_not_structural(self):
+        exprs = parse_sexprs('(f "(")')
+        assert exprs == [[Symbol("f"), "("]]
+
+    def test_comments_stripped(self):
+        assert tokenize("a ; comment here\n b") == [Symbol("a"), Symbol("b")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SExprError):
+            tokenize('"oops')
+
+    def test_lone_minus_is_symbol(self):
+        assert tokenize("-") == [Symbol("-")]
+
+
+class TestParseSexprs:
+    def test_nested(self):
+        exprs = parse_sexprs("(a (b 1) 2)")
+        assert exprs == [[Symbol("a"), [Symbol("b"), 1], 2]]
+
+    def test_multiple_top_level(self):
+        exprs = parse_sexprs("(a) (b)")
+        assert len(exprs) == 2
+
+    def test_bare_atom_at_top_level(self):
+        assert parse_sexprs("foo") == [Symbol("foo")]
+
+    def test_empty_input(self):
+        assert parse_sexprs("") == []
+
+    def test_empty_list(self):
+        assert parse_sexprs("()") == [[]]
+
+    def test_unbalanced_open(self):
+        with pytest.raises(SExprError):
+            parse_sexprs("(a (b)")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(SExprError):
+            parse_sexprs("a)")
+
+    def test_smtlib_snippet(self):
+        exprs = parse_sexprs('(assert (= x "hi"))')
+        assert exprs == [[Symbol("assert"), [Symbol("="), Symbol("x"), "hi"]]]

@@ -1,0 +1,139 @@
+import pytest
+
+from repro.smt import ast
+from repro.smt.solver import QuantumSMTSolver
+
+
+def _solver(**kwargs):
+    defaults = dict(seed=0, num_reads=32, sampler_params={"num_sweeps": 300})
+    defaults.update(kwargs)
+    return QuantumSMTSolver(**defaults)
+
+
+class TestCheckSat:
+    def test_sat_with_verified_model(self):
+        s = _solver()
+        s.declare_const("x")
+        s.add_assertion(ast.Eq(ast.StrVar("x"), ast.StrLit("hello")))
+        result = s.check_sat()
+        assert result.status == "sat"
+        assert result.model["x"] == "hello"
+
+    def test_unsat_on_false_ground_assertion(self):
+        s = _solver()
+        s.add_assertion(ast.Eq(ast.StrLit("a"), ast.StrLit("b")))
+        assert s.check_sat().status == "unsat"
+
+    def test_unknown_on_uncompilable(self):
+        s = _solver()
+        s.declare_const("x")
+        s.declare_const("y")
+        s.add_assertion(ast.Eq(ast.StrVar("x"), ast.StrVar("y")))
+        result = s.check_sat()
+        assert result.status == "unknown"
+        assert "compilation" in result.reason
+
+    def test_multi_variable_model(self):
+        s = _solver()
+        s.declare_const("x")
+        s.declare_const("y")
+        s.add_assertion(ast.Eq(ast.StrVar("x"), ast.StrLit("ab")))
+        s.add_assertion(
+            ast.Eq(ast.StrVar("y"), ast.Reverse(ast.StrLit("cd")))
+        )
+        result = s.check_sat()
+        assert result.status == "sat"
+        assert result.model == {"x": "ab", "y": "dc"}
+
+    def test_solve_results_recorded(self):
+        s = _solver()
+        s.declare_const("x")
+        s.add_assertion(ast.Eq(ast.StrVar("x"), ast.StrLit("q")))
+        result = s.check_sat()
+        assert result.solve_results["x"].ok
+
+
+class TestModelAccess:
+    def test_get_model_before_check_raises(self):
+        with pytest.raises(RuntimeError):
+            _solver().get_model()
+
+    def test_get_model_after_unsat_raises(self):
+        s = _solver()
+        s.add_assertion(ast.Eq(ast.StrLit("a"), ast.StrLit("b")))
+        s.check_sat()
+        with pytest.raises(RuntimeError):
+            s.get_model()
+
+    def test_get_value(self):
+        s = _solver()
+        s.declare_const("x")
+        s.add_assertion(ast.Eq(ast.StrVar("x"), ast.StrLit("v")))
+        s.check_sat()
+        assert s.get_value("x") == "v"
+        with pytest.raises(KeyError):
+            s.get_value("nope")
+
+
+class TestScriptExecution:
+    def test_full_repl_session(self):
+        script = """
+        (set-logic QF_S)
+        (declare-const x String)
+        (assert (= x (str.replace_all (str.++ "hello " "world") "l" "x")))
+        (check-sat)
+        (get-model)
+        (get-value (x))
+        """
+        outputs = _solver().run_script_text(script)
+        assert outputs[0] == "sat"
+        assert 'define-fun x () String "hexxo worxd"' in outputs[1]
+        assert outputs[2] == '((x "hexxo worxd"))'
+
+    def test_quote_escaping_in_model(self):
+        script = '(declare-const x String)(assert (= x "say ""hi"""))(check-sat)(get-model)'
+        outputs = _solver().run_script_text(script)
+        assert outputs[0] == "sat"
+        assert '"say ""hi"""' in outputs[1]
+
+    def test_exit_stops_execution(self):
+        script = "(declare-const x String)(exit)(check-sat)"
+        outputs = _solver().run_script_text(script)
+        assert outputs == []
+
+    def test_echo(self):
+        outputs = _solver().run_script_text('(echo "hi there")')
+        assert outputs == ["hi there"]
+
+    def test_from_script_text_constructor(self):
+        s = QuantumSMTSolver.from_script_text(
+            '(declare-const z String)(assert (= z "ok"))',
+            seed=1,
+            num_reads=16,
+            sampler_params={"num_sweeps": 200},
+        )
+        assert s.check_sat().status == "sat"
+
+
+class TestConfiguration:
+    def test_duplicate_declaration_rejected(self):
+        s = _solver()
+        s.declare_const("x")
+        with pytest.raises(ValueError):
+            s.declare_const("x")
+
+    def test_bad_max_attempts(self):
+        with pytest.raises(ValueError):
+            QuantumSMTSolver(max_attempts=0)
+
+    def test_retries_help_weak_sampler(self):
+        # With one read the annealer often misses; retries recover.
+        s = QuantumSMTSolver(
+            seed=3, num_reads=2, max_attempts=10, sampler_params={"num_sweeps": 150}
+        )
+        s.declare_const("x")
+        s.add_assertion(ast.Eq(ast.StrVar("x"), ast.StrLit("hi")))
+        result = s.check_sat()
+        assert result.status in ("sat", "unknown")  # never a wrong answer
+        if result.status == "sat":
+            assert result.model["x"] == "hi"

@@ -1,0 +1,138 @@
+import pytest
+
+from repro.smt import ast
+from repro.smt.theory import (
+    TheoryError,
+    eval_formula,
+    eval_term,
+    regex_term_to_tokens,
+)
+
+
+def V(name):
+    return ast.StrVar(name)
+
+
+def L(value):
+    return ast.StrLit(value)
+
+
+class TestEvalTerm:
+    def test_variable_lookup(self):
+        assert eval_term(V("x"), {"x": "hi"}) == "hi"
+
+    def test_unbound_variable(self):
+        with pytest.raises(TheoryError):
+            eval_term(V("x"), {})
+
+    def test_concat(self):
+        term = ast.Concat((L("a"), V("x"), L("c")))
+        assert eval_term(term, {"x": "b"}) == "abc"
+
+    def test_length(self):
+        assert eval_term(ast.Length(L("hello")), {}) == 5
+
+    def test_reverse(self):
+        assert eval_term(ast.Reverse(L("abc")), {}) == "cba"
+
+    def test_contains(self):
+        assert eval_term(ast.Contains(L("the cat"), L("cat")), {}) is True
+        assert eval_term(ast.Contains(L("the cat"), L("dog")), {}) is False
+
+    def test_indexof_found(self):
+        assert eval_term(ast.IndexOf(L("abcabc"), L("bc")), {}) == 1
+
+    def test_indexof_absent_is_minus_one(self):
+        assert eval_term(ast.IndexOf(L("abc"), L("z")), {}) == -1
+
+    def test_indexof_with_start(self):
+        term = ast.IndexOf(L("abcabc"), L("bc"), ast.IntLit(2))
+        assert eval_term(term, {}) == 4
+
+    def test_indexof_invalid_start(self):
+        term = ast.IndexOf(L("abc"), L("a"), ast.IntLit(-1))
+        assert eval_term(term, {}) == -1
+        term = ast.IndexOf(L("abc"), L("a"), ast.IntLit(10))
+        assert eval_term(term, {}) == -1
+
+    def test_replace_first_only(self):
+        term = ast.Replace(L("ll"), L("l"), L("x"))
+        assert eval_term(term, {}) == "xl"
+
+    def test_replace_all(self):
+        term = ast.Replace(L("ll"), L("l"), L("x"), replace_all=True)
+        assert eval_term(term, {}) == "xx"
+
+    def test_replace_absent(self):
+        term = ast.Replace(L("abc"), L("z"), L("x"))
+        assert eval_term(term, {}) == "abc"
+
+    def test_replace_empty_pattern_smtlib_semantics(self):
+        # str.replace with empty old prepends; replace_all is identity.
+        assert eval_term(ast.Replace(L("abc"), L(""), L("X")), {}) == "Xabc"
+        assert (
+            eval_term(ast.Replace(L("abc"), L(""), L("X"), replace_all=True), {})
+            == "abc"
+        )
+
+    def test_equality_polymorphic(self):
+        assert eval_term(ast.Eq(ast.Length(L("ab")), ast.IntLit(2)), {}) is True
+        assert eval_term(ast.Eq(L("a"), L("b")), {}) is False
+
+    def test_not(self):
+        assert eval_term(ast.Not(ast.Eq(L("a"), L("b"))), {}) is True
+
+    def test_in_re(self):
+        regex = ast.ReConcat(
+            (ast.ReLit("a"), ast.RePlus(ast.ReUnion((ast.ReLit("b"), ast.ReLit("c")))))
+        )
+        assert eval_term(ast.InRe(L("abcb"), regex), {}) is True
+        assert eval_term(ast.InRe(L("a"), regex), {}) is False
+
+
+class TestEvalFormula:
+    def test_requires_boolean(self):
+        with pytest.raises(TheoryError):
+            eval_formula(L("not a bool"), {})
+
+    def test_true_formula(self):
+        assert eval_formula(ast.Contains(L("ab"), L("a")), {}) is True
+
+
+class TestRegexLowering:
+    def test_literal_run(self):
+        tokens = regex_term_to_tokens(ast.ReLit("abc"))
+        assert [next(iter(t.chars)) for t in tokens] == ["a", "b", "c"]
+
+    def test_range(self):
+        (token,) = regex_term_to_tokens(ast.ReRange("a", "c"))
+        assert token.chars == frozenset("abc")
+
+    def test_union_of_chars(self):
+        (token,) = regex_term_to_tokens(
+            ast.ReUnion((ast.ReLit("x"), ast.ReRange("a", "b")))
+        )
+        assert token.chars == frozenset("xab")
+
+    def test_plus(self):
+        (token,) = regex_term_to_tokens(ast.RePlus(ast.ReLit("z")))
+        assert token.plus
+
+    def test_concat(self):
+        tokens = regex_term_to_tokens(
+            ast.ReConcat((ast.ReLit("ab"), ast.RePlus(ast.ReLit("c"))))
+        )
+        assert len(tokens) == 3
+        assert tokens[2].plus
+
+    def test_union_of_multichar_rejected(self):
+        with pytest.raises(TheoryError):
+            regex_term_to_tokens(ast.ReUnion((ast.ReLit("ab"), ast.ReLit("c"))))
+
+    def test_nested_plus_rejected(self):
+        with pytest.raises(TheoryError):
+            regex_term_to_tokens(ast.RePlus(ast.RePlus(ast.ReLit("a"))))
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(TheoryError):
+            regex_term_to_tokens(ast.ReLit(""))

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.utils.asciitab import (
+    ALPHABET_SIZE,
+    CHAR_BITS,
+    PRINTABLE_MAX,
+    PRINTABLE_MIN,
+    is_ascii7,
+    is_printable,
+    printable_chars,
+    random_printable,
+)
+
+
+class TestConstants:
+    def test_char_bits_is_seven(self):
+        # The paper's encoding is explicitly 7 bits per character.
+        assert CHAR_BITS == 7
+
+    def test_alphabet_size(self):
+        assert ALPHABET_SIZE == 128
+
+    def test_printable_bounds(self):
+        assert chr(PRINTABLE_MIN) == " "
+        assert chr(PRINTABLE_MAX) == "~"
+
+
+class TestPredicates:
+    def test_ascii7_accepts_plain_text(self):
+        assert is_ascii7("hello world! 123")
+
+    def test_ascii7_rejects_unicode(self):
+        assert not is_ascii7("héllo")
+
+    def test_ascii7_accepts_control_chars(self):
+        assert is_ascii7("\x00\x1f\x7f")
+
+    def test_empty_string_is_ascii7_and_printable(self):
+        assert is_ascii7("")
+        assert is_printable("")
+
+    def test_printable_rejects_control_chars(self):
+        assert not is_printable("a\x00b")
+        assert not is_printable("\x7f")
+
+    def test_printable_accepts_space_and_tilde(self):
+        assert is_printable(" ~")
+
+
+class TestPrintableChars:
+    def test_count(self):
+        assert len(printable_chars()) == PRINTABLE_MAX - PRINTABLE_MIN + 1
+
+    def test_sorted_by_codepoint(self):
+        chars = printable_chars()
+        assert list(chars) == sorted(chars)
+
+
+class TestRandomPrintable:
+    def test_length(self):
+        rng = np.random.default_rng(0)
+        assert len(random_printable(rng, 10)) == 10
+
+    def test_zero_length(self):
+        rng = np.random.default_rng(0)
+        assert random_printable(rng, 0) == ""
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            random_printable(np.random.default_rng(0), -1)
+
+    def test_all_printable(self):
+        rng = np.random.default_rng(1)
+        assert is_printable(random_printable(rng, 500))
+
+    def test_reproducible(self):
+        a = random_printable(np.random.default_rng(2), 20)
+        b = random_printable(np.random.default_rng(2), 20)
+        assert a == b

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 2**31, size=16)
+        b = ensure_rng(2).integers(0, 2**31, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(ss), np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_invalid_seed_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+    def test_float_seed_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        children = spawn_rngs(123, 3)
+        draws = [c.integers(0, 2**31, size=8) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_from_int_seed(self):
+        a = [g.integers(0, 1000) for g in spawn_rngs(9, 4)]
+        b = [g.integers(0, 1000) for g in spawn_rngs(9, 4)]
+        assert a == b
+
+    def test_reproducible_from_generator(self):
+        a = [g.integers(0, 1000) for g in spawn_rngs(np.random.default_rng(5), 4)]
+        b = [g.integers(0, 1000) for g in spawn_rngs(np.random.default_rng(5), 4)]
+        assert a == b
+
+    def test_spawn_from_seed_sequence(self):
+        children = spawn_rngs(np.random.SeedSequence(11), 2)
+        assert len(children) == 2

@@ -1,0 +1,64 @@
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, Timer
+
+
+class TestTimer:
+    def test_elapsed_after_block(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_elapsed_inside_block_grows(self):
+        with Timer() as t:
+            first = t.elapsed
+            time.sleep(0.005)
+            assert t.elapsed >= first
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as t:
+            pass
+        frozen = t.elapsed
+        time.sleep(0.005)
+        assert t.elapsed == frozen
+
+
+class TestStopwatch:
+    def test_record_and_total(self):
+        sw = Stopwatch()
+        sw.record("build", 0.5)
+        sw.record("build", 0.25)
+        assert sw.total("build") == pytest.approx(0.75)
+
+    def test_mean(self):
+        sw = Stopwatch()
+        sw.record("x", 1.0)
+        sw.record("x", 3.0)
+        assert sw.mean("x") == pytest.approx(2.0)
+
+    def test_mean_missing_raises(self):
+        with pytest.raises(KeyError):
+            Stopwatch().mean("missing")
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            Stopwatch().record("x", -1.0)
+
+    def test_context_manager_records(self):
+        sw = Stopwatch()
+        with sw.time("phase"):
+            time.sleep(0.005)
+        assert sw.total("phase") >= 0.002
+
+    def test_summary_order_and_values(self):
+        sw = Stopwatch()
+        sw.record("a", 1.0)
+        sw.record("b", 2.0)
+        sw.record("a", 1.0)
+        assert sw.summary() == {"a": 2.0, "b": 2.0}
+        assert list(sw.summary()) == ["a", "b"]
+
+    def test_total_of_unknown_segment_is_zero(self):
+        assert Stopwatch().total("nothing") == 0.0

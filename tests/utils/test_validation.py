@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 3.5, (int, float)) == 3.5
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "no", int)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("a", 2) == 2.0
+
+    def test_accepts_numpy_scalar(self):
+        assert check_positive("a", np.float64(0.5)) == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("a", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("a", -1)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("a", float("nan"))
+        with pytest.raises(ValueError):
+            check_positive("a", float("inf"))
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("a", "1")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("b", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("b", -0.1)
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability("p", 0) == 0.0
+        assert check_probability("p", 1) == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)
