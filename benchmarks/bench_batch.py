@@ -1,0 +1,121 @@
+"""Svc-A — batch solve service: compile cache and worker-pool scaling.
+
+Quantifies the two levers of the service layer on a validation-style
+workload (many near-identical constraint sets):
+
+* **compile cache** — cold vs warm batch over repeated scripts; the warm
+  run should skip every compile (hit rate → (n-1)/n for n repeats of one
+  unique script);
+* **worker pool** — serial vs threaded executor on the same batch.
+
+The end-of-run table also reproduces the metrics-export schema documented
+in DESIGN.md (per-stage timings + cache hit rate).
+"""
+
+import json
+
+import pytest
+
+from benchmarks.common import DEFAULT_SWEEPS, bench_once, emit, emit_table
+from repro.service import CompileCache, MetricsRegistry, RetryPolicy
+from repro.service.batch import BatchSolver
+
+UNIQUE_SCRIPTS = [
+    f'(declare-const x String)(assert (= x "{word}"))(check-sat)'
+    for word in ("hi", "ok", "go", "no", "up")
+]
+REPEATS = 4  # 5 unique scripts x 4 = 20-item batch
+
+
+def _make_batch(executor="serial", num_workers=4, cache=None):
+    return BatchSolver(
+        seed=2025,
+        num_reads=32,
+        sampler_params={"num_sweeps": DEFAULT_SWEEPS},
+        policy=RetryPolicy(max_attempts=3),
+        cache=cache if cache is not None else CompileCache(maxsize=64),
+        metrics=MetricsRegistry(),
+        executor=executor,
+        num_workers=num_workers,
+    )
+
+
+def _workload():
+    return UNIQUE_SCRIPTS * REPEATS
+
+
+def test_cold_batch_latency(benchmark):
+    def run():
+        return _make_batch().solve_batch(_workload())
+
+    report = bench_once(benchmark, run)
+    assert report.statuses == ["sat"] * len(_workload())
+
+
+def test_warm_batch_latency(benchmark):
+    cache = CompileCache(maxsize=64)
+    _make_batch(cache=cache).solve_batch(_workload())  # warm the cache
+
+    def run():
+        return _make_batch(cache=cache).solve_batch(_workload())
+
+    report = bench_once(benchmark, run)
+    assert report.statuses == ["sat"] * len(_workload())
+    # Every compile is served from the warm cache.
+    assert all(item.cache_hit for item in report)
+
+
+@pytest.mark.slow
+def test_threaded_batch_latency(benchmark):
+    def run():
+        return _make_batch(executor="thread", num_workers=4).solve_batch(
+            _workload()
+        )
+
+    report = bench_once(benchmark, run)
+    assert report.statuses == ["sat"] * len(_workload())
+
+
+def test_batch_service_table(benchmark):
+    def _run():
+        rows = []
+        metrics_blob = "{}"
+        for label, executor, workers, warm in (
+            ("serial / cold cache", "serial", 1, False),
+            ("serial / warm cache", "serial", 1, True),
+            ("4 threads / cold cache", "thread", 4, False),
+            ("4 threads / warm cache", "thread", 4, True),
+        ):
+            cache = CompileCache(maxsize=64)
+            if warm:
+                _make_batch(cache=cache).solve_batch(_workload())
+            batch = _make_batch(executor=executor, num_workers=workers, cache=cache)
+            before = cache.stats
+            report = batch.solve_batch(_workload())
+            after = cache.stats
+            hits = after.hits - before.hits
+            lookups = hits + (after.misses - before.misses)
+            export = batch.export_metrics()
+            anneal = export["histograms"].get("anneal", {})
+            rows.append(
+                [
+                    label,
+                    f"{report.wall_time:.3f}s",
+                    f"{hits}/{lookups}",
+                    f"{anneal.get('mean', 0.0):.4f}s",
+                    "".join(s[0] for s in report.statuses),
+                ]
+            )
+            metrics_blob = json.dumps(export, sort_keys=True)[:240]
+        emit_table(
+            "Svc-A — 20-item batch (5 unique scripts x 4 repeats)",
+            ["configuration", "batch wall", "cache hits", "anneal mean", "statuses"],
+            rows,
+        )
+        emit("", "metrics export (truncated): " + metrics_blob)
+        return rows
+
+    rows = bench_once(benchmark, _run)
+    # Warm runs answer every lookup from the cache.
+    assert rows[1][2] == "20/20"
+    assert rows[3][2] == "20/20"

@@ -49,13 +49,25 @@ from repro.anneal import (
 from repro.hardware import EmbeddingComposite, SimulatedQPU
 from repro.qubo import BinaryQuadraticModel, QuboModel
 from repro.smt import ClassicalStringSolver, QuantumSMTSolver
+from repro.service import (
+    BatchSolver,
+    CompileCache,
+    MetricsRegistry,
+    RetryExhaustedError,
+    RetryPolicy,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchSolver",
     "BinaryQuadraticModel",
     "ClassicalStringSolver",
+    "CompileCache",
     "ConstraintPipeline",
+    "MetricsRegistry",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "EmbeddingComposite",
     "ExactSolver",
     "PalindromeGeneration",

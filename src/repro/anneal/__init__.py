@@ -36,7 +36,7 @@ from repro.anneal.population import PopulationAnnealingSampler
 from repro.anneal.tabu import TabuSampler
 from repro.anneal.greedy import SteepestDescentSampler
 from repro.anneal.random_sampler import RandomSampler
-from repro.anneal.parallel import ParallelSampler, PortfolioSampler
+from repro.anneal.parallel import ParallelSampler, PortfolioSampler, split_evenly
 from repro.anneal.composites import (
     ScaleComposite,
     SpinReversalTransformComposite,
@@ -63,5 +63,6 @@ __all__ = [
     "default_beta_range",
     "geometric_schedule",
     "linear_schedule",
+    "split_evenly",
     "transverse_field_schedule",
 ]

@@ -28,7 +28,30 @@ from repro.anneal.sampleset import SampleSet
 from repro.qubo.model import QuboModel
 from repro.utils.rng import SeedLike, spawn_rngs
 
-__all__ = ["ParallelSampler", "PortfolioSampler"]
+__all__ = ["ParallelSampler", "PortfolioSampler", "split_evenly"]
+
+
+def split_evenly(total: int, parts: int) -> List[int]:
+    """Partition *total* units into at most *parts* non-empty, near-equal chunks.
+
+    The chunking primitive behind :class:`ParallelSampler` (splitting
+    ``num_reads`` across workers) and the batch service (sharding work items
+    into waves). Invariants, for all valid inputs:
+
+    * ``sum(split_evenly(total, parts)) == total``;
+    * no chunk is empty: ``total == 0`` yields ``[]``, and fewer units than
+      parts yields ``total`` chunks of one;
+    * chunk sizes differ by at most one and are non-increasing.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if total == 0:
+        return []
+    workers = min(parts, total)
+    base, extra = divmod(total, workers)
+    return [base + (1 if w < extra else 0) for w in range(workers)]
 
 
 def _run_chunk(
@@ -131,10 +154,16 @@ class ParallelSampler(Sampler):
 
     @staticmethod
     def _split_reads(num_reads: int, num_workers: int) -> List[int]:
-        """Evenly partition reads; never emits empty chunks."""
-        workers = min(num_workers, num_reads)
-        base, extra = divmod(num_reads, workers)
-        return [base + (1 if w < extra else 0) for w in range(workers)]
+        """Evenly partition reads; never emits empty chunks.
+
+        Delegates to :func:`split_evenly`; ``num_reads == 0`` yields no
+        chunks (the historical implementation raised ``ZeroDivisionError``)
+        and ``num_reads < num_workers`` yields ``num_reads`` single-read
+        chunks.
+        """
+        if num_reads < 0:
+            raise ValueError(f"num_reads must be non-negative, got {num_reads}")
+        return split_evenly(num_reads, num_workers)
 
 
 class PortfolioSampler(Sampler):

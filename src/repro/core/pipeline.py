@@ -91,15 +91,78 @@ class ConstraintPipeline:
         self,
         solver: Optional[StringQuboSolver] = None,
         initial: Any = None,
+        policy: Any = None,
+        metrics: Any = None,
         **solve_params: Any,
     ) -> PipelineResult:
-        """Execute all stages, threading each output into the next stage."""
+        """Execute all stages, threading each output into the next stage.
+
+        Parameters
+        ----------
+        policy:
+            Optional :class:`~repro.service.policy.RetryPolicy` applied per
+            stage: a stage whose solve does not verify is retried under the
+            shared robustness layer (fresh per-solve seeds make retries
+            meaningful). Without a policy each stage is solved exactly once,
+            the historical behavior.
+        metrics:
+            Optional :class:`~repro.service.metrics.MetricsRegistry`; when
+            given, per-stage wall times are recorded as
+            ``pipeline.stage.<name>`` histograms.
+        """
         solver = solver if solver is not None else StringQuboSolver()
         result = PipelineResult()
         current = initial
         for stage in self.stages:
             formulation = stage.build(current)
-            stage_result = solver.solve(formulation, **solve_params)
+            timer = (
+                metrics.time(f"pipeline.stage.{stage.name}")
+                if metrics is not None
+                else _null_context()
+            )
+            with timer:
+                if policy is None:
+                    stage_result = solver.solve(formulation, **solve_params)
+                else:
+                    stage_result = self._solve_with_policy(
+                        solver, formulation, stage.name, policy, **solve_params
+                    )
             result.stages.append(stage_result)
             current = stage_result.output
+        if metrics is not None:
+            metrics.counter("pipeline.runs").inc()
+            if result.ok:
+                metrics.counter("pipeline.ok").inc()
         return result
+
+    @staticmethod
+    def _solve_with_policy(
+        solver: StringQuboSolver,
+        formulation: StringFormulation,
+        stage_name: str,
+        policy: Any,
+        **solve_params: Any,
+    ) -> SolveResult:
+        """Retry an unverified stage solve under the shared policy."""
+        from repro.service.policy import RetryExhaustedError
+
+        def attempt(_index: int) -> SolveResult:
+            return solver.solve(formulation, **solve_params)
+
+        try:
+            outcome = policy.run(
+                attempt,
+                succeeded=lambda r: r.ok,
+                description=f"pipeline stage {stage_name!r}",
+            )
+        except RetryExhaustedError as exc:
+            if exc.last_result is not None:
+                return exc.last_result
+            raise
+        return outcome.result
+
+
+def _null_context():
+    import contextlib
+
+    return contextlib.nullcontext()

@@ -9,6 +9,7 @@ verification status, and sampling statistics.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
@@ -66,6 +67,10 @@ class StringQuboSolver:
     sampler_params:
         Extra fixed parameters forwarded to every ``sample_model`` call
         (e.g. ``num_sweeps``).
+    metrics:
+        Optional :class:`~repro.service.metrics.MetricsRegistry`; when
+        given, ``embed`` (QUBO construction), ``anneal`` (sampling) and
+        ``decode`` (decode + verify) stage timings are recorded into it.
     """
 
     def __init__(
@@ -74,13 +79,21 @@ class StringQuboSolver:
         num_reads: int = 64,
         seed: SeedLike = None,
         sampler_params: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         if num_reads < 1:
             raise ValueError(f"num_reads must be >= 1, got {num_reads}")
         self.sampler = sampler if sampler is not None else SimulatedAnnealingSampler()
         self.num_reads = num_reads
         self.sampler_params = dict(sampler_params or {})
+        self.metrics = metrics
         (self._rng,) = spawn_rngs(seed, 1)
+
+    def _stage(self, name: str):
+        """Timing context for one pipeline stage (no-op without metrics)."""
+        if self.metrics is None:
+            return contextlib.nullcontext()
+        return self.metrics.time(name)
 
     def solve(
         self, formulation: StringFormulation, **overrides: Any
@@ -91,15 +104,18 @@ class StringQuboSolver:
         params.setdefault("seed", int(self._rng.integers(0, 2**63 - 1)))
 
         start = time.perf_counter()
-        model = formulation.build_model()
-        sampleset = self.sampler.sample_model(model, **params)
+        with self._stage("embed"):
+            model = formulation.build_model()
+        with self._stage("anneal"):
+            sampleset = self.sampler.sample_model(model, **params)
         wall = time.perf_counter() - start
 
-        best = sampleset.first
-        best_state = best.state(sampleset.variables)
-        output = formulation.decode(best_state)
-        ok = bool(formulation.verify(output))
-        success_rate = self._success_rate(formulation, sampleset)
+        with self._stage("decode"):
+            best = sampleset.first
+            best_state = best.state(sampleset.variables)
+            output = formulation.decode(best_state)
+            ok = bool(formulation.verify(output))
+            success_rate = self._success_rate(formulation, sampleset)
         return SolveResult(
             formulation=formulation,
             sampleset=sampleset,

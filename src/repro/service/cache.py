@@ -1,0 +1,232 @@
+"""Content-addressed compile cache: constraint AST → compiled QUBO problem.
+
+High-volume workloads (input validation, symbolic execution) re-issue
+near-identical constraint sets; recompiling the QUBO matrices for each
+``check_sat`` wastes the dominant non-annealing cost. The cache keys on the
+**content hash** of the assertion conjunction plus every compile input that
+affects the output:
+
+``key = sha256(repr(assertion_1) ␞ ... ␞ repr(assertion_n) | A | seed)``
+
+The AST nodes are frozen dataclasses whose ``repr`` is canonical and
+injective over field values, so structurally identical conjunctions hash
+identically while any semantic difference (different literal, different
+penalty weight, different seed) misses. Seeds that are live RNG objects are
+*uncacheable* (their state advances per compile); they are keyed by object
+identity so they can never produce a false hit.
+
+A hit returns the **same** :class:`~repro.smt.compiler.CompiledProblem`
+object — including each formulation's already-built
+:class:`~repro.qubo.model.QuboModel` — so repeated formulations skip both
+compilation and QUBO construction entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CacheStats", "LruCache", "CompileCache", "compile_cache_key"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache statistics."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class LruCache:
+    """A thread-safe LRU mapping with hit/miss/eviction accounting.
+
+    Lookup moves an entry to the most-recently-used end; insertion beyond
+    ``maxsize`` evicts the least-recently-used entry.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.RLock()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # mapping operations
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Lookup with LRU promotion; counts a hit or a miss."""
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite; evicts the LRU entry when full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_create(
+        self, key: Hashable, factory: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """``(value, hit)`` — computing via *factory* at most once per key.
+
+        The factory runs under the cache lock, so concurrent callers with
+        the same key never duplicate work (compilation is milliseconds;
+        annealing, which dominates, happens outside the cache).
+        """
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key], True
+            self._misses += 1
+            value = factory()
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+            return value, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Peek without touching recency or statistics."""
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> List[Hashable]:
+        """LRU → MRU key order (for eviction-order tests)."""
+        with self._lock:
+            return list(self._data.keys())
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"{type(self).__name__}(size={s.size}/{s.maxsize}, "
+            f"hits={s.hits}, misses={s.misses}, evictions={s.evictions})"
+        )
+
+
+_UNCACHEABLE_LOCK = threading.Lock()
+_UNCACHEABLE_COUNTER = 0
+
+
+def _canonical_seed(seed: Any) -> str:
+    """A cache-key token for a seed; unique per call for live RNG state."""
+    if seed is None:
+        return "None"
+    if isinstance(seed, (int, np.integer)):
+        return f"int:{int(seed)}"
+    # Generators / SeedSequences mutate across compiles — never share a key.
+    global _UNCACHEABLE_COUNTER
+    with _UNCACHEABLE_LOCK:
+        _UNCACHEABLE_COUNTER += 1
+        return f"uncacheable:{_UNCACHEABLE_COUNTER}"
+
+
+def compile_cache_key(
+    assertions: Sequence[Any],
+    penalty_strength: float = 1.0,
+    seed: Any = None,
+) -> str:
+    """Content hash of one compile request (see module docstring)."""
+    payload = "\x1e".join(repr(a) for a in assertions)
+    payload += f"\x1f A={float(penalty_strength)!r}\x1f seed={_canonical_seed(seed)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CompileCache(LruCache):
+    """LRU cache specialized for ``compile_assertions`` results.
+
+    Examples
+    --------
+    >>> from repro.smt import ast
+    >>> cache = CompileCache(maxsize=64)
+    >>> conjunction = [ast.Eq(ast.StrVar("x"), ast.StrLit("hi"))]
+    >>> p1, hit1 = cache.get_or_compile(conjunction, 1.0, 7)
+    >>> p2, hit2 = cache.get_or_compile(list(conjunction), 1.0, 7)
+    >>> (hit1, hit2, p1 is p2)
+    (False, True, True)
+    """
+
+    def get_or_compile(
+        self,
+        assertions: Sequence[Any],
+        penalty_strength: float = 1.0,
+        seed: Any = None,
+        compile_fn: Optional[Callable[[], Any]] = None,
+    ) -> Tuple[Any, bool]:
+        """``(problem, hit)`` for the assertion conjunction.
+
+        ``compile_fn`` overrides the default
+        :func:`repro.smt.compiler.compile_assertions` call (used to thread
+        through a configured solver's ``compile``).
+        """
+        key = compile_cache_key(assertions, penalty_strength, seed)
+        if compile_fn is None:
+            def compile_fn() -> Any:
+                from repro.smt.compiler import compile_assertions
+
+                return compile_assertions(
+                    list(assertions),
+                    penalty_strength=penalty_strength,
+                    seed=seed,
+                )
+
+        def build() -> Any:
+            problem = compile_fn()
+            # Materialize every QUBO now so a cache hit also skips model
+            # construction, and concurrent readers only ever see built models.
+            for formulation in getattr(problem, "formulations", {}).values():
+                formulation.build_model()
+            return problem
+
+        return self.get_or_create(key, build)

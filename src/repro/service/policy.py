@@ -1,0 +1,251 @@
+"""Retry / timeout / backoff policy for stochastic sampler paths.
+
+Annealing is a stochastic, incomplete decision procedure: a failed attempt
+carries no information beyond "try again with a fresh seed". Before this
+module every driver hand-rolled its own retry loop
+(``QuantumSMTSolver._solve_with_retries``, ad-hoc loops in benchmarks);
+:class:`RetryPolicy` extracts that logic into one configurable, testable
+robustness layer shared by the SMT solver, the §4.12 pipeline and the
+batch service.
+
+Semantics
+---------
+* **max_attempts** — upper bound on executions of the attempt callable.
+* **attempt_timeout** — optional per-attempt wall-clock budget in seconds.
+  Attempts run on a helper thread when a timeout is set; an overdue attempt
+  is *abandoned* (Python cannot preempt a running thread) and counted as a
+  failure. Leave ``None`` (the default) to run attempts inline with zero
+  overhead.
+* **backoff** — sleep ``backoff_initial * backoff_factor**k`` (capped at
+  ``backoff_max``) before retry ``k+1``. The default initial of ``0.0``
+  disables sleeping, matching the historical retry loop. The sleep function
+  is injectable for tests.
+
+Exhausting every attempt raises the **typed** :class:`RetryExhaustedError`
+carrying the last result / exception — callers decide whether to surface it
+or to map it onto a soft ``unknown``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "RetryPolicy",
+    "RetryOutcome",
+    "RetryError",
+    "RetryExhaustedError",
+    "AttemptTimeout",
+]
+
+
+class RetryError(RuntimeError):
+    """Base class for retry-policy failures."""
+
+
+class AttemptTimeout(RetryError):
+    """A single attempt exceeded its per-attempt wall-clock budget."""
+
+    def __init__(self, attempt: int, timeout: float) -> None:
+        super().__init__(
+            f"attempt {attempt} exceeded its {timeout:.3g}s budget"
+        )
+        self.attempt = attempt
+        self.timeout = timeout
+
+
+class RetryExhaustedError(RetryError):
+    """Every attempt failed; carries the evidence of the last one.
+
+    Attributes
+    ----------
+    attempts:
+        Number of attempts actually executed.
+    last_result:
+        The final attempt's (unsuccessful) return value, or ``None`` when
+        the final attempt raised or timed out.
+    last_exception:
+        The final attempt's exception (including :class:`AttemptTimeout`),
+        or ``None`` when it returned a value that failed the success check.
+    """
+
+    def __init__(
+        self,
+        description: str,
+        attempts: int,
+        last_result: Any = None,
+        last_exception: Optional[BaseException] = None,
+    ) -> None:
+        detail = (
+            f"last error: {last_exception!r}"
+            if last_exception is not None
+            else f"last result: {last_result!r}"
+        )
+        super().__init__(
+            f"{description}: exhausted {attempts} attempt(s); {detail}"
+        )
+        self.description = description
+        self.attempts = attempts
+        self.last_result = last_result
+        self.last_exception = last_exception
+
+
+@dataclass
+class RetryOutcome:
+    """A successful :meth:`RetryPolicy.run`."""
+
+    result: Any
+    attempts: int
+    #: Seconds spent sleeping between attempts (0.0 without backoff).
+    waited: float = 0.0
+    #: Wall-clock seconds of each attempt, in order.
+    attempt_times: List[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry execution with optional timeout and backoff.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=3)
+    >>> policy.run(lambda attempt: attempt, succeeded=lambda r: r >= 1).result
+    1
+    """
+
+    max_attempts: int = 3
+    attempt_timeout: Optional[float] = None
+    backoff_initial: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError(
+                f"attempt_timeout must be positive, got {self.attempt_timeout}"
+            )
+        if self.backoff_initial < 0:
+            raise ValueError(
+                f"backoff_initial must be non-negative, got {self.backoff_initial}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise ValueError(
+                f"backoff_max must be non-negative, got {self.backoff_max}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # schedule
+    # ------------------------------------------------------------------ #
+
+    def backoff_delays(self) -> List[float]:
+        """The sleep scheduled before each retry (``max_attempts - 1`` values)."""
+        delays = []
+        for k in range(self.max_attempts - 1):
+            delay = self.backoff_initial * (self.backoff_factor ** k)
+            delays.append(min(delay, self.backoff_max))
+        return delays
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        attempt: Callable[[int], Any],
+        *,
+        succeeded: Optional[Callable[[Any], bool]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        description: str = "operation",
+    ) -> RetryOutcome:
+        """Execute *attempt* until it succeeds or the policy is exhausted.
+
+        Parameters
+        ----------
+        attempt:
+            Callable receiving the 1-based attempt index. Exceptions count
+            as failures and are retried.
+        succeeded:
+            Predicate on the attempt's return value. Defaults to the
+            result's ``ok`` attribute when present, else its truthiness —
+            which makes ``SolveResult`` work unadorned.
+        sleep:
+            Injectable sleep for deterministic backoff tests.
+        description:
+            Used in the :class:`RetryExhaustedError` message.
+
+        Raises
+        ------
+        RetryExhaustedError
+            When every attempt failed; carries the last result/exception.
+        """
+        if succeeded is None:
+            succeeded = _default_success
+        delays = self.backoff_delays()
+        waited = 0.0
+        attempt_times: List[float] = []
+        last_result: Any = None
+        last_exception: Optional[BaseException] = None
+        for index in range(1, self.max_attempts + 1):
+            start = time.perf_counter()
+            try:
+                result = self._call(attempt, index)
+            except AttemptTimeout as exc:
+                last_result, last_exception = None, exc
+            except Exception as exc:  # noqa: BLE001 — failures are data here
+                last_result, last_exception = None, exc
+            else:
+                attempt_times.append(time.perf_counter() - start)
+                if succeeded(result):
+                    return RetryOutcome(
+                        result=result,
+                        attempts=index,
+                        waited=waited,
+                        attempt_times=attempt_times,
+                    )
+                last_result, last_exception = result, None
+            if not attempt_times or len(attempt_times) < index:
+                attempt_times.append(time.perf_counter() - start)
+            if index < self.max_attempts:
+                delay = delays[index - 1]
+                if delay > 0:
+                    sleep(delay)
+                    waited += delay
+        raise RetryExhaustedError(
+            description,
+            attempts=self.max_attempts,
+            last_result=last_result,
+            last_exception=last_exception,
+        )
+
+    def _call(self, attempt: Callable[[int], Any], index: int) -> Any:
+        if self.attempt_timeout is None:
+            return attempt(index)
+        pool = cf.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"retry-attempt-{index}"
+        )
+        future = pool.submit(attempt, index)
+        try:
+            return future.result(timeout=self.attempt_timeout)
+        except cf.TimeoutError:
+            raise AttemptTimeout(index, self.attempt_timeout) from None
+        finally:
+            # Never join an overdue worker: abandon it and move on.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _default_success(result: Any) -> bool:
+    ok = getattr(result, "ok", None)
+    if ok is not None:
+        return bool(ok)
+    return bool(result)

@@ -19,6 +19,8 @@ from typing import Any, Dict, List, Optional
 
 from repro.anneal.base import Sampler
 from repro.core.solver import SolveResult, StringQuboSolver
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import RetryExhaustedError, RetryPolicy
 from repro.smt import ast
 from repro.smt.compiler import CompilationError, CompiledProblem, compile_assertions
 from repro.smt.parser import ParseError, SmtScript, parse_script
@@ -59,6 +61,14 @@ class QuantumSMTSolver:
     max_attempts:
         Restarts per variable when verification fails (annealing is
         stochastic; retrying with fresh seeds recovers most misses).
+        Shorthand for ``retry_policy=RetryPolicy(max_attempts=...)``.
+    retry_policy:
+        Full :class:`~repro.service.policy.RetryPolicy` (per-attempt
+        timeout, backoff). Takes precedence over ``max_attempts``.
+    metrics:
+        Optional :class:`~repro.service.metrics.MetricsRegistry`; when
+        given, compile/anneal stage timings and check-sat outcome counters
+        are recorded into it.
     """
 
     def __init__(
@@ -69,16 +79,25 @@ class QuantumSMTSolver:
         sampler_params: Optional[Dict[str, Any]] = None,
         max_attempts: int = 3,
         penalty_strength: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.metrics = metrics
         self._driver = StringQuboSolver(
             sampler=sampler,
             num_reads=num_reads,
             seed=seed,
             sampler_params=sampler_params,
+            metrics=metrics,
         )
-        self.max_attempts = max_attempts
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=max_attempts)
+        )
+        self.max_attempts = self.retry_policy.max_attempts
         self.penalty_strength = penalty_strength
         self._seed = seed
         self.assertions: List[ast.Term] = []
@@ -122,6 +141,13 @@ class QuantumSMTSolver:
 
     def compile(self) -> CompiledProblem:
         """Lower the asserted conjunction to QUBO formulations."""
+        if self.metrics is not None:
+            with self.metrics.time("compile"):
+                return compile_assertions(
+                    self.assertions,
+                    penalty_strength=self.penalty_strength,
+                    seed=self._seed,
+                )
         return compile_assertions(
             self.assertions,
             penalty_strength=self.penalty_strength,
@@ -134,12 +160,26 @@ class QuantumSMTSolver:
             problem = self.compile()
         except CompilationError as exc:
             self._last = SmtResult(status=UNKNOWN, reason=f"compilation: {exc}")
+            self._count(UNKNOWN)
             return self._last
+        return self.solve_compiled(problem, **solve_params)
+
+    def solve_compiled(
+        self, problem: CompiledProblem, **solve_params: Any
+    ) -> SmtResult:
+        """Decide a pre-compiled problem (the cache-hit fast path).
+
+        ``check_sat`` is ``solve_compiled(self.compile())``; the batch
+        service calls this directly with problems from the
+        :class:`~repro.service.cache.CompileCache` so repeated
+        formulations skip compilation entirely.
+        """
         if problem.trivially_unsat:
             failed = [a for a, truth in problem.ground_results if not truth]
             self._last = SmtResult(
                 status=UNSAT, reason=f"ground assertion false: {failed[0]!r}"
             )
+            self._count(UNSAT)
             return self._last
 
         model: Dict[str, str] = {}
@@ -156,6 +196,7 @@ class QuantumSMTSolver:
                         f"{variable!r} in {self.max_attempts} attempts"
                     ),
                 )
+                self._count(UNKNOWN)
                 return self._last
             model[variable] = result.output
 
@@ -170,17 +211,45 @@ class QuantumSMTSolver:
                     solve_results=solve_results,
                     reason=f"model fails assertion {assertion!r}",
                 )
+                self._count(UNKNOWN)
                 return self._last
         self._last = SmtResult(status=SAT, model=model, solve_results=solve_results)
+        self._count(SAT)
         return self._last
 
+    def _count(self, status: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("smt.check_sat").inc()
+            self.metrics.counter(f"smt.{status}").inc()
+
     def _solve_with_retries(self, formulation, **solve_params: Any) -> SolveResult:
-        result = self._driver.solve(formulation, **solve_params)
-        attempts = 1
-        while not result.ok and attempts < self.max_attempts:
-            result = self._driver.solve(formulation, **solve_params)
-            attempts += 1
-        return result
+        """One robustness layer for the stochastic backend (shared policy).
+
+        Exhausted retries with a decoded-but-unverified last result are
+        mapped onto that result (the soundness contract turns it into
+        ``unknown``); exhausted retries where every attempt *raised* —
+        including per-attempt timeouts — re-raise the typed
+        :class:`~repro.service.policy.RetryExhaustedError`.
+        """
+
+        def attempt(_index: int) -> SolveResult:
+            return self._driver.solve(formulation, **solve_params)
+
+        try:
+            outcome = self.retry_policy.run(
+                attempt,
+                succeeded=lambda r: r.ok,
+                description=f"solve {formulation.describe()}",
+            )
+        except RetryExhaustedError as exc:
+            if self.metrics is not None:
+                self.metrics.counter("smt.retries_exhausted").inc()
+            if exc.last_result is not None:
+                return exc.last_result
+            raise
+        if self.metrics is not None and outcome.attempts > 1:
+            self.metrics.counter("smt.retried_solves").inc()
+        return outcome.result
 
     # ------------------------------------------------------------------ #
     # model access

@@ -2,7 +2,7 @@ import numpy as np
 import pytest
 
 from repro.anneal.exact import ExactSolver
-from repro.anneal.parallel import ParallelSampler, PortfolioSampler
+from repro.anneal.parallel import ParallelSampler, PortfolioSampler, split_evenly
 from repro.anneal.random_sampler import RandomSampler
 from repro.anneal.simulated import SimulatedAnnealingSampler
 from repro.anneal.greedy import SteepestDescentSampler
@@ -27,6 +27,36 @@ class TestParallelSampler:
         assert ParallelSampler._split_reads(10, 3) == [4, 3, 3]
         assert ParallelSampler._split_reads(2, 5) == [1, 1]
         assert ParallelSampler._split_reads(1, 1) == [1]
+
+    def test_chunking_fewer_reads_than_workers(self):
+        # num_reads < num_workers: one single-read chunk per read, no zeros.
+        assert ParallelSampler._split_reads(3, 8) == [1, 1, 1]
+        assert ParallelSampler._split_reads(1, 4) == [1]
+
+    def test_chunking_zero_reads_yields_no_chunks(self):
+        # Historically raised ZeroDivisionError; now the degenerate batch
+        # is simply empty (sample_model still validates num_reads >= 1).
+        assert ParallelSampler._split_reads(0, 4) == []
+        assert split_evenly(0, 1) == []
+
+    def test_chunking_invariants_exhaustive(self):
+        for total in range(0, 40):
+            for parts in range(1, 9):
+                chunks = split_evenly(total, parts)
+                assert sum(chunks) == total
+                assert len(chunks) == min(parts, total) if total else not chunks
+                assert all(c >= 1 for c in chunks)
+                if chunks:
+                    assert max(chunks) - min(chunks) <= 1
+                    assert chunks == sorted(chunks, reverse=True)
+
+    def test_chunking_validation(self):
+        with pytest.raises(ValueError):
+            split_evenly(-1, 2)
+        with pytest.raises(ValueError):
+            split_evenly(4, 0)
+        with pytest.raises(ValueError):
+            ParallelSampler._split_reads(-2, 2)
 
     def test_serial_finds_ground_state(self):
         m = _random_model(1, n=10)

@@ -1,0 +1,86 @@
+"""Property: batch solving ≡ sequential solving, element-wise, at fixed seed.
+
+For random constraint sets, :class:`BatchSolver` must return exactly the
+result the sequential :class:`QuantumSMTSolver` produces for each item with
+the same seed — regardless of worker count, executor choice, duplicate
+items, or compile-cache state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.batch import BatchSolver
+from repro.smt import ast
+from repro.smt.solver import QuantumSMTSolver
+
+SEED = 11
+FAST = {"num_reads": 32, "sampler_params": {"num_sweeps": 300}}
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x7E),
+    min_size=1,
+    max_size=4,
+)
+
+
+@st.composite
+def constraint_sets(draw):
+    """A small single-variable conjunction inside the QUBO fragment."""
+    word = draw(words)
+    x = ast.StrVar("x")
+    kind = draw(st.sampled_from(["eq", "eq+len", "contains+len", "prefix+len"]))
+    if kind == "eq":
+        return [ast.Eq(x, ast.StrLit(word))]
+    if kind == "eq+len":
+        return [
+            ast.Eq(x, ast.StrLit(word)),
+            ast.Eq(ast.Length(x), ast.IntLit(len(word))),
+        ]
+    extra = draw(st.integers(min_value=0, max_value=2))
+    length_fact = ast.Eq(ast.Length(x), ast.IntLit(len(word) + extra))
+    if kind == "contains+len":
+        return [ast.Contains(x, ast.StrLit(word)), length_fact]
+    return [ast.PrefixOf(ast.StrLit(word), x), length_fact]
+
+
+def solve_sequentially(conjunctions):
+    outcomes = []
+    for assertions in conjunctions:
+        solver = QuantumSMTSolver(seed=SEED, **FAST)
+        for assertion in assertions:
+            solver.add_assertion(assertion)
+        outcomes.append(solver.check_sat())
+    return outcomes
+
+
+class TestBatchEqualsSequential:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        conjunctions=st.lists(constraint_sets(), min_size=1, max_size=4),
+        num_workers=st.sampled_from([1, 3]),
+    )
+    def test_elementwise_equal_to_sequential(self, conjunctions, num_workers):
+        reference = solve_sequentially(conjunctions)
+        batch = BatchSolver(
+            seed=SEED, executor="thread", num_workers=num_workers, **FAST
+        )
+        report = batch.solve_batch(conjunctions)
+        assert report.statuses == [r.status for r in reference]
+        assert report.models == [r.model for r in reference]
+
+    @settings(max_examples=8, deadline=None)
+    @given(conjunction=constraint_sets(), repeats=st.integers(2, 5))
+    def test_duplicates_hit_cache_without_changing_results(
+        self, conjunction, repeats
+    ):
+        items = [conjunction] * repeats
+        report = BatchSolver(seed=SEED, executor="serial", **FAST).solve_batch(items)
+        (reference,) = solve_sequentially([conjunction])
+        for item in report:
+            assert item.status == reference.status
+            assert item.model == reference.model
+        # One compile, repeats - 1 hits.
+        assert report.cache_stats.misses == 1
+        assert report.cache_stats.hits == repeats - 1

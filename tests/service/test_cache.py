@@ -1,0 +1,186 @@
+"""Regression tests for the compile cache: keying, LRU order, thread-safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.cache import (
+    CompileCache,
+    LruCache,
+    compile_cache_key,
+)
+from repro.smt import ast
+
+pytestmark = pytest.mark.service
+
+
+def conjunction(word: str = "hi"):
+    return [ast.Eq(ast.StrVar("x"), ast.StrLit(word))]
+
+
+class TestLruCache:
+    def test_get_put_and_stats(self):
+        cache = LruCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert LruCache(maxsize=1).stats.hit_rate == 0.0
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(maxsize=3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        assert cache.get("a") == "A"  # promote a to MRU
+        cache.put("d", "D")  # evicts b, the LRU
+        assert "b" not in cache
+        assert set(cache.keys()) == {"c", "a", "d"}
+        assert cache.stats.evictions == 1
+
+    def test_put_existing_key_promotes_without_eviction(self):
+        cache = LruCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite promotes a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_get_or_create_computes_once(self):
+        cache = LruCache(maxsize=4)
+        calls = []
+        value, hit = cache.get_or_create("k", lambda: calls.append(1) or 42)
+        assert (value, hit) == (42, False)
+        value, hit = cache.get_or_create("k", lambda: calls.append(1) or 43)
+        assert (value, hit) == (42, True)
+        assert len(calls) == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            LruCache(maxsize=0)
+
+    def test_contains_does_not_touch_stats(self):
+        cache = LruCache(maxsize=2)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_thread_safety_under_concurrent_access(self):
+        cache = LruCache(maxsize=16)
+        errors = []
+
+        def worker(wid: int) -> None:
+            try:
+                for i in range(200):
+                    key = (wid + i) % 32
+                    cache.get_or_create(key, lambda k=key: k * 2)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats
+        assert stats.hits + stats.misses == 8 * 200
+        assert len(cache) <= 16
+
+
+class TestCompileCacheKey:
+    def test_same_conjunction_same_key(self):
+        assert compile_cache_key(conjunction(), 1.0, 7) == compile_cache_key(
+            conjunction(), 1.0, 7
+        )
+
+    def test_different_literal_different_key(self):
+        assert compile_cache_key(conjunction("hi"), 1.0, 7) != compile_cache_key(
+            conjunction("ho"), 1.0, 7
+        )
+
+    def test_penalty_weight_changes_key(self):
+        assert compile_cache_key(conjunction(), 1.0, 7) != compile_cache_key(
+            conjunction(), 2.0, 7
+        )
+
+    def test_seed_changes_key(self):
+        assert compile_cache_key(conjunction(), 1.0, 7) != compile_cache_key(
+            conjunction(), 1.0, 8
+        )
+
+    def test_live_rng_seed_never_hits(self):
+        rng = np.random.default_rng(0)
+        first = compile_cache_key(conjunction(), 1.0, rng)
+        second = compile_cache_key(conjunction(), 1.0, rng)
+        assert first != second  # uncacheable: state advances per compile
+
+    def test_assertion_order_matters(self):
+        a = conjunction("hi")[0]
+        b = ast.Eq(ast.Length(ast.StrVar("x")), ast.IntLit(2))
+        assert compile_cache_key([a, b], 1.0, 0) != compile_cache_key(
+            [b, a], 1.0, 0
+        )
+
+
+class TestCompileCache:
+    def test_hit_returns_identical_problem_and_qubo_objects(self):
+        cache = CompileCache(maxsize=8)
+        p1, hit1 = cache.get_or_compile(conjunction(), 1.0, 7)
+        p2, hit2 = cache.get_or_compile(conjunction(), 1.0, 7)
+        assert hit1 is False and hit2 is True
+        assert p1 is p2
+        # The same QuboModel object is reused — no rebuild on a hit.
+        f1 = p1.formulations["x"]
+        f2 = p2.formulations["x"]
+        assert f1 is f2
+        assert f1.build_model() is f2.build_model()
+
+    def test_differing_penalty_misses(self):
+        cache = CompileCache(maxsize=8)
+        p1, _ = cache.get_or_compile(conjunction(), 1.0, 7)
+        p2, hit = cache.get_or_compile(conjunction(), 2.0, 7)
+        assert hit is False
+        assert p1 is not p2
+        assert cache.stats.misses == 2
+
+    def test_models_are_prebuilt_on_insert(self):
+        cache = CompileCache(maxsize=8)
+        problem, _ = cache.get_or_compile(conjunction(), 1.0, 7)
+        for formulation in problem.formulations.values():
+            assert formulation._model is not None
+
+    def test_eviction_respects_lru(self):
+        cache = CompileCache(maxsize=2)
+        cache.get_or_compile(conjunction("aa"), 1.0, 0)
+        cache.get_or_compile(conjunction("bb"), 1.0, 0)
+        cache.get_or_compile(conjunction("aa"), 1.0, 0)  # promote aa
+        cache.get_or_compile(conjunction("cc"), 1.0, 0)  # evict bb
+        _, hit = cache.get_or_compile(conjunction("bb"), 1.0, 0)
+        assert hit is False
+        assert cache.stats.evictions >= 1
+
+    def test_concurrent_compiles_single_factory_call(self):
+        cache = CompileCache(maxsize=8)
+        barrier = threading.Barrier(6)
+        hits = []
+
+        def worker() -> None:
+            barrier.wait()
+            _, hit = cache.get_or_compile(conjunction("race"), 1.0, 3)
+            hits.append(hit)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hits.count(False) == 1  # exactly one compile
+        assert hits.count(True) == 5

@@ -1,0 +1,97 @@
+"""Tests for the metrics registry: counters, histograms, export, merging."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import MetricsRegistry, histogram_summary
+
+pytestmark = pytest.mark.service
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("a").inc() == 1
+        assert metrics.counter("a").inc(4) == 5
+        assert metrics.counter("a").value == 5
+        assert metrics.counter("b").value == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+    def test_thread_safe_increments(self):
+        metrics = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                metrics.counter("n").inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.counter("n").value == 8000
+
+
+class TestHistograms:
+    def test_observe_and_summary(self):
+        metrics = MetricsRegistry()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            metrics.observe("lat", v)
+        summary = metrics.export()["histograms"]["lat"]
+        assert summary["count"] == 4
+        assert summary["total"] == pytest.approx(1.0)
+        assert summary["mean"] == pytest.approx(0.25)
+        assert summary["min"] == pytest.approx(0.1)
+        assert summary["max"] == pytest.approx(0.4)
+
+    def test_time_context_records_segment(self):
+        metrics = MetricsRegistry()
+        with metrics.time("stage"):
+            pass
+        values = metrics.values("stage")
+        assert len(values) == 1 and values[0] >= 0.0
+        # Stopwatch backing is shared storage.
+        assert metrics.stopwatch.segments["stage"] == values
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().observe("x", -0.1)
+
+    def test_summary_of_empty_series(self):
+        summary = histogram_summary([])
+        assert summary["count"] == 0 and summary["p95"] == 0.0
+
+    def test_percentiles_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        summary = histogram_summary(values)
+        assert summary["p50"] == pytest.approx(50.0, abs=1.0)
+        assert summary["p95"] == pytest.approx(95.0, abs=1.0)
+
+
+class TestExportAndMerge:
+    def test_export_is_json_serializable(self):
+        metrics = MetricsRegistry()
+        metrics.counter("a").inc()
+        metrics.observe("h", 0.5)
+        parsed = json.loads(metrics.to_json())
+        assert parsed["counters"]["a"] == 1
+        assert parsed["histograms"]["h"]["count"] == 1
+
+    def test_merge_folds_counters_and_histograms(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("a").inc(2)
+        right.counter("a").inc(3)
+        right.counter("b").inc(1)
+        left.observe("h", 0.1)
+        right.observe("h", 0.2)
+        left.merge(right)
+        export = left.export()
+        assert export["counters"] == {"a": 5, "b": 1}
+        assert export["histograms"]["h"]["count"] == 2

@@ -1,0 +1,225 @@
+"""Fault-injection tests for the retry/timeout/backoff policy."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service.policy import (
+    AttemptTimeout,
+    RetryExhaustedError,
+    RetryOutcome,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.service
+
+
+class Flaky:
+    """A stub that fails *n* times (by value or by exception) then succeeds."""
+
+    def __init__(self, failures: int, mode: str = "value") -> None:
+        self.failures = failures
+        self.mode = mode
+        self.calls = 0
+
+    def __call__(self, attempt: int) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            if self.mode == "raise":
+                raise RuntimeError(f"injected failure #{self.calls}")
+            return ""  # falsy → failed attempt
+        return f"ok@{self.calls}"
+
+
+class TestRetrySemantics:
+    def test_first_attempt_success(self):
+        flaky = Flaky(failures=0)
+        outcome = RetryPolicy(max_attempts=3).run(flaky)
+        assert isinstance(outcome, RetryOutcome)
+        assert outcome.result == "ok@1"
+        assert outcome.attempts == 1
+        assert flaky.calls == 1
+
+    def test_fails_n_then_succeeds_within_budget(self):
+        flaky = Flaky(failures=2)
+        outcome = RetryPolicy(max_attempts=4).run(flaky)
+        assert outcome.result == "ok@3"
+        assert outcome.attempts == 3
+        assert flaky.calls == 3
+
+    def test_exceptions_count_as_failures_and_are_retried(self):
+        flaky = Flaky(failures=2, mode="raise")
+        outcome = RetryPolicy(max_attempts=3).run(flaky)
+        assert outcome.result == "ok@3"
+        assert outcome.attempts == 3
+
+    def test_max_attempts_respected_exactly(self):
+        flaky = Flaky(failures=10)
+        with pytest.raises(RetryExhaustedError):
+            RetryPolicy(max_attempts=3).run(flaky)
+        assert flaky.calls == 3  # never a fourth call
+
+    def test_exhaustion_raises_typed_error_with_last_result(self):
+        flaky = Flaky(failures=10)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            RetryPolicy(max_attempts=2).run(flaky, description="stub solve")
+        err = excinfo.value
+        assert err.attempts == 2
+        assert err.last_result == ""
+        assert err.last_exception is None
+        assert "stub solve" in str(err)
+
+    def test_exhaustion_carries_last_exception(self):
+        flaky = Flaky(failures=10, mode="raise")
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            RetryPolicy(max_attempts=2).run(flaky)
+        assert isinstance(excinfo.value.last_exception, RuntimeError)
+        assert excinfo.value.last_result is None
+
+    def test_succeeded_predicate_honors_ok_attribute(self):
+        class WithOk:
+            def __init__(self, ok):
+                self.ok = ok
+
+        calls = []
+
+        def attempt(index):
+            calls.append(index)
+            return WithOk(ok=index >= 2)
+
+        outcome = RetryPolicy(max_attempts=3).run(attempt)
+        assert outcome.attempts == 2
+        assert calls == [1, 2]
+
+
+class TestBackoffSchedule:
+    def test_schedule_is_geometric_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_initial=0.1, backoff_factor=2.0, backoff_max=0.3
+        )
+        assert policy.backoff_delays() == pytest.approx([0.1, 0.2, 0.3, 0.3])
+
+    def test_default_policy_never_sleeps(self):
+        sleeps = []
+        flaky = Flaky(failures=2)
+        RetryPolicy(max_attempts=3).run(flaky, sleep=sleeps.append)
+        assert sleeps == []
+
+    def test_sleep_called_with_schedule_between_attempts(self):
+        sleeps = []
+        flaky = Flaky(failures=2)
+        policy = RetryPolicy(
+            max_attempts=4, backoff_initial=0.05, backoff_factor=3.0, backoff_max=1.0
+        )
+        outcome = policy.run(flaky, sleep=sleeps.append)
+        assert sleeps == pytest.approx([0.05, 0.15])  # only before retries
+        assert outcome.waited == pytest.approx(0.20)
+
+    def test_no_sleep_after_final_attempt(self):
+        sleeps = []
+        with pytest.raises(RetryExhaustedError):
+            RetryPolicy(max_attempts=3, backoff_initial=0.01).run(
+                Flaky(failures=10), sleep=sleeps.append
+            )
+        assert len(sleeps) == 2  # between attempts only, never trailing
+
+
+class TestPerAttemptTimeout:
+    def test_overdue_attempt_counts_as_failure(self):
+        durations = [0.5, 0.0]  # first attempt overruns, second is instant
+
+        def attempt(index):
+            time.sleep(durations[index - 1])
+            return f"done@{index}"
+
+        policy = RetryPolicy(max_attempts=2, attempt_timeout=0.1)
+        outcome = policy.run(attempt)
+        assert outcome.result == "done@2"
+        assert outcome.attempts == 2
+
+    def test_all_attempts_time_out_raises_typed_error(self):
+        def attempt(index):
+            time.sleep(0.5)
+            return "never"
+
+        policy = RetryPolicy(max_attempts=2, attempt_timeout=0.05)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.run(attempt)
+        assert isinstance(excinfo.value.last_exception, AttemptTimeout)
+        assert excinfo.value.last_result is None
+
+    def test_fast_attempts_unaffected_by_timeout(self):
+        outcome = RetryPolicy(max_attempts=1, attempt_timeout=5.0).run(
+            lambda i: "quick"
+        )
+        assert outcome.result == "quick"
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"attempt_timeout": 0.0},
+            {"attempt_timeout": -1.0},
+            {"backoff_initial": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_max": -1.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestSolverIntegration:
+    """The policy is the SMT solver's robustness layer (src/repro/smt/solver.py)."""
+
+    def _flaky_driver_solver(self, failures: int, max_attempts: int):
+        from repro.smt.solver import QuantumSMTSolver
+
+        solver = QuantumSMTSolver(
+            seed=3,
+            num_reads=16,
+            sampler_params={"num_sweeps": 200},
+            retry_policy=RetryPolicy(max_attempts=max_attempts),
+        )
+        x = solver.declare_const("x")
+        from repro.smt import ast
+
+        solver.add_assertion(ast.Eq(x, ast.StrLit("ab")))
+
+        real_solve = solver._driver.solve
+        state = {"calls": 0}
+
+        def flaky_solve(formulation, **params):
+            state["calls"] += 1
+            result = real_solve(formulation, **params)
+            if state["calls"] <= failures:
+                object.__setattr__(result, "ok", False)
+            return result
+
+        solver._driver.solve = flaky_solve
+        return solver, state
+
+    def test_recovers_within_attempts(self):
+        solver, state = self._flaky_driver_solver(failures=2, max_attempts=3)
+        result = solver.check_sat()
+        assert result.status == "sat"
+        assert state["calls"] == 3
+
+    def test_exhaustion_yields_unknown_with_reason_not_silence(self):
+        solver, state = self._flaky_driver_solver(failures=99, max_attempts=2)
+        result = solver.check_sat()
+        assert result.status == "unknown"
+        assert "2 attempts" in result.reason
+        assert state["calls"] == 2
+
+    def test_max_attempts_shorthand_builds_policy(self):
+        from repro.smt.solver import QuantumSMTSolver
+
+        solver = QuantumSMTSolver(max_attempts=5)
+        assert solver.retry_policy.max_attempts == 5
+        assert solver.max_attempts == 5
