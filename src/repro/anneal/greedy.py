@@ -12,21 +12,30 @@ from typing import Any, Optional
 
 import numpy as np
 
+from typing import Union
+
 from repro.anneal.base import Sampler
 from repro.anneal.sampleset import SampleSet
 from repro.qubo.model import QuboModel
+from repro.qubo.sparse import CsrMatrix, has_any_coupling, initial_local_fields
 from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["SteepestDescentSampler"]
 
 
 class SteepestDescentSampler(Sampler):
-    """Vectorized best-improvement descent from random (or given) starts."""
+    """Vectorized best-improvement descent from random (or given) starts.
+
+    Supports both coupling forms (``coupling_mode``, default ``"auto"``);
+    the sparse path replaces each full-row field update with the flipped
+    variable's CSR row slice, preserving the dense descent trajectory.
+    """
 
     parameters = {
         "num_reads": "independent descents",
         "initial_states": "optional (R, n) starting states",
         "max_steps": "safety cap on flips per read (default 16 n)",
+        "coupling_mode": "'auto' | 'dense' | 'sparse' matrix form",
         "seed": "RNG seed",
     }
 
@@ -37,6 +46,7 @@ class SteepestDescentSampler(Sampler):
         num_reads: int = 32,
         initial_states: Optional[np.ndarray] = None,
         max_steps: Optional[int] = None,
+        coupling_mode: str = "auto",
         seed: SeedLike = None,
         **unknown: Any,
     ) -> SampleSet:
@@ -51,8 +61,8 @@ class SteepestDescentSampler(Sampler):
                 np.zeros((num_reads, 0), dtype=np.int8),
                 np.full(num_reads, model.offset),
             )
-        diag, coupling = model.sampler_form()
-        has_coupling = bool(np.any(coupling))
+        diag, coupling = model.sampler_form(mode=coupling_mode)
+        has_coupling = has_any_coupling(coupling)
         if initial_states is None:
             states = rng.integers(0, 2, size=(num_reads, n), dtype=np.int8)
         else:
@@ -76,17 +86,24 @@ class SteepestDescentSampler(Sampler):
     def _descend(
         states: np.ndarray,
         diag: np.ndarray,
-        coupling: np.ndarray,
+        coupling: Union[np.ndarray, CsrMatrix],
         has_coupling: bool,
         max_steps: int,
     ) -> int:
         """Flip the best variable per read until all reads are local minima.
 
         Each outer iteration flips at most one variable in every still-active
-        read — all reads progress in lockstep, vectorized.
+        read — all reads progress in lockstep, vectorized. Works on either
+        coupling form; the sparse branch touches only the CSR row slice of
+        each flipped variable.
         """
         num_reads, n = states.shape
-        fields = states @ coupling if has_coupling else np.zeros_like(states, dtype=np.float64)
+        sparse = isinstance(coupling, CsrMatrix)
+        fields = (
+            initial_local_fields(states, coupling)
+            if has_coupling
+            else np.zeros_like(states, dtype=np.float64)
+        )
         active = np.ones(num_reads, dtype=bool)
         total = 0
         for _ in range(max_steps):
@@ -102,6 +119,13 @@ class SteepestDescentSampler(Sampler):
             dxa = dx[rows, cols]
             states[rows, cols] ^= 1
             if has_coupling:
-                fields[rows] += dxa[:, None] * coupling[cols, :]
+                if sparse:
+                    for rr, cc, dd in zip(
+                        rows.tolist(), cols.tolist(), dxa.tolist()
+                    ):
+                        ccols, cvals = coupling.row(cc)
+                        fields[rr, ccols] += dd * cvals
+                else:
+                    fields[rows] += dxa[:, None] * coupling[cols, :]
             total += rows.size
         return total

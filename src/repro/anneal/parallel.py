@@ -12,8 +12,12 @@ Two composition patterns:
   merge their sample sets (an algorithm portfolio; the winner is recorded in
   ``info["portfolio_best"]``).
 
-Workers receive the model in pickled form; the QUBO dict representation
-keeps the payload proportional to the number of nonzeros.
+Workers receive the model as its ``i <= j`` coefficient dict — never a
+dense matrix (``QuboModel.__getstate__`` likewise drops cached matrix
+views, so even a directly-pickled model ships O(nnz) bytes). Each worker
+rebuilds the model locally and the child sampler's ``coupling_mode="auto"``
+re-selects the CSR kernels there, so the sparse fast path survives the
+process boundary.
 """
 
 from __future__ import annotations
@@ -205,11 +209,21 @@ class PortfolioSampler(Sampler):
                 ]
                 results = [f.result() for f in futures]
 
-        best_name = min(results, key=lambda pair: pair[1].first.energy)[0]
+        # A child may legitimately return an empty sample set (e.g. a
+        # truncating/filtering composite that dropped every read); picking
+        # the winner over all results used to crash on ``.first``. Skip
+        # empty sets and only fail when *no* child produced samples.
+        non_empty = [(name, res) for name, res in results if len(res)]
+        if not non_empty:
+            raise ValueError(
+                "all portfolio samplers returned empty sample sets; "
+                "nothing to merge"
+            )
+        best_name = min(non_empty, key=lambda pair: pair[1].first.energy)[0]
         per_sampler_best = {
-            name: float(res.first.energy) for name, res in results if len(res)
+            name: float(res.first.energy) for name, res in non_empty
         }
-        merged = SampleSet.concatenate([res for _, res in results])
+        merged = SampleSet.concatenate([res for _, res in non_empty])
         merged.info.update(
             {
                 "sampler": "PortfolioSampler",

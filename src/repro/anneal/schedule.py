@@ -8,9 +8,11 @@ per sweep, so samplers stay schedule-agnostic.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Tuple, Union
 
 import numpy as np
+
+from repro.qubo.sparse import CsrMatrix
 
 __all__ = [
     "default_beta_range",
@@ -21,7 +23,7 @@ __all__ = [
 
 
 def default_beta_range(
-    diagonal: np.ndarray, coupling: np.ndarray
+    diagonal: np.ndarray, coupling: Union[np.ndarray, CsrMatrix]
 ) -> Tuple[float, float]:
     """Heuristic ``(beta_hot, beta_cold)`` from the model's energy scales.
 
@@ -38,17 +40,27 @@ def default_beta_range(
     diagonal:
         ``(n,)`` QUBO diagonal.
     coupling:
-        ``(n, n)`` symmetric off-diagonal matrix.
+        ``(n, n)`` symmetric off-diagonal matrix, or the CSR form
+        (:class:`~repro.qubo.sparse.CsrMatrix`) produced by
+        ``QuboModel.sampler_form(mode="sparse")``. Both forms yield the
+        same range (exactly so for integer-coefficient models — the
+        per-row sums only differ by the order zeros are skipped in).
     """
     diagonal = np.asarray(diagonal, dtype=np.float64)
-    coupling = np.asarray(coupling, dtype=np.float64)
+    if isinstance(coupling, CsrMatrix):
+        incident = coupling.abs_row_sums()
+        coupling_mags = np.abs(coupling.data)
+    else:
+        coupling = np.asarray(coupling, dtype=np.float64)
+        incident = np.abs(coupling).sum(axis=1)
+        coupling_mags = np.abs(coupling).ravel()
     # Largest possible |delta E| per variable: |d_i| plus total incident coupling.
-    reach = np.abs(diagonal) + np.abs(coupling).sum(axis=1)
+    reach = np.abs(diagonal) + incident
     max_reach = float(reach.max()) if reach.size else 1.0
     if max_reach <= 0.0:
         return 0.1, 1.0
     # Smallest energy scale: the least nonzero |coefficient| anywhere.
-    magnitudes = np.concatenate([np.abs(diagonal).ravel(), np.abs(coupling).ravel()])
+    magnitudes = np.concatenate([np.abs(diagonal).ravel(), coupling_mags])
     nonzero = magnitudes[magnitudes > 0]
     min_scale = float(nonzero.min()) if nonzero.size else max_reach
     beta_hot = np.log(2.0) / max_reach

@@ -15,18 +15,26 @@ import numpy as np
 from repro.anneal.base import Sampler
 from repro.anneal.sampleset import SampleSet
 from repro.qubo.model import QuboModel
+from repro.qubo.sparse import CsrMatrix, has_any_coupling, initial_local_fields
 from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["TabuSampler"]
 
 
 class TabuSampler(Sampler):
-    """Multi-start tabu search over the QUBO."""
+    """Multi-start tabu search over the QUBO.
+
+    Runs against either the dense or the CSR coupling form
+    (``coupling_mode``, default ``"auto"``); accepted moves update the
+    local fields through the flipped variable's CSR row slice on the
+    sparse path, preserving the dense path's move order exactly.
+    """
 
     parameters = {
         "num_reads": "independent searches",
         "num_steps": "moves per search (default 8 n)",
         "tenure": "tabu tenure in moves (default min(20, n-1))",
+        "coupling_mode": "'auto' | 'dense' | 'sparse' matrix form",
         "seed": "RNG seed",
     }
 
@@ -37,6 +45,7 @@ class TabuSampler(Sampler):
         num_reads: int = 16,
         num_steps: Optional[int] = None,
         tenure: Optional[int] = None,
+        coupling_mode: str = "auto",
         seed: SeedLike = None,
         **unknown: Any,
     ) -> SampleSet:
@@ -59,10 +68,15 @@ class TabuSampler(Sampler):
         if not (0 <= tenure < max(n, 1)):
             raise ValueError(f"tenure must lie in [0, n), got {tenure}")
 
-        diag, coupling = model.sampler_form()
-        has_coupling = bool(np.any(coupling))
+        diag, coupling = model.sampler_form(mode=coupling_mode)
+        has_coupling = has_any_coupling(coupling)
+        sparse = isinstance(coupling, CsrMatrix)
         states = rng.integers(0, 2, size=(num_reads, n), dtype=np.int8)
-        fields = states @ coupling if has_coupling else np.zeros((num_reads, n))
+        fields = (
+            initial_local_fields(states, coupling)
+            if has_coupling
+            else np.zeros((num_reads, n))
+        )
         energies = model.energies(states)
 
         best_states = states.copy()
@@ -89,7 +103,15 @@ class TabuSampler(Sampler):
                 states[r, c] ^= 1
                 energies[r] += move_delta[ok]
                 if has_coupling:
-                    fields[r] += dxa[:, None] * coupling[c, :]
+                    if sparse:
+                        # One flipped variable per read: row-slice updates.
+                        for rr, cc, dd in zip(
+                            r.tolist(), c.tolist(), dxa.tolist()
+                        ):
+                            cols, vals = coupling.row(cc)
+                            fields[rr, cols] += dd * vals
+                    else:
+                        fields[r] += dxa[:, None] * coupling[c, :]
                 expire[r, c] = step + 1 + tenure
                 improved = energies[r] < best_energies[r] - 1e-12
                 if improved.any():
@@ -102,5 +124,10 @@ class TabuSampler(Sampler):
         return SampleSet(
             best_states,
             final_energies,
-            info={"sampler": "TabuSampler", "num_steps": steps, "tenure": tenure},
+            info={
+                "sampler": "TabuSampler",
+                "num_steps": steps,
+                "tenure": tenure,
+                "coupling_form": "sparse" if sparse else "dense",
+            },
         )

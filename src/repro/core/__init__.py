@@ -17,6 +17,7 @@ from repro.core.encoding import (
     decode_state,
     encode_string,
     state_to_string,
+    states_to_strings,
 )
 from repro.core.formulation import FormulationError, StringFormulation
 from repro.core.equality import StringEquality
@@ -69,4 +70,5 @@ __all__ = [
     "parse_pattern",
     "regex_matches",
     "state_to_string",
+    "states_to_strings",
 ]

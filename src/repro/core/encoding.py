@@ -19,6 +19,7 @@ __all__ = [
     "bits_to_char",
     "encode_string",
     "state_to_string",
+    "states_to_strings",
     "decode_state",
     "variable_index",
 ]
@@ -72,6 +73,29 @@ def state_to_string(state: np.ndarray) -> str:
     bits = state.reshape(-1, CHAR_BITS).astype(np.int64)
     codes = (bits << _SHIFTS[None, :]).sum(axis=1)
     return "".join(chr(int(c)) for c in codes)
+
+
+def states_to_strings(states: np.ndarray) -> list:
+    """Decode a whole ``(R, 7 n)`` batch of states in one vectorized pass.
+
+    The batched counterpart of :func:`state_to_string` — one reshape and
+    one shift-accumulate for the entire sample set instead of a Python
+    loop building a per-row assignment dict. This is the hot path of
+    success-rate accounting over thousands of reads.
+    """
+    states = np.asarray(states)
+    if states.ndim == 1:
+        states = states[None, :]
+    if states.ndim != 2 or states.shape[1] % CHAR_BITS:
+        raise ValueError(
+            f"state width {states.shape[-1]} is not a multiple of {CHAR_BITS}"
+        )
+    num_reads = states.shape[0]
+    if states.shape[1] == 0:
+        return [""] * num_reads
+    bits = states.reshape(num_reads, -1, CHAR_BITS).astype(np.int64)
+    codes = (bits << _SHIFTS[None, None, :]).sum(axis=2)
+    return ["".join(map(chr, row)) for row in codes.tolist()]
 
 
 #: Alias used by formulation decode() implementations.

@@ -14,11 +14,11 @@ A :class:`StringFormulation` owns the full life cycle of one constraint:
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
-from repro.core.encoding import char_to_bits, state_to_string
+from repro.core.encoding import char_to_bits, state_to_string, states_to_strings
 from repro.qubo.model import QuboModel
 from repro.utils.asciitab import CHAR_BITS
 
@@ -98,6 +98,22 @@ class StringFormulation(abc.ABC):
     def decode(self, state: np.ndarray) -> Any:
         """Map an annealer state to the output domain (default: a string)."""
         return state_to_string(np.asarray(state))
+
+    def decode_states(self, states: np.ndarray) -> List[Any]:
+        """Decode a whole ``(R, n)`` batch of states at once.
+
+        The batched counterpart of :meth:`decode`, used by success-rate
+        accounting: when the formulation keeps the default string decoding
+        the whole batch is decoded in one vectorized pass
+        (:func:`~repro.core.encoding.states_to_strings`); formulations
+        that override :meth:`decode` (index outputs, stripped paddings)
+        transparently fall back to a per-row loop, so the two methods can
+        never disagree.
+        """
+        states = np.atleast_2d(np.asarray(states))
+        if type(self).decode is StringFormulation.decode:
+            return states_to_strings(states)
+        return [self.decode(row) for row in states]
 
     @abc.abstractmethod
     def verify(self, decoded: Any) -> bool:

@@ -132,16 +132,24 @@ class StringQuboSolver:
     def _success_rate(
         formulation: StringFormulation, sampleset: SampleSet
     ) -> float:
-        """Occurrence-weighted fraction of reads whose decoding verifies."""
+        """Occurrence-weighted fraction of reads whose decoding verifies.
+
+        Decodes straight off the ``(R, n)`` state matrix through the
+        formulation's batched :meth:`~StringFormulation.decode_states`
+        instead of materializing a per-row :class:`Sample` dict and
+        re-decoding in a Python loop — the historical hot spot for large
+        read counts.
+        """
         if len(sampleset) == 0:
             return 0.0
-        total = 0
-        good = 0
-        variables = sampleset.variables
-        for sample in sampleset:
-            decoded = formulation.decode(sample.state(variables))
-            weight = sample.num_occurrences
-            total += weight
-            if formulation.verify(decoded):
-                good += weight
-        return good / total if total else 0.0
+        decoded = formulation.decode_states(sampleset.states)
+        weights = sampleset.num_occurrences
+        total = int(weights.sum())
+        if not total:
+            return 0.0
+        good = sum(
+            int(weight)
+            for output, weight in zip(decoded, weights)
+            if formulation.verify(output)
+        )
+        return good / total

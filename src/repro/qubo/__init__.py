@@ -11,6 +11,9 @@ This subpackage is a from-scratch replacement for the parts of D-Wave's
 * :mod:`~repro.qubo.ising` — exact QUBO ↔ Ising transforms.
 * :mod:`~repro.qubo.energy` — batched energy kernels (the hot path shared by
   every sampler).
+* :mod:`~repro.qubo.sparse` — CSR sampler form and ``O(R · nnz)`` kernels
+  for the bit-local string QUBOs (auto-selected by
+  ``QuboModel.sampler_form(mode="auto")``).
 * :mod:`~repro.qubo.algebra` — model composition: add, scale, shift, relabel,
   fix variables.
 """
@@ -37,11 +40,29 @@ from repro.qubo.matrix import (
     to_symmetric,
     to_upper_triangular,
 )
+from repro.qubo.sparse import (
+    CsrMatrix,
+    SparseStats,
+    coupling_density,
+    csr_from_coefficients,
+    prefers_sparse,
+    qubo_energies_csr,
+    sparse_sampler_form,
+    sparse_stats,
+)
 from repro.qubo.hubo import HuboModel, quadratize
 from repro.qubo.serialization import load_model, save_model
 
 __all__ = [
     "BINARY",
+    "CsrMatrix",
+    "SparseStats",
+    "coupling_density",
+    "csr_from_coefficients",
+    "prefers_sparse",
+    "qubo_energies_csr",
+    "sparse_sampler_form",
+    "sparse_stats",
     "HuboModel",
     "quadratize",
     "load_model",

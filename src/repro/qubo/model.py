@@ -10,16 +10,26 @@ Design notes
 ------------
 * Coefficients are stored as an ``i <= j`` dict while the model is being
   built (cheap incremental updates, exact bookkeeping), and materialized into
-  dense NumPy arrays on demand. The dense view is cached and invalidated on
-  mutation — samplers hit the cached array, builders hit the dict.
+  dense NumPy arrays *or* a CSR sampler form on demand. Both views are
+  cached and invalidated on mutation — samplers hit the cached arrays,
+  builders hit the dict. Cached matrix views are **read-only**: mutating a
+  returned array would silently corrupt every later energy evaluation, so
+  callers that need a scratch matrix must copy.
+* ``sampler_form(mode="auto")`` picks the CSR path for large, sparse models
+  (every §4 string QUBO at useful lengths) and the dense path otherwise;
+  the two paths are bit-identical at a fixed seed for integer-coefficient
+  models (see :mod:`repro.qubo.sparse`).
 * ``set_`` methods overwrite and ``add_`` methods accumulate. The paper's
   substring-matching formulation (§4.3) depends on the *overwrite* semantics:
   later encodings replace earlier ones.
+* Pickling ships only ``(n, coefficients, offset)`` — never a dense matrix —
+  so worker payloads in :mod:`repro.anneal.parallel` and
+  :mod:`repro.service.batch` stay proportional to the number of nonzeros.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,6 +39,13 @@ from repro.qubo.matrix import (
     dict_from_dense,
     split_diagonal,
     to_upper_triangular,
+)
+from repro.qubo.sparse import (
+    CsrMatrix,
+    coupling_density,
+    prefers_sparse,
+    qubo_energies_csr,
+    sparse_sampler_form,
 )
 
 __all__ = ["QuboModel"]
@@ -48,7 +65,14 @@ class QuboModel:
         Constant energy offset.
     """
 
-    __slots__ = ("_n", "_coeffs", "_offset", "_dense_cache")
+    __slots__ = (
+        "_n",
+        "_coeffs",
+        "_offset",
+        "_dense_cache",
+        "_sparse_cache",
+        "_density_cache",
+    )
 
     def __init__(
         self,
@@ -62,6 +86,8 @@ class QuboModel:
         self._coeffs: Dict[Tuple[int, int], float] = {}
         self._offset = float(offset)
         self._dense_cache: Optional[np.ndarray] = None
+        self._sparse_cache: Optional[Tuple[np.ndarray, CsrMatrix]] = None
+        self._density_cache: Optional[float] = None
         if coefficients:
             for (i, j), value in to_upper_triangular(coefficients).items():
                 self._check_index(i)
@@ -112,6 +138,27 @@ class QuboModel:
     def _nonzero(self) -> Dict[Tuple[int, int], float]:
         return {k: v for k, v in self._coeffs.items() if v != 0.0}
 
+    def _invalidate(self) -> None:
+        """Drop cached matrix views after a coefficient mutation."""
+        self._dense_cache = None
+        self._sparse_cache = None
+        self._density_cache = None
+
+    # ------------------------------------------------------------------ #
+    # pickling — ship coefficients, never cached matrices
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"n": self._n, "coeffs": self._coeffs, "offset": self._offset}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._n = state["n"]
+        self._coeffs = state["coeffs"]
+        self._offset = state["offset"]
+        self._dense_cache = None
+        self._sparse_cache = None
+        self._density_cache = None
+
     # ------------------------------------------------------------------ #
     # coefficient access
     # ------------------------------------------------------------------ #
@@ -136,14 +183,14 @@ class QuboModel:
         """Overwrite the diagonal entry ``Q[i, i]``."""
         self._check_index(i)
         self._coeffs[(i, i)] = float(value)
-        self._dense_cache = None
+        self._invalidate()
 
     def add_linear(self, i: int, value: float) -> None:
         """Accumulate into the diagonal entry ``Q[i, i]``."""
         self._check_index(i)
         key = (i, i)
         self._coeffs[key] = self._coeffs.get(key, 0.0) + float(value)
-        self._dense_cache = None
+        self._invalidate()
 
     def set_quadratic(self, i: int, j: int, value: float) -> None:
         """Overwrite the coupling ``Q[min(i,j), max(i,j)]``."""
@@ -152,7 +199,7 @@ class QuboModel:
         self._check_index(i)
         self._check_index(j)
         self._coeffs[self._key(i, j)] = float(value)
-        self._dense_cache = None
+        self._invalidate()
 
     def add_quadratic(self, i: int, j: int, value: float) -> None:
         """Accumulate into the coupling ``Q[min(i,j), max(i,j)]``."""
@@ -162,7 +209,7 @@ class QuboModel:
         self._check_index(j)
         key = self._key(i, j)
         self._coeffs[key] = self._coeffs.get(key, 0.0) + float(value)
-        self._dense_cache = None
+        self._invalidate()
 
     def iter_coefficients(self) -> Iterator[Tuple[int, int, float]]:
         """Yield ``(i, j, value)`` for every stored nonzero, ``i <= j``."""
@@ -183,18 +230,62 @@ class QuboModel:
     # ------------------------------------------------------------------ #
 
     def to_dense(self) -> np.ndarray:
-        """Dense upper-triangular ``(n, n)`` matrix (cached; do not mutate)."""
+        """Dense upper-triangular ``(n, n)`` matrix (cached and read-only).
+
+        The returned array is the cache itself, marked non-writable:
+        mutating it in place would silently corrupt the model and every
+        later energy evaluation, so NumPy now raises instead. Copy first
+        if you need a scratch matrix.
+        """
         if self._dense_cache is None:
-            self._dense_cache = dense_from_dict(self._coeffs, self._n)
+            dense = dense_from_dict(self._coeffs, self._n)
+            dense.setflags(write=False)
+            self._dense_cache = dense
         return self._dense_cache
 
     def to_dict(self) -> Dict[Tuple[int, int], float]:
         """A copy of the ``i <= j`` coefficient dict (zeros dropped)."""
         return self._nonzero()
 
-    def sampler_form(self) -> Tuple[np.ndarray, np.ndarray]:
-        """``(diagonal, symmetric off-diagonal)`` arrays for SA kernels."""
+    def coupling_density(self) -> float:
+        """Nonzero fraction of the symmetric off-diagonal coupling slots."""
+        if self._density_cache is None:
+            self._density_cache = coupling_density(self._coeffs, self._n)
+        return self._density_cache
+
+    def prefers_sparse(self) -> bool:
+        """Whether ``sampler_form(mode="auto")`` selects the CSR path."""
+        return prefers_sparse(self._n, self.coupling_density())
+
+    def sampler_form(
+        self, mode: str = "auto"
+    ) -> Tuple[np.ndarray, Union[np.ndarray, CsrMatrix]]:
+        """``(diagonal, symmetric off-diagonal)`` operators for SA kernels.
+
+        Parameters
+        ----------
+        mode:
+            ``"auto"`` (default) returns the CSR form when the model is
+            large and sparse (``prefers_sparse()``, the regime of every §4
+            string QUBO) and the dense form otherwise; ``"dense"`` /
+            ``"sparse"`` force one path. The sparse coupling is a
+            :class:`~repro.qubo.sparse.CsrMatrix`; both paths produce
+            bit-identical sampler results at a fixed seed for
+            integer-coefficient models.
+        """
+        if mode not in ("auto", "dense", "sparse"):
+            raise ValueError(
+                f"mode must be 'auto', 'dense' or 'sparse', got {mode!r}"
+            )
+        if mode == "sparse" or (mode == "auto" and self.prefers_sparse()):
+            return self._sparse_form()
         return split_diagonal(self.to_dense())
+
+    def _sparse_form(self) -> Tuple[np.ndarray, CsrMatrix]:
+        """The cached ``(diagonal, CsrMatrix)`` form (arrays read-only)."""
+        if self._sparse_cache is None:
+            self._sparse_cache = sparse_sampler_form(self._coeffs, self._n)
+        return self._sparse_cache
 
     @classmethod
     def from_dense(cls, q: np.ndarray, offset: float = 0.0) -> "QuboModel":
@@ -219,7 +310,16 @@ class QuboModel:
         return float(self.energies(np.asarray(state)))
 
     def energies(self, states: np.ndarray) -> np.ndarray:
-        """Vectorized energies for a batch of states (shape ``(R, n)``)."""
+        """Vectorized energies for a batch of states (shape ``(R, n)``).
+
+        Follows the same auto-selection as :meth:`sampler_form`: sparse
+        models are scored through the ``O(R · nnz)`` CSR kernel, dense
+        ones through the ``O(R · n²)`` einsum kernel. Both agree exactly
+        on integer-coefficient models and to ~1e-9 otherwise.
+        """
+        if self.prefers_sparse():
+            diag, coupling = self._sparse_form()
+            return qubo_energies_csr(states, diag, coupling, self._offset)
         return qubo_energies(states, self.to_dense(), self._offset)
 
     def interaction_graph(self):

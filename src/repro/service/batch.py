@@ -18,7 +18,11 @@ item alone — independent of worker count, executor choice and cache state.
 
 Thread-safety: samplers are constructed per item via ``sampler_factory``;
 cache and metrics are internally locked; per-item solvers are private to
-their worker.
+their worker. Compiled models travel between cache and workers as
+coefficient-dict-backed :class:`~repro.qubo.model.QuboModel` objects —
+dense/CSR matrix views are lazy, read-only, and excluded from pickling —
+and every sampler's ``coupling_mode="auto"`` selects the sparse CSR
+kernels for the bit-local string QUBOs this service batches.
 """
 
 from __future__ import annotations

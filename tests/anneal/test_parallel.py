@@ -7,7 +7,16 @@ from repro.anneal.random_sampler import RandomSampler
 from repro.anneal.simulated import SimulatedAnnealingSampler
 from repro.anneal.greedy import SteepestDescentSampler
 from repro.anneal.tabu import TabuSampler
+from repro.anneal.sampleset import SampleSet
 from repro.qubo.model import QuboModel
+
+
+class _EmptySampler:
+    """A child that legitimately returns zero reads (e.g. a filtering
+    composite that dropped every sample)."""
+
+    def sample_model(self, model, **params):
+        return SampleSet.empty(range(model.num_variables))
 
 
 def _random_model(seed, n=10):
@@ -141,6 +150,28 @@ class TestPortfolioSampler:
             _random_model(3, 6), seed=3
         )
         assert len(ss) == 24
+
+    def test_empty_child_skipped(self):
+        # Regression: one empty child used to crash winner selection with
+        # "ValueError: sample set is empty" when its set led the merge.
+        m = _random_model(7, n=6)
+        portfolio = PortfolioSampler(
+            [
+                ("empty", _EmptySampler(), {}),
+                ("random", RandomSampler(), {"num_reads": 8}),
+            ]
+        )
+        ss = portfolio.sample_model(m, seed=7)
+        assert len(ss) == 8
+        assert ss.info["portfolio_best"] == "random"
+        assert list(ss.info["portfolio_energies"]) == ["random"]
+
+    def test_all_children_empty_raises_clear_error(self):
+        portfolio = PortfolioSampler(
+            [("a", _EmptySampler(), {}), ("b", _EmptySampler(), {})]
+        )
+        with pytest.raises(ValueError, match="empty sample sets"):
+            portfolio.sample_model(_random_model(8, n=4), seed=8)
 
     def test_validation(self):
         with pytest.raises(ValueError):
