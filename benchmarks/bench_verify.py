@@ -1,0 +1,72 @@
+"""Verify-A — differential campaign throughput and verdict profile.
+
+Measures the verification harness itself on a fixed-seed campaign:
+
+* **campaign latency** — instances/second through generator → quantum
+  solver → classical reference → classification (the fuzzing loop's
+  sustained rate bounds how much differential evidence a CI budget buys);
+* **verdict profile** — the agree/miss/unresolved split at the paper's
+  solver configuration, reproduced as a table (soundness bugs must be 0);
+* **cache leverage** — warm-cache re-run of the identical campaign,
+  which also re-asserts the byte-identical-JSON determinism contract.
+"""
+
+import pytest
+
+from benchmarks.common import DEFAULT_SWEEPS, bench_once, emit_table
+from repro.service import CompileCache
+from repro.verify import CampaignConfig, run_campaign
+
+INSTANCES = 40
+SEED = 2025
+
+
+def _config():
+    return CampaignConfig(
+        instances=INSTANCES,
+        seed=SEED,
+        num_reads=48,
+        num_sweeps=DEFAULT_SWEEPS,
+        max_length=3,
+        shrink_failures=False,  # measure the oracle loop, not ddmin
+    )
+
+
+def test_campaign_latency(benchmark):
+    def run():
+        return run_campaign(_config())
+
+    report = bench_once(benchmark, run)
+    assert report.instances_run == INSTANCES
+    assert report.soundness_bugs == 0
+    emit_table(
+        "Verify-A: differential campaign "
+        f"({INSTANCES} instances, seed {SEED})",
+        ["metric", "value"],
+        [
+            ["instances/s", f"{report.instances_run / report.wall_time:.1f}"],
+            *[[k, v] for k, v in sorted(report.verdicts.items())],
+            ["ops covered", len(report.coverage)],
+        ],
+    )
+
+
+def test_warm_cache_campaign(benchmark):
+    cache = CompileCache(maxsize=256)
+    cold = run_campaign(_config(), cache=cache)
+
+    def run():
+        return run_campaign(_config(), cache=cache)
+
+    warm = bench_once(benchmark, run)
+    assert warm.cache_hits > cold.cache_hits
+    # The determinism contract, re-asserted under benchmark conditions.
+    assert warm.to_json() == cold.to_json()
+    emit_table(
+        "Verify-A: cache leverage (same campaign, warm CompileCache)",
+        ["run", "wall s", "cache hits"],
+        [
+            ["cold", f"{cold.wall_time:.2f}", cold.cache_hits],
+            ["warm", f"{warm.wall_time:.2f}", warm.cache_hits],
+        ],
+    )

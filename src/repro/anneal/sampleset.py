@@ -121,19 +121,36 @@ class SampleSet:
 
     @classmethod
     def concatenate(cls, sets: Sequence["SampleSet"]) -> "SampleSet":
-        """Merge sample sets over the same variables (info dicts are merged)."""
+        """Merge sample sets over the same variables (info dicts are merged).
+
+        Sets whose variable lists are *permutations* of the first set's
+        (same variables, different column order — as produced by samplers
+        that enumerate a model's variables independently) have their state
+        columns reordered onto the first set's order before stacking.
+        Genuinely different variable sets still raise :class:`ValueError`.
+        """
         sets = [s for s in sets if len(s) > 0] or list(sets)
         if not sets:
             return cls.empty()
         variables = sets[0].variables
-        for s in sets[1:]:
-            if s.variables != variables:
-                raise ValueError("cannot concatenate sample sets over different variables")
+        var_set = set(variables)
+        states: List[np.ndarray] = []
+        for s in sets:
+            if s.variables == variables:
+                states.append(s.states)
+                continue
+            if set(s.variables) != var_set:
+                raise ValueError(
+                    "cannot concatenate sample sets over different variables"
+                )
+            position = {v: i for i, v in enumerate(s.variables)}
+            order = [position[v] for v in variables]
+            states.append(s.states[:, order])
         info: Dict[str, Any] = {}
         for s in sets:
             info.update(s.info)
         return cls(
-            np.vstack([s.states for s in sets]),
+            np.vstack(states),
             np.concatenate([s.energies for s in sets]),
             variables=variables,
             num_occurrences=np.concatenate([s.num_occurrences for s in sets]),

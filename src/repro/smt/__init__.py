@@ -43,21 +43,27 @@ from repro.smt.ast import (
     StrVar,
 )
 from repro.smt.sexpr import SExprError, Symbol, parse_sexprs
+from repro.smt.status import SolveStatus
 from repro.smt.theory import TheoryError, eval_formula, eval_term
 from repro.smt.parser import ParseError, SmtScript, parse_script
+from repro.smt.printer import render_assertion, render_script, render_term
 from repro.smt.compiler import CompilationError, CompiledProblem, compile_assertions
 from repro.smt.solver import QuantumSMTSolver, SmtResult
 from repro.smt.classical import ClassicalStringSolver
 from repro.smt.dpll import CdclSolver, DpllResult
 from repro.smt.dpllt import DpllTSolver
+from repro.smt.generator import ALL_OPS, GeneratedInstance, InstanceGenerator
 
 __all__ = [
+    "ALL_OPS",
     "BoolSort",
     "CdclSolver",
     "ClassicalStringSolver",
     "CompilationError",
     "CompiledProblem",
     "Concat",
+    "GeneratedInstance",
+    "InstanceGenerator",
     "Contains",
     "DpllResult",
     "DpllTSolver",
@@ -80,6 +86,7 @@ __all__ = [
     "SExprError",
     "SmtResult",
     "SmtScript",
+    "SolveStatus",
     "StringSort",
     "StrLit",
     "StrVar",
@@ -90,4 +97,7 @@ __all__ = [
     "eval_term",
     "parse_script",
     "parse_sexprs",
+    "render_assertion",
+    "render_script",
+    "render_term",
 ]

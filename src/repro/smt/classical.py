@@ -26,23 +26,28 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 
 from repro.core.regex import expand_to_length
 from repro.smt import ast
+from repro.smt.status import SolveStatus
 from repro.smt.theory import TheoryError, eval_formula, regex_term_to_tokens
 
 __all__ = ["ClassicalStringSolver", "ClassicalResult"]
 
-SAT = "sat"
-UNSAT = "unsat"
-UNKNOWN = "unknown"
+# Shared enum; bare-string comparisons keep working (str-mixin).
+SAT = SolveStatus.SAT
+UNSAT = SolveStatus.UNSAT
+UNKNOWN = SolveStatus.UNKNOWN
 
 
 @dataclass
 class ClassicalResult:
     """Outcome of a classical solve."""
 
-    status: str
+    status: SolveStatus
     model: Dict[str, str] = field(default_factory=dict)
     nodes_explored: int = 0
     reason: str = ""
+
+    def __post_init__(self) -> None:
+        self.status = SolveStatus.from_value(self.status)
 
 
 class ClassicalStringSolver:

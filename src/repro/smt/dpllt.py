@@ -20,23 +20,28 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.smt import ast
 from repro.smt.classical import ClassicalStringSolver
 from repro.smt.dpll import CdclSolver
+from repro.smt.status import SolveStatus
 
 __all__ = ["DpllTSolver", "DpllTResult", "QuantumTheoryAdapter"]
 
-SAT = "sat"
-UNSAT = "unsat"
-UNKNOWN = "unknown"
+# Shared enum; bare-string comparisons keep working (str-mixin).
+SAT = SolveStatus.SAT
+UNSAT = SolveStatus.UNSAT
+UNKNOWN = SolveStatus.UNKNOWN
 
 
 @dataclass
 class DpllTResult:
     """Outcome of a DPLL(T) solve."""
 
-    status: str
+    status: SolveStatus
     model: Dict[str, str] = field(default_factory=dict)
     boolean_assignment: Dict[int, bool] = field(default_factory=dict)
     theory_calls: int = 0
     reason: str = ""
+
+    def __post_init__(self) -> None:
+        self.status = SolveStatus.from_value(self.status)
 
 
 class QuantumTheoryAdapter:

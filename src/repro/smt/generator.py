@@ -4,20 +4,64 @@ Produces satisfiable-by-construction SMT-LIB problems (plant a witness,
 emit constraints it satisfies) and refutation instances, for fuzzing the
 solvers against each other and for throughput benchmarking — the role the
 paper's §2.1.1 assigns to SMT-LIB benchmark libraries.
+
+Two operating modes:
+
+* **legacy** (``ops=None``, the default): the historical five constraint
+  shapes (contains / prefixof / suffixof / charat / indexof), drawn with
+  the historical RNG consumption pattern, so existing seeds reproduce the
+  exact same instances.
+* **op-targeted** (``ops="all"`` or an explicit op list): constraints are
+  drawn from the full §4.1–§4.12 operator set — equality, length, concat,
+  contains, index-of, char-at, prefix/suffix, substr, replace /
+  replace-all, reverse, regex membership, disequality, and ground
+  includes — which is what the differential-verification campaigns in
+  :mod:`repro.verify` fuzz over.
+
+Scripts are rendered through :mod:`repro.smt.printer` and round-trip
+exactly through :func:`repro.smt.parser.parse_script`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.smt import ast
-from repro.utils.asciitab import PRINTABLE_MAX, PRINTABLE_MIN
+from repro.smt.printer import render_script
 from repro.utils.rng import SeedLike, ensure_rng
 
-__all__ = ["InstanceGenerator", "GeneratedInstance"]
+__all__ = ["InstanceGenerator", "GeneratedInstance", "ALL_OPS"]
 
 _ALPHABET = "abcdefgh"
+
+#: A character guaranteed never to occur in generated witnesses; used to
+#: build replace constraints with a unique pattern occurrence.
+_HOLE = "z"
+
+#: Every constraint operator the generator can plant (§4.1–§4.12 coverage).
+ALL_OPS: Tuple[str, ...] = (
+    "equality",      # §4.1  x = "lit"
+    "length",        # §4.3  (= (str.len x) n) as the only constraint
+    "contains",      # §4.4  windows of the witness
+    "indexof",       # §4.5  first occurrence of a witness character
+    "charat",        # §4.6  pinned character
+    "prefixof",      # §4.7  witness prefixes
+    "suffixof",      # §4.7  witness suffixes
+    "substr",        # §4.6  x = (str.substr padded i n)
+    "concat",        # §4.8  x = (str.++ left right)
+    "replace",       # §4.9  x = (str.replace source hole c)
+    "replace_all",   # §4.9  x = (str.replace_all source hole c)
+    "reverse",       # §4.10 x = (str.rev reversed-lit)
+    "regex",         # §4.11 (str.in_re x ...)
+    "notequals",     # §4.2  (not (= x other))
+    "includes",      # §4.4  ground (str.contains witness window)
+)
+
+#: The historical five constraint picks, in legacy pick order.
+_LEGACY_OPS: Tuple[str, ...] = (
+    "contains", "prefixof", "suffixof", "charat", "indexof"
+)
 
 
 @dataclass
@@ -28,6 +72,8 @@ class GeneratedInstance:
     witness: dict
     script: str = ""
     satisfiable: bool = True
+    #: Names of the constraint operators drawn for this instance.
+    ops: List[str] = field(default_factory=list)
 
 
 class InstanceGenerator:
@@ -39,6 +85,10 @@ class InstanceGenerator:
         Witness length range.
     max_constraints:
         Constraints per variable (a length fact is always included).
+    ops:
+        ``None`` for the historical five-shape mix, ``"all"`` for the full
+        §4 operator set, or an explicit sequence of op names (a subset of
+        :data:`ALL_OPS`).
     seed:
         RNG seed.
     """
@@ -49,6 +99,7 @@ class InstanceGenerator:
         max_length: int = 8,
         max_constraints: int = 3,
         seed: SeedLike = None,
+        ops: Optional[Sequence[str]] = None,
     ) -> None:
         if not (1 <= min_length <= max_length):
             raise ValueError(
@@ -59,6 +110,19 @@ class InstanceGenerator:
         self.min_length = min_length
         self.max_length = max_length
         self.max_constraints = max_constraints
+        if ops is None:
+            self.ops: Optional[Tuple[str, ...]] = None
+        else:
+            if isinstance(ops, str):
+                if ops != "all":
+                    raise ValueError(f"ops must be None, 'all' or a sequence, got {ops!r}")
+                ops = ALL_OPS
+            unknown = sorted(set(ops) - set(ALL_OPS))
+            if unknown:
+                raise ValueError(f"unknown ops {unknown}; choose from {list(ALL_OPS)}")
+            if not ops:
+                raise ValueError("ops must not be empty")
+            self.ops = tuple(ops)
         self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------ #
@@ -76,33 +140,86 @@ class InstanceGenerator:
         assertions: List[ast.Term] = [
             ast.Eq(ast.Length(var), ast.IntLit(length))
         ]
-        picks = rng.integers(0, 5, size=int(rng.integers(1, self.max_constraints + 1)))
-        for pick in picks:
-            assertions.append(self._constraint_from_witness(var, witness, int(pick)))
-        script = self._to_script(variable, assertions)
+        ops_used: List[str] = ["length"]
+        if self.ops is None:
+            # Legacy mode: keep the historical RNG consumption pattern so
+            # fixed seeds reproduce the exact pre-existing instances.
+            picks = rng.integers(
+                0, 5, size=int(rng.integers(1, self.max_constraints + 1))
+            )
+            for pick in picks:
+                assertions.append(
+                    self._constraint_from_witness(var, witness, int(pick))
+                )
+                ops_used.append(_LEGACY_OPS[int(pick)])
+        else:
+            count = int(rng.integers(1, self.max_constraints + 1))
+            choices = rng.integers(0, len(self.ops), size=count)
+            for choice in choices:
+                op = self.ops[int(choice)]
+                term = self._op_constraint(op, var, witness)
+                if term is not None:
+                    assertions.append(term)
+                ops_used.append(op)
+        script = render_script(assertions, {variable: ast.StringSort})
         return GeneratedInstance(
-            assertions=assertions, witness={variable: witness}, script=script
+            assertions=assertions,
+            witness={variable: witness},
+            script=script,
+            ops=ops_used,
         )
 
     def generate_unsat(self, variable: str = "x") -> GeneratedInstance:
-        """A refutation instance: two incompatible equalities."""
-        length = int(self._rng.integers(self.min_length, self.max_length + 1))
-        a = self._random_word(length)
-        b = a
-        while b == a:
-            b = self._random_word(length)
+        """A refutation instance.
+
+        Legacy mode keeps the historical shape (two incompatible
+        equalities); op-targeted mode also draws conflicting pinned
+        characters and an over-long containment window.
+        """
+        rng = self._rng
+        length = int(rng.integers(self.min_length, self.max_length + 1))
         var = ast.StrVar(variable)
-        assertions = [
-            ast.Eq(var, ast.StrLit(a)),
-            ast.Eq(var, ast.StrLit(b)),
-        ]
+        shape = 0 if self.ops is None else int(rng.integers(0, 3))
+        ops_used: List[str]
+        if shape == 0:  # two incompatible equalities
+            a = self._random_word(length)
+            b = a
+            while b == a:
+                b = self._random_word(length)
+            assertions = [
+                ast.Eq(var, ast.StrLit(a)),
+                ast.Eq(var, ast.StrLit(b)),
+            ]
+            ops_used = ["equality", "equality"]
+        elif shape == 1:  # same position pinned to two characters
+            index = int(rng.integers(0, length))
+            c = _ALPHABET[int(rng.integers(0, len(_ALPHABET)))]
+            d = c
+            while d == c:
+                d = _ALPHABET[int(rng.integers(0, len(_ALPHABET)))]
+            assertions = [
+                ast.Eq(ast.Length(var), ast.IntLit(length)),
+                ast.Eq(ast.At(var, ast.IntLit(index)), ast.StrLit(c)),
+                ast.Eq(ast.At(var, ast.IntLit(index)), ast.StrLit(d)),
+            ]
+            ops_used = ["length", "charat", "charat"]
+        else:  # containment window longer than the pinned length
+            needle = self._random_word(length + 1)
+            assertions = [
+                ast.Eq(ast.Length(var), ast.IntLit(length)),
+                ast.Contains(var, ast.StrLit(needle)),
+            ]
+            ops_used = ["length", "contains"]
         return GeneratedInstance(
             assertions=assertions,
             witness={},
-            script=self._to_script(variable, assertions),
+            script=render_script(assertions, {variable: ast.StringSort}),
             satisfiable=False,
+            ops=ops_used,
         )
 
+    # ------------------------------------------------------------------ #
+    # legacy constraint shapes (RNG-stable)
     # ------------------------------------------------------------------ #
 
     def _constraint_from_witness(
@@ -132,41 +249,114 @@ class InstanceGenerator:
             ast.IntLit(witness.find(char)),
         )
 
-    @staticmethod
-    def _to_script(variable: str, assertions: List[ast.Term]) -> str:
-        """Render the instance as SMT-LIB text (for the REPL/bench paths)."""
-        lines = [f"(declare-const {variable} String)"]
-        for assertion in assertions:
-            lines.append(f"(assert {_render(assertion)})")
-        lines.append("(check-sat)")
-        return "\n".join(lines)
+    # ------------------------------------------------------------------ #
+    # §4 operator constraint shapes
+    # ------------------------------------------------------------------ #
 
+    def _op_constraint(
+        self, op: str, var: ast.StrVar, witness: str
+    ) -> Optional[ast.Term]:
+        """One witness-satisfying constraint of kind *op* (None = no-op)."""
+        rng = self._rng
+        n = len(witness)
+        if op == "length":
+            return None  # the length fact is always asserted separately
+        if op == "equality":
+            return ast.Eq(var, ast.StrLit(witness))
+        if op in ("contains", "prefixof", "suffixof", "charat", "indexof"):
+            return self._constraint_from_witness(
+                var, witness, _LEGACY_OPS.index(op)
+            )
+        if op == "concat":
+            if n < 2:
+                return ast.Eq(var, ast.StrLit(witness))
+            cut = int(rng.integers(1, n))
+            return ast.Eq(
+                var,
+                ast.Concat(
+                    (ast.StrLit(witness[:cut]), ast.StrLit(witness[cut:]))
+                ),
+            )
+        if op == "replace":
+            # Put a unique hole character at one position; replacing its
+            # (first and only) occurrence restores the witness.
+            index = int(rng.integers(0, n))
+            source = witness[:index] + _HOLE + witness[index + 1 :]
+            return ast.Eq(
+                var,
+                ast.Replace(
+                    ast.StrLit(source),
+                    ast.StrLit(_HOLE),
+                    ast.StrLit(witness[index]),
+                ),
+            )
+        if op == "replace_all":
+            # Punch holes at every occurrence of one witness character;
+            # replace-all refills them.
+            char = witness[int(rng.integers(0, n))]
+            source = witness.replace(char, _HOLE)
+            return ast.Eq(
+                var,
+                ast.Replace(
+                    ast.StrLit(source),
+                    ast.StrLit(_HOLE),
+                    ast.StrLit(char),
+                    replace_all=True,
+                ),
+            )
+        if op == "reverse":
+            return ast.Eq(var, ast.Reverse(ast.StrLit(witness[::-1])))
+        if op == "substr":
+            pre = self._random_word(int(rng.integers(0, 3)))
+            post = self._random_word(int(rng.integers(0, 3)))
+            return ast.Eq(
+                var,
+                ast.Substr(
+                    ast.StrLit(pre + witness + post),
+                    ast.IntLit(len(pre)),
+                    ast.IntLit(n),
+                ),
+            )
+        if op == "regex":
+            return ast.InRe(var, self._regex_for(witness))
+        if op == "notequals":
+            other = witness
+            while other == witness:
+                other = self._random_word(n)
+            return ast.Not(ast.Eq(var, ast.StrLit(other)))
+        if op == "includes":
+            size = int(rng.integers(1, min(3, n) + 1))
+            start = int(rng.integers(0, n - size + 1))
+            return ast.Contains(
+                ast.StrLit(witness), ast.StrLit(witness[start : start + size])
+            )
+        raise ValueError(f"unknown op {op!r}")
 
-def _render(term: ast.Term) -> str:
-    """Minimal SMT-LIB printer for the generated fragment."""
-    if isinstance(term, ast.StrVar):
-        return term.name
-    if isinstance(term, ast.StrLit):
-        return '"' + term.value.replace('"', '""') + '"'
-    if isinstance(term, ast.IntLit):
-        return str(term.value)
-    if isinstance(term, ast.Length):
-        return f"(str.len {_render(term.source)})"
-    if isinstance(term, ast.Contains):
-        return f"(str.contains {_render(term.haystack)} {_render(term.needle)})"
-    if isinstance(term, ast.PrefixOf):
-        return f"(str.prefixof {_render(term.prefix)} {_render(term.string)})"
-    if isinstance(term, ast.SuffixOf):
-        return f"(str.suffixof {_render(term.suffix)} {_render(term.string)})"
-    if isinstance(term, ast.At):
-        return f"(str.at {_render(term.source)} {_render(term.index)})"
-    if isinstance(term, ast.IndexOf):
-        return (
-            f"(str.indexof {_render(term.haystack)} {_render(term.needle)} "
-            f"{_render(term.start)})"
-        )
-    if isinstance(term, ast.Eq):
-        return f"(= {_render(term.lhs)} {_render(term.rhs)})"
-    if isinstance(term, ast.Not):
-        return f"(not {_render(term.operand)})"
-    raise TypeError(f"no printer for {term!r}")
+    def _regex_for(self, witness: str) -> ast.Term:
+        """A regular-language term the witness is a member of.
+
+        Per character: a literal, a range around it, or a two-character
+        class; one piece is occasionally plussed (the plus then absorbs
+        exactly one position at the witness length).
+        """
+        rng = self._rng
+        pieces: List[ast.Term] = []
+        for char in witness:
+            kind = int(rng.integers(0, 3))
+            if kind == 0:
+                piece: ast.Term = ast.ReLit(char)
+            elif kind == 1:
+                lo = chr(max(ord(_ALPHABET[0]), ord(char) - int(rng.integers(0, 3))))
+                hi = chr(min(ord(_ALPHABET[-1]), ord(char) + int(rng.integers(0, 3))))
+                piece = ast.ReRange(lo, hi)
+            else:
+                other = char
+                while other == char:
+                    other = _ALPHABET[int(rng.integers(0, len(_ALPHABET)))]
+                piece = ast.ReUnion((ast.ReLit(char), ast.ReLit(other)))
+            if rng.random() < 0.2:
+                piece = ast.RePlus(piece)
+            pieces.append(piece)
+        if len(pieces) == 1:
+            return pieces[0]
+        return ast.ReConcat(tuple(pieces))

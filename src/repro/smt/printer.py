@@ -1,0 +1,137 @@
+"""SMT-LIB 2.6 printer for the strings fragment.
+
+The inverse of :mod:`repro.smt.parser`: renders :mod:`repro.smt.ast` terms
+and whole assertion conjunctions back to script text. The printer is the
+single source of SMT-LIB output for the instance generator, the
+delta-debugging shrinker and the regression corpus, and it is round-trip
+exact: ``parse_script(render_script(decls, assertions)).assertions ==
+assertions`` for every term the AST can represent (string literals use
+SMT-LIB ``""`` quote doubling; no other escape sequences exist in the
+fragment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.smt import ast
+
+__all__ = [
+    "PrintError",
+    "quote_string",
+    "render_term",
+    "render_assertion",
+    "render_script",
+]
+
+
+class PrintError(TypeError):
+    """A term outside the printable AST."""
+
+
+def quote_string(value: str) -> str:
+    """An SMT-LIB string literal: ``"`` doubled, everything else verbatim."""
+    return '"' + value.replace('"', '""') + '"'
+
+
+_SORT_NAMES = {
+    id(ast.StringSort): "String",
+    id(ast.IntSort): "Int",
+    id(ast.BoolSort): "Bool",
+    id(ast.RegLanSort): "RegLan",
+}
+
+
+def render_term(term: ast.Term) -> str:
+    """Render one term as SMT-LIB concrete syntax."""
+    if isinstance(term, ast.StrVar):
+        return term.name
+    if isinstance(term, ast.StrLit):
+        return quote_string(term.value)
+    if isinstance(term, ast.IntLit):
+        return str(term.value)
+    if isinstance(term, ast.Concat):
+        return _app("str.++", term.parts)
+    if isinstance(term, ast.Replace):
+        op = "str.replace_all" if term.replace_all else "str.replace"
+        return _app(op, (term.source, term.old, term.new))
+    if isinstance(term, ast.Reverse):
+        return _app("str.rev", (term.source,))
+    if isinstance(term, ast.At):
+        return _app("str.at", (term.source, term.index))
+    if isinstance(term, ast.Substr):
+        return _app("str.substr", (term.source, term.offset, term.count))
+    if isinstance(term, ast.Length):
+        return _app("str.len", (term.source,))
+    if isinstance(term, ast.Contains):
+        return _app("str.contains", (term.haystack, term.needle))
+    if isinstance(term, ast.PrefixOf):
+        return _app("str.prefixof", (term.prefix, term.string))
+    if isinstance(term, ast.SuffixOf):
+        return _app("str.suffixof", (term.suffix, term.string))
+    if isinstance(term, ast.IndexOf):
+        return _app("str.indexof", (term.haystack, term.needle, term.start))
+    if isinstance(term, ast.InRe):
+        return _app("str.in_re", (term.string, term.regex))
+    if isinstance(term, ast.Eq):
+        return _app("=", (term.lhs, term.rhs))
+    if isinstance(term, ast.Not):
+        return _app("not", (term.operand,))
+    if isinstance(term, ast.ReLit):
+        return f"(str.to_re {quote_string(term.value)})"
+    if isinstance(term, ast.ReUnion):
+        return _app("re.union", term.parts)
+    if isinstance(term, ast.RePlus):
+        return _app("re.+", (term.child,))
+    if isinstance(term, ast.ReConcat):
+        return _app("re.++", term.parts)
+    if isinstance(term, ast.ReRange):
+        return f"(re.range {quote_string(term.lo)} {quote_string(term.hi)})"
+    raise PrintError(f"no printer for {term!r}")
+
+
+def _app(op: str, args: Iterable[ast.Term]) -> str:
+    return "(" + op + "".join(" " + render_term(a) for a in args) + ")"
+
+
+def render_assertion(term: ast.Term) -> str:
+    """One ``(assert ...)`` command."""
+    return f"(assert {render_term(term)})"
+
+
+def render_script(
+    assertions: Sequence[ast.Term],
+    declarations: Optional[Dict[str, object]] = None,
+    *,
+    check_sat: bool = True,
+    get_model: bool = False,
+    logic: Optional[str] = None,
+    header: Sequence[str] = (),
+) -> str:
+    """Render a whole problem as an SMT-LIB script.
+
+    ``declarations`` maps names to sorts (``repro.smt.ast`` sort
+    singletons); when omitted, every free string variable of the
+    assertions is declared with sort ``String``, in sorted name order.
+    ``header`` lines are emitted verbatim as leading ``;`` comments.
+    """
+    lines: List[str] = [f"; {text}" if text else ";" for text in header]
+    if logic:
+        lines.append(f"(set-logic {logic})")
+    if declarations is None:
+        names: set = set()
+        for assertion in assertions:
+            names |= ast.free_string_variables(assertion)
+        declarations = {name: ast.StringSort for name in sorted(names)}
+    for name, sort in declarations.items():
+        sort_name = _SORT_NAMES.get(id(sort))
+        if sort_name is None:
+            raise PrintError(f"unknown sort {sort!r} for {name!r}")
+        lines.append(f"(declare-const {name} {sort_name})")
+    for assertion in assertions:
+        lines.append(render_assertion(assertion))
+    if check_sat:
+        lines.append("(check-sat)")
+    if get_model:
+        lines.append("(get-model)")
+    return "\n".join(lines) + "\n"

@@ -97,7 +97,11 @@ def _read_string(text: str, start: int) -> Tuple[str, int]:
 
 
 def _atom(token: str) -> Any:
-    if token.lstrip("-").isdigit() and token not in ("-",):
+    # A numeral is an optional single leading minus followed by digits.
+    # (The old `lstrip("-")` check crashed int() on tokens like "--3";
+    # those are symbols, not malformed numerals.)
+    body = token[1:] if token.startswith("-") else token
+    if body.isdigit():
         return int(token)
     return Symbol(token)
 

@@ -24,27 +24,36 @@ from repro.service.policy import RetryExhaustedError, RetryPolicy
 from repro.smt import ast
 from repro.smt.compiler import CompilationError, CompiledProblem, compile_assertions
 from repro.smt.parser import ParseError, SmtScript, parse_script
+from repro.smt.status import SolveStatus
 from repro.smt.theory import eval_formula
 from repro.utils.rng import SeedLike
 
 __all__ = ["QuantumSMTSolver", "SmtResult"]
 
-SAT = "sat"
-UNSAT = "unsat"
-UNKNOWN = "unknown"
+# Canonical statuses; module-level names kept for backwards compatibility
+# (old code compared against the bare strings, which still works because
+# SolveStatus is a str-mixin enum).
+SAT = SolveStatus.SAT
+UNSAT = SolveStatus.UNSAT
+UNKNOWN = SolveStatus.UNKNOWN
 
 
 @dataclass
 class SmtResult:
     """Outcome of one ``check_sat`` call."""
 
-    status: str
+    status: SolveStatus
     model: Dict[str, str] = field(default_factory=dict)
     solve_results: Dict[str, SolveResult] = field(default_factory=dict)
     reason: str = ""
 
+    def __post_init__(self) -> None:
+        # Accept historical bare strings ("sat"/"unsat"/"unknown") and
+        # normalize them onto the shared enum.
+        self.status = SolveStatus.from_value(self.status)
+
     def __repr__(self) -> str:
-        return f"SmtResult(status={self.status!r}, model={self.model!r})"
+        return f"SmtResult(status={self.status.value!r}, model={self.model!r})"
 
 
 class QuantumSMTSolver:

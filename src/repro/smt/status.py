@@ -1,0 +1,77 @@
+"""The shared solver-status vocabulary.
+
+Historically the three solver stacks reported their outcome as bare
+strings (``"sat"`` / ``"unsat"`` / ``"unknown"``) in subtly different
+ways, which forced every cross-solver comparison (benchmarks, the
+differential oracle in :mod:`repro.verify`) to do ad-hoc mapping.
+:class:`SolveStatus` normalizes this: it is a :class:`str`-mixin enum, so
+
+* every historical comparison (``result.status == "sat"``) keeps working,
+* JSON serialization produces the plain string value,
+* new code can match on the enum members and get exhaustiveness.
+
+``SmtResult``, ``ClassicalResult`` and ``DpllTResult`` all coerce their
+``status`` field through :meth:`SolveStatus.from_value`, which accepts the
+enum itself, the canonical strings in any case, and the historical aliases.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+__all__ = ["SolveStatus"]
+
+
+class SolveStatus(str, enum.Enum):
+    """Tri-state solver outcome, interchangeable with its string value."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    # Keep ``str(status)``, ``f"{status}"`` and ``"%s" % status`` equal to
+    # the plain value on every supported Python (3.11 changed the default
+    # mixed-in enum formatting).
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_value(cls, value: Union["SolveStatus", str]) -> "SolveStatus":
+        """Coerce *value* (enum, canonical string, or alias) to a member."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(_ALIASES.get(value.strip().lower(), value.strip().lower()))
+            except ValueError:
+                pass
+        raise ValueError(
+            f"not a solver status: {value!r} (expected one of "
+            f"{[m.value for m in cls]} or an alias {sorted(_ALIASES)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience predicates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_decided(self) -> bool:
+        """True for ``sat`` / ``unsat`` (a definite answer)."""
+        return self is not SolveStatus.UNKNOWN
+
+    def agrees_with(self, other: Union["SolveStatus", str]) -> bool:
+        """True when both statuses are decided and equal."""
+        other = SolveStatus.from_value(other)
+        return self.is_decided and self is other
+
+
+#: Historical spellings accepted for backwards compatibility.
+_ALIASES = {
+    "satisfiable": "sat",
+    "unsatisfiable": "unsat",
+    "indeterminate": "unknown",
+    "timeout": "unknown",
+}

@@ -1,0 +1,68 @@
+"""Differential verification harness for the quantum string solver.
+
+The paper's central claim is that QUBO formulations of string
+constraints (§4) can stand in for a classical string theory solver.
+This subpackage stress-tests that claim end to end:
+
+* :mod:`~repro.verify.oracle` — :class:`DifferentialOracle` runs the
+  quantum solver against a trusted classical reference and classifies
+  every outcome on the :class:`Verdict` taxonomy (agreement, soundness
+  bug, completeness miss, unresolved).
+* :mod:`~repro.verify.metamorphic` — semantics-preserving transforms
+  (double reverse, concat re-association, equality symmetry, palindrome
+  reversal, replace-with-absent-pattern) that must preserve sat status
+  and energy-zero witnesses.
+* :mod:`~repro.verify.shrink` — a delta-debugging minimizer that
+  reduces failing conjunctions to minimal SMT-LIB repro scripts.
+* :mod:`~repro.verify.campaign` — seeded fuzz campaigns over
+  :class:`repro.smt.InstanceGenerator` with coverage counters, budgets,
+  deterministic JSON reports and metrics wiring.
+* :mod:`~repro.verify.corpus` — a checked-in SMT-LIB regression corpus
+  (``tests/corpus/``) replayed through the oracle.
+
+Run ``python -m repro.verify campaign --instances 30`` for a quick
+smoke campaign.
+"""
+
+from repro.verify.oracle import DifferentialOracle, OracleReport, Verdict
+from repro.verify.metamorphic import (
+    MetamorphicRelation,
+    MetamorphicViolation,
+    RELATIONS,
+    check_relation,
+)
+from repro.verify.shrink import ShrinkResult, shrink
+from repro.verify.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    FailureRecord,
+    run_campaign,
+)
+from repro.verify.corpus import (
+    CorpusCase,
+    CorpusReport,
+    load_corpus,
+    replay_corpus,
+    save_case,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "CorpusCase",
+    "CorpusReport",
+    "DifferentialOracle",
+    "FailureRecord",
+    "MetamorphicRelation",
+    "MetamorphicViolation",
+    "OracleReport",
+    "RELATIONS",
+    "ShrinkResult",
+    "Verdict",
+    "check_relation",
+    "load_corpus",
+    "replay_corpus",
+    "run_campaign",
+    "save_case",
+    "shrink",
+]

@@ -1,0 +1,177 @@
+"""Command-line entry point: ``python -m repro.verify``.
+
+Subcommands
+-----------
+
+``campaign``
+    Run a seeded differential fuzz campaign::
+
+        python -m repro.verify campaign --instances 30 --seed 7 \\
+            --json out/campaign.json --corpus-dir tests/corpus
+
+``corpus``
+    Replay the checked-in regression corpus::
+
+        python -m repro.verify corpus --dir tests/corpus
+
+``shrink``
+    Delta-debug one failing SMT-LIB script down to a minimal repro::
+
+        python -m repro.verify shrink failing.smt2 --expect sat
+
+Exit status is non-zero when a soundness bug (or metamorphic violation)
+is found, so all three subcommands gate cleanly in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.smt.generator import ALL_OPS
+from repro.smt.parser import parse_script
+from repro.smt.status import SolveStatus
+from repro.verify.campaign import CampaignConfig, run_campaign
+from repro.verify.corpus import replay_corpus
+from repro.verify.oracle import DifferentialOracle
+from repro.verify.shrink import shrink
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential verification harness for the quantum string solver.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    camp = sub.add_parser("campaign", help="run a seeded fuzz campaign")
+    camp.add_argument("--instances", type=int, default=200)
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument(
+        "--ops",
+        default="all",
+        help=f"'all' or comma-separated subset of: {', '.join(ALL_OPS)}",
+    )
+    camp.add_argument("--unsat-ratio", type=float, default=0.15)
+    camp.add_argument("--max-length", type=int, default=4)
+    camp.add_argument("--num-reads", type=int, default=64)
+    camp.add_argument("--num-sweeps", type=int, default=None)
+    camp.add_argument("--max-attempts", type=int, default=3)
+    camp.add_argument("--reference", choices=("classical", "dpllt"),
+                      default="classical")
+    camp.add_argument("--max-wall-time", type=float, default=None,
+                      help="wall-clock budget in seconds")
+    camp.add_argument("--no-shrink", action="store_true",
+                      help="keep failures unshrunk")
+    camp.add_argument("--metamorphic", action="store_true",
+                      help="also check metamorphic relations on sat instances")
+    camp.add_argument("--corpus-dir", default=None,
+                      help="write shrunk failures into this corpus directory")
+    camp.add_argument("--workers", type=int, default=1,
+                      help=">1 precomputes quantum results on a thread pool")
+    camp.add_argument("--json", dest="json_path", default=None,
+                      help="write the deterministic JSON report here")
+
+    corp = sub.add_parser("corpus", help="replay the regression corpus")
+    corp.add_argument("--dir", dest="directory", default="tests/corpus")
+    corp.add_argument("--seed", type=int, default=0)
+    corp.add_argument("--num-reads", type=int, default=64)
+    corp.add_argument("--json", dest="json_path", default=None)
+
+    shr = sub.add_parser("shrink", help="minimize a failing SMT-LIB script")
+    shr.add_argument("script", help="path to the .smt2 file to minimize")
+    shr.add_argument("--expect", choices=("sat", "unsat"), default="sat",
+                     help="ground-truth status of the script")
+    shr.add_argument("--seed", type=int, default=0)
+    shr.add_argument("--num-reads", type=int, default=64)
+    shr.add_argument("--max-evaluations", type=int, default=500)
+    shr.add_argument("--out", default=None,
+                     help="write the minimized script here (default: stdout)")
+    return parser
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    ops = "all" if args.ops == "all" else [
+        op.strip() for op in args.ops.split(",") if op.strip()
+    ]
+    config = CampaignConfig(
+        instances=args.instances,
+        seed=args.seed,
+        ops=ops,
+        unsat_ratio=args.unsat_ratio,
+        max_length=args.max_length,
+        num_reads=args.num_reads,
+        num_sweeps=args.num_sweeps,
+        max_attempts=args.max_attempts,
+        reference=args.reference,
+        max_wall_time=args.max_wall_time,
+        shrink_failures=not args.no_shrink,
+        metamorphic=args.metamorphic,
+        corpus_dir=args.corpus_dir,
+        num_workers=args.workers,
+    )
+    report = run_campaign(config)
+    print(report.text_report())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"json report: {args.json_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    oracle = DifferentialOracle(seed=args.seed, num_reads=args.num_reads)
+    report = replay_corpus(args.directory, oracle)
+    print(report.text_report())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.to_dict(), indent=2) + "\n")
+    return 0 if report.ok else 1
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    with open(args.script, "r", encoding="utf-8") as handle:
+        script = parse_script(handle.read())
+    assertions = list(script.assertions)
+    expected = SolveStatus.from_value(args.expect)
+    oracle = DifferentialOracle(seed=args.seed, num_reads=args.num_reads)
+
+    baseline = oracle.check(assertions, expected=expected)
+    verdict = baseline.verdict
+    if verdict.is_agreement:
+        print(f"nothing to shrink: oracle verdict is {verdict.value}")
+        return 0
+
+    def still_fails(candidate) -> bool:
+        return oracle.check(candidate, expected=expected).verdict is verdict
+
+    result = shrink(assertions, still_fails,
+                    max_evaluations=args.max_evaluations)
+    print(
+        f"shrunk {result.original_count} -> {len(result.assertions)} "
+        f"assertions in {result.evaluations} evaluations "
+        f"(verdict held: {verdict.value})",
+        file=sys.stderr,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.script)
+        print(f"minimized script: {args.out}", file=sys.stderr)
+    else:
+        print(result.script, end="")
+    return 1 if verdict.is_bug else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
+    return _cmd_shrink(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

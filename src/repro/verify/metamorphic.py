@@ -1,0 +1,395 @@
+"""Semantics-preserving metamorphic transforms over assertion conjunctions.
+
+Metamorphic testing sidesteps the oracle problem: instead of knowing the
+expected output, we know a *relation* — here, that a transformed
+conjunction is logically equivalent to the original, so its satisfying
+status must not change and the planted witness must stay an energy-zero
+(verifying) model of the recompiled QUBOs.
+
+The relations (each a :class:`MetamorphicRelation`) are chosen so the
+transformed instance stays inside the QUBO compiler's fragment — every
+ground string position is evaluated through
+:func:`repro.smt.theory.eval_term`, so wrapping a literal in operators
+that evaluate back to the same value exercises *different formulations*
+for the *same semantics*:
+
+* ``double_reverse`` — every ground string literal ``"s"`` becomes
+  ``(str.rev "reversed-s")`` (identity: rev ∘ rev = id);
+* ``concat_reassociation`` — literal right-hand sides split into
+  ``(str.++ ...)`` and nested concatenations re-grouped (associativity);
+* ``equality_symmetry`` — ``(= a b)`` flipped to ``(= b a)`` everywhere
+  (symmetry of equality; the compiler accepts both orientations);
+* ``palindrome_reverse`` — for *palindromic* ground values,
+  ``x = "p"`` ↔ ``x = (str.rev "p")`` (a palindrome equals its reverse);
+* ``replace_absent_noop`` — literals wrapped in
+  ``(str.replace "s" "<absent>" "q")`` where the pattern provably does
+  not occur (SMT-LIB: replace of an absent pattern is the identity).
+
+``apply`` returns ``None`` when a relation has nothing to latch onto in
+the given conjunction (e.g. no palindromic literal), so harnesses can
+skip-not-fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.smt import ast
+from repro.smt.theory import TheoryError, eval_formula, eval_term
+
+__all__ = [
+    "MetamorphicRelation",
+    "RELATIONS",
+    "relation_by_name",
+    "check_relation",
+    "MetamorphicViolation",
+]
+
+
+class MetamorphicViolation(AssertionError):
+    """A transform changed the semantics it was supposed to preserve."""
+
+
+@dataclass(frozen=True)
+class MetamorphicRelation:
+    """A named semantics-preserving conjunction transform."""
+
+    name: str
+    description: str
+    transform: Callable[[List[ast.Term]], Optional[List[ast.Term]]]
+
+    def apply(self, assertions: Sequence[ast.Term]) -> Optional[List[ast.Term]]:
+        """The transformed conjunction, or ``None`` when not applicable."""
+        out = self.transform(list(assertions))
+        if out is not None and [repr(t) for t in out] == [
+            repr(t) for t in assertions
+        ]:
+            return None  # nothing changed: treat as not applicable
+        return out
+
+
+# --------------------------------------------------------------------- #
+# generic term rewriting
+# --------------------------------------------------------------------- #
+
+
+def _rewrite(term: ast.Term, fn: Callable[[ast.Term], ast.Term]) -> ast.Term:
+    """Bottom-up rewrite: rebuild *term* with *fn* applied to every node."""
+    if isinstance(term, ast.Concat):
+        term = ast.Concat(tuple(_rewrite(p, fn) for p in term.parts))
+    elif isinstance(term, ast.Replace):
+        term = ast.Replace(
+            _rewrite(term.source, fn),
+            _rewrite(term.old, fn),
+            _rewrite(term.new, fn),
+            replace_all=term.replace_all,
+        )
+    elif isinstance(term, ast.Reverse):
+        term = ast.Reverse(_rewrite(term.source, fn))
+    elif isinstance(term, ast.At):
+        term = ast.At(_rewrite(term.source, fn), _rewrite(term.index, fn))
+    elif isinstance(term, ast.Substr):
+        term = ast.Substr(
+            _rewrite(term.source, fn),
+            _rewrite(term.offset, fn),
+            _rewrite(term.count, fn),
+        )
+    elif isinstance(term, ast.Length):
+        term = ast.Length(_rewrite(term.source, fn))
+    elif isinstance(term, ast.Contains):
+        term = ast.Contains(_rewrite(term.haystack, fn), _rewrite(term.needle, fn))
+    elif isinstance(term, ast.PrefixOf):
+        term = ast.PrefixOf(_rewrite(term.prefix, fn), _rewrite(term.string, fn))
+    elif isinstance(term, ast.SuffixOf):
+        term = ast.SuffixOf(_rewrite(term.suffix, fn), _rewrite(term.string, fn))
+    elif isinstance(term, ast.IndexOf):
+        term = ast.IndexOf(
+            _rewrite(term.haystack, fn),
+            _rewrite(term.needle, fn),
+            _rewrite(term.start, fn),
+        )
+    elif isinstance(term, ast.InRe):
+        # Regular-language subterms are left untouched: they are not
+        # string-sorted and the subset matcher has no rewrite headroom.
+        term = ast.InRe(_rewrite(term.string, fn), term.regex)
+    elif isinstance(term, ast.Eq):
+        term = ast.Eq(_rewrite(term.lhs, fn), _rewrite(term.rhs, fn))
+    elif isinstance(term, ast.Not):
+        term = ast.Not(_rewrite(term.operand, fn))
+    return fn(term)
+
+
+def _map_assertions(
+    assertions: List[ast.Term], fn: Callable[[ast.Term], ast.Term]
+) -> List[ast.Term]:
+    return [_rewrite(a, fn) for a in assertions]
+
+
+# --------------------------------------------------------------------- #
+# the relations
+# --------------------------------------------------------------------- #
+
+
+def _double_reverse(assertions: List[ast.Term]) -> Optional[List[ast.Term]]:
+    def fn(term: ast.Term) -> ast.Term:
+        if isinstance(term, ast.StrLit) and len(term.value) >= 1:
+            return ast.Reverse(ast.StrLit(term.value[::-1]))
+        return term
+
+    return _map_assertions(assertions, fn)
+
+
+def _concat_reassociation(assertions: List[ast.Term]) -> Optional[List[ast.Term]]:
+    changed = False
+
+    def fn(term: ast.Term) -> ast.Term:
+        nonlocal changed
+        if isinstance(term, ast.Eq):
+            for a, b in ((term.lhs, term.rhs), (term.rhs, term.lhs)):
+                if isinstance(a, ast.StrVar):
+                    rewritten = _split_or_regroup(b)
+                    if rewritten is not None:
+                        changed = True
+                        return ast.Eq(a, rewritten)
+        return term
+
+    out = _map_assertions(assertions, fn)
+    return out if changed else None
+
+
+def _split_or_regroup(term: ast.Term) -> Optional[ast.Term]:
+    """Split a literal at its midpoint, or re-group a nested concat."""
+    if isinstance(term, ast.StrLit) and len(term.value) >= 2:
+        cut = len(term.value) // 2
+        return ast.Concat(
+            (ast.StrLit(term.value[:cut]), ast.StrLit(term.value[cut:]))
+        )
+    if isinstance(term, ast.Concat) and len(term.parts) == 2:
+        # (a ++ b) -> (b' ++ c) by re-cutting the flattened literal when
+        # both parts are literals (associativity over a different split).
+        left, right = term.parts
+        if isinstance(left, ast.StrLit) and isinstance(right, ast.StrLit):
+            whole = left.value + right.value
+            if len(whole) >= 2:
+                cut = max(1, len(whole) // 2)
+                if cut != len(left.value):
+                    return ast.Concat(
+                        (ast.StrLit(whole[:cut]), ast.StrLit(whole[cut:]))
+                    )
+                return ast.Concat(
+                    (ast.StrLit(whole[:1]), ast.StrLit(whole[1:]))
+                )
+    return None
+
+
+def _equality_symmetry(assertions: List[ast.Term]) -> Optional[List[ast.Term]]:
+    def fn(term: ast.Term) -> ast.Term:
+        if isinstance(term, ast.Eq):
+            return ast.Eq(term.rhs, term.lhs)
+        return term
+
+    return _map_assertions(assertions, fn)
+
+
+def _palindrome_reverse(assertions: List[ast.Term]) -> Optional[List[ast.Term]]:
+    changed = False
+
+    def fn(term: ast.Term) -> ast.Term:
+        nonlocal changed
+        if isinstance(term, ast.Eq):
+            for a, b in ((term.lhs, term.rhs), (term.rhs, term.lhs)):
+                if isinstance(a, ast.StrVar) and isinstance(b, ast.StrLit):
+                    v = b.value
+                    if len(v) >= 2 and v == v[::-1]:
+                        changed = True
+                        return ast.Eq(a, ast.Reverse(b))
+        return term
+
+    out = _map_assertions(assertions, fn)
+    return out if changed else None
+
+
+def _replace_absent_noop(assertions: List[ast.Term]) -> Optional[List[ast.Term]]:
+    changed = False
+
+    def fn(term: ast.Term) -> ast.Term:
+        nonlocal changed
+        if isinstance(term, ast.StrLit) and term.value:
+            absent = _absent_pattern(term.value)
+            changed = True
+            return ast.Replace(term, ast.StrLit(absent), ast.StrLit("q"))
+        return term
+
+    out = _map_assertions(assertions, fn)
+    return out if changed else None
+
+
+def _absent_pattern(value: str) -> str:
+    """A two-character pattern provably not contained in *value*."""
+    for c in "zyxwvutsr":
+        if c not in value:
+            return c + c
+    # Every probe character occurs: build a pair that cannot be a substring
+    # by using a character + one absent from the doubled alphabet scan.
+    return "\x01\x01"
+
+
+RELATIONS: Tuple[MetamorphicRelation, ...] = (
+    MetamorphicRelation(
+        "double_reverse",
+        'every ground literal "s" -> (str.rev "s-reversed")',
+        _double_reverse,
+    ),
+    MetamorphicRelation(
+        "concat_reassociation",
+        "literal rhs split / nested concat re-grouped (associativity)",
+        _concat_reassociation,
+    ),
+    MetamorphicRelation(
+        "equality_symmetry",
+        "(= a b) -> (= b a) everywhere",
+        _equality_symmetry,
+    ),
+    MetamorphicRelation(
+        "palindrome_reverse",
+        'x = "p" <-> x = (str.rev "p") for palindromic p',
+        _palindrome_reverse,
+    ),
+    MetamorphicRelation(
+        "replace_absent_noop",
+        "literals wrapped in str.replace with a provably absent pattern",
+        _replace_absent_noop,
+    ),
+)
+
+
+def relation_by_name(name: str) -> MetamorphicRelation:
+    for relation in RELATIONS:
+        if relation.name == name:
+            return relation
+    raise KeyError(
+        f"unknown metamorphic relation {name!r}; "
+        f"known: {[r.name for r in RELATIONS]}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# the metamorphic check itself
+# --------------------------------------------------------------------- #
+
+
+def check_relation(
+    relation: MetamorphicRelation,
+    assertions: Sequence[ast.Term],
+    witness: Optional[Dict[str, str]] = None,
+) -> Optional[List[ast.Term]]:
+    """Validate *relation* on one conjunction; return the transformed form.
+
+    Three layers of checking (raising :class:`MetamorphicViolation`):
+
+    1. the planted witness (when given) still satisfies every transformed
+       assertion under the concrete semantics;
+    2. every *ground* transformed assertion keeps its truth value;
+    3. the transformed conjunction still compiles, and the witness encodes
+       to a verifying — energy-zero — state of every recompiled
+       formulation (checked via ``formulation.verify`` plus an exact
+       energy comparison on aux-free models).
+
+    Returns ``None`` when the relation is not applicable.
+    """
+    transformed = relation.apply(assertions)
+    if transformed is None:
+        return None
+
+    # 1–2: concrete semantics.
+    for original, rewritten in zip(assertions, transformed):
+        if not ast.free_string_variables(original):
+            try:
+                before = eval_formula(original, {})
+                after = eval_formula(rewritten, {})
+            except TheoryError as exc:
+                raise MetamorphicViolation(
+                    f"{relation.name}: transformed ground assertion "
+                    f"unevaluable: {rewritten!r} ({exc})"
+                ) from exc
+            if before != after:
+                raise MetamorphicViolation(
+                    f"{relation.name}: ground truth changed "
+                    f"{before} -> {after}: {rewritten!r}"
+                )
+        elif witness is not None:
+            if not eval_formula(original, witness):
+                continue  # the witness never satisfied this one; skip
+            if not eval_formula(rewritten, witness):
+                raise MetamorphicViolation(
+                    f"{relation.name}: witness no longer satisfies "
+                    f"{rewritten!r} (was {original!r})"
+                )
+
+    # 3: recompile and check the witness stays an equal-energy verifying
+    # model of the transformed QUBOs.
+    if witness is not None:
+        _check_witness_energy(relation, list(assertions), transformed, witness)
+    return transformed
+
+
+def _check_witness_energy(
+    relation: MetamorphicRelation,
+    original: List[ast.Term],
+    transformed: List[ast.Term],
+    witness: Dict[str, str],
+) -> None:
+    """Cross-compilation invariant on the planted witness.
+
+    The transformed conjunction must (a) stay inside the compiler
+    fragment, (b) keep ``formulation.verify(witness)`` true for every
+    constrained variable, and (c) assign the witness's encoded state the
+    *same energy* as the original compilation did. Satisfying states of
+    formulations with soft guiding terms sit above ``ground_energy()``,
+    so the invariant is energy *preservation* across the transform, not
+    absolute energy zero; the aux-free case additionally pins the energy
+    to the formulation's ground energy when the two agree pre-transform.
+    """
+    from repro.core.encoding import encode_string
+    from repro.smt.compiler import CompilationError, compile_assertions
+
+    try:
+        before = compile_assertions(list(original), seed=0)
+    except CompilationError:
+        return  # original not compilable: nothing to compare against
+    try:
+        after = compile_assertions(list(transformed), seed=0)
+    except CompilationError as exc:
+        raise MetamorphicViolation(
+            f"{relation.name}: transformed conjunction fell out of the "
+            f"compiler fragment: {exc}"
+        ) from exc
+    for variable, formulation in after.formulations.items():
+        value = witness.get(variable)
+        if value is None:
+            continue
+        if not formulation.verify(value):
+            raise MetamorphicViolation(
+                f"{relation.name}: witness {value!r} fails "
+                f"{formulation.describe()} after transform"
+            )
+        reference = before.formulations.get(variable)
+        if reference is None:
+            continue
+        state = encode_string(value)
+        model_after = formulation.build_model()
+        model_before = reference.build_model()
+        if (
+            state.size != model_after.num_variables
+            or state.size != model_before.num_variables
+        ):
+            continue  # aux-variable gadgets: state vector is not aux-free
+        energy_after = float(model_after.energy(state))
+        energy_before = float(model_before.energy(state))
+        if abs(energy_after - energy_before) > 1e-9:
+            raise MetamorphicViolation(
+                f"{relation.name}: witness energy changed "
+                f"{energy_before} -> {energy_after} for "
+                f"{formulation.describe()}"
+            )

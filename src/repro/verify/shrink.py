@@ -1,0 +1,281 @@
+"""Delta-debugging minimizer for failing conjunctions.
+
+When a differential campaign finds a failure (a completeness miss, a
+metamorphic violation, or — worst case — a soundness bug), the raw
+instance is rarely the story: most of its constraints are bystanders.
+:func:`shrink` reduces the conjunction while a caller-supplied *failure
+predicate* keeps holding, in two phases:
+
+1. **assertion minimization** — greedy ddmin: repeatedly try dropping
+   each assertion (largest-first single removals to a fixpoint, which for
+   the campaign's small conjunctions is exhaustive);
+2. **literal shrinking** — every string literal is shortened (halving,
+   chopping ends) and canonicalized toward ``"a..."``, and every integer
+   literal is pulled toward zero, one edit at a time, as long as the
+   predicate still fails.
+
+The result carries a minimal SMT-LIB repro script (rendered through
+:mod:`repro.smt.printer`) ready to be checked into ``tests/corpus/``.
+
+The predicate receives a candidate conjunction and returns ``True`` when
+the candidate **still exhibits the failure**. Predicates must be total:
+exceptions they raise are treated as "does not fail" so a shrink can
+never crash the campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.smt import ast
+from repro.smt.printer import render_script
+
+__all__ = ["ShrinkResult", "shrink"]
+
+Predicate = Callable[[List[ast.Term]], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing conjunction."""
+
+    assertions: List[ast.Term]
+    script: str
+    original_count: int
+    evaluations: int
+    rounds: int
+    exhausted_budget: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"ShrinkResult({self.original_count} -> {len(self.assertions)} "
+            f"assertions, {self.evaluations} predicate evaluations)"
+        )
+
+
+def shrink(
+    assertions: Sequence[ast.Term],
+    predicate: Predicate,
+    *,
+    max_evaluations: int = 500,
+    shrink_literals: bool = True,
+) -> ShrinkResult:
+    """Minimize *assertions* while *predicate* keeps returning ``True``.
+
+    Raises :class:`ValueError` when the predicate does not hold on the
+    initial conjunction (nothing to shrink).
+    """
+    state = _Budget(max_evaluations)
+    current = list(assertions)
+    if not _holds(predicate, current, state):
+        raise ValueError(
+            "the failure predicate does not hold on the original "
+            "conjunction; nothing to shrink"
+        )
+
+    rounds = 0
+    changed = True
+    while changed and not state.exhausted:
+        changed = False
+        rounds += 1
+        current, dropped = _drop_assertions(current, predicate, state)
+        changed = changed or dropped
+        if shrink_literals:
+            current, edited = _shrink_literals(current, predicate, state)
+            changed = changed or edited
+
+    return ShrinkResult(
+        assertions=current,
+        script=render_script(current),
+        original_count=len(list(assertions)),
+        evaluations=state.used,
+        rounds=rounds,
+        exhausted_budget=state.exhausted,
+    )
+
+
+# --------------------------------------------------------------------- #
+# phase 1: assertion minimization
+# --------------------------------------------------------------------- #
+
+
+def _drop_assertions(
+    current: List[ast.Term], predicate: Predicate, state: "_Budget"
+) -> Tuple[List[ast.Term], bool]:
+    changed = False
+    # Try chunk removals first (classic ddmin halving) for fast progress
+    # on larger conjunctions, then single removals to a fixpoint.
+    for chunk in _chunks(len(current)):
+        if state.exhausted or len(current) <= 1:
+            break
+        i = 0
+        while i < len(current) and not state.exhausted:
+            candidate = current[:i] + current[i + chunk :]
+            if candidate and _holds(predicate, candidate, state):
+                current = candidate
+                changed = True
+            else:
+                i += 1
+    return current, changed
+
+
+def _chunks(n: int) -> List[int]:
+    sizes: List[int] = []
+    size = max(1, n // 2)
+    while size > 1:
+        sizes.append(size)
+        size //= 2
+    sizes.append(1)
+    return sizes
+
+
+# --------------------------------------------------------------------- #
+# phase 2: literal shrinking
+# --------------------------------------------------------------------- #
+
+
+def _shrink_literals(
+    current: List[ast.Term], predicate: Predicate, state: "_Budget"
+) -> Tuple[List[ast.Term], bool]:
+    changed = False
+    progress = True
+    while progress and not state.exhausted:
+        progress = False
+        for index, assertion in enumerate(current):
+            for edited in _literal_edits(assertion):
+                if state.exhausted:
+                    break
+                candidate = list(current)
+                candidate[index] = edited
+                if _holds(predicate, candidate, state):
+                    current = candidate
+                    changed = True
+                    progress = True
+                    break  # re-enumerate edits of the new assertion
+    return current, changed
+
+
+def _literal_edits(assertion: ast.Term):
+    """Yield copies of *assertion* with exactly one literal made smaller."""
+    sites = _literal_sites(assertion)
+    for path, leaf in sites:
+        if isinstance(leaf, ast.StrLit):
+            for smaller in _smaller_strings(leaf.value):
+                yield _replace_at(assertion, path, ast.StrLit(smaller))
+        elif isinstance(leaf, ast.IntLit):
+            for smaller in _smaller_ints(leaf.value):
+                yield _replace_at(assertion, path, ast.IntLit(smaller))
+
+
+def _smaller_strings(value: str) -> List[str]:
+    out: List[str] = []
+    n = len(value)
+    if n == 0:
+        return out
+    if n > 1:
+        out.append(value[: n // 2])
+        out.append(value[n // 2 :])
+        out.append(value[1:])
+        out.append(value[:-1])
+    canonical = "a" * n
+    if value != canonical:
+        out.append(canonical)
+    # Per-character canonicalization toward 'a'.
+    for i, c in enumerate(value):
+        if c != "a":
+            out.append(value[:i] + "a" + value[i + 1 :])
+    seen: set = set()
+    unique = []
+    for s in out:
+        if s not in seen:
+            seen.add(s)
+            unique.append(s)
+    return unique
+
+
+def _smaller_ints(value: int) -> List[int]:
+    out: List[int] = []
+    if value > 0:
+        out.extend({value // 2, value - 1, 0, 1} - {value})
+    elif value < 0:
+        out.extend({value // 2, value + 1, 0} - {value})
+    return sorted(set(out), key=abs)
+
+
+# ---- literal-site bookkeeping (paths are child-field sequences) ------- #
+
+_CHILD_FIELDS = {
+    ast.Concat: ("parts",),
+    ast.Replace: ("source", "old", "new"),
+    ast.Reverse: ("source",),
+    ast.At: ("source", "index"),
+    ast.Substr: ("source", "offset", "count"),
+    ast.Length: ("source",),
+    ast.Contains: ("haystack", "needle"),
+    ast.PrefixOf: ("prefix", "string"),
+    ast.SuffixOf: ("suffix", "string"),
+    ast.IndexOf: ("haystack", "needle", "start"),
+    ast.InRe: ("string",),  # the regex side is not literal-shrunk
+    ast.Eq: ("lhs", "rhs"),
+    ast.Not: ("operand",),
+}
+
+
+def _literal_sites(term: ast.Term, path: Tuple = ()) -> List[Tuple[Tuple, ast.Term]]:
+    if isinstance(term, (ast.StrLit, ast.IntLit)):
+        return [(path, term)]
+    fields = _CHILD_FIELDS.get(type(term))
+    if fields is None:
+        return []
+    sites: List[Tuple[Tuple, ast.Term]] = []
+    for name in fields:
+        child = getattr(term, name)
+        if name == "parts":
+            for i, part in enumerate(child):
+                sites.extend(_literal_sites(part, path + (("parts", i),)))
+        else:
+            sites.extend(_literal_sites(child, path + ((name, None),)))
+    return sites
+
+
+def _replace_at(term: ast.Term, path: Tuple, replacement: ast.Term) -> ast.Term:
+    if not path:
+        return replacement
+    (name, index), rest = path[0], path[1:]
+    if name == "parts":
+        parts = list(term.parts)
+        parts[index] = _replace_at(parts[index], rest, replacement)
+        return type(term)(tuple(parts))
+    kwargs = {}
+    for field_name in _CHILD_FIELDS[type(term)]:
+        kwargs[field_name] = getattr(term, field_name)
+    if isinstance(term, ast.Replace):
+        kwargs["replace_all"] = term.replace_all
+    kwargs[name] = _replace_at(kwargs[name], rest, replacement)
+    return type(term)(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# predicate budget
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Budget:
+    limit: int
+    used: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+
+def _holds(predicate: Predicate, candidate: List[ast.Term], state: _Budget) -> bool:
+    if state.exhausted:
+        return False
+    state.used += 1
+    try:
+        return bool(predicate(list(candidate)))
+    except Exception:
+        return False

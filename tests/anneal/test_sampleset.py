@@ -159,3 +159,99 @@ class TestStatistics:
     def test_mean_energy_empty_raises(self):
         with pytest.raises(ValueError):
             SampleSet.empty().mean_energy()
+
+
+class TestEdgeCases:
+    """Edge cases surfaced by the differential verification harness."""
+
+    # --- empty-state aggregation -------------------------------------- #
+
+    def test_aggregate_empty_set_is_identity(self):
+        ss = SampleSet.empty(["a", "b"])
+        agg = ss.aggregate()
+        assert len(agg) == 0
+        assert agg.variables == ["a", "b"]
+
+    def test_lowest_and_filter_on_empty_set(self):
+        ss = SampleSet.empty(["a"])
+        assert len(ss.lowest()) == 0
+        assert len(ss.filter(np.zeros(0, dtype=bool))) == 0
+        assert ss.ground_state_probability(0.0) == 0.0
+
+    def test_aggregate_zero_width_states(self):
+        # Rows with no variables at all (fully ground problem).
+        ss = SampleSet(np.zeros((2, 0), dtype=np.int8), np.array([0.0, 0.0]))
+        agg = ss.aggregate()
+        assert len(agg) == 1
+        assert agg.num_occurrences[0] == 2
+
+    # --- tie-breaking among equal energies ----------------------------- #
+
+    def test_equal_energy_sort_is_stable(self):
+        states = np.array([[0], [1], [2]], dtype=np.int8)
+        ss = SampleSet(states, np.array([1.0, 1.0, 1.0]))
+        # Stable sort: input order preserved among ties.
+        np.testing.assert_array_equal(ss.states[:, 0], [0, 1, 2])
+        assert ss.first.assignment == {0: 0}
+
+    def test_equal_energy_ties_all_in_lowest(self):
+        states = np.array([[0], [1], [2]], dtype=np.int8)
+        ss = SampleSet(states, np.array([2.0, 2.0, 2.0]))
+        assert len(ss.lowest()) == 3
+
+    def test_aggregate_keeps_tied_duplicates_distinct_states(self):
+        states = np.array([[0, 1], [0, 1], [1, 0]], dtype=np.int8)
+        ss = SampleSet(states, np.array([1.0, 1.0, 1.0]))
+        agg = ss.aggregate()
+        assert len(agg) == 2
+        assert sorted(agg.num_occurrences.tolist()) == [1, 2]
+
+    # --- single-read sets ---------------------------------------------- #
+
+    def test_first_on_single_read_set(self):
+        ss = SampleSet(np.array([[1, 0]]), np.array([0.25]), variables=["a", "b"])
+        assert ss.first.assignment == {"a": 1, "b": 0}
+        assert ss.first.energy == 0.25
+
+    def test_lowest_on_single_read_set(self):
+        ss = SampleSet(np.array([[1]]), np.array([3.5]))
+        low = ss.lowest()
+        assert len(low) == 1
+        assert low.first.energy == 3.5
+
+    # --- concatenation with disagreeing variable orders ---------------- #
+
+    def test_concatenate_permuted_variable_order(self):
+        ab = SampleSet(
+            np.array([[1, 0]], dtype=np.int8), np.array([1.0]),
+            variables=["a", "b"],
+        )
+        ba = SampleSet(
+            np.array([[1, 0]], dtype=np.int8), np.array([0.0]),
+            variables=["b", "a"],
+        )
+        merged = SampleSet.concatenate([ab, ba])
+        assert merged.variables == ["a", "b"]
+        assert len(merged) == 2
+        # The [b=1, a=0] row must have been reordered onto [a, b].
+        assert merged.first.assignment == {"a": 0, "b": 1}
+        np.testing.assert_array_equal(merged.column("a"), [0, 1])
+
+    def test_concatenate_permuted_order_roundtrips_energies(self):
+        xyz = SampleSet(
+            np.array([[1, 0, 1]], dtype=np.int8), np.array([2.0]),
+            variables=["x", "y", "z"],
+        )
+        zxy = SampleSet(
+            np.array([[0, 1, 1]], dtype=np.int8), np.array([-1.0]),
+            variables=["z", "x", "y"],
+        )
+        merged = SampleSet.concatenate([xyz, zxy])
+        assert merged.first.assignment == {"x": 1, "y": 1, "z": 0}
+        assert merged.sample(1).assignment == {"x": 1, "y": 0, "z": 1}
+
+    def test_concatenate_still_rejects_different_variable_sets(self):
+        ab = SampleSet(np.zeros((1, 2)), np.zeros(1), variables=["a", "b"])
+        ac = SampleSet(np.zeros((1, 2)), np.zeros(1), variables=["a", "c"])
+        with pytest.raises(ValueError):
+            SampleSet.concatenate([ab, ac])

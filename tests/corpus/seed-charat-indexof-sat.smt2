@@ -1,0 +1,7 @@
+; expect: sat
+; hand seed: charat + indexof agree (paper 4.4/4.8)
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (= (str.at x 1) "b"))
+(assert (= (str.indexof x "b" 0) 1))
+(check-sat)

@@ -1,0 +1,6 @@
+; expect: sat
+; hand seed: containment window (paper 4.5)
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.contains x "b"))
+(check-sat)

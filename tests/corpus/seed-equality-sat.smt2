@@ -1,0 +1,5 @@
+; expect: sat
+; hand seed: direct equality (paper 4.1)
+(declare-const x String)
+(assert (= x "ab"))
+(check-sat)

@@ -1,0 +1,4 @@
+; expect: unsat
+; hand seed: ground-false equality
+(assert (= "a" "b"))
+(check-sat)

@@ -1,0 +1,6 @@
+; expect: unsat
+; hand seed: conflicting lengths
+(declare-const x String)
+(assert (= (str.len x) 1))
+(assert (= (str.len x) 2))
+(check-sat)

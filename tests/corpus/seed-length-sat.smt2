@@ -1,0 +1,5 @@
+; expect: sat
+; hand seed: length constraint (paper 4.3)
+(declare-const x String)
+(assert (= (str.len x) 3))
+(check-sat)

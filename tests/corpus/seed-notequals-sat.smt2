@@ -1,0 +1,6 @@
+; expect: sat
+; hand seed: disequality (paper 4.2)
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (not (= x "aa")))
+(check-sat)

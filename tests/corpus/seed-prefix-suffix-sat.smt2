@@ -1,0 +1,7 @@
+; expect: sat
+; hand seed: prefix+suffix (paper 4.6/4.7)
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.prefixof "a" x))
+(assert (str.suffixof "c" x))
+(check-sat)

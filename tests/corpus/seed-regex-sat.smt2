@@ -1,0 +1,6 @@
+; expect: sat
+; hand seed: regex membership (paper 4.12)
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (str.in_re x (re.++ (re.range "a" "c") (str.to_re "b"))))
+(check-sat)

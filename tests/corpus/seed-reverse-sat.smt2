@@ -1,0 +1,5 @@
+; expect: sat
+; hand seed: ground reverse (paper 4.9)
+(declare-const x String)
+(assert (= x (str.rev "ba")))
+(check-sat)

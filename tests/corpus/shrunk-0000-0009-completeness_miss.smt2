@@ -1,0 +1,5 @@
+; expect: sat
+; shrunk from campaign seed=0 instance #9: quantum unknown on a satisfiable instance (annealer did not produce a verified witness for 'x' in 3 attempts)
+(declare-const x String)
+(assert (str.in_re x (re.++ (re.+ (re.union (str.to_re "a") (str.to_re "f"))) (str.to_re "a") (re.+ (re.union (str.to_re "f") (str.to_re "b"))) (re.range "b" "e"))))
+(check-sat)

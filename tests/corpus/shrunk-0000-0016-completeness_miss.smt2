@@ -1,0 +1,6 @@
+; expect: sat
+; shrunk from campaign seed=0 instance #16: quantum unknown on a satisfiable instance (annealer did not produce a verified witness for 'x' in 3 attempts)
+(declare-const x String)
+(assert (str.contains x "a"))
+(assert (= x (str.substr "aaah" 2 2)))
+(check-sat)

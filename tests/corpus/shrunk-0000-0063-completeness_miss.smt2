@@ -1,0 +1,6 @@
+; expect: sat
+; shrunk from campaign seed=0 instance #63: quantum unknown on a satisfiable instance (annealer did not produce a verified witness for 'x' in 3 attempts)
+(declare-const x String)
+(assert (str.contains x "e"))
+(assert (= x (str.replace_all "ea" "a" "a")))
+(check-sat)

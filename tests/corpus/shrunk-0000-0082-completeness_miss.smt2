@@ -1,0 +1,5 @@
+; expect: sat
+; shrunk from campaign seed=0 instance #82: quantum unknown on a satisfiable instance (annealer did not produce a verified witness for 'x' in 3 attempts)
+(declare-const x String)
+(assert (not (= x "a")))
+(check-sat)

@@ -76,3 +76,58 @@ class TestValidation:
             InstanceGenerator(min_length=5, max_length=3)
         with pytest.raises(ValueError):
             InstanceGenerator(max_constraints=0)
+
+class TestOpTargetedGeneration:
+    """The ops= extension covering every §4.1–§4.12 operator family."""
+
+    def test_all_ops_round_trip_through_printer_and_parser(self):
+        from repro.smt.generator import ALL_OPS
+
+        gen = InstanceGenerator(seed=20, ops="all", max_length=4)
+        seen = set()
+        for _ in range(150):
+            inst = gen.generate()
+            seen.update(inst.ops)
+            parsed = parse_script(inst.script)
+            assert parsed.assertions == inst.assertions
+            for assertion in inst.assertions:
+                assert eval_formula(assertion, inst.witness), assertion
+        assert seen == set(ALL_OPS)
+
+    def test_op_subset_respected(self):
+        gen = InstanceGenerator(seed=21, ops=["reverse", "length"])
+        for _ in range(10):
+            inst = gen.generate()
+            assert set(inst.ops) <= {"reverse", "length"}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceGenerator(ops=["frobnicate"])
+
+    def test_unsat_round_trip_in_ops_mode(self):
+        gen = InstanceGenerator(seed=22, ops="all")
+        for _ in range(10):
+            inst = gen.generate_unsat()
+            assert parse_script(inst.script).assertions == inst.assertions
+            assert ClassicalStringSolver().solve(inst.assertions).status == "unsat"
+
+
+class TestSeedStability:
+    def test_same_seed_same_instances(self):
+        a = InstanceGenerator(seed=33, ops="all")
+        b = InstanceGenerator(seed=33, ops="all")
+        for _ in range(10):
+            ia, ib = a.generate(), b.generate()
+            assert ia.assertions == ib.assertions
+            assert ia.witness == ib.witness
+            assert ia.script == ib.script
+            assert ia.ops == ib.ops
+
+    def test_legacy_mode_rng_pattern_unchanged(self):
+        # ops=None must consume the RNG exactly as the historical
+        # generator did, so archived seeds reproduce identical instances.
+        # (values pinned against the pre-refactor generator at seed 0).
+        inst = InstanceGenerator(seed=0).generate()
+        assert inst.witness == {"x": "feccaaab"}
+        assert '(assert (= (str.len x) 8))' in inst.script
+        assert '(assert (str.suffixof "ccaaab" x))' in inst.script

@@ -1,0 +1,125 @@
+"""SMT-LIB printer: rendering + parser round trips (satellite tests)."""
+
+import pytest
+
+from repro.smt import ast
+from repro.smt.parser import parse_script
+from repro.smt.printer import PrintError, quote_string, render_script, render_term
+from repro.smt.sexpr import parse_sexprs
+
+X = ast.StrVar("x")
+
+
+class TestQuoting:
+    def test_plain(self):
+        assert quote_string("abc") == '"abc"'
+
+    def test_embedded_quote_doubled(self):
+        assert quote_string('a"b') == '"a""b"'
+
+    def test_empty(self):
+        assert quote_string("") == '""'
+
+    def test_round_trip_through_tokenizer(self):
+        for value in ["", "a", 'she said ""hi""', 'quo"te', '"""']:
+            token = parse_sexprs(f"({quote_string(value)})")[0][0]
+            assert token == value
+
+
+class TestRenderTerm:
+    @pytest.mark.parametrize(
+        "term, expected",
+        [
+            (ast.StrLit("ab"), '"ab"'),
+            (ast.IntLit(-3), "-3"),
+            (ast.Length(X), "(str.len x)"),
+            (ast.Concat((X, ast.StrLit("a"))), '(str.++ x "a")'),
+            (ast.Reverse(X), "(str.rev x)"),
+            (ast.Contains(X, ast.StrLit("b")), '(str.contains x "b")'),
+            (ast.PrefixOf(ast.StrLit("a"), X), '(str.prefixof "a" x)'),
+            (ast.SuffixOf(ast.StrLit("a"), X), '(str.suffixof "a" x)'),
+            (ast.At(X, ast.IntLit(0)), "(str.at x 0)"),
+            (
+                ast.Substr(X, ast.IntLit(1), ast.IntLit(2)),
+                "(str.substr x 1 2)",
+            ),
+            (
+                ast.IndexOf(X, ast.StrLit("a"), ast.IntLit(0)),
+                '(str.indexof x "a" 0)',
+            ),
+            (
+                ast.Replace(X, ast.StrLit("a"), ast.StrLit("b")),
+                '(str.replace x "a" "b")',
+            ),
+            (
+                ast.Replace(
+                    X, ast.StrLit("a"), ast.StrLit("b"), replace_all=True
+                ),
+                '(str.replace_all x "a" "b")',
+            ),
+            (ast.Not(ast.Eq(X, ast.StrLit("a"))), '(not (= x "a"))'),
+            (
+                ast.InRe(X, ast.ReLit("ab")),
+                '(str.in_re x (str.to_re "ab"))',
+            ),
+            (
+                ast.InRe(X, ast.RePlus(ast.ReRange("a", "c"))),
+                '(str.in_re x (re.+ (re.range "a" "c")))',
+            ),
+            (
+                ast.InRe(
+                    X,
+                    ast.ReConcat(
+                        (
+                            ast.ReLit("a"),
+                            ast.ReUnion((ast.ReLit("b"), ast.ReLit("c"))),
+                        )
+                    ),
+                ),
+                '(str.in_re x (re.++ (str.to_re "a") '
+                '(re.union (str.to_re "b") (str.to_re "c"))))',
+            ),
+        ],
+    )
+    def test_rendering(self, term, expected):
+        assert render_term(term) == expected
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(PrintError):
+            render_term(object())
+
+
+class TestRenderScript:
+    def test_auto_declares_free_variables_sorted(self):
+        script = render_script(
+            [
+                ast.Eq(ast.StrVar("b"), ast.StrLit("x")),
+                ast.Eq(ast.StrVar("a"), ast.StrLit("y")),
+            ]
+        )
+        lines = script.splitlines()
+        assert lines[0] == "(declare-const a String)"
+        assert lines[1] == "(declare-const b String)"
+        assert lines[-1] == "(check-sat)"
+
+    def test_header_and_logic(self):
+        script = render_script(
+            [ast.Eq(X, ast.StrLit("a"))], logic="QF_S", header=["provenance", ""]
+        )
+        assert script.startswith("; provenance\n;\n(set-logic QF_S)\n")
+
+    def test_parser_round_trip(self):
+        assertions = [
+            ast.Eq(ast.Length(X), ast.IntLit(3)),
+            ast.Not(ast.Eq(X, ast.StrLit('a"b'))),
+            ast.Eq(
+                X,
+                ast.Concat((ast.StrLit("ab"), ast.Reverse(ast.StrLit("dc")))),
+            ),
+            ast.InRe(X, ast.RePlus(ast.ReRange("a", "z"))),
+        ]
+        parsed = parse_script(render_script(assertions))
+        assert [repr(a) for a in parsed.assertions] == [
+            repr(a) for a in assertions
+        ]
+        assert parsed.string_variables() == ["x"]

@@ -1,0 +1,96 @@
+"""SolveStatus: the shared status enum (satellite of the verify PR)."""
+
+import json
+
+import pytest
+
+from repro.smt import SolveStatus
+from repro.smt.classical import ClassicalResult
+from repro.smt.solver import SmtResult
+
+
+class TestFromValue:
+    def test_identity(self):
+        assert SolveStatus.from_value(SolveStatus.SAT) is SolveStatus.SAT
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("sat", SolveStatus.SAT),
+            ("unsat", SolveStatus.UNSAT),
+            ("unknown", SolveStatus.UNKNOWN),
+            ("SAT", SolveStatus.SAT),
+            ("  unsat ", SolveStatus.UNSAT),
+        ],
+    )
+    def test_plain_strings(self, raw, expected):
+        assert SolveStatus.from_value(raw) is expected
+
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("satisfiable", SolveStatus.SAT),
+            ("unsatisfiable", SolveStatus.UNSAT),
+            ("indeterminate", SolveStatus.UNKNOWN),
+            ("timeout", SolveStatus.UNKNOWN),
+        ],
+    )
+    def test_historical_aliases(self, alias, expected):
+        assert SolveStatus.from_value(alias) is expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            SolveStatus.from_value("maybe")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            SolveStatus.from_value(42)
+
+
+class TestStringCompatibility:
+    """The enum must be a drop-in for the old bare strings."""
+
+    def test_equality_with_bare_string(self):
+        assert SolveStatus.SAT == "sat"
+        assert SolveStatus.UNSAT == "unsat"
+        assert SolveStatus.UNKNOWN != "sat"
+
+    def test_str_and_format(self):
+        # py3.11+ changed str() of mixin enums; we pin the old behavior.
+        assert str(SolveStatus.SAT) == "sat"
+        assert f"{SolveStatus.UNSAT}" == "unsat"
+
+    def test_json_serializes_to_plain_value(self):
+        assert json.loads(json.dumps({"status": SolveStatus.SAT})) == {
+            "status": "sat"
+        }
+
+    def test_usable_as_dict_key_alongside_strings(self):
+        counts = {"sat": 1}
+        counts[SolveStatus.SAT] = counts.get(SolveStatus.SAT, 0) + 1
+        assert counts == {"sat": 2}
+
+
+class TestProperties:
+    def test_is_decided(self):
+        assert SolveStatus.SAT.is_decided
+        assert SolveStatus.UNSAT.is_decided
+        assert not SolveStatus.UNKNOWN.is_decided
+
+    def test_agrees_with(self):
+        assert SolveStatus.SAT.agrees_with("sat")
+        assert not SolveStatus.SAT.agrees_with(SolveStatus.UNSAT)
+        assert not SolveStatus.UNKNOWN.agrees_with(SolveStatus.UNKNOWN)
+
+
+class TestResultNormalization:
+    def test_smt_result_coerces_bare_strings(self):
+        result = SmtResult(status="sat")
+        assert result.status is SolveStatus.SAT
+
+    def test_smt_result_accepts_enum(self):
+        assert SmtResult(status=SolveStatus.UNSAT).status is SolveStatus.UNSAT
+
+    def test_classical_result_coerces(self):
+        result = ClassicalResult(status="unknown")
+        assert result.status is SolveStatus.UNKNOWN

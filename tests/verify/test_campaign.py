@@ -1,0 +1,148 @@
+"""Campaign driver: coverage, determinism, budgets, cache interaction."""
+
+import json
+
+import pytest
+
+from repro.service.cache import CompileCache
+from repro.service.metrics import MetricsRegistry
+from repro.verify import CampaignConfig, Verdict, run_campaign
+
+FAST = dict(num_reads=32, num_sweeps=200)
+
+
+def _config(**kw):
+    base = dict(instances=12, seed=1, **FAST)
+    base.update(kw)
+    return CampaignConfig(**base)
+
+
+class TestCampaignBasics:
+    def test_runs_and_counts(self):
+        report = run_campaign(_config())
+        assert report.instances_run == 12
+        assert report.completed
+        assert sum(report.verdicts.values()) == 12
+        assert report.soundness_bugs == 0
+
+    def test_coverage_tracks_ops(self):
+        report = run_campaign(_config(instances=25))
+        assert report.coverage  # at least some ops drawn
+        assert all(count > 0 for count in report.coverage.values())
+        assert "length" in report.coverage
+
+    def test_ops_subset(self):
+        report = run_campaign(
+            _config(ops=["equality", "length"], unsat_ratio=0.0)
+        )
+        assert set(report.coverage) <= {"equality", "length"}
+
+    def test_metrics_wiring(self):
+        metrics = MetricsRegistry()
+        run_campaign(_config(instances=5), metrics=metrics)
+        assert metrics.counter("campaign.instances").value == 5
+        assert metrics.counter("campaign.runs").value == 1
+        assert metrics.counter("oracle.checks").value == 5
+
+    def test_text_report_mentions_result(self):
+        report = run_campaign(_config(instances=4))
+        text = report.text_report()
+        assert "verdicts" in text
+        assert ("OK" in text) or ("FAILING" in text)
+
+    def test_bad_ops_string_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(_config(ops="some"))
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_json(self):
+        a = run_campaign(_config())
+        b = run_campaign(_config())
+        assert a.to_json() == b.to_json()
+
+    def test_cold_vs_warm_cache_byte_identical_json(self):
+        # The PR's acceptance criterion: cache hits must never change a
+        # verdict, so a warm second run reports identical JSON bytes.
+        cache = CompileCache(maxsize=512)
+        cold = run_campaign(_config(), cache=cache)
+        warm = run_campaign(_config(), cache=cache)
+        assert cold.to_json() == warm.to_json()
+        assert warm.cache_hits > cold.cache_hits  # cache actually used
+
+    def test_serial_matches_parallel(self):
+        serial = run_campaign(_config(num_workers=1))
+        parallel = run_campaign(_config(num_workers=3))
+        assert serial.to_json() == parallel.to_json()
+
+    def test_json_has_no_timing_fields(self):
+        payload = json.loads(run_campaign(_config(instances=3)).to_json())
+        flat = json.dumps(payload)
+        assert "wall" not in flat
+        assert "cache" not in flat
+
+
+class TestBudgetsAndFailures:
+    def test_wall_time_budget_stops_early(self):
+        report = run_campaign(
+            _config(instances=500, max_wall_time=0.0)
+        )
+        assert not report.completed
+        assert report.instances_run < 500
+
+    def test_completeness_misses_are_shrunk(self):
+        # Starve the annealer so misses occur, then require every miss
+        # to carry a shrunk script.
+        report = run_campaign(
+            CampaignConfig(
+                instances=20,
+                seed=3,
+                num_reads=2,
+                num_sweeps=4,
+                max_attempts=1,
+                max_length=4,
+                unsat_ratio=0.0,
+            )
+        )
+        misses = [
+            f for f in report.failures
+            if f.kind == Verdict.COMPLETENESS_MISS.value
+        ]
+        assert report.completeness_misses > 0
+        assert misses
+        for record in misses:
+            if record.shrunk_script:  # flaky re-runs may keep it unshrunk
+                assert record.shrunk_assertions <= record.original_assertions
+                assert "(check-sat)" in record.shrunk_script
+        assert any(record.shrunk_script for record in misses)
+
+    def test_shrunk_failures_written_to_corpus(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        report = run_campaign(
+            CampaignConfig(
+                instances=20,
+                seed=3,
+                num_reads=2,
+                num_sweeps=4,
+                max_attempts=1,
+                max_length=4,
+                unsat_ratio=0.0,
+                corpus_dir=str(corpus_dir),
+            )
+        )
+        written = sorted(p.name for p in corpus_dir.glob("*.smt2"))
+        recorded = sorted(
+            f.corpus_file for f in report.failures if f.corpus_file
+        )
+        assert written == recorded
+        assert written  # at least one miss landed in the corpus
+        text = (corpus_dir / written[0]).read_text()
+        assert "; expect: sat" in text
+
+    def test_metamorphic_mode_counts_checks(self):
+        report = run_campaign(
+            _config(instances=8, metamorphic=True, unsat_ratio=0.0)
+        )
+        assert report.metamorphic_checks > 0
+        assert report.metamorphic_violations == 0
+        assert report.ok

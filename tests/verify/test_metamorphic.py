@@ -1,0 +1,130 @@
+"""Metamorphic relations: applicability, preservation, violation detection."""
+
+import pytest
+
+from repro.smt import ast
+from repro.smt.generator import InstanceGenerator
+from repro.smt.theory import eval_formula
+from repro.verify import (
+    MetamorphicRelation,
+    MetamorphicViolation,
+    RELATIONS,
+    check_relation,
+)
+from repro.verify.metamorphic import relation_by_name
+
+X = ast.StrVar("x")
+
+
+class TestRelationMechanics:
+    def test_all_relations_named_and_described(self):
+        names = [r.name for r in RELATIONS]
+        assert names == [
+            "double_reverse",
+            "concat_reassociation",
+            "equality_symmetry",
+            "palindrome_reverse",
+            "replace_absent_noop",
+        ]
+        assert all(r.description for r in RELATIONS)
+
+    def test_relation_by_name(self):
+        assert relation_by_name("double_reverse") is RELATIONS[0]
+        with pytest.raises(KeyError):
+            relation_by_name("nope")
+
+    def test_not_applicable_returns_none(self):
+        # No literal, no equality: nothing for palindrome_reverse to do.
+        relation = relation_by_name("palindrome_reverse")
+        assert relation.apply([ast.Contains(X, X)]) is None
+
+    def test_identity_transform_treated_as_not_applicable(self):
+        relation = relation_by_name("equality_symmetry")
+        # No Eq anywhere -> transform is the identity -> None.
+        assert relation.apply([ast.Contains(X, ast.StrLit("a"))]) is None
+
+
+class TestTransformShapes:
+    def test_double_reverse_wraps_literals(self):
+        relation = relation_by_name("double_reverse")
+        (out,) = relation.apply([ast.Eq(X, ast.StrLit("abc"))])
+        assert isinstance(out.rhs, ast.Reverse)
+        assert out.rhs.source.value == "cba"
+        assert eval_formula(out, {"x": "abc"})
+
+    def test_concat_reassociation_splits_literal_rhs(self):
+        relation = relation_by_name("concat_reassociation")
+        (out,) = relation.apply([ast.Eq(X, ast.StrLit("abcd"))])
+        assert isinstance(out.rhs, ast.Concat)
+        assert [p.value for p in out.rhs.parts] == ["ab", "cd"]
+
+    def test_equality_symmetry_flips_both_orientations(self):
+        relation = relation_by_name("equality_symmetry")
+        eq = ast.Eq(ast.Length(X), ast.IntLit(2))
+        out = relation.apply([eq, ast.Not(eq)])
+        assert isinstance(out[0].lhs, ast.IntLit)
+        assert isinstance(out[1].operand.lhs, ast.IntLit)
+
+    def test_palindrome_reverse_only_on_palindromes(self):
+        relation = relation_by_name("palindrome_reverse")
+        assert relation.apply([ast.Eq(X, ast.StrLit("ab"))]) is None
+        (out,) = relation.apply([ast.Eq(X, ast.StrLit("abba"))])
+        assert isinstance(out.rhs, ast.Reverse)
+
+    def test_replace_absent_noop_pattern_is_absent(self):
+        relation = relation_by_name("replace_absent_noop")
+        (out,) = relation.apply([ast.Eq(X, ast.StrLit("az"))])
+        assert isinstance(out.rhs, ast.Replace)
+        pattern = out.rhs.old.value
+        assert pattern not in "az"
+        assert eval_formula(out, {"x": "az"})
+
+
+class TestCheckRelation:
+    def test_all_relations_hold_on_generated_instances(self):
+        gen = InstanceGenerator(seed=9, ops="all", max_length=3)
+        applied = 0
+        for _ in range(15):
+            inst = gen.generate()
+            for relation in RELATIONS:
+                out = check_relation(relation, inst.assertions, inst.witness)
+                if out is not None:
+                    applied += 1
+        assert applied > 10
+
+    def test_broken_transform_caught_by_witness_layer(self):
+        broken = MetamorphicRelation(
+            "broken",
+            "flips a literal (not semantics-preserving)",
+            lambda assertions: [
+                ast.Eq(X, ast.StrLit("zz")) for _ in assertions
+            ],
+        )
+        with pytest.raises(MetamorphicViolation):
+            check_relation(
+                broken, [ast.Eq(X, ast.StrLit("ab"))], {"x": "ab"}
+            )
+
+    def test_broken_ground_transform_caught(self):
+        broken = MetamorphicRelation(
+            "broken_ground",
+            "changes ground truth",
+            lambda assertions: [ast.Eq(ast.StrLit("a"), ast.StrLit("b"))],
+        )
+        with pytest.raises(MetamorphicViolation):
+            check_relation(
+                broken, [ast.Eq(ast.StrLit("a"), ast.StrLit("a"))], None
+            )
+
+    def test_witness_energy_preserved_across_transform(self):
+        # The cross-compilation invariant: recompiled QUBOs assign the
+        # witness the same energy before and after the rewrite.
+        assertions = [
+            ast.Eq(ast.Length(X), ast.IntLit(2)),
+            ast.PrefixOf(ast.StrLit("a"), X),
+        ]
+        for relation in RELATIONS:
+            out = check_relation(relation, assertions, {"x": "ab"})
+            if out is not None:
+                for original, rewritten in zip(assertions, out):
+                    assert eval_formula(rewritten, {"x": "ab"})

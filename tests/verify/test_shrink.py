@@ -1,0 +1,142 @@
+"""Delta-debugging shrinker unit tests."""
+
+import pytest
+
+from repro.smt import ast
+from repro.verify import shrink
+
+X = ast.StrVar("x")
+
+
+def _len_eq(n):
+    return ast.Eq(ast.Length(X), ast.IntLit(n))
+
+
+def _bulk(n=6):
+    """A conjunction with one 'culprit' plus n bystanders."""
+    culprit = ast.Eq(X, ast.StrLit("deadbeef"))
+    bystanders = [
+        ast.Contains(X, ast.StrLit(c)) for c in "deadbe"[:n]
+    ]
+    return [culprit] + bystanders, culprit
+
+
+def _has_culprit(assertions):
+    return any(
+        isinstance(a, ast.Eq)
+        and isinstance(a.rhs, ast.StrLit)
+        and "deadbeef" in a.rhs.value
+        for a in assertions
+    )
+
+
+class TestAssertionMinimization:
+    def test_bystanders_dropped(self):
+        assertions, culprit = _bulk()
+        result = shrink(assertions, _has_culprit, shrink_literals=False)
+        assert result.assertions == [culprit]
+        assert result.original_count == 7
+
+    def test_seeded_injected_bug_reduces_to_at_most_two(self):
+        # The acceptance-criteria shape: a planted 'bug' that needs two
+        # interacting assertions, buried under bystanders.
+        needed = {repr(_len_eq(3)), repr(ast.PrefixOf(ast.StrLit("q"), X))}
+
+        def fails(assertions):
+            return needed <= {repr(a) for a in assertions}
+
+        conjunction = [
+            _len_eq(3),
+            ast.Contains(X, ast.StrLit("a")),
+            ast.PrefixOf(ast.StrLit("q"), X),
+            ast.Not(ast.Eq(X, ast.StrLit("zzz"))),
+            ast.SuffixOf(ast.StrLit("b"), X),
+        ]
+        result = shrink(conjunction, fails, shrink_literals=False)
+        assert len(result.assertions) <= 2
+        assert fails(result.assertions)
+
+    def test_raises_when_predicate_does_not_hold_initially(self):
+        with pytest.raises(ValueError):
+            shrink([_len_eq(1)], lambda a: False)
+
+    def test_result_script_is_smtlib(self):
+        assertions, _ = _bulk(2)
+        result = shrink(assertions, _has_culprit, shrink_literals=False)
+        assert result.script.startswith("(declare-const x String)")
+        assert result.script.rstrip().endswith("(check-sat)")
+
+
+class TestLiteralShrinking:
+    def test_string_literal_canonicalized(self):
+        def fails(assertions):
+            # Failure depends only on the literal's *length*.
+            (a,) = assertions
+            return (
+                isinstance(a, ast.Eq)
+                and isinstance(a.rhs, ast.StrLit)
+                and len(a.rhs.value) >= 2
+            )
+
+        result = shrink([ast.Eq(X, ast.StrLit("wxyz"))], fails)
+        (final,) = result.assertions
+        assert final.rhs.value == "aa"
+
+    def test_int_literal_pulled_to_zero(self):
+        def fails(assertions):
+            (a,) = assertions
+            return isinstance(a, ast.Eq) and isinstance(a.rhs, ast.IntLit)
+
+        result = shrink([_len_eq(9)], fails)
+        (final,) = result.assertions
+        assert final.rhs.value == 0
+
+    def test_nested_literal_sites_reached(self):
+        term = ast.Eq(
+            X,
+            ast.Concat(
+                (ast.StrLit("hello"), ast.Reverse(ast.StrLit("world")))
+            ),
+        )
+
+        def fails(assertions):
+            return len(assertions) == 1
+
+        result = shrink([term], fails)
+        (final,) = result.assertions
+        # Both nested literals canonicalized toward minimal 'a'-strings.
+        assert final.rhs.parts[0].value == "a"
+        assert final.rhs.parts[1].source.value == "a"
+
+
+class TestRobustness:
+    def test_predicate_exception_treated_as_not_failing(self):
+        calls = []
+
+        def fails(assertions):
+            calls.append(len(assertions))
+            if len(assertions) < 3:
+                raise RuntimeError("boom")
+            return True
+
+        result = shrink([_len_eq(i) for i in range(5)], fails,
+                        shrink_literals=False)
+        assert len(result.assertions) == 3  # could not go below the boom line
+        assert calls  # predicate was exercised
+
+    def test_budget_exhaustion_flagged(self):
+        assertions, _ = _bulk(6)
+        result = shrink(assertions, _has_culprit, max_evaluations=3)
+        assert result.exhausted_budget
+        assert result.evaluations <= 3
+        assert _has_culprit(result.assertions)
+
+    def test_predicate_cannot_mutate_caller_assertions(self):
+        def fails(assertions):
+            assertions.clear()  # hostile predicate
+            return True
+
+        original = [_len_eq(1), _len_eq(2)]
+        snapshot = list(original)
+        shrink(original, fails, shrink_literals=False, max_evaluations=10)
+        assert original == snapshot
