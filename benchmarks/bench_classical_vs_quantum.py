@@ -10,11 +10,9 @@ enumeration starts visiting exponentially many candidates — e.g. the
 unconstrained-filler workloads.
 """
 
-import time
-
 import pytest
 
-from benchmarks.common import bench_few, bench_once, emit_table
+from benchmarks.common import bench_few, bench_once, emit_table, measure
 from repro.smt import ClassicalStringSolver, QuantumSMTSolver, parse_script
 
 WORKLOADS = {
@@ -43,17 +41,15 @@ def _quantum(script, seed):
         script, seed=seed, num_reads=48, max_attempts=5,
         sampler_params={"num_sweeps": 400},
     )
-    start = time.perf_counter()
-    result = solver.check_sat()
-    return result, time.perf_counter() - start
+    elapsed, result = measure(solver.check_sat)
+    return result, elapsed
 
 
 def _classical(script):
     assertions = parse_script(script).assertions
     solver = ClassicalStringSolver(max_length=12)
-    start = time.perf_counter()
-    result = solver.solve(assertions)
-    return result, time.perf_counter() - start
+    elapsed, result = measure(solver.solve, assertions)
+    return result, elapsed
 
 
 def test_quantum_vs_classical_table(benchmark):
@@ -97,9 +93,7 @@ def test_classical_refutation_blowup(benchmark):
             )
             assertions = parse_script(script).assertions
             solver = ClassicalStringSolver(max_length=20)
-            start = time.perf_counter()
-            result = solver.solve(assertions)
-            elapsed = time.perf_counter() - start
+            elapsed, result = measure(solver.solve, assertions)
             rows.append(
                 [n, f"2^{n}", result.status, result.nodes_explored, f"{elapsed:.4f}s"]
             )

@@ -1,0 +1,41 @@
+"""Perf-C — the tracked perf registry, end to end.
+
+Runs every registered ``repro.perf`` suite (the workloads behind the
+committed ``BENCH_*.json`` baselines) and regenerates the measurement
+table: median wall, MAD, and per-stage compile/embed/anneal/decode
+medians. This is the pytest-benchmark view of the same data
+``python -m repro.perf run`` prints; the CLI is what CI gates on.
+"""
+
+import pytest
+
+from benchmarks.common import bench_once, emit_table
+from repro.perf import SUITES, run_suite
+
+
+@pytest.mark.parametrize("suite", SUITES)
+def test_perf_suite_table(benchmark, suite):
+    def _run():
+        results = run_suite(suite, repeats=3, warmup=1)
+        rows = []
+        for result in results:
+            summary = result.wall_summary()
+            stages = " ".join(
+                f"{name}={value:.4f}"
+                for name, value in result.stage_medians().items()
+            )
+            rows.append([
+                result.name,
+                f"{summary['median']:.4f}s",
+                f"{summary['mad']:.4f}s",
+                stages or "-",
+            ])
+        emit_table(
+            f"Perf-C — tracked suite '{suite}' (3 repeats, 1 warmup)",
+            ["benchmark", "median", "mad", "stage medians"],
+            rows,
+        )
+        return results
+
+    results = bench_once(benchmark, _run)
+    assert results, f"suite {suite} has no registered benchmarks"

@@ -7,7 +7,7 @@ microseconds-to-milliseconds; annealing dominates end-to-end latency).
 
 import pytest
 
-from benchmarks.common import bench_few, bench_once, emit_table
+from benchmarks.common import bench_few, bench_once, emit_table, measure
 from repro.smt import QuantumSMTSolver, compile_assertions, parse_script
 
 SCRIPT = """
@@ -48,22 +48,13 @@ def test_check_sat_latency(benchmark):
 
 def test_layer_breakdown_table(benchmark):
     def _run():
-        import time
-
-        start = time.perf_counter()
-        script = parse_script(SCRIPT)
-        parse_time = time.perf_counter() - start
-
-        start = time.perf_counter()
-        compile_assertions(script.assertions, seed=0)
-        compile_time = time.perf_counter() - start
+        parse_time, script = measure(parse_script, SCRIPT)
+        compile_time, _ = measure(compile_assertions, script.assertions, seed=0)
 
         solver = QuantumSMTSolver.from_script_text(
             SCRIPT, seed=1, num_reads=48, sampler_params={"num_sweeps": 400}
         )
-        start = time.perf_counter()
-        result = solver.check_sat()
-        solve_time = time.perf_counter() - start
+        solve_time, result = measure(solver.check_sat)
         assert result.status == "sat"
 
         total = parse_time + compile_time + solve_time
@@ -83,8 +74,6 @@ def test_layer_breakdown_table(benchmark):
 
 def test_generated_instance_throughput_table(benchmark):
     def _run():
-        import time
-
         from repro.smt.classical import ClassicalStringSolver
         from repro.smt.generator import InstanceGenerator
         from repro.smt.solver import QuantumSMTSolver
@@ -93,27 +82,30 @@ def test_generated_instance_throughput_table(benchmark):
         gen = InstanceGenerator(seed=42, max_length=6, max_constraints=2)
         instances = [gen.generate() for _ in range(8)]
 
-        start = time.perf_counter()
-        classical_ok = 0
-        for inst in instances:
-            result = ClassicalStringSolver().solve(inst.assertions)
-            classical_ok += result.status == "sat" and all(
-                eval_formula(a, result.model) for a in inst.assertions
-            )
-        classical_time = time.perf_counter() - start
+        def _classical_sweep():
+            ok = 0
+            for inst in instances:
+                result = ClassicalStringSolver().solve(inst.assertions)
+                ok += result.status == "sat" and all(
+                    eval_formula(a, result.model) for a in inst.assertions
+                )
+            return ok
 
-        start = time.perf_counter()
-        quantum_ok = 0
-        for k, inst in enumerate(instances):
-            solver = QuantumSMTSolver(
-                seed=k, num_reads=48, max_attempts=5,
-                sampler_params={"num_sweeps": 500},
-            )
-            solver.declare_const("x")
-            for assertion in inst.assertions:
-                solver.add_assertion(assertion)
-            quantum_ok += solver.check_sat().status == "sat"
-        quantum_time = time.perf_counter() - start
+        def _quantum_sweep():
+            ok = 0
+            for k, inst in enumerate(instances):
+                solver = QuantumSMTSolver(
+                    seed=k, num_reads=48, max_attempts=5,
+                    sampler_params={"num_sweeps": 500},
+                )
+                solver.declare_const("x")
+                for assertion in inst.assertions:
+                    solver.add_assertion(assertion)
+                ok += solver.check_sat().status == "sat"
+            return ok
+
+        classical_time, classical_ok = measure(_classical_sweep)
+        quantum_time, quantum_ok = measure(_quantum_sweep)
 
         emit_table(
             "Ext-G — randomized instance sweep (8 planted-witness problems)",

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -30,6 +29,7 @@ import numpy as np
 from repro.anneal.simulated import SimulatedAnnealingSampler
 from repro.core import PalindromeGeneration
 from repro.qubo.sparse import sparse_stats
+from repro.utils.timing import measure
 
 #: Palindrome lengths swept by the full benchmark (7 n binary variables
 #: each); 64 is the acceptance point — 448 variables, where the sparse
@@ -68,15 +68,14 @@ class SparseBenchRow:
 def _time_mode(model, mode: str, reads: int, sweeps: int, seed: int):
     """Run the annealer with a forced coupling form; return (time, sampleset)."""
     sampler = SimulatedAnnealingSampler()
-    start = time.perf_counter()
-    result = sampler.sample_model(
+    return measure(
+        sampler.sample_model,
         model,
         num_reads=reads,
         num_sweeps=sweeps,
         seed=seed,
         coupling_mode=mode,
     )
-    return time.perf_counter() - start, result
 
 
 def measure(length: int, reads: int = READS, sweeps: int = SWEEPS,
@@ -151,14 +150,17 @@ def test_sparse_vs_dense_table(benchmark):
 
 
 def test_sparse_kernel_length_64(benchmark):
-    """Time the acceptance-point sparse solve on its own."""
-    from benchmarks.common import bench_few
+    """Time the acceptance-point sparse kernel on its own.
 
-    model = PalindromeGeneration(64).build_model()
-    bench_few(
-        benchmark,
-        lambda: _time_mode(model, "sparse", READS, SWEEPS, SEED)[1],
-    )
+    Thin wrapper over the tracked ``kernel-sparse-n64`` perf spec, so this
+    number and the committed ``BENCH_sparse.json`` baseline describe the
+    same workload.
+    """
+    from benchmarks.common import bench_few, registered_workload
+
+    run = registered_workload("kernel-sparse-n64")
+    fingerprint = bench_few(benchmark, run)
+    assert fingerprint["coupling_form"] == "sparse"
 
 
 # ------------------------------------------------------------------ #

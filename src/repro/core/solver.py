@@ -10,7 +10,6 @@ verification status, and sampling statistics.
 from __future__ import annotations
 
 import contextlib
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -19,6 +18,7 @@ from repro.anneal.sampleset import SampleSet
 from repro.anneal.simulated import SimulatedAnnealingSampler
 from repro.core.formulation import StringFormulation
 from repro.utils.rng import SeedLike, spawn_rngs
+from repro.utils.timing import Timer
 
 __all__ = ["StringQuboSolver", "SolveResult"]
 
@@ -103,12 +103,12 @@ class StringQuboSolver:
         params.setdefault("num_reads", self.num_reads)
         params.setdefault("seed", int(self._rng.integers(0, 2**63 - 1)))
 
-        start = time.perf_counter()
-        with self._stage("embed"):
-            model = formulation.build_model()
-        with self._stage("anneal"):
-            sampleset = self.sampler.sample_model(model, **params)
-        wall = time.perf_counter() - start
+        with Timer() as timer:
+            with self._stage("embed"):
+                model = formulation.build_model()
+            with self._stage("anneal"):
+                sampleset = self.sampler.sample_model(model, **params)
+        wall = timer.elapsed
 
         with self._stage("decode"):
             best = sampleset.first

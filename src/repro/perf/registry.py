@@ -1,0 +1,301 @@
+"""Declarative benchmark registry for the perf harness.
+
+A :class:`BenchmarkSpec` is a *description* of one tracked workload —
+which kind of pipeline it exercises, over which §4 operator family, at
+which length / read count, under which fixed seed — never a closure. The
+runner (:mod:`repro.perf.runner`) materializes specs into workloads, so
+two ``python -m repro.perf run`` invocations rebuild byte-identical
+instances and the committed ``BENCH_*.json`` baselines stay comparable
+across machines and PRs.
+
+Suites map 1:1 onto the committed baseline files:
+
+* ``core``    → ``BENCH_core.json``    — end-to-end SMT solves
+  (compile → embed → anneal → decode) over the paper's §4.1–§4.12
+  operator families, via :class:`~repro.smt.solver.QuantumSMTSolver` and
+  :class:`~repro.core.solver.StringQuboSolver`;
+* ``sparse``  → ``BENCH_sparse.json``  — the raw annealing kernels
+  (dense vs CSR coupling forms) from PR 2;
+* ``service`` → ``BENCH_service.json`` — the batch service layer
+  (compile cache cold/warm, serial/threaded executors).
+
+Workload kinds understood by the runner:
+
+* ``smt``    — generate ``instances`` scripts with
+  :class:`~repro.smt.generator.InstanceGenerator` (fixed ``gen_seed``,
+  explicit ``ops``), then ``check_sat`` each with a metrics-wired
+  :class:`QuantumSMTSolver`;
+* ``solve``  — one :mod:`repro.core` formulation driven by
+  :class:`StringQuboSolver`;
+* ``kernel`` — one :class:`SimulatedAnnealingSampler` call on a prebuilt
+  model with a forced ``coupling_mode``;
+* ``batch``  — one :class:`~repro.service.batch.BatchSolver` batch over a
+  script workload, cold or warm compile cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = [
+    "SUITES",
+    "BenchmarkSpec",
+    "register",
+    "get_spec",
+    "all_specs",
+    "suite_specs",
+    "baseline_filename",
+]
+
+#: The tracked suites, one committed baseline file each.
+SUITES: Tuple[str, ...] = ("core", "sparse", "service")
+
+#: Workload kinds the runner knows how to build.
+KINDS: Tuple[str, ...] = ("smt", "solve", "kernel", "batch")
+
+
+def baseline_filename(suite: str) -> str:
+    """The committed baseline file for *suite* (``BENCH_<suite>.json``)."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {list(SUITES)}")
+    return f"BENCH_{suite}.json"
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One tracked benchmark: a named, fully-parameterized workload.
+
+    Parameters
+    ----------
+    name:
+        Unique id, also the key in the baseline file (convention:
+        ``<family>-<scale>``; e.g. ``palindrome-n12``).
+    suite:
+        One of :data:`SUITES`.
+    kind:
+        One of :data:`KINDS`; selects the workload builder.
+    params:
+        Keyword parameters of the workload builder. Must be
+        JSON-serializable — they are echoed into the baseline file so a
+        drifted spec is visible in the diff.
+    description:
+        One line for ``python -m repro.perf list``.
+    tolerance:
+        Relative tolerance band of the regression gate for this benchmark
+        (0.5 = alarm beyond 1.5x the baseline median). Scaled up by the
+        CI smoke job via ``--tolerance-scale``.
+    """
+
+    name: str
+    suite: str
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    description: str = ""
+    tolerance: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("benchmark name must be non-empty")
+        if self.suite not in SUITES:
+            raise ValueError(
+                f"unknown suite {self.suite!r}; choose from {list(SUITES)}"
+            )
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown kind {self.kind!r}; choose from {list(KINDS)}"
+            )
+        if self.tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {self.tolerance}")
+        # Freeze params against accidental mutation after registration.
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+
+    @property
+    def baseline_file(self) -> str:
+        return baseline_filename(self.suite)
+
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {}
+
+
+def register(spec: BenchmarkSpec) -> BenchmarkSpec:
+    """Add *spec* to the registry (unique names enforced)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    """Look one spec up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {name!r}; registered: {known}") from None
+
+
+def all_specs() -> List[BenchmarkSpec]:
+    """Every registered spec, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def suite_specs(suite: str) -> List[BenchmarkSpec]:
+    """The specs of one suite, in registration order."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {list(SUITES)}")
+    return [spec for spec in _REGISTRY.values() if spec.suite == suite]
+
+
+# --------------------------------------------------------------------- #
+# the tracked workloads
+# --------------------------------------------------------------------- #
+# Budgets are deliberately small (one repeat ≈ 0.1–2 s): the harness
+# tracks *relative* drift of every pipeline stage, not absolute records,
+# and CI runs the whole registry at --repeats 2.
+
+# core — end-to-end solves over the §4 operator families ----------------
+
+register(BenchmarkSpec(
+    name="smt-legacy-mix",
+    suite="core",
+    kind="smt",
+    params={
+        "ops": None, "instances": 4, "min_length": 3, "max_length": 6,
+        "max_constraints": 3, "gen_seed": 7, "solver_seed": 2025,
+        "num_reads": 32, "num_sweeps": 300,
+    },
+    description="4 generated instances, historical five-op mix, n<=6",
+))
+
+register(BenchmarkSpec(
+    name="smt-ops-all",
+    suite="core",
+    kind="smt",
+    params={
+        "ops": "all", "instances": 6, "min_length": 3, "max_length": 4,
+        "max_constraints": 2, "gen_seed": 11, "solver_seed": 2025,
+        "num_reads": 48, "num_sweeps": 300,
+    },
+    description="6 generated instances across all 15 §4.1–§4.12 ops, n<=4",
+))
+
+register(BenchmarkSpec(
+    name="equality-n16",
+    suite="core",
+    kind="solve",
+    params={
+        "formulation": "equality", "target": "quantum strings!",
+        "num_reads": 48, "num_sweeps": 400, "seed": 116,
+    },
+    description="§4.1 equality generation at n=16 (112 qubits, diagonal QUBO)",
+))
+
+register(BenchmarkSpec(
+    name="palindrome-n12",
+    suite="core",
+    kind="solve",
+    params={
+        "formulation": "palindrome", "length": 12,
+        "num_reads": 48, "num_sweeps": 400, "seed": 212,
+    },
+    description="§4.10-style palindrome generation at n=12 (coupled QUBO)",
+))
+
+register(BenchmarkSpec(
+    name="regex-abcd-n8",
+    suite="core",
+    kind="solve",
+    params={
+        "formulation": "regex", "pattern": "a[bc]+d", "length": 8,
+        "num_reads": 32, "num_sweeps": 300, "seed": 8,
+    },
+    description="§4.11 regex membership a[bc]+d at n=8",
+))
+
+# sparse — raw kernel throughput, dense vs CSR --------------------------
+
+register(BenchmarkSpec(
+    name="kernel-dense-n32",
+    suite="sparse",
+    kind="kernel",
+    params={
+        "length": 32, "coupling_mode": "dense",
+        "num_reads": 64, "num_sweeps": 100, "seed": 2025,
+    },
+    description="dense coupling kernel, palindrome n=32 (224 vars)",
+))
+
+register(BenchmarkSpec(
+    name="kernel-sparse-n32",
+    suite="sparse",
+    kind="kernel",
+    params={
+        "length": 32, "coupling_mode": "sparse",
+        "num_reads": 64, "num_sweeps": 100, "seed": 2025,
+    },
+    description="CSR coupling kernel, palindrome n=32 (224 vars)",
+))
+
+register(BenchmarkSpec(
+    name="kernel-dense-n64",
+    suite="sparse",
+    kind="kernel",
+    params={
+        "length": 64, "coupling_mode": "dense",
+        "num_reads": 64, "num_sweeps": 80, "seed": 2025,
+    },
+    description="dense coupling kernel at the auto-select point (448 vars)",
+))
+
+register(BenchmarkSpec(
+    name="kernel-sparse-n64",
+    suite="sparse",
+    kind="kernel",
+    params={
+        "length": 64, "coupling_mode": "sparse",
+        "num_reads": 64, "num_sweeps": 80, "seed": 2025,
+    },
+    description="CSR coupling kernel at the auto-select point (448 vars)",
+))
+
+# service — batch layer: compile cache and worker pool ------------------
+
+_BATCH_WORDS = ("hi", "ok", "go", "no", "up")
+
+register(BenchmarkSpec(
+    name="batch-cold-serial",
+    suite="service",
+    kind="batch",
+    params={
+        "words": _BATCH_WORDS, "repeats": 2, "executor": "serial",
+        "num_workers": 1, "warm": False, "num_reads": 32,
+        "num_sweeps": 300, "seed": 2025,
+    },
+    description="10-item batch, serial executor, cold compile cache",
+))
+
+register(BenchmarkSpec(
+    name="batch-warm-serial",
+    suite="service",
+    kind="batch",
+    params={
+        "words": _BATCH_WORDS, "repeats": 2, "executor": "serial",
+        "num_workers": 1, "warm": True, "num_reads": 32,
+        "num_sweeps": 300, "seed": 2025,
+    },
+    description="10-item batch, serial executor, warm compile cache",
+))
+
+register(BenchmarkSpec(
+    name="batch-cold-thread4",
+    suite="service",
+    kind="batch",
+    params={
+        "words": _BATCH_WORDS, "repeats": 2, "executor": "thread",
+        "num_workers": 4, "warm": False, "num_reads": 32,
+        "num_sweeps": 300, "seed": 2025,
+    },
+    description="10-item batch, 4-thread executor, cold compile cache",
+))

@@ -1,0 +1,160 @@
+"""Noise-robust statistics for the performance-regression harness.
+
+Wall-clock samples from a shared CI box (or a laptop running a browser)
+are heavy-tailed: the occasional repeat lands on a descheduled core and
+takes 3x the others. Means are hopeless under that contamination, so the
+harness works in medians and MADs and decides *statistical significance*
+by nonparametric bootstrap:
+
+* point estimate — :func:`median`;
+* spread — :func:`mad` (median absolute deviation; the robust sigma);
+* uncertainty — :func:`bootstrap_ci`, a percentile bootstrap confidence
+  interval of the median (deterministic: seeded resampling);
+* decision — :func:`is_regression`: a candidate is a regression only when
+  its median exceeds the baseline median by more than the tolerance band
+  **and** the bootstrap intervals are separated (the candidate's lower
+  bound clears the baseline's upper bound scaled by half the tolerance)
+  **and** the absolute slowdown exceeds ``min_abs`` seconds. All three
+  gates must agree, so CI jitter on a microsecond-scale benchmark can
+  never page anyone.
+
+The tolerance/decision model is documented in DESIGN.md Appendix D.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "median",
+    "mad",
+    "bootstrap_ci",
+    "describe",
+    "is_regression",
+]
+
+#: Default resample count — cheap (the sample vectors are tiny) and stable.
+DEFAULT_BOOTSTRAP = 1000
+
+#: Default floor (seconds) under which an absolute slowdown is never
+#: significant, whatever the ratio says.
+DEFAULT_MIN_ABS = 0.005
+
+
+def _as_array(values: Sequence[float], name: str) -> np.ndarray:
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite samples: {array.tolist()}")
+    if np.any(array < 0):
+        raise ValueError(f"{name} contains negative durations: {array.tolist()}")
+    return array
+
+
+def median(values: Sequence[float]) -> float:
+    """The sample median."""
+    return float(np.median(_as_array(values, "values")))
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation around the median (unscaled)."""
+    array = _as_array(values, "values")
+    return float(np.median(np.abs(array - np.median(array))))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = DEFAULT_BOOTSTRAP,
+    seed: int = 0,
+    stat: Callable[[np.ndarray], float] = np.median,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval of ``stat`` (default median).
+
+    Deterministic for a fixed ``seed``; degenerates gracefully for n = 1
+    (the interval collapses onto the single sample).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    if n_boot < 1:
+        raise ValueError(f"n_boot must be >= 1, got {n_boot}")
+    array = _as_array(values, "values")
+    if array.size == 1:
+        value = float(array[0])
+        return value, value
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, array.size, size=(n_boot, array.size))
+    stats = np.asarray([stat(array[row]) for row in indices], dtype=np.float64)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(stats, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def describe(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = DEFAULT_BOOTSTRAP,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Summary block stored per benchmark in the ``BENCH_*.json`` baselines."""
+    array = _as_array(values, "values")
+    ci_low, ci_high = bootstrap_ci(
+        array, confidence=confidence, n_boot=n_boot, seed=seed
+    )
+    return {
+        "count": int(array.size),
+        "median": float(np.median(array)),
+        "mad": mad(array),
+        "mean": float(array.mean()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "ci_low": ci_low,
+        "ci_high": ci_high,
+    }
+
+
+def is_regression(
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+    tolerance: float = 0.5,
+    confidence: float = 0.95,
+    min_abs: float = DEFAULT_MIN_ABS,
+    n_boot: int = DEFAULT_BOOTSTRAP,
+    seed: int = 0,
+) -> bool:
+    """Is *candidate* statistically significantly slower than *baseline*?
+
+    Three conjunctive gates (any single ``False`` vetoes the alarm):
+
+    1. **ratio gate** — ``median(candidate) > median(baseline) *
+       (1 + tolerance)``;
+    2. **separation gate** — the candidate's bootstrap lower bound exceeds
+       the baseline's bootstrap upper bound stretched by half the
+       tolerance (interval overlap means the medians are not resolvable
+       at this noise level, so no alarm);
+    3. **absolute gate** — the median slowdown exceeds ``min_abs`` seconds
+       (sub-millisecond benchmarks cannot regress "significantly" by
+       scheduler noise alone).
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    if min_abs < 0:
+        raise ValueError(f"min_abs must be >= 0, got {min_abs}")
+    base = _as_array(baseline, "baseline")
+    cand = _as_array(candidate, "candidate")
+    base_median = float(np.median(base))
+    cand_median = float(np.median(cand))
+    if cand_median - base_median <= min_abs:
+        return False
+    if cand_median <= base_median * (1.0 + tolerance):
+        return False
+    _, base_high = bootstrap_ci(
+        base, confidence=confidence, n_boot=n_boot, seed=seed
+    )
+    cand_low, _ = bootstrap_ci(
+        cand, confidence=confidence, n_boot=n_boot, seed=seed + 1
+    )
+    return cand_low > base_high * (1.0 + tolerance / 2.0)

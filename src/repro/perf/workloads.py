@@ -1,0 +1,273 @@
+"""Materialize :class:`~repro.perf.registry.BenchmarkSpec` into workloads.
+
+A workload separates the three things a tracked benchmark must keep
+apart:
+
+* **construction** (untimed, done once) — generate instances, build
+  models, prime caches;
+* **one timed repeat** (:meth:`Workload.run`) — executes the pipeline
+  under a caller-supplied :class:`~repro.service.metrics.MetricsRegistry`
+  so per-stage (compile/embed/anneal/decode) attribution rides along;
+* **the deterministic fingerprint** — ``run`` returns a JSON-serializable
+  dict of *workload results* (statuses, models, outputs, rounded
+  energies, state digests) that must be identical across repeats,
+  invocations and machines at the spec's fixed seeds. Only timing fields
+  may differ between two runs; the runner and the baseline comparator
+  both enforce this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, List
+
+from repro.perf.registry import BenchmarkSpec
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["Workload", "build_workload", "round_trip_digest"]
+
+#: Decimal places kept when embedding float energies in fingerprints —
+#: coarse enough to absorb BLAS/SIMD summation-order noise across
+#: machines, fine enough to catch any real decode/energy change.
+_ENERGY_DECIMALS = 6
+
+
+def round_trip_digest(*chunks: str) -> str:
+    """A short stable digest of text chunks (first 16 hex of SHA-256)."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()[:16]
+
+
+def _state_digest(states) -> str:
+    """Digest of an annealer state matrix (int8, deterministic layout)."""
+    import numpy as np
+
+    array = np.ascontiguousarray(np.asarray(states, dtype=np.int8))
+    h = hashlib.sha256()
+    h.update(str(array.shape).encode("ascii"))
+    h.update(array.tobytes())
+    return h.hexdigest()[:16]
+
+
+class Workload:
+    """One buildable, repeatedly-runnable benchmark workload."""
+
+    def __init__(
+        self,
+        spec: BenchmarkSpec,
+        runner: Callable[[MetricsRegistry], Dict[str, Any]],
+        metadata: Dict[str, Any],
+    ) -> None:
+        self.spec = spec
+        self._runner = runner
+        self.metadata = metadata
+
+    def run(self, metrics: MetricsRegistry) -> Dict[str, Any]:
+        """Execute one timed repeat; returns the deterministic fingerprint."""
+        return self._runner(metrics)
+
+
+# --------------------------------------------------------------------- #
+# kind builders
+# --------------------------------------------------------------------- #
+
+
+def _model_metadata(model, coupling_form: str = "auto") -> Dict[str, Any]:
+    from repro.qubo.sparse import sparse_stats
+
+    stats = sparse_stats(model.to_dict(), model.num_variables)
+    if coupling_form == "auto":
+        coupling_form = "sparse" if stats.auto_sparse else "dense"
+    return {
+        "num_variables": int(model.num_variables),
+        "coupling_nnz": int(stats.coupling_nnz),
+        "density": round(float(stats.density), 6),
+        "coupling_form": coupling_form,
+    }
+
+
+def _build_smt(spec: BenchmarkSpec) -> Workload:
+    from repro.smt.generator import InstanceGenerator
+    from repro.smt.solver import QuantumSMTSolver
+
+    p = dict(spec.params)
+    generator = InstanceGenerator(
+        min_length=int(p["min_length"]),
+        max_length=int(p["max_length"]),
+        max_constraints=int(p["max_constraints"]),
+        seed=int(p["gen_seed"]),
+        ops=p.get("ops"),
+    )
+    instances = [generator.generate() for _ in range(int(p["instances"]))]
+    scripts: List[str] = [inst.script for inst in instances]
+    ops_covered = sorted({op for inst in instances for op in inst.ops})
+    metadata = {
+        "instances": len(scripts),
+        "assertions": sum(len(inst.assertions) for inst in instances),
+        "ops_covered": ops_covered,
+        "scripts_digest": round_trip_digest(*scripts),
+    }
+
+    def run(metrics: MetricsRegistry) -> Dict[str, Any]:
+        statuses: List[str] = []
+        models: List[Dict[str, str]] = []
+        for script in scripts:
+            solver = QuantumSMTSolver.from_script_text(
+                script,
+                num_reads=int(p["num_reads"]),
+                seed=int(p["solver_seed"]),
+                sampler_params={"num_sweeps": int(p["num_sweeps"])},
+                metrics=metrics,
+            )
+            result = solver.check_sat()
+            statuses.append(str(result.status))
+            models.append(dict(sorted(result.model.items())))
+        return {
+            "scripts_digest": metadata["scripts_digest"],
+            "statuses": statuses,
+            "models": models,
+        }
+
+    return Workload(spec, run, metadata)
+
+
+def _make_formulation(p: Dict[str, Any]):
+    from repro.core import PalindromeGeneration, RegexMatching, StringEquality
+
+    kind = p["formulation"]
+    if kind == "equality":
+        return StringEquality(str(p["target"]))
+    if kind == "palindrome":
+        return PalindromeGeneration(int(p["length"]))
+    if kind == "regex":
+        return RegexMatching(str(p["pattern"]), int(p["length"]))
+    raise ValueError(f"unknown formulation kind {kind!r}")
+
+
+def _build_solve(spec: BenchmarkSpec) -> Workload:
+    from repro.core.solver import StringQuboSolver
+
+    p = dict(spec.params)
+    formulation = _make_formulation(p)
+    metadata = _model_metadata(formulation.build_model())
+
+    def run(metrics: MetricsRegistry) -> Dict[str, Any]:
+        solver = StringQuboSolver(
+            num_reads=int(p["num_reads"]),
+            seed=int(p["seed"]),
+            sampler_params={"num_sweeps": int(p["num_sweeps"])},
+            metrics=metrics,
+        )
+        result = solver.solve(formulation)
+        return {
+            "output": result.output,
+            "ok": bool(result.ok),
+            "energy": round(float(result.energy), _ENERGY_DECIMALS),
+            "success_rate": round(float(result.success_rate), _ENERGY_DECIMALS),
+        }
+
+    return Workload(spec, run, metadata)
+
+
+def _build_kernel(spec: BenchmarkSpec) -> Workload:
+    from repro.anneal.simulated import SimulatedAnnealingSampler
+    from repro.core import PalindromeGeneration
+
+    p = dict(spec.params)
+    model = PalindromeGeneration(int(p["length"])).build_model()
+    mode = str(p["coupling_mode"])
+    metadata = _model_metadata(model, coupling_form=mode)
+
+    def run(metrics: MetricsRegistry) -> Dict[str, Any]:
+        sampler = SimulatedAnnealingSampler()
+        with metrics.time("anneal"):
+            sampleset = sampler.sample_model(
+                model,
+                num_reads=int(p["num_reads"]),
+                num_sweeps=int(p["num_sweeps"]),
+                seed=int(p["seed"]),
+                coupling_mode=mode,
+            )
+        metrics.counter("kernel.reads").inc(len(sampleset))
+        return {
+            "states_digest": _state_digest(sampleset.states),
+            "best_energy": round(float(sampleset.first.energy), _ENERGY_DECIMALS),
+            "coupling_form": sampleset.info.get("coupling_form", mode),
+        }
+
+    return Workload(spec, run, metadata)
+
+
+def _batch_scripts(p: Dict[str, Any]) -> List[str]:
+    return [
+        f'(declare-const x String)(assert (= x "{word}"))(check-sat)'
+        for word in p["words"]
+    ] * int(p["repeats"])
+
+
+def _build_batch(spec: BenchmarkSpec) -> Workload:
+    from repro.service import CompileCache, RetryPolicy
+    from repro.service.batch import BatchSolver
+
+    p = dict(spec.params)
+    scripts = _batch_scripts(p)
+    warm = bool(p.get("warm", False))
+
+    def make_solver(cache, metrics):
+        return BatchSolver(
+            seed=int(p["seed"]),
+            num_reads=int(p["num_reads"]),
+            sampler_params={"num_sweeps": int(p["num_sweeps"])},
+            policy=RetryPolicy(max_attempts=3),
+            cache=cache,
+            metrics=metrics,
+            executor=str(p["executor"]),
+            num_workers=int(p["num_workers"]),
+        )
+
+    # A warm workload shares one cache primed at build time (untimed), so
+    # every timed repeat measures the pure cache-hit path; a cold workload
+    # gets a fresh cache inside each timed repeat.
+    shared_cache = None
+    if warm:
+        shared_cache = CompileCache(maxsize=64)
+        make_solver(shared_cache, MetricsRegistry()).solve_batch(scripts)
+
+    metadata = {
+        "batch_items": len(scripts),
+        "unique_scripts": len(set(scripts)),
+        "executor": str(p["executor"]),
+        "warm_cache": warm,
+        "scripts_digest": round_trip_digest(*scripts),
+    }
+
+    def run(metrics: MetricsRegistry) -> Dict[str, Any]:
+        cache = shared_cache if warm else CompileCache(maxsize=64)
+        report = make_solver(cache, metrics).solve_batch(scripts)
+        return {
+            "scripts_digest": metadata["scripts_digest"],
+            "statuses": [str(status) for status in report.statuses],
+            "models": [dict(sorted(item.model.items())) for item in report],
+        }
+
+    return Workload(spec, run, metadata)
+
+
+_BUILDERS: Dict[str, Callable[[BenchmarkSpec], Workload]] = {
+    "smt": _build_smt,
+    "solve": _build_solve,
+    "kernel": _build_kernel,
+    "batch": _build_batch,
+}
+
+
+def build_workload(spec: BenchmarkSpec) -> Workload:
+    """Materialize *spec* (untimed construction work happens here)."""
+    try:
+        builder = _BUILDERS[spec.kind]
+    except KeyError:
+        raise ValueError(f"no workload builder for kind {spec.kind!r}") from None
+    return builder(spec)

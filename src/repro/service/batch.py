@@ -28,7 +28,6 @@ kernels for the bit-local string QUBOs this service batches.
 from __future__ import annotations
 
 import concurrent.futures as cf
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
@@ -41,6 +40,7 @@ from repro.smt.compiler import CompilationError
 from repro.smt.parser import SmtScript, parse_script
 from repro.smt.solver import QuantumSMTSolver, SmtResult
 from repro.utils.rng import SeedLike
+from repro.utils.timing import Timer
 
 __all__ = ["BatchItemResult", "BatchReport", "BatchSolver"]
 
@@ -199,25 +199,25 @@ class BatchSolver:
     ) -> BatchReport:
         """Solve every item; results come back in submission order."""
         assertion_sets = [self._coerce(item) for item in items]
-        start = time.perf_counter()
         results: List[Optional[BatchItemResult]] = [None] * len(assertion_sets)
 
-        if self.executor == "serial" or len(assertion_sets) <= 1:
-            for index, assertions in enumerate(assertion_sets):
-                results[index] = self._solve_one(index, assertions, solve_params)
-        else:
-            width = min(self.num_workers, len(assertion_sets))
-            with cf.ThreadPoolExecutor(
-                max_workers=width, thread_name_prefix="batch-solver"
-            ) as pool:
-                futures = {
-                    pool.submit(self._solve_one, index, assertions, solve_params): index
-                    for index, assertions in enumerate(assertion_sets)
-                }
-                for future in cf.as_completed(futures):
-                    results[futures[future]] = future.result()
+        with Timer() as timer:
+            if self.executor == "serial" or len(assertion_sets) <= 1:
+                for index, assertions in enumerate(assertion_sets):
+                    results[index] = self._solve_one(index, assertions, solve_params)
+            else:
+                width = min(self.num_workers, len(assertion_sets))
+                with cf.ThreadPoolExecutor(
+                    max_workers=width, thread_name_prefix="batch-solver"
+                ) as pool:
+                    futures = {
+                        pool.submit(self._solve_one, index, assertions, solve_params): index
+                        for index, assertions in enumerate(assertion_sets)
+                    }
+                    for future in cf.as_completed(futures):
+                        results[futures[future]] = future.result()
 
-        wall = time.perf_counter() - start
+        wall = timer.elapsed
         self.metrics.counter("batch.runs").inc()
         self.metrics.observe("batch.wall", wall)
         stats = self.cache.stats
@@ -268,7 +268,7 @@ class BatchSolver:
         assertions: List[ast.Term],
         solve_params: Dict[str, Any],
     ) -> BatchItemResult:
-        start = time.perf_counter()
+        timer = Timer().start()
         self.metrics.counter("batch.items").inc()
         solver = self._make_solver()
         solver.assertions = list(assertions)
@@ -285,7 +285,7 @@ class BatchSolver:
                 index=index,
                 result=result,
                 cache_hit=hit,
-                wall_time=time.perf_counter() - start,
+                wall_time=timer.stop(),
             )
         except CompilationError as exc:
             # Out-of-fragment items degrade to unknown, like check_sat.
@@ -293,7 +293,7 @@ class BatchSolver:
                 index=index,
                 result=SmtResult(status="unknown", reason=f"compilation: {exc}"),
                 cache_hit=False,
-                wall_time=time.perf_counter() - start,
+                wall_time=timer.stop(),
                 error=str(exc),
                 error_type=type(exc).__name__,
             )
@@ -303,7 +303,7 @@ class BatchSolver:
                 index=index,
                 result=SmtResult(status="unknown", reason=str(exc)),
                 cache_hit=False,
-                wall_time=time.perf_counter() - start,
+                wall_time=timer.stop(),
                 error=str(exc),
                 error_type=type(exc).__name__,
             )

@@ -27,11 +27,17 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
 
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import SegmentTimer, Stopwatch
 
-__all__ = ["Counter", "MetricsRegistry", "histogram_summary"]
+__all__ = [
+    "Counter",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "histogram_summary",
+]
 
 
 class Counter:
@@ -86,6 +92,21 @@ def histogram_summary(values: List[float]) -> Dict[str, float]:
     }
 
 
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time marker of a :class:`MetricsRegistry`.
+
+    Captures counter values and per-histogram sample counts so
+    :meth:`MetricsRegistry.since` can attribute everything recorded *after*
+    this point to one region of interest (one benchmark repeat, one batch,
+    one request). Histograms are append-only and counters are monotone, so
+    the marker stays valid however much is recorded afterwards.
+    """
+
+    counters: Mapping[str, int] = field(default_factory=dict)
+    histogram_counts: Mapping[str, int] = field(default_factory=dict)
+
+
 class MetricsRegistry:
     """Thread-safe registry of counters and timing histograms.
 
@@ -126,9 +147,14 @@ class MetricsRegistry:
         with self._lock:
             self._stopwatch.record(name, value)
 
-    def time(self, name: str):
-        """Context manager timing a block into histogram *name* (seconds)."""
-        return _LockedSegment(self, name)
+    def time(self, name: str) -> SegmentTimer:
+        """Context manager timing a block into histogram *name* (seconds).
+
+        Shares :class:`repro.utils.timing.SegmentTimer` with
+        :meth:`Stopwatch.time`; the only difference is that the recording
+        callback here (:meth:`observe`) takes the registry lock.
+        """
+        return SegmentTimer(self.observe, name)
 
     def values(self, name: str) -> List[float]:
         """A copy of the raw samples of histogram *name*."""
@@ -139,6 +165,43 @@ class MetricsRegistry:
     def stopwatch(self) -> Stopwatch:
         """The backing stopwatch (shared storage with :meth:`time`)."""
         return self._stopwatch
+
+    # ------------------------------------------------------------------ #
+    # snapshot / diff (per-stage attribution)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A consistent point-in-time marker (see :class:`MetricsSnapshot`)."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters={name: c.value for name, c in self._counters.items()},
+                histogram_counts={
+                    name: len(values)
+                    for name, values in self._stopwatch.segments.items()
+                },
+            )
+
+    def since(self, snapshot: MetricsSnapshot) -> Dict[str, Dict]:
+        """Everything recorded after *snapshot*.
+
+        Returns ``{"counters": {name: delta}, "histograms": {name:
+        [new samples...]}}`` with zero-delta counters and unchanged
+        histograms omitted — the per-stage attribution consumed by
+        :mod:`repro.perf` to split one benchmark repeat into
+        compile / embed / anneal / decode seconds.
+        """
+        with self._lock:
+            counter_deltas = {}
+            for name, counter in self._counters.items():
+                delta = counter.value - snapshot.counters.get(name, 0)
+                if delta:
+                    counter_deltas[name] = delta
+            histogram_deltas = {}
+            for name, values in self._stopwatch.segments.items():
+                start = snapshot.histogram_counts.get(name, 0)
+                if len(values) > start:
+                    histogram_deltas[name] = list(values[start:])
+        return {"counters": counter_deltas, "histograms": histogram_deltas}
 
     # ------------------------------------------------------------------ #
     # aggregation / export
@@ -176,26 +239,3 @@ class MetricsRegistry:
                 f"MetricsRegistry(counters={len(self._counters)}, "
                 f"histograms={len(self._stopwatch.segments)})"
             )
-
-
-class _LockedSegment:
-    """Times a block and records it under the registry lock."""
-
-    __slots__ = ("_registry", "_name", "_start")
-
-    def __init__(self, registry: MetricsRegistry, name: str) -> None:
-        self._registry = registry
-        self._name = name
-        self._start: Optional[float] = None
-
-    def __enter__(self) -> "_LockedSegment":
-        import time
-
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        import time
-
-        assert self._start is not None
-        self._registry.observe(self._name, time.perf_counter() - self._start)

@@ -33,6 +33,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.utils.timing import Timer
+
 __all__ = [
     "RetryPolicy",
     "RetryOutcome",
@@ -197,7 +199,7 @@ class RetryPolicy:
         last_result: Any = None
         last_exception: Optional[BaseException] = None
         for index in range(1, self.max_attempts + 1):
-            start = time.perf_counter()
+            timer = Timer().start()
             try:
                 result = self._call(attempt, index)
             except AttemptTimeout as exc:
@@ -205,7 +207,7 @@ class RetryPolicy:
             except Exception as exc:  # noqa: BLE001 — failures are data here
                 last_result, last_exception = None, exc
             else:
-                attempt_times.append(time.perf_counter() - start)
+                attempt_times.append(timer.stop())
                 if succeeded(result):
                     return RetryOutcome(
                         result=result,
@@ -215,7 +217,7 @@ class RetryPolicy:
                     )
                 last_result, last_exception = result, None
             if not attempt_times or len(attempt_times) < index:
-                attempt_times.append(time.perf_counter() - start)
+                attempt_times.append(timer.stop())
             if index < self.max_attempts:
                 delay = delays[index - 1]
                 if delay > 0:

@@ -1,16 +1,54 @@
-"""Lightweight timing helpers used by benchmarks and the solver drivers."""
+"""Monotonic-clock timing primitives shared across the library.
+
+This module is the **single source of wall-clock measurement** for the
+benchmarks (``benchmarks/``), the service metrics
+(:class:`repro.service.metrics.MetricsRegistry`) and the
+performance-regression harness (:mod:`repro.perf`):
+
+* :class:`Timer` — a context manager around ``time.perf_counter``;
+* :func:`measure` — time one callable, returning ``(seconds, result)``;
+* :class:`SegmentTimer` — a context manager that reports an elapsed
+  duration into an arbitrary ``record(name, seconds)`` callback — the one
+  primitive behind both :meth:`Stopwatch.time` and
+  :meth:`repro.service.metrics.MetricsRegistry.time`;
+* :class:`Stopwatch` — named segment accumulation for splitting a solve
+  into compile / embed / anneal / decode phases.
+
+Keep clock access here: duplicated ad-hoc ``perf_counter`` arithmetic is
+exactly what the perf harness exists to retire.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["Timer", "Stopwatch"]
+__all__ = ["Timer", "Stopwatch", "SegmentTimer", "measure"]
+
+
+def measure(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[float, Any]:
+    """Call *fn* and return ``(elapsed_seconds, result)``.
+
+    The elapsed time is measured with ``time.perf_counter`` (monotonic).
+
+    Examples
+    --------
+    >>> seconds, value = measure(sum, range(10))
+    >>> value, seconds >= 0.0
+    (45, True)
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
 
 
 class Timer:
     """Context manager measuring wall-clock time with ``perf_counter``.
+
+    Can also be driven imperatively — ``start()`` / ``stop()`` — for call
+    sites where the measured region spans exception handlers and a ``with``
+    block would not scope naturally (e.g. per-item batch timing).
 
     Examples
     --------
@@ -24,9 +62,18 @@ class Timer:
         self._start: Optional[float] = None
         self._elapsed: float = 0.0
 
-    def __enter__(self) -> "Timer":
+    def start(self) -> "Timer":
+        """Begin (or restart) the measured region."""
         self._start = time.perf_counter()
         return self
+
+    def stop(self) -> float:
+        """End the measured region and return the elapsed seconds."""
+        self.__exit__()
+        return self._elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
 
     def __exit__(self, *exc) -> None:
         if self._start is not None:
@@ -39,6 +86,32 @@ class Timer:
         if self._start is not None:
             return time.perf_counter() - self._start
         return self._elapsed
+
+
+class SegmentTimer:
+    """Time a ``with`` block and report it into a record callback.
+
+    The generic segment-timing primitive: ``record(name, seconds)`` is
+    called exactly once on exit. :class:`Stopwatch` points it at its own
+    segment store; :class:`~repro.service.metrics.MetricsRegistry` points
+    it at its lock-guarded ``observe`` — one implementation, no per-caller
+    copies of the clock arithmetic.
+    """
+
+    __slots__ = ("_record", "_name", "_start")
+
+    def __init__(self, record: Callable[[str, float], None], name: str) -> None:
+        self._record = record
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "SegmentTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self._record(self._name, time.perf_counter() - self._start)
 
 
 @dataclass
@@ -56,9 +129,9 @@ class Stopwatch:
             raise ValueError(f"negative duration for segment {name!r}: {seconds}")
         self.segments.setdefault(name, []).append(seconds)
 
-    def time(self, name: str) -> "_SegmentTimer":
+    def time(self, name: str) -> SegmentTimer:
         """Return a context manager recording into segment *name*."""
-        return _SegmentTimer(self, name)
+        return SegmentTimer(self.record, name)
 
     def total(self, name: str) -> float:
         return sum(self.segments.get(name, ()))
@@ -72,18 +145,3 @@ class Stopwatch:
     def summary(self) -> Dict[str, float]:
         """Total seconds per segment, in insertion order."""
         return {name: sum(vals) for name, vals in self.segments.items()}
-
-
-class _SegmentTimer:
-    def __init__(self, stopwatch: Stopwatch, name: str) -> None:
-        self._stopwatch = stopwatch
-        self._name = name
-        self._start: Optional[float] = None
-
-    def __enter__(self) -> "_SegmentTimer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self._stopwatch.record(self._name, time.perf_counter() - self._start)

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import json
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.service.cache import CompileCache
 from repro.service.metrics import MetricsRegistry
 from repro.smt import ast
+from repro.utils.timing import Timer
 from repro.smt.generator import ALL_OPS, GeneratedInstance, InstanceGenerator
 from repro.smt.printer import render_script
 from repro.smt.status import SolveStatus
@@ -295,18 +295,18 @@ def run_campaign(
     )
 
     report = CampaignReport(config=config)
-    start = time.perf_counter()
+    timer = Timer().start()
     for index, instance in enumerate(instances):
         if (
             config.max_wall_time is not None
-            and time.perf_counter() - start > config.max_wall_time
+            and timer.elapsed > config.max_wall_time
         ):
             report.completed = False
             break
         _run_one(config, oracle, report, index, instance,
                  None if precomputed is None else precomputed[index])
         metrics.counter("campaign.instances").inc()
-    report.wall_time = time.perf_counter() - start
+    report.wall_time = timer.stop()
     report.cache_hits = cache.stats.hits
     metrics.counter("campaign.runs").inc()
     metrics.observe("campaign.wall", report.wall_time)

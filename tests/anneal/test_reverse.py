@@ -96,6 +96,34 @@ class TestReverseAnnealing:
         assert out.info["sampler"] == "ReverseAnnealingSampler"
         assert "turning_beta" in out.info
 
+    def test_seed_reproducible(self):
+        m = _random_model(12)
+        rng = np.random.default_rng(13)
+        starts = rng.integers(0, 2, size=(8, 12), dtype=np.int8)
+        a = ReverseAnnealingSampler().sample_model(
+            m, initial_states=starts, num_reads=8, num_sweeps=100, seed=99
+        )
+        b = ReverseAnnealingSampler().sample_model(
+            m, initial_states=starts, num_reads=8, num_sweeps=100, seed=99
+        )
+        np.testing.assert_array_equal(a.states, b.states)
+        np.testing.assert_array_equal(a.energies, b.energies)
+
+    def test_custom_beta_range_respected(self):
+        m = _random_model(14, n=6)
+        starts = np.zeros((2, 6), dtype=np.int8)
+        out = ReverseAnnealingSampler().sample_model(
+            m,
+            initial_states=starts,
+            beta_range=(0.5, 20.0),
+            reheat_fraction=0.5,
+            num_reads=2,
+            num_sweeps=40,
+            seed=0,
+        )
+        # The vee turns at hot*(cold/hot)^fraction for the given range.
+        assert 0.5 < out.info["turning_beta"] < 20.0
+
     def test_validation(self):
         m = _random_model(11, n=4)
         starts = np.zeros((2, 4), dtype=np.int8)

@@ -77,3 +77,24 @@ class TestPathIntegralAnnealer:
             m, num_reads=6, num_sweeps=128, trotter_slices=16, seed=3
         )
         assert ss.first.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_seeds_explore_differently(self):
+        # Large model, tiny budget: far from equilibrium the trajectories
+        # must depend on the seed (at convergence they legitimately agree).
+        m = _random_model(8, n=24)
+        a = PathIntegralAnnealer().sample_model(m, num_reads=4, num_sweeps=2, seed=1)
+        b = PathIntegralAnnealer().sample_model(m, num_reads=4, num_sweeps=2, seed=2)
+        assert not np.array_equal(a.states, b.states)
+
+    def test_single_variable_model(self):
+        m = QuboModel(1, {(0, 0): -2.5})
+        ss = PathIntegralAnnealer().sample_model(m, num_reads=3, num_sweeps=32, seed=0)
+        assert ss.first.energy == pytest.approx(-2.5)
+        assert ss.first.state(ss.variables)[0] == 1
+
+    def test_minimal_sweep_budget(self):
+        # One sweep is a legal (if useless) budget; shapes must still hold.
+        m = _random_model(9, n=5)
+        ss = PathIntegralAnnealer().sample_model(m, num_reads=2, num_sweeps=1, seed=0)
+        assert ss.states.shape == (2, 5)
+        np.testing.assert_allclose(ss.energies, m.energies(ss.states), atol=1e-9)

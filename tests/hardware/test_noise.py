@@ -59,3 +59,38 @@ class TestGaussianNoiseModel:
 
     def test_repr(self):
         assert "GaussianNoiseModel" in repr(GaussianNoiseModel())
+
+    def test_seeds_differ(self):
+        model = GaussianNoiseModel(0.2, 0.2)
+        a = model.apply(_bqm(), seed=1)
+        b = model.apply(_bqm(), seed=2)
+        assert a.get_linear("a") != b.get_linear("a")
+
+    def test_structure_preserved(self):
+        # Noise perturbs coefficients only: same variables, same couplings,
+        # same vartype.
+        noisy = GaussianNoiseModel(0.3, 0.3).apply(_bqm(), seed=5)
+        clean = _bqm()
+        assert set(noisy.variables) == set(clean.variables)
+        assert noisy.vartype == clean.vartype
+        assert set(map(frozenset, noisy.quadratic)) == set(
+            map(frozenset, clean.quadratic)
+        )
+
+    def test_sigma_scales_spread(self):
+        def spread(sigma):
+            draws = [
+                GaussianNoiseModel(sigma, 0.0).apply(_bqm(), seed=s).get_linear("a")
+                for s in range(100)
+            ]
+            return np.std(draws)
+
+        assert spread(0.4) > 2 * spread(0.05)
+
+    def test_empty_model(self):
+        from repro.qubo.bqm import BinaryQuadraticModel
+
+        noisy = GaussianNoiseModel(0.1, 0.1).apply(
+            BinaryQuadraticModel(), seed=0
+        )
+        assert len(list(noisy.variables)) == 0

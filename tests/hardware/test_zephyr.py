@@ -53,3 +53,34 @@ class TestZephyrLikeGraph:
         g = zephyr_like_graph(4)
         emb = find_embedding(k12, g, seed=1)
         verify_embedding(emb, k12, g)
+
+    def test_construction_deterministic(self):
+        # Graph construction takes no RNG: repeated builds must agree
+        # exactly (node set and edge set), which is what makes committed
+        # embedding-dependent baselines meaningful.
+        a = zephyr_like_graph(3, 4)
+        b = zephyr_like_graph(3, 4)
+        assert set(a.nodes()) == set(b.nodes())
+        assert {frozenset(e) for e in a.edges()} == {
+            frozenset(e) for e in b.edges()
+        }
+
+    def test_node_count_formula(self):
+        # Same unit-cell layout as the Chimera base: 2 * t * m^2 qubits.
+        for m, t in [(2, 2), (3, 4)]:
+            assert zephyr_like_graph(m, t).number_of_nodes() == 2 * t * m * m
+
+    def test_single_cell_degenerates_to_pegasus_cell(self):
+        # m=1 has no room for the second diagonal family: the edge set is
+        # exactly the Pegasus-like cell (K_{t,t} plus odd couplers), only
+        # the family tag changes.
+        g = zephyr_like_graph(1, t=2)
+        p = pegasus_like_graph(1, 2)
+        assert {frozenset(e) for e in g.edges()} == {
+            frozenset(e) for e in p.edges()
+        }
+        assert g.graph["family"] == "zephyr-like"
+
+    def test_smaller_shore_supported(self):
+        g = zephyr_like_graph(3, t=2)
+        assert nx.is_connected(g)

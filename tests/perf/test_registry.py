@@ -1,0 +1,89 @@
+"""Unit tests for the benchmark registry (repro.perf.registry)."""
+
+import json
+
+import pytest
+
+from repro.perf.registry import (
+    KINDS,
+    SUITES,
+    BenchmarkSpec,
+    all_specs,
+    baseline_filename,
+    get_spec,
+    suite_specs,
+)
+
+pytestmark = pytest.mark.perf
+
+
+class TestBenchmarkSpec:
+    def test_params_frozen(self):
+        spec = BenchmarkSpec("x", "core", "solve", params={"a": 1})
+        with pytest.raises(TypeError):
+            spec.params["a"] = 2  # type: ignore[index]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("", "core", "solve")
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "nope", "solve")
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "core", "nope")
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "core", "solve", tolerance=0.0)
+
+    def test_baseline_file(self):
+        assert BenchmarkSpec("x", "sparse", "kernel").baseline_file == (
+            "BENCH_sparse.json"
+        )
+
+
+class TestBaselineFilename:
+    def test_mapping(self):
+        assert baseline_filename("core") == "BENCH_core.json"
+        assert baseline_filename("sparse") == "BENCH_sparse.json"
+        assert baseline_filename("service") == "BENCH_service.json"
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError):
+            baseline_filename("bogus")
+
+
+class TestRegisteredSpecs:
+    def test_every_suite_populated(self):
+        for suite in SUITES:
+            assert suite_specs(suite), f"suite {suite} has no specs"
+
+    def test_names_unique(self):
+        names = [spec.name for spec in all_specs()]
+        assert len(names) == len(set(names))
+
+    def test_kinds_valid(self):
+        for spec in all_specs():
+            assert spec.kind in KINDS
+
+    def test_params_json_serializable(self):
+        # Params are echoed into the committed baseline file; they must
+        # survive a JSON round trip losslessly enough to be diffable.
+        for spec in all_specs():
+            json.dumps(dict(spec.params), sort_keys=True)
+
+    def test_get_spec(self):
+        spec = get_spec("palindrome-n12")
+        assert spec.suite == "core"
+        assert spec.kind == "solve"
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError):
+            get_spec("definitely-not-registered")
+
+    def test_suite_specs_unknown(self):
+        with pytest.raises(ValueError):
+            suite_specs("bogus")
+
+    def test_seeds_pinned(self):
+        # Every registered spec must fix its randomness explicitly so the
+        # committed baselines are reproducible across machines.
+        for spec in all_specs():
+            assert any("seed" in key for key in spec.params), spec.name

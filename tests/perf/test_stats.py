@@ -1,0 +1,118 @@
+"""Unit tests for the perf harness statistics (repro.perf.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.perf.stats import bootstrap_ci, describe, is_regression, mad, median
+
+pytestmark = pytest.mark.perf
+
+
+class TestPointEstimates:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0]) == 4.0
+
+    def test_mad(self):
+        assert mad([1.0, 1.0, 1.0]) == 0.0
+        assert mad([1.0, 2.0, 3.0]) == 1.0
+
+    def test_outlier_robustness(self):
+        # One descheduled-core repeat must not move the point estimate —
+        # the reason the harness gates on medians, not means.
+        clean = [0.100, 0.101, 0.099, 0.102, 0.100]
+        contaminated = clean[:-1] + [3.0]
+        assert median(contaminated) == pytest.approx(median(clean), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            median([])
+        with pytest.raises(ValueError):
+            median([float("nan")])
+        with pytest.raises(ValueError):
+            mad([-1.0])
+
+
+class TestBootstrapCI:
+    def test_deterministic(self):
+        values = [0.1, 0.12, 0.11, 0.13, 0.1]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+    def test_contains_median(self):
+        values = list(np.random.default_rng(0).uniform(0.1, 0.2, size=9))
+        lo, hi = bootstrap_ci(values)
+        assert lo <= median(values) <= hi
+
+    def test_single_sample_collapses(self):
+        assert bootstrap_ci([0.5]) == (0.5, 0.5)
+
+    def test_tighter_with_confidence(self):
+        values = list(np.random.default_rng(1).uniform(0.1, 0.3, size=12))
+        lo80, hi80 = bootstrap_ci(values, confidence=0.80)
+        lo99, hi99 = bootstrap_ci(values, confidence=0.99)
+        assert hi80 - lo80 <= hi99 - lo99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([0.1], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([0.1], n_boot=0)
+
+
+class TestDescribe:
+    def test_fields(self):
+        block = describe([0.2, 0.3, 0.25])
+        assert set(block) == {
+            "count", "median", "mad", "mean", "min", "max",
+            "ci_low", "ci_high",
+        }
+        assert block["count"] == 3
+        assert block["min"] <= block["median"] <= block["max"]
+
+
+class TestIsRegression:
+    BASE = [0.100, 0.102, 0.098, 0.101, 0.099]
+
+    def test_three_x_slowdown_flags(self):
+        # The acceptance-criterion case: an artificially 3x-slowed
+        # benchmark must trip the default gate.
+        slowed = [3 * t for t in self.BASE]
+        assert is_regression(self.BASE, slowed)
+
+    def test_identical_does_not_flag(self):
+        assert not is_regression(self.BASE, list(self.BASE))
+
+    def test_jitter_within_band_does_not_flag(self):
+        jittered = [t * 1.2 for t in self.BASE]  # inside the 1.5x band
+        assert not is_regression(self.BASE, jittered)
+
+    def test_improvement_is_not_regression(self):
+        faster = [t / 3 for t in self.BASE]
+        assert not is_regression(self.BASE, faster)
+        assert is_regression(faster, self.BASE)
+
+    def test_min_abs_floor_vetoes_microbenchmarks(self):
+        # 3x on microseconds is scheduler noise, not a regression.
+        base = [1e-5, 1.1e-5, 0.9e-5]
+        assert not is_regression(base, [3 * t for t in base])
+        assert is_regression(base, [3 * t for t in base], min_abs=0.0)
+
+    def test_overlapping_noise_does_not_flag(self):
+        # Wildly noisy candidate whose interval overlaps the baseline's:
+        # the separation gate vetoes even though the median ratio is big.
+        base = [0.1, 0.1, 0.1, 0.1]
+        noisy = [0.05, 0.08, 0.35, 0.40]
+        assert not is_regression(base, noisy)
+
+    def test_tolerance_widens_band(self):
+        doubled = [2 * t for t in self.BASE]
+        assert is_regression(self.BASE, doubled, tolerance=0.5)
+        assert not is_regression(self.BASE, doubled, tolerance=2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            is_regression(self.BASE, self.BASE, tolerance=-1.0)
+        with pytest.raises(ValueError):
+            is_regression(self.BASE, self.BASE, min_abs=-1.0)
+        with pytest.raises(ValueError):
+            is_regression([], self.BASE)

@@ -1,0 +1,187 @@
+"""Property tests: the SMT-LIB printer/parser round trip.
+
+The printer docstring promises ``parse_script(render_script(assertions))
+.assertions == assertions`` for every term the AST can represent. Frozen
+dataclass equality makes that directly checkable, so we fuzz random ASTs
+over every node type (plus the instance generator's own output) and pin
+the two syntactic subtleties explicitly: ``""`` quote doubling in string
+literals and each regex constructor's concrete syntax.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import ast
+from repro.smt.generator import InstanceGenerator
+from repro.smt.parser import parse_script
+from repro.smt.printer import quote_string, render_script, render_term
+
+# --------------------------------------------------------------------- #
+# strategies — one per AST family, covering every constructor
+# --------------------------------------------------------------------- #
+
+#: Literal alphabet includes the double quote (the only escaped character
+#: in the fragment) and the space (the tokenizer's separator).
+_LIT_ALPHABET = 'ab "z'
+
+_string_literals = st.text(alphabet=_LIT_ALPHABET, min_size=0, max_size=6)
+_var_names = st.sampled_from(["x", "y", "z"])
+
+_str_leaves = st.one_of(
+    _var_names.map(ast.StrVar),
+    _string_literals.map(ast.StrLit),
+)
+
+_int_leaves = st.integers(min_value=0, max_value=20).map(ast.IntLit)
+
+
+def _extend_string(children):
+    """String-sorted combinators over string-sorted children."""
+    pairs = st.tuples(children, children)
+    return st.one_of(
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda parts: ast.Concat(tuple(parts))
+        ),
+        st.tuples(children, _string_literals, _string_literals, st.booleans()).map(
+            lambda t: ast.Replace(
+                t[0], ast.StrLit(t[1]), ast.StrLit(t[2]), replace_all=t[3]
+            )
+        ),
+        children.map(ast.Reverse),
+        st.tuples(children, _int_leaves).map(lambda t: ast.At(*t)),
+        st.tuples(children, _int_leaves, _int_leaves).map(
+            lambda t: ast.Substr(*t)
+        ),
+    )
+
+
+_string_terms = st.recursive(_str_leaves, _extend_string, max_leaves=6)
+
+_regex_leaves = st.one_of(
+    _string_literals.map(ast.ReLit),
+    st.tuples(
+        st.sampled_from("abcd"), st.sampled_from("wxyz")
+    ).map(lambda t: ast.ReRange(min(t), max(t))),
+)
+
+
+def _extend_regex(children):
+    return st.one_of(
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda parts: ast.ReUnion(tuple(parts))
+        ),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda parts: ast.ReConcat(tuple(parts))
+        ),
+        children.map(ast.RePlus),
+    )
+
+
+_regex_terms = st.recursive(_regex_leaves, _extend_regex, max_leaves=6)
+
+_int_terms = st.one_of(
+    _int_leaves,
+    _string_terms.map(ast.Length),
+    st.tuples(_string_terms, _string_literals, _int_leaves).map(
+        lambda t: ast.IndexOf(t[0], ast.StrLit(t[1]), t[2])
+    ),
+)
+
+_atoms = st.one_of(
+    st.tuples(_string_terms, _string_terms).map(lambda t: ast.Eq(*t)),
+    st.tuples(_int_terms, _int_terms).map(lambda t: ast.Eq(*t)),
+    st.tuples(_string_terms, _string_terms).map(lambda t: ast.Contains(*t)),
+    st.tuples(_string_terms, _string_terms).map(lambda t: ast.PrefixOf(*t)),
+    st.tuples(_string_terms, _string_terms).map(lambda t: ast.SuffixOf(*t)),
+    st.tuples(_string_terms, _regex_terms).map(lambda t: ast.InRe(*t)),
+)
+
+_assertions = st.one_of(_atoms, _atoms.map(ast.Not))
+
+
+# --------------------------------------------------------------------- #
+# the round-trip property
+# --------------------------------------------------------------------- #
+
+
+class TestPrinterRoundTrip:
+    @given(st.lists(_assertions, min_size=1, max_size=4))
+    @settings(max_examples=200, deadline=None)
+    def test_random_ast_round_trips(self, assertions):
+        script = render_script(assertions)
+        assert parse_script(script).assertions == list(assertions)
+
+    @given(st.lists(_assertions, min_size=1, max_size=2))
+    @settings(max_examples=50, deadline=None)
+    def test_render_is_idempotent_through_parse(self, assertions):
+        # print -> parse -> print is a fixed point: the second render is
+        # byte-identical to the first (the printer is canonical).
+        once = render_script(assertions)
+        again = render_script(parse_script(once).assertions)
+        assert once == again
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_instances_round_trip(self, seed):
+        gen = InstanceGenerator(seed=seed, max_length=6, max_constraints=3,
+                                ops="all")
+        inst = gen.generate()
+        script = render_script(inst.assertions)
+        assert parse_script(script).assertions == list(inst.assertions)
+
+    @given(_string_literals)
+    @settings(max_examples=100, deadline=None)
+    def test_quote_doubling_round_trips(self, value):
+        term = ast.Eq(ast.StrVar("x"), ast.StrLit(value))
+        parsed = parse_script(render_script([term])).assertions[0]
+        assert parsed.rhs.value == value
+
+
+class TestQuoteDoublingPins:
+    """The explicit examples behind the fuzzed quote property."""
+
+    def test_quote_string_doubles_quotes(self):
+        assert quote_string('say "hi"') == '"say ""hi"""'
+        assert quote_string('"') == '""""'
+        assert quote_string("") == '""'
+
+    def test_literal_with_quotes_round_trips(self):
+        lit = ast.StrLit('a"b""c')
+        parsed = parse_script(
+            render_script([ast.Eq(ast.StrVar("x"), lit)])
+        ).assertions[0]
+        assert parsed.rhs == lit
+
+
+class TestRegexConstructorPins:
+    """One concrete-syntax pin per regex constructor."""
+
+    def test_re_lit(self):
+        assert render_term(ast.ReLit("ab")) == '(str.to_re "ab")'
+
+    def test_re_union(self):
+        term = ast.ReUnion((ast.ReLit("a"), ast.ReLit("b")))
+        assert render_term(term) == '(re.union (str.to_re "a") (str.to_re "b"))'
+
+    def test_re_plus(self):
+        assert render_term(ast.RePlus(ast.ReLit("a"))) == '(re.+ (str.to_re "a"))'
+
+    def test_re_concat(self):
+        term = ast.ReConcat((ast.ReLit("a"), ast.RePlus(ast.ReLit("b"))))
+        assert (
+            render_term(term)
+            == '(re.++ (str.to_re "a") (re.+ (str.to_re "b")))'
+        )
+
+    def test_re_range(self):
+        assert render_term(ast.ReRange("a", "f")) == '(re.range "a" "f")'
+
+    def test_every_regex_constructor_round_trips(self):
+        regex = ast.ReConcat(
+            (
+                ast.ReLit("a"),
+                ast.RePlus(ast.ReUnion((ast.ReLit("b"), ast.ReRange("c", "e")))),
+            )
+        )
+        term = ast.InRe(ast.StrVar("x"), regex)
+        assert parse_script(render_script([term])).assertions == [term]
