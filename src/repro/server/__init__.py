@@ -1,0 +1,102 @@
+"""The serving layer: an asyncio SMT-solving server over TCP/HTTP.
+
+This subpackage is the deployment shape the ROADMAP's north star asks for
+— the §4 string-QUBO pipeline as a long-lived service fed a stream of
+SMT-LIB instances:
+
+* :mod:`~repro.server.protocol` — JSON response envelopes, the typed
+  error taxonomy (``parse`` / ``too_large`` / ``overloaded`` /
+  ``timeout`` / ``draining`` / ``cancelled``), and located parse errors;
+* :mod:`~repro.server.httpio` — minimal asyncio HTTP/1.1 framing with
+  socket-layer request-size enforcement;
+* :mod:`~repro.server.admission` — the bounded admission queue: explicit
+  backpressure (reject, never buffer unboundedly), deadline-aware slot
+  waits, drain support;
+* :mod:`~repro.server.workers` — executor-thread solver pool sharing one
+  :class:`~repro.service.cache.CompileCache` and one
+  :class:`~repro.service.metrics.MetricsRegistry`, with per-request
+  deadlines composed into :class:`~repro.service.policy.RetryPolicy`;
+* :mod:`~repro.server.app` — :class:`SolverServer` (routing,
+  ``/solve`` ``/healthz`` ``/metrics``, graceful drain) and
+  :class:`BackgroundServer` (embedding helper for tests/benchmarks);
+* :mod:`~repro.server.client` — blocking and asyncio clients.
+
+Run it: ``python -m repro.server --port 8037 --workers 4``.
+
+``app``, ``workers`` and ``client`` are imported lazily (PEP 562): they
+pull in :mod:`repro.smt.solver` and the full annealing stack, and laziness
+keeps ``import repro.server.protocol`` light for clients that only need
+the envelope schema.
+"""
+
+from repro.server.admission import (
+    AdmissionQueue,
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+)
+from repro.server.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_CANCELLED,
+    ERROR_DRAINING,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    ERROR_PARSE,
+    ERROR_TIMEOUT,
+    ERROR_TOO_LARGE,
+    ErrorInfo,
+    ResponseEnvelope,
+    SolveRequest,
+    locate_parse_error,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AsyncSolverClient",
+    "BackgroundServer",
+    "DeadlineExceededError",
+    "DrainingError",
+    "ERROR_BAD_REQUEST",
+    "ERROR_CANCELLED",
+    "ERROR_DRAINING",
+    "ERROR_INTERNAL",
+    "ERROR_OVERLOADED",
+    "ERROR_PARSE",
+    "ERROR_TIMEOUT",
+    "ERROR_TOO_LARGE",
+    "ErrorInfo",
+    "OverloadedError",
+    "ResponseEnvelope",
+    "ServerConfig",
+    "ServerState",
+    "SolveReply",
+    "SolveRequest",
+    "SolverClient",
+    "SolverServer",
+    "SolverWorkerPool",
+    "locate_parse_error",
+]
+
+_LAZY = {
+    "AsyncSolverClient": "repro.server.client",
+    "BackgroundServer": "repro.server.app",
+    "ServerConfig": "repro.server.app",
+    "ServerState": "repro.server.app",
+    "SolveReply": "repro.server.client",
+    "SolverClient": "repro.server.client",
+    "SolverServer": "repro.server.app",
+    "SolverWorkerPool": "repro.server.workers",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,640 @@
+"""The asyncio solving server: routing, lifecycle, observability.
+
+Request path (``POST /solve``)::
+
+    read (size-gated) → parse envelope → parse SMT-LIB → admit (bounded
+    queue) → wait for worker slot (deadline-aware) → solve on executor
+    thread (deadline-aware, cancellable) → respond
+
+Lifecycle state machine (see DESIGN.md Appendix E)::
+
+    CREATED ──start()──▶ SERVING ──shutdown()──▶ DRAINING ──▶ STOPPED
+                                   stop accepting; in-flight finishes
+                                   up to drain_timeout, the rest is
+                                   cancelled with typed envelopes
+
+Observability:
+
+* ``GET /healthz`` — 200 with queue/worker gauges while serving, 503 once
+  draining (load balancers stop routing before the listener closes).
+* ``GET /metrics`` — deterministic-keyed (recursively sorted) JSON: the
+  shared :class:`~repro.service.metrics.MetricsRegistry` export, cache
+  statistics, queue gauges and the request-accounting counters. The
+  accounting identity ``requests == completed + timeouts + cancellations
+  + rejections`` holds at every quiescent point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+from repro.server import httpio
+from repro.server.admission import (
+    AdmissionQueue,
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+)
+from repro.server.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_CANCELLED,
+    ERROR_DRAINING,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    ERROR_TIMEOUT,
+    ERROR_TOO_LARGE,
+    ErrorInfo,
+    ResponseEnvelope,
+    SolveRequest,
+    locate_parse_error,
+)
+from repro.server.workers import SolverWorkerPool
+from repro.service.cache import CompileCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import RetryPolicy
+from repro.smt.parser import ParseError, parse_script
+from repro.smt.sexpr import SExprError
+
+__all__ = ["BackgroundServer", "ServerConfig", "ServerState", "SolverServer"]
+
+
+class ServerState(str, enum.Enum):
+    """Where the server is in its lifecycle."""
+
+    CREATED = "created"
+    SERVING = "serving"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+    __str__ = str.__str__
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``python -m repro.server`` exposes as flags.
+
+    ``sampler_factory`` is the fault-injection hook used by the lifecycle
+    tests (inject a slow or failing sampler per request); it is not a CLI
+    flag.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8037
+    workers: int = 2
+    queue_limit: int = 16
+    deadline_ms: float = 30000.0
+    drain_timeout: float = 10.0
+    max_request_bytes: int = 1 << 20
+    num_reads: int = 64
+    seed: Optional[int] = None
+    sampler_params: Dict[str, Any] = field(default_factory=dict)
+    sampler_factory: Optional[Any] = None
+    penalty_strength: float = 1.0
+    max_attempts: int = 3
+    policy: Optional[RetryPolicy] = None
+    cache_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {self.queue_limit}")
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
+        if self.drain_timeout < 0:
+            raise ValueError(
+                f"drain_timeout must be non-negative, got {self.drain_timeout}"
+            )
+        if self.max_request_bytes < 1:
+            raise ValueError(
+                f"max_request_bytes must be >= 1, got {self.max_request_bytes}"
+            )
+
+
+class SolverServer:
+    """The asyncio TCP/HTTP SMT-solving server (single event loop)."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        cache: Optional[CompileCache] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = (
+            cache if cache is not None else CompileCache(maxsize=self.config.cache_size)
+        )
+        self.state = ServerState.CREATED
+        self.queue = AdmissionQueue(
+            queue_limit=self.config.queue_limit,
+            workers=self.config.workers,
+            metrics=self.metrics,
+        )
+        self.pool = SolverWorkerPool(
+            workers=self.config.workers,
+            num_reads=self.config.num_reads,
+            seed=self.config.seed,
+            sampler_params=self.config.sampler_params,
+            sampler_factory=self.config.sampler_factory,
+            penalty_strength=self.config.penalty_strength,
+            policy=(
+                self.config.policy
+                if self.config.policy is not None
+                else RetryPolicy(max_attempts=self.config.max_attempts)
+            ),
+            cache=self.cache,
+            metrics=self.metrics,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._stopped = asyncio.Event()
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's choice)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self.config.port
+
+    async def start(self) -> None:
+        """Bind the listener and transition to SERVING."""
+        if self.state is not ServerState.CREATED:
+            raise RuntimeError(f"cannot start from state {self.state}")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self._started_at = time.monotonic()
+        self.state = ServerState.SERVING
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, then stop.
+
+        1. transition to DRAINING — ``/healthz`` goes 503 and new ``/solve``
+           requests on open connections are rejected with ``draining``;
+        2. close the listening socket;
+        3. wait up to ``drain_timeout`` for queued + in-flight work;
+        4. cancel whatever remains (typed ``cancelled`` envelopes);
+        5. close connections, stop the executor, transition to STOPPED.
+        """
+        if self.state in (ServerState.DRAINING, ServerState.STOPPED):
+            await self._stopped.wait()
+            return
+        self.state = ServerState.DRAINING
+        self.queue.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+        drained = await self.queue.wait_idle(timeout=self.config.drain_timeout)
+        if not drained:
+            for task in list(self._connections):
+                task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.pool.shutdown(wait=False)
+        self.state = ServerState.STOPPED
+        self._stopped.set()
+
+    @property
+    def uptime(self) -> float:
+        if not self._started_at:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown after the drain timeout: connection-level cancel.
+            pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await httpio.read_request(
+                    reader, self.config.max_request_bytes
+                )
+            except httpio.RequestTooLarge as exc:
+                # Counted as a submitted-and-rejected request: the
+                # accounting identity must cover every byte the socket saw.
+                self.metrics.counter("server.requests").inc()
+                self.metrics.counter("server.rejected.too_large").inc()
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(type=ERROR_TOO_LARGE, message=str(exc))
+                )
+                await self._send_envelope(writer, envelope, close=True)
+                # Discard a bounded slice of the unread body so closing the
+                # socket does not RST the envelope out of the client's
+                # receive buffer (large senders may still see a reset).
+                await self._discard(reader)
+                return
+            except httpio.ProtocolError as exc:
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(type=ERROR_BAD_REQUEST, message=str(exc))
+                )
+                await self._send_envelope(writer, envelope, close=True)
+                return
+            if request is None:
+                return  # clean EOF
+            keep_alive = request.keep_alive
+            try:
+                body, status, content_type = await self._dispatch(request)
+            except asyncio.CancelledError:
+                # Shutdown hit after the drain timeout while this request
+                # was mid-flight: best-effort typed envelope, then unwind.
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(
+                        type=ERROR_CANCELLED,
+                        message="solve cancelled by server shutdown",
+                    )
+                )
+                writer.write(
+                    httpio.render_response(
+                        envelope.http_status,
+                        envelope.to_json().encode("utf-8"),
+                        close=True,
+                    )
+                )
+                raise
+            except Exception as exc:  # noqa: BLE001 — last-resort boundary
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(
+                        type=ERROR_INTERNAL,
+                        message=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                body = envelope.to_json().encode("utf-8")
+                status = envelope.http_status
+                content_type = "application/json"
+            writer.write(
+                httpio.render_response(
+                    status, body, content_type=content_type, close=not keep_alive
+                )
+            )
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    @staticmethod
+    async def _discard(
+        reader: asyncio.StreamReader, limit: int = 1 << 16, budget: float = 0.25
+    ) -> None:
+        """Best-effort bounded drain of unread request bytes."""
+        loop = asyncio.get_running_loop()
+        end = loop.time() + budget
+        remaining = limit
+        try:
+            while remaining > 0:
+                timeout = end - loop.time()
+                if timeout <= 0:
+                    return
+                chunk = await asyncio.wait_for(
+                    reader.read(min(8192, remaining)), timeout=timeout
+                )
+                if not chunk:
+                    return
+                remaining -= len(chunk)
+        except (asyncio.TimeoutError, ConnectionError):
+            return
+
+    async def _send_envelope(
+        self,
+        writer: asyncio.StreamWriter,
+        envelope: ResponseEnvelope,
+        close: bool = False,
+    ) -> None:
+        writer.write(
+            httpio.render_response(
+                envelope.http_status,
+                envelope.to_json().encode("utf-8"),
+                close=close,
+            )
+        )
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    async def _dispatch(self, request: httpio.HttpRequest):
+        path = request.path
+        if path == "/healthz" and request.method == "GET":
+            return self._healthz()
+        if path == "/metrics" and request.method == "GET":
+            return self._metrics_endpoint()
+        if path == "/solve":
+            if request.method != "POST":
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(
+                        type=ERROR_BAD_REQUEST,
+                        message=f"/solve requires POST, got {request.method}",
+                    )
+                )
+                return envelope.to_json().encode("utf-8"), 405, "application/json"
+            envelope = await self._solve_endpoint(request)
+            return (
+                envelope.to_json().encode("utf-8"),
+                envelope.http_status,
+                "application/json",
+            )
+        body = json.dumps(
+            {"error": {"type": "not_found", "message": f"no route for {path}"}},
+            sort_keys=True,
+        ).encode("utf-8")
+        return body, 404, "application/json"
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+
+    def _healthz(self):
+        healthy = self.state is ServerState.SERVING
+        payload = {
+            "status": "ok" if healthy else str(self.state),
+            "state": str(self.state),
+            "uptime_s": round(self.uptime, 3),
+            **self.queue.snapshot(),
+        }
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return body, (200 if healthy else 503), "application/json"
+
+    def _metrics_endpoint(self):
+        stats = self.cache.stats
+        payload = {
+            "server": {
+                "state": str(self.state),
+                "uptime_s": round(self.uptime, 3),
+                **self.queue.snapshot(),
+            },
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": stats.size,
+                "maxsize": stats.maxsize,
+                "hit_rate": stats.hit_rate,
+            },
+            **self.metrics.export(),
+        }
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return body, 200, "application/json"
+
+    async def _solve_endpoint(self, request: httpio.HttpRequest) -> ResponseEnvelope:
+        self.metrics.counter("server.requests").inc()
+        try:
+            return await self._solve_inner(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — keep the accounting identity
+            self.metrics.counter("server.internal").inc()
+            return ResponseEnvelope.failure(
+                ErrorInfo(
+                    type=ERROR_INTERNAL, message=f"{type(exc).__name__}: {exc}"
+                )
+            )
+
+    async def _solve_inner(self, request: httpio.HttpRequest) -> ResponseEnvelope:
+        # 1. request envelope
+        try:
+            solve_request = SolveRequest.from_body(request.body, request.content_type)
+        except ValueError as exc:
+            self.metrics.counter("server.rejected.bad_request").inc()
+            return ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_BAD_REQUEST, message=str(exc))
+            )
+
+        # 2. SMT-LIB parse — malformed scripts get located parse envelopes,
+        #    never a crashed connection.
+        try:
+            script = parse_script(solve_request.script)
+        except (ParseError, SExprError) as exc:
+            self.metrics.counter("server.rejected.parse").inc()
+            return ResponseEnvelope.failure(
+                locate_parse_error(solve_request.script, exc),
+                request_id=solve_request.request_id,
+            )
+
+        deadline_ms = (
+            solve_request.deadline_ms
+            if solve_request.deadline_ms is not None
+            else self.config.deadline_ms
+        )
+        deadline = time.monotonic() + deadline_ms / 1000.0
+
+        # 3. admission (bounded queue; explicit backpressure)
+        try:
+            self.queue.try_admit()
+        except OverloadedError as exc:
+            return ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_OVERLOADED, message=str(exc)),
+                request_id=solve_request.request_id,
+            )
+        except DrainingError as exc:
+            return ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_DRAINING, message=str(exc)),
+                request_id=solve_request.request_id,
+            )
+
+        # 4. wait for a worker slot, spending the deadline budget
+        queue_timer = time.monotonic()
+        try:
+            await self.queue.acquire_slot(deadline - time.monotonic())
+        except DeadlineExceededError as exc:
+            return ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_TIMEOUT, message=str(exc)),
+                status="timeout",
+                queue_ms=(time.monotonic() - queue_timer) * 1000.0,
+                request_id=solve_request.request_id,
+            )
+        except asyncio.CancelledError:
+            self.metrics.counter("server.cancelled").inc()
+            raise
+        queue_ms = (time.monotonic() - queue_timer) * 1000.0
+
+        # 5. solve on the worker pool
+        solve_timer = time.monotonic()
+        try:
+            outcome = await self.pool.solve(
+                script.assertions, remaining=deadline - time.monotonic()
+            )
+        except DeadlineExceededError as exc:
+            return ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_TIMEOUT, message=str(exc)),
+                status="timeout",
+                queue_ms=queue_ms,
+                solve_ms=(time.monotonic() - solve_timer) * 1000.0,
+                request_id=solve_request.request_id,
+            )
+        except asyncio.CancelledError:
+            # Shutdown cancelled us mid-solve: typed envelope, then let the
+            # connection unwind.
+            self.metrics.counter("server.cancelled").inc()
+            raise
+        finally:
+            self.queue.release_slot()
+        solve_ms = (time.monotonic() - solve_timer) * 1000.0
+
+        self.metrics.counter("server.completed").inc()
+        self.metrics.counter(f"server.status.{outcome.status}").inc()
+        self.metrics.observe("server.queue_wait", queue_ms / 1000.0)
+        self.metrics.observe("server.solve_wall", solve_ms / 1000.0)
+        return ResponseEnvelope.success(
+            outcome.status,
+            outcome.model,
+            reason=outcome.result.reason,
+            cache_hit=outcome.cache_hit,
+            queue_ms=queue_ms,
+            solve_ms=solve_ms,
+            request_id=solve_request.request_id,
+        )
+
+
+# --------------------------------------------------------------------- #
+# embedding helper (tests, benchmarks, notebooks)
+# --------------------------------------------------------------------- #
+
+
+class BackgroundServer:
+    """Run a :class:`SolverServer` on a daemon thread with its own loop.
+
+    The context-manager form is what the test-suite and the load generator
+    use::
+
+        with BackgroundServer(ServerConfig(port=0, seed=7)) as server:
+            client = SolverClient(server.host, server.port)
+            ...
+
+    ``port=0`` binds an ephemeral port; read it back from ``.port``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        cache: Optional[CompileCache] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig(port=0)
+        self._metrics = metrics
+        self._cache = cache
+        self.server: Optional[SolverServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._port: Optional[int] = None
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise RuntimeError("server not started")
+        return self._port
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        if self.server is None:
+            raise RuntimeError("server not started")
+        return self.server.metrics
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server failed to start within 30 s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or self.server is None:
+            return
+        if not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop
+            )
+            try:
+                future.result(timeout=timeout)
+            except (asyncio.TimeoutError, TimeoutError):  # pragma: no cover
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- #
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced via start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = SolverServer(
+            self.config, metrics=self._metrics, cache=self._cache
+        )
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._port = self.server.port
+        self._ready.set()
+        await self.server.serve_forever()

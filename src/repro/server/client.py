@@ -1,0 +1,293 @@
+"""Client library for the solving server (blocking and asyncio flavours).
+
+:class:`SolverClient` is the synchronous client — one persistent
+``http.client`` connection, automatic reconnect, context-manager support —
+what scripts, the CI smoke job and most tests use.
+:class:`AsyncSolverClient` issues requests over asyncio streams and is the
+building block of the load generator's concurrent bursts.
+
+Both return the same :class:`SolveReply`: the parsed response envelope
+plus the HTTP status. Transport-level failures raise
+:class:`ServerConnectionError`; *protocol-level* failures (parse errors,
+overload, timeouts) come back as ``ok=False`` envelopes — they are data,
+not exceptions, because a load test must count them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server import httpio
+from repro.server.protocol import ErrorInfo, ResponseEnvelope
+
+__all__ = [
+    "AsyncSolverClient",
+    "ServerConnectionError",
+    "SolveReply",
+    "SolverClient",
+]
+
+
+class ServerConnectionError(ConnectionError):
+    """The server could not be reached or the transport failed mid-request."""
+
+
+@dataclass
+class SolveReply:
+    """One ``/solve`` answer: envelope fields + transport status."""
+
+    http_status: int
+    envelope: ResponseEnvelope
+
+    # convenience projections --------------------------------------- #
+
+    @property
+    def ok(self) -> bool:
+        return self.envelope.ok
+
+    @property
+    def status(self) -> str:
+        return self.envelope.status
+
+    @property
+    def model(self) -> Dict[str, str]:
+        return dict(self.envelope.model)
+
+    @property
+    def error(self) -> Optional[ErrorInfo]:
+        return self.envelope.error
+
+    @property
+    def error_type(self) -> Optional[str]:
+        return self.envelope.error.type if self.envelope.error else None
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.envelope.cache_hit
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return f"SolveReply(status={self.status!r}, model={self.model!r})"
+        return f"SolveReply(error={self.error_type!r}, http={self.http_status})"
+
+
+def _solve_body(
+    script: str,
+    deadline_ms: Optional[float],
+    request_id: Optional[str],
+) -> Tuple[bytes, str]:
+    """The request body and content type for one solve call."""
+    if deadline_ms is None and request_id is None:
+        return script.encode("utf-8"), "text/plain; charset=utf-8"
+    payload: Dict[str, Any] = {"script": script}
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    if request_id is not None:
+        payload["id"] = request_id
+    return json.dumps(payload).encode("utf-8"), "application/json"
+
+
+def _parse_reply(status: int, body: bytes) -> SolveReply:
+    try:
+        envelope = ResponseEnvelope.from_json(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServerConnectionError(
+            f"malformed envelope (HTTP {status}): {body[:120]!r} ({exc})"
+        ) from None
+    return SolveReply(http_status=status, envelope=envelope)
+
+
+# --------------------------------------------------------------------- #
+# blocking client
+# --------------------------------------------------------------------- #
+
+
+class SolverClient:
+    """Blocking client over one keep-alive HTTP connection.
+
+    Examples
+    --------
+    >>> with SolverClient("127.0.0.1", 8037) as client:   # doctest: +SKIP
+    ...     reply = client.solve('(declare-const x String)'
+    ...                          '(assert (= x "hi"))(check-sat)')
+    ...     reply.status, reply.model
+    ('sat', {'x': 'hi'})
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -------------------------------------------------------------- #
+    # transport
+    # -------------------------------------------------------------- #
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        content_type: str = "text/plain",
+    ) -> Tuple[int, bytes]:
+        headers = {"Content-Type": content_type, "Content-Length": str(len(body))}
+        for fresh in (False, True):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body or None, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                if response.will_close:
+                    self.close()
+                return response.status, payload
+            except (http.client.HTTPException, OSError) as exc:
+                # A dropped keep-alive connection gets one fresh retry;
+                # a fresh connection failing is a real transport error.
+                self.close()
+                if fresh:
+                    raise ServerConnectionError(
+                        f"{method} {path} to {self.host}:{self.port} failed: {exc}"
+                    ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "SolverClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- #
+    # endpoints
+    # -------------------------------------------------------------- #
+
+    def solve(
+        self,
+        script: str,
+        *,
+        deadline_ms: Optional[float] = None,
+        request_id: Optional[str] = None,
+    ) -> SolveReply:
+        """Submit one SMT-LIB script; returns the parsed envelope."""
+        body, content_type = _solve_body(script, deadline_ms, request_id)
+        status, payload = self._request("POST", "/solve", body, content_type)
+        return _parse_reply(status, payload)
+
+    def healthz(self) -> Dict[str, Any]:
+        """The health payload; raises when it is not valid JSON."""
+        status, payload = self._request("GET", "/healthz")
+        health = json.loads(payload.decode("utf-8"))
+        health["http_status"] = status
+        return health
+
+    def metrics(self) -> Dict[str, Any]:
+        """The deterministic-keyed metrics export as a dict."""
+        _status, payload = self._request("GET", "/metrics")
+        return json.loads(payload.decode("utf-8"))
+
+    def metrics_text(self) -> str:
+        """The raw ``/metrics`` body (for key-ordering regression tests)."""
+        _status, payload = self._request("GET", "/metrics")
+        return payload.decode("utf-8")
+
+
+# --------------------------------------------------------------------- #
+# asyncio client
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class AsyncSolverClient:
+    """Asyncio client: one connection per request, safe to fan out.
+
+    Examples
+    --------
+    >>> async def burst(client, scripts):            # doctest: +SKIP
+    ...     return await asyncio.gather(*(client.solve(s) for s in scripts))
+    """
+
+    host: str
+    port: int
+    timeout: float = 60.0
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        content_type: str = "text/plain",
+    ) -> Tuple[int, bytes]:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), timeout=self.timeout
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServerConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            writer.write(
+                httpio.render_request(
+                    method,
+                    path,
+                    body,
+                    host=f"{self.host}:{self.port}",
+                    content_type=content_type,
+                    close=True,
+                )
+            )
+            await writer.drain()
+            status, _headers, payload = await asyncio.wait_for(
+                httpio.read_response(reader), timeout=self.timeout
+            )
+            return status, payload
+        except (OSError, asyncio.TimeoutError, httpio.ProtocolError) as exc:
+            raise ServerConnectionError(
+                f"{method} {path} to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def solve(
+        self,
+        script: str,
+        *,
+        deadline_ms: Optional[float] = None,
+        request_id: Optional[str] = None,
+    ) -> SolveReply:
+        body, content_type = _solve_body(script, deadline_ms, request_id)
+        status, payload = await self._request("POST", "/solve", body, content_type)
+        return _parse_reply(status, payload)
+
+    async def healthz(self) -> Dict[str, Any]:
+        status, payload = await self._request("GET", "/healthz")
+        health = json.loads(payload.decode("utf-8"))
+        health["http_status"] = status
+        return health
+
+    async def metrics(self) -> Dict[str, Any]:
+        _status, payload = await self._request("GET", "/metrics")
+        return json.loads(payload.decode("utf-8"))

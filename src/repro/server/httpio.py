@@ -1,0 +1,237 @@
+"""Minimal asyncio HTTP/1.1 framing for the solving server.
+
+The server speaks just enough HTTP for curl, load balancers and the
+bundled clients: request-line + headers + ``Content-Length`` bodies,
+keep-alive by default, ``Connection: close`` honoured. No external
+dependencies — everything rides on :mod:`asyncio` streams.
+
+Size enforcement happens **at the socket layer**: the header block is read
+through a bounded ``readuntil`` and the body is only read after its
+declared ``Content-Length`` has been checked against the configured
+maximum, so an oversized payload is rejected with a typed ``too_large``
+response *before* its bytes are buffered. Requests without a length
+declaration are read through a hard cap and rejected the moment they
+exceed it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "HttpRequest",
+    "ProtocolError",
+    "RequestTooLarge",
+    "read_request",
+    "read_response",
+    "render_request",
+    "render_response",
+]
+
+#: Upper bound on the request line + header block, independent of the body.
+MAX_HEADER_BYTES = 16384
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed HTTP framing (bad request line, bad Content-Length, ...)."""
+
+
+class RequestTooLarge(ValueError):
+    """The request exceeded the configured maximum size."""
+
+    def __init__(self, declared: Optional[int], limit: int) -> None:
+        what = (
+            f"declared Content-Length {declared}"
+            if declared is not None
+            else "request body"
+        )
+        super().__init__(f"{what} exceeds the {limit}-byte request limit")
+        self.declared = declared
+        self.limit = limit
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, target path, lowercased headers, body."""
+
+    method: str
+    target: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """The target without its query string."""
+        return self.target.split("?", 1)[0]
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def _read_head(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """The request/response head up to the blank line; None on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise ProtocolError("connection closed mid-header") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            f"header block exceeds {MAX_HEADER_BYTES} bytes"
+        ) from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header block exceeds {MAX_HEADER_BYTES} bytes")
+    return head
+
+
+def _parse_headers(lines: list) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for raw in lines:
+        if not raw:
+            continue
+        name, sep, value = raw.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+def _content_length(headers: Mapping[str, str]) -> Optional[int]:
+    raw = headers.get("content-length")
+    if raw is None:
+        return None
+    try:
+        length = int(raw)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length {raw!r}") from None
+    if length < 0:
+        raise ProtocolError(f"negative Content-Length {length}")
+    return length
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_request_bytes: int
+) -> Optional[HttpRequest]:
+    """Read one request; ``None`` on clean EOF.
+
+    Raises :class:`RequestTooLarge` before buffering an oversized body and
+    :class:`ProtocolError` on malformed framing.
+    """
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers = _parse_headers(lines[1:])
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError("chunked transfer encoding is not supported")
+
+    declared = _content_length(headers)
+    if declared is not None:
+        # Socket-layer gate: check the declaration *before* reading bytes.
+        if declared > max_request_bytes:
+            raise RequestTooLarge(declared, max_request_bytes)
+        body = await reader.readexactly(declared) if declared else b""
+    elif method in ("POST", "PUT"):
+        # No declared length (HTTP/1.0-style close-delimited body): read up
+        # to the cap plus one sentinel byte, rejecting the moment the limit
+        # is crossed instead of buffering an unbounded stream.
+        chunks = []
+        received = 0
+        while received <= max_request_bytes:
+            chunk = await reader.read(max_request_bytes + 1 - received)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            received += len(chunk)
+        if received > max_request_bytes:
+            raise RequestTooLarge(None, max_request_bytes)
+        body = b"".join(chunks)
+    else:
+        body = b""
+    return HttpRequest(method=method, target=target, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    close: bool = False,
+) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def render_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    *,
+    host: str = "localhost",
+    content_type: str = "text/plain",
+    close: bool = False,
+) -> bytes:
+    """Serialize one client-side HTTP/1.1 request."""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Client side: read one response → ``(status, headers, body)``."""
+    head = await _read_head(reader)
+    if head is None:
+        raise ProtocolError("connection closed before a response arrived")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ProtocolError(f"malformed status line {lines[0]!r}")
+    status = int(parts[1])
+    headers = _parse_headers(lines[1:])
+    length = _content_length(headers)
+    if length is None:
+        body = await reader.read()
+    else:
+        body = await reader.readexactly(length) if length else b""
+    return status, headers, body

@@ -1,0 +1,259 @@
+"""The solver worker pool: executor-thread solves behind the asyncio server.
+
+Each admitted request is solved on a worker thread by a **fresh**
+:class:`~repro.smt.solver.QuantumSMTSolver` seeded with the server's base
+seed — the same construction as :class:`~repro.service.batch.BatchSolver`
+— so a served answer is bit-identical to a direct
+``QuantumSMTSolver(seed=...).check_sat()`` at the same seed, independent
+of worker count, queue order and cache state. Compilation is deduplicated
+through one shared :class:`~repro.service.cache.CompileCache`; stage
+timings and outcome counters land in one shared
+:class:`~repro.service.metrics.MetricsRegistry`.
+
+Deadline composition
+--------------------
+The per-request deadline composes with the configured
+:class:`~repro.service.policy.RetryPolicy` rather than replacing it: the
+effective policy for a request clamps the per-attempt timeout to the
+remaining deadline budget (``min(policy.attempt_timeout, remaining)``),
+and the event-loop side enforces the deadline authoritatively with
+``asyncio.wait_for``. A worker thread cannot be preempted mid-attempt
+(the same abandonment contract as :class:`RetryPolicy`), so a timed-out
+solve also flips a cancellation event that the retry loop checks between
+attempts — bounding the orphaned work to at most one attempt.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.server.admission import DeadlineExceededError
+from repro.service.cache import CompileCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import RetryExhaustedError, RetryPolicy
+from repro.smt import ast
+from repro.smt.solver import QuantumSMTSolver, SmtResult
+from repro.utils.timing import Timer
+
+__all__ = ["SolveCancelled", "SolveOutcome", "SolverWorkerPool"]
+
+
+class SolveCancelled(RuntimeError):
+    """Raised inside a worker thread when its request was abandoned."""
+
+
+@dataclass
+class SolveOutcome:
+    """One completed in-pool solve."""
+
+    result: SmtResult
+    cache_hit: bool = False
+    wall_time: float = 0.0
+    error: str = ""
+    error_type: str = ""
+
+    @property
+    def status(self) -> str:
+        return str(self.result.status)
+
+    @property
+    def model(self) -> Dict[str, str]:
+        return dict(self.result.model)
+
+
+@dataclass
+class _RequestContext:
+    """Thread-shared cancellation flag for one request."""
+
+    cancelled: threading.Event = field(default_factory=threading.Event)
+
+
+class SolverWorkerPool:
+    """Run ``QuantumSMTSolver`` solves on executor threads.
+
+    Mirrors :class:`~repro.service.batch.BatchSolver`'s determinism
+    contract (fresh solver per item, shared cache/metrics/policy) with an
+    async front door and per-request deadlines.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        num_reads: int = 64,
+        seed: Optional[int] = None,
+        sampler_params: Optional[Dict[str, Any]] = None,
+        sampler_factory: Optional[Any] = None,
+        penalty_strength: float = 1.0,
+        policy: Optional[RetryPolicy] = None,
+        cache: Optional[CompileCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if seed is not None and not isinstance(seed, int):
+            raise TypeError(
+                "the server needs a reproducible seed (int or None); live "
+                f"RNG objects cannot be shared across workers: {type(seed)!r}"
+            )
+        self.workers = workers
+        self.num_reads = num_reads
+        self.seed = seed
+        self.sampler_params = dict(sampler_params or {})
+        self.sampler_factory = sampler_factory
+        self.penalty_strength = penalty_strength
+        self.policy = policy if policy is not None else RetryPolicy(max_attempts=3)
+        self.cache = cache if cache is not None else CompileCache(maxsize=256)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="server-solver"
+        )
+
+    # ------------------------------------------------------------------ #
+    # deadline composition
+    # ------------------------------------------------------------------ #
+
+    def effective_policy(self, remaining: Optional[float]) -> RetryPolicy:
+        """The configured policy with its attempt timeout clamped to the
+        remaining deadline budget."""
+        if remaining is None:
+            return self.policy
+        remaining = max(remaining, 1e-3)
+        timeout = self.policy.attempt_timeout
+        clamped = remaining if timeout is None else min(timeout, remaining)
+        return dataclasses.replace(self.policy, attempt_timeout=clamped)
+
+    # ------------------------------------------------------------------ #
+    # solving
+    # ------------------------------------------------------------------ #
+
+    async def solve(
+        self,
+        assertions: Sequence[ast.Term],
+        *,
+        remaining: Optional[float] = None,
+        solve_params: Optional[Dict[str, Any]] = None,
+    ) -> SolveOutcome:
+        """Solve one assertion conjunction on a worker thread.
+
+        Raises :class:`~repro.server.admission.DeadlineExceededError` when
+        *remaining* elapses before the solve completes (the thread is told
+        to stop retrying and abandoned).
+        """
+        context = _RequestContext()
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor,
+            self._solve_blocking,
+            list(assertions),
+            self.effective_policy(remaining),
+            dict(solve_params or {}),
+            context,
+        )
+        try:
+            if remaining is None:
+                return await future
+            return await asyncio.wait_for(future, timeout=max(remaining, 1e-3))
+        except asyncio.TimeoutError:
+            context.cancelled.set()
+            self.metrics.counter("server.timeout").inc()
+            self.metrics.counter("server.timeout.solving").inc()
+            raise DeadlineExceededError("solving", remaining or 0.0) from None
+        except asyncio.CancelledError:
+            context.cancelled.set()
+            raise
+
+    def _solve_blocking(
+        self,
+        assertions: List[ast.Term],
+        policy: RetryPolicy,
+        solve_params: Dict[str, Any],
+        context: _RequestContext,
+    ) -> SolveOutcome:
+        timer = Timer().start()
+        self.metrics.counter("server.solves").inc()
+        solver = QuantumSMTSolver(
+            sampler=self.sampler_factory() if self.sampler_factory else None,
+            num_reads=self.num_reads,
+            seed=self.seed,
+            sampler_params=self.sampler_params,
+            penalty_strength=self.penalty_strength,
+            retry_policy=_CancellablePolicy.wrap(policy, context.cancelled),
+            metrics=self.metrics,
+        )
+        solver.assertions = list(assertions)
+        try:
+            problem, hit = self.cache.get_or_compile(
+                assertions,
+                penalty_strength=self.penalty_strength,
+                seed=self.seed,
+                compile_fn=solver.compile,
+            )
+            self.metrics.counter("cache.hits" if hit else "cache.misses").inc()
+            result = solver.solve_compiled(problem, **solve_params)
+            return SolveOutcome(result=result, cache_hit=hit, wall_time=timer.stop())
+        except SolveCancelled:
+            raise
+        except RetryExhaustedError as exc:
+            # Typed robustness-layer failure: surfaced as unknown, like the
+            # batch service — never a crash, never a silent drop.
+            return SolveOutcome(
+                result=SmtResult(status="unknown", reason=str(exc)),
+                cache_hit=False,
+                wall_time=timer.stop(),
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+        except Exception as exc:  # noqa: BLE001 — boundary: degrade, don't crash
+            return SolveOutcome(
+                result=SmtResult(status="unknown", reason=f"{type(exc).__name__}: {exc}"),
+                cache_hit=False,
+                wall_time=timer.stop(),
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Stop the executor; abandoned attempts are never joined."""
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+
+class _CancellablePolicy:
+    """A ``RetryPolicy`` facade that stops retrying once a request is
+    abandoned (deadline hit or server shutdown).
+
+    ``QuantumSMTSolver`` only calls ``run`` and reads ``max_attempts``; the
+    facade forwards both, injecting a pre-attempt cancellation check so an
+    abandoned thread does at most one more attempt.
+    """
+
+    def __init__(self, policy: RetryPolicy, cancelled: threading.Event) -> None:
+        self._policy = policy
+        self._cancelled = cancelled
+        self.max_attempts = policy.max_attempts
+
+    @classmethod
+    def wrap(cls, policy: RetryPolicy, cancelled: threading.Event) -> "_CancellablePolicy":
+        return cls(policy, cancelled)
+
+    def run(self, attempt, **kwargs):
+        def guarded(index: int):
+            if self._cancelled.is_set():
+                raise SolveCancelled("request abandoned; stopping retries")
+            return attempt(index)
+
+        try:
+            return self._policy.run(guarded, **kwargs)
+        except RetryExhaustedError as exc:
+            if isinstance(exc.last_exception, SolveCancelled):
+                raise exc.last_exception
+            raise

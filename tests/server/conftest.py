@@ -1,0 +1,55 @@
+"""Shared fixtures for the serving-layer tests.
+
+Mirrors the ``tests/service/`` fault-injection style: deterministic fast
+solver settings, a ``SlowSampler`` whose delay is the injection point for
+queue/deadline/drain edge cases, and small helper scripts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.anneal.simulated import SimulatedAnnealingSampler
+from repro.server.app import BackgroundServer, ServerConfig
+
+#: Deterministic, fast solver settings shared by every server test.
+FAST_SOLVER = dict(num_reads=24, sampler_params={"num_sweeps": 200}, seed=7)
+
+SAT_SCRIPT = '(declare-const x String)(assert (= x "hi"))(check-sat)'
+UNSAT_SCRIPT = '(assert (= "a" "b"))(check-sat)'
+PARSE_ERROR_SCRIPT = '(assert (= x "unterminated'
+
+
+class SlowSampler(SimulatedAnnealingSampler):
+    """A sampler that sleeps before sampling — the lifecycle fault injector."""
+
+    def __init__(self, delay: float, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.delay = delay
+
+    def sample_model(self, model, **params):
+        time.sleep(self.delay)
+        return super().sample_model(model, **params)
+
+
+def fast_config(**overrides) -> ServerConfig:
+    """A deterministic ephemeral-port config; overrides win."""
+    settings = dict(
+        port=0,
+        workers=2,
+        queue_limit=16,
+        deadline_ms=30000.0,
+        drain_timeout=10.0,
+        **FAST_SOLVER,
+    )
+    settings.update(overrides)
+    return ServerConfig(**settings)
+
+
+@pytest.fixture
+def server():
+    """A running background server with the fast deterministic config."""
+    with BackgroundServer(fast_config()) as handle:
+        yield handle

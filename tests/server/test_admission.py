@@ -1,0 +1,161 @@
+"""Unit tests for the bounded admission queue (no sockets involved)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server.admission import (
+    AdmissionQueue,
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+)
+from repro.service.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_admit_within_limit(self):
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=2, workers=1)
+            queue.try_admit()
+            queue.try_admit()
+            assert queue.depth == 2
+
+        run(scenario())
+
+    def test_full_queue_rejects_immediately(self):
+        async def scenario():
+            metrics = MetricsRegistry()
+            queue = AdmissionQueue(queue_limit=1, workers=1, metrics=metrics)
+            queue.try_admit()
+            with pytest.raises(OverloadedError) as info:
+                queue.try_admit()
+            assert info.value.depth == 1 and info.value.limit == 1
+            assert metrics.counter("server.rejected.overloaded").value == 1
+            assert metrics.counter("server.admitted").value == 1
+
+        run(scenario())
+
+    def test_zero_limit_rejects_everything(self):
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=0, workers=1)
+            with pytest.raises(OverloadedError):
+                queue.try_admit()
+
+        run(scenario())
+
+    def test_draining_rejects_with_typed_error(self):
+        async def scenario():
+            metrics = MetricsRegistry()
+            queue = AdmissionQueue(queue_limit=4, workers=1, metrics=metrics)
+            queue.begin_drain()
+            with pytest.raises(DrainingError):
+                queue.try_admit()
+            assert metrics.counter("server.rejected.draining").value == 1
+
+        run(scenario())
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(queue_limit=-1, workers=1)
+        with pytest.raises(ValueError):
+            AdmissionQueue(queue_limit=1, workers=0)
+
+
+class TestSlots:
+    def test_acquire_transitions_waiting_to_in_flight(self):
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=4, workers=2)
+            queue.try_admit()
+            await queue.acquire_slot(1.0)
+            assert (queue.depth, queue.in_flight) == (0, 1)
+            queue.release_slot()
+            assert (queue.depth, queue.in_flight) == (0, 0)
+
+        run(scenario())
+
+    def test_expired_deadline_while_queued_raises_timeout(self):
+        async def scenario():
+            metrics = MetricsRegistry()
+            queue = AdmissionQueue(queue_limit=4, workers=1, metrics=metrics)
+            queue.try_admit()
+            await queue.acquire_slot(1.0)  # occupy the only worker
+            queue.try_admit()
+            with pytest.raises(DeadlineExceededError) as info:
+                await queue.acquire_slot(0.02)
+            assert info.value.phase == "queued"
+            # The timed-out request left the queue; the slot holder remains.
+            assert (queue.depth, queue.in_flight) == (0, 1)
+            assert metrics.counter("server.timeout").value == 1
+            assert metrics.counter("server.timeout.queued").value == 1
+            queue.release_slot()
+
+        run(scenario())
+
+    def test_already_expired_deadline_fails_fast(self):
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=4, workers=1)
+            queue.try_admit()
+            with pytest.raises(DeadlineExceededError):
+                await queue.acquire_slot(-0.5)
+
+        run(scenario())
+
+    def test_released_slot_unblocks_waiter(self):
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=4, workers=1)
+            queue.try_admit()
+            await queue.acquire_slot(1.0)
+            queue.try_admit()
+            waiter = asyncio.create_task(queue.acquire_slot(5.0))
+            await asyncio.sleep(0.01)
+            assert not waiter.done()
+            queue.release_slot()
+            await waiter
+            assert queue.in_flight == 1
+            queue.release_slot()
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_wait_idle_immediate_when_empty(self):
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=4, workers=1)
+            assert await queue.wait_idle(timeout=0.05) is True
+
+        run(scenario())
+
+    def test_wait_idle_times_out_with_in_flight_work(self):
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=4, workers=1)
+            queue.try_admit()
+            await queue.acquire_slot(1.0)
+            assert await queue.wait_idle(timeout=0.05) is False
+            queue.release_slot()
+            assert await queue.wait_idle(timeout=0.5) is True
+
+        run(scenario())
+
+    def test_drain_lets_queued_work_finish(self):
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=4, workers=1)
+            queue.try_admit()
+            await queue.acquire_slot(1.0)
+            queue.begin_drain()
+            # Existing work continues; only new admissions are refused.
+            assert queue.in_flight == 1
+            with pytest.raises(DrainingError):
+                queue.try_admit()
+            queue.release_slot()
+            assert await queue.wait_idle(timeout=0.5) is True
+
+        run(scenario())

@@ -1,0 +1,224 @@
+"""Lifecycle edges, fault-injection style (mirrors ``tests/service/``):
+
+* a full admission queue **rejects** with ``overloaded`` instead of
+  blocking, and the server stays responsive throughout;
+* deadline-exceeded requests are cancelled and reported as ``timeout``
+  (never ``unknown``);
+* graceful drain completes in-flight solves;
+* an exhausted drain timeout cancels the stragglers with typed
+  ``cancelled`` accounting.
+
+The injection point is ``SlowSampler`` (a sampler that sleeps), wired in
+through ``ServerConfig.sampler_factory``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.server.app import BackgroundServer
+from repro.server.client import AsyncSolverClient, ServerConnectionError, SolverClient
+
+from tests.server.conftest import SAT_SCRIPT, SlowSampler, fast_config
+
+pytestmark = pytest.mark.server
+
+
+def slow_config(delay: float, **overrides):
+    return fast_config(sampler_factory=lambda: SlowSampler(delay), **overrides)
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_rather_than_blocks(self):
+        # One worker, one queue slot, a 0.5 s solve: a burst of 6 must see
+        # immediate 'overloaded' rejections for the overflow — the reject
+        # path must return in far less time than any solve takes.
+        config = slow_config(0.5, workers=1, queue_limit=1)
+        with BackgroundServer(config) as server:
+            client = AsyncSolverClient(server.host, server.port, timeout=30.0)
+
+            async def burst():
+                started = time.monotonic()
+                replies = await asyncio.gather(
+                    *(client.solve(SAT_SCRIPT) for _ in range(6))
+                )
+                return replies, time.monotonic() - started
+
+            replies, elapsed = asyncio.run(burst())
+            by_kind = {}
+            for reply in replies:
+                key = reply.status if reply.ok else reply.error_type
+                by_kind[key] = by_kind.get(key, 0) + 1
+
+            assert by_kind.get("overloaded", 0) >= 3, by_kind
+            assert by_kind.get("sat", 0) >= 1, by_kind
+            # Blocking behaviour would take ~6 × 0.5 s; rejection keeps the
+            # burst bounded by the two admitted solves.
+            assert elapsed < 2.5
+
+            # The server stayed responsive: healthz answers while solving.
+            with SolverClient(server.host, server.port) as sync_client:
+                assert sync_client.healthz()["http_status"] == 200
+
+            metrics = asyncio.run(client.metrics())
+            counters = metrics["counters"]
+            assert counters["server.rejected.overloaded"] >= 3
+            # Accounting identity over the full burst.
+            rejected = sum(
+                v for k, v in counters.items() if k.startswith("server.rejected.")
+            )
+            assert counters["server.requests"] == (
+                counters.get("server.completed", 0)
+                + rejected
+                + counters.get("server.timeout", 0)
+                + counters.get("server.cancelled", 0)
+                + counters.get("server.internal", 0)
+            )
+
+    def test_healthz_reports_load_during_solve(self):
+        config = slow_config(0.6, workers=1, queue_limit=4)
+        with BackgroundServer(config) as server:
+            client = AsyncSolverClient(server.host, server.port, timeout=30.0)
+
+            async def scenario():
+                solve = asyncio.create_task(client.solve(SAT_SCRIPT))
+                await asyncio.sleep(0.2)
+                health = await client.healthz()
+                reply = await solve
+                return health, reply
+
+            health, reply = asyncio.run(scenario())
+            assert health["in_flight"] == 1
+            assert reply.ok
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_mid_solve_is_timeout_not_unknown(self):
+        config = slow_config(2.0, workers=1, queue_limit=4)
+        with BackgroundServer(config) as server:
+            with SolverClient(server.host, server.port) as client:
+                started = time.monotonic()
+                reply = client.solve(SAT_SCRIPT, deadline_ms=300)
+                elapsed = time.monotonic() - started
+        assert not reply.ok
+        assert reply.error_type == "timeout"
+        assert reply.status == "timeout"          # never 'unknown'
+        assert reply.status != "unknown"
+        assert reply.http_status == 504
+        assert "solving" in reply.error.message
+        assert elapsed < 1.5  # answered at the deadline, not after the solve
+
+    def test_deadline_exceeded_while_queued_is_timeout(self):
+        config = slow_config(1.0, workers=1, queue_limit=4)
+        with BackgroundServer(config) as server:
+            client = AsyncSolverClient(server.host, server.port, timeout=30.0)
+
+            async def scenario():
+                blocker = asyncio.create_task(client.solve(SAT_SCRIPT))
+                await asyncio.sleep(0.15)  # let it occupy the worker
+                queued = await client.solve(SAT_SCRIPT, deadline_ms=250)
+                await blocker
+                return queued
+
+            queued = asyncio.run(scenario())
+        assert not queued.ok
+        assert queued.error_type == "timeout"
+        assert "queued" in queued.error.message
+
+    def test_timeouts_counted_in_metrics(self):
+        config = slow_config(1.0, workers=1, queue_limit=4)
+        with BackgroundServer(config) as server:
+            with SolverClient(server.host, server.port) as client:
+                client.solve(SAT_SCRIPT, deadline_ms=200)
+                counters = client.metrics()["counters"]
+        assert counters["server.timeout"] == 1
+        assert counters["server.timeout.solving"] == 1
+
+
+class TestGracefulDrain:
+    def test_drain_completes_in_flight_solves(self):
+        config = slow_config(0.8, workers=1, queue_limit=4, drain_timeout=10.0)
+        server = BackgroundServer(config).start()
+        try:
+            results = {}
+
+            def submit():
+                with SolverClient(server.host, server.port, timeout=30.0) as client:
+                    results["reply"] = client.solve(SAT_SCRIPT)
+
+            thread = threading.Thread(target=submit)
+            thread.start()
+            time.sleep(0.3)  # the solve is now in flight
+            server.stop(timeout=30.0)  # graceful drain
+            thread.join(timeout=30.0)
+        finally:
+            server.stop()
+
+        reply = results["reply"]
+        assert reply.ok and reply.status == "sat"
+        assert reply.model == {"x": "hi"}
+
+    def test_draining_server_rejects_new_work_then_stops(self):
+        config = slow_config(1.2, workers=1, queue_limit=4, drain_timeout=10.0)
+        server = BackgroundServer(config).start()
+        try:
+            replies = {}
+
+            def submit():
+                with SolverClient(server.host, server.port, timeout=30.0) as client:
+                    replies["first"] = client.solve(SAT_SCRIPT)
+
+            thread = threading.Thread(target=submit)
+            thread.start()
+            time.sleep(0.3)
+
+            stopper = threading.Thread(target=lambda: server.stop(timeout=30.0))
+            stopper.start()
+            time.sleep(0.2)  # drain has begun; listener is closed
+            with pytest.raises(ServerConnectionError):
+                SolverClient(server.host, server.port, timeout=2.0).solve(SAT_SCRIPT)
+            stopper.join(timeout=30.0)
+            thread.join(timeout=30.0)
+        finally:
+            server.stop()
+        assert replies["first"].ok
+
+    def test_exhausted_drain_timeout_cancels_with_typed_accounting(self):
+        config = slow_config(3.0, workers=1, queue_limit=4, drain_timeout=0.2)
+        server = BackgroundServer(config).start()
+        metrics = None
+        try:
+            outcome = {}
+
+            def submit():
+                client = SolverClient(server.host, server.port, timeout=30.0)
+                try:
+                    outcome["reply"] = client.solve(SAT_SCRIPT)
+                except ServerConnectionError as exc:
+                    outcome["error"] = exc
+                finally:
+                    client.close()
+
+            thread = threading.Thread(target=submit)
+            thread.start()
+            time.sleep(0.4)  # in flight
+            started = time.monotonic()
+            server.stop(timeout=30.0)
+            stop_elapsed = time.monotonic() - started
+            thread.join(timeout=30.0)
+            metrics = server.metrics
+        finally:
+            server.stop()
+
+        # Drain gave up after ~0.2 s instead of waiting out the 3 s solve.
+        assert stop_elapsed < 2.0
+        assert metrics.counter("server.cancelled").value == 1
+        # The client saw a typed cancelled envelope (best-effort write) or,
+        # at worst, a clean transport error — never a hang.
+        if "reply" in outcome:
+            assert outcome["reply"].error_type == "cancelled"
+            assert outcome["reply"].http_status == 503

@@ -1,0 +1,164 @@
+"""Envelope schema, error taxonomy and parse-error location tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    ERROR_OVERLOADED,
+    ERROR_PARSE,
+    ERROR_TIMEOUT,
+    ERROR_TOO_LARGE,
+    ErrorInfo,
+    ResponseEnvelope,
+    SolveRequest,
+    http_status_for,
+    locate_parse_error,
+    offset_to_line_col,
+)
+from repro.smt.parser import ParseError, parse_script
+from repro.smt.sexpr import SExprError
+
+pytestmark = pytest.mark.server
+
+
+class TestSolveRequest:
+    def test_plain_text_body(self):
+        request = SolveRequest.from_body(b"(check-sat)", "text/plain")
+        assert request.script == "(check-sat)"
+        assert request.deadline_ms is None
+        assert request.request_id is None
+
+    def test_json_body_full(self):
+        body = json.dumps(
+            {"script": "(check-sat)", "deadline_ms": 250, "id": "r-1"}
+        ).encode()
+        request = SolveRequest.from_body(body, "application/json")
+        assert request.script == "(check-sat)"
+        assert request.deadline_ms == 250.0
+        assert request.request_id == "r-1"
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            SolveRequest.from_body(b"   ", "text/plain")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            SolveRequest.from_body(b"{nope", "application/json")
+
+    def test_json_without_script_rejected(self):
+        with pytest.raises(ValueError, match="script"):
+            SolveRequest.from_body(b'{"deadline_ms": 10}', "application/json")
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            SolveRequest.from_body(
+                b'{"script": "(check-sat)", "deadline_ms": 0}', "application/json"
+            )
+
+
+class TestEnvelope:
+    def test_success_round_trip(self):
+        envelope = ResponseEnvelope.success(
+            "sat", {"x": "hi"}, cache_hit=True, queue_ms=1.5, solve_ms=20.25,
+            request_id="r-9",
+        )
+        parsed = ResponseEnvelope.from_json(envelope.to_json())
+        assert parsed.ok and parsed.status == "sat"
+        assert parsed.model == {"x": "hi"}
+        assert parsed.cache_hit is True
+        assert parsed.request_id == "r-9"
+        assert parsed.error is None
+        assert parsed.http_status == 200
+
+    def test_failure_round_trip(self):
+        envelope = ResponseEnvelope.failure(
+            ErrorInfo(type=ERROR_PARSE, message="boom", line=2, column=7,
+                      context="(assert"),
+            status="",
+        )
+        parsed = ResponseEnvelope.from_json(envelope.to_json())
+        assert not parsed.ok
+        assert parsed.error is not None
+        assert (parsed.error.type, parsed.error.line, parsed.error.column) == (
+            ERROR_PARSE, 2, 7,
+        )
+        assert parsed.http_status == 400
+
+    def test_serialization_is_deterministic_and_sorted(self):
+        envelope = ResponseEnvelope.success("sat", {"b": "2", "a": "1"})
+        text = envelope.to_json()
+        assert text == ResponseEnvelope.success("sat", {"a": "1", "b": "2"}).to_json()
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)
+        # Key set is the envelope contract — a change here is a wire break.
+        assert list(payload) == [
+            "cache_hit", "error", "id", "model", "ok", "queue_ms", "reason",
+            "solve_ms", "status",
+        ]
+
+    def test_http_status_mapping(self):
+        assert http_status_for(None) == 200
+        assert http_status_for(ERROR_PARSE) == 400
+        assert http_status_for(ERROR_TOO_LARGE) == 413
+        assert http_status_for(ERROR_OVERLOADED) == 429
+        assert http_status_for(ERROR_TIMEOUT) == 504
+        assert http_status_for("something-new") == 500
+
+
+class TestOffsetToLineCol:
+    def test_first_char(self):
+        assert offset_to_line_col("abc", 0) == (1, 1)
+
+    def test_multiline(self):
+        text = "(set-logic QF_S)\n(assert x)\n"
+        offset = text.index("x")
+        assert offset_to_line_col(text, offset) == (2, 9)
+
+    def test_offset_clamped(self):
+        assert offset_to_line_col("ab", 99) == (1, 3)
+
+
+class TestLocateParseError:
+    def _error_for(self, script: str):
+        with pytest.raises((ParseError, SExprError)) as info:
+            parse_script(script)
+        return locate_parse_error(script, info.value)
+
+    def test_unterminated_string_locates_quote(self):
+        script = '(declare-const x String)\n(assert (= x "trunc'
+        error = self._error_for(script)
+        assert error.type == ERROR_PARSE
+        assert (error.line, error.column) == (2, 14)
+        assert error.context == '(assert (= x "trunc'
+
+    def test_unbalanced_close_locates_extra_paren(self):
+        script = "(check-sat))"
+        error = self._error_for(script)
+        assert (error.line, error.column) == (1, 12)
+
+    def test_unbalanced_open_locates_unclosed_paren(self):
+        script = "(set-logic QF_S)\n(assert (= x"
+        error = self._error_for(script)
+        assert error.line == 2
+        assert error.column in (1, 9)  # outermost unclosed open
+
+    def test_undeclared_symbol_located_by_fragment(self):
+        script = '(declare-const x String)\n(assert (= y "a"))'
+        error = self._error_for(script)
+        assert error.line == 2
+        assert "undeclared" in error.message
+
+    def test_garbage_still_produces_location(self):
+        error = self._error_for("\x00\x01 not smtlib at all (((")
+        assert error.type == ERROR_PARSE
+        assert error.line is not None and error.column is not None
+
+    def test_parens_inside_strings_and_comments_ignored(self):
+        script = '; comment with (((\n(assert (= x "(((")'
+        # x is undeclared → ParseError; the paren scan must not be confused
+        # by parens inside the comment or the literal.
+        error = self._error_for(script)
+        assert error.type == ERROR_PARSE

@@ -1,0 +1,225 @@
+"""End-to-end server tests over real sockets (ephemeral ports).
+
+The headline contract: an answer served over the wire is **identical** to
+a direct ``QuantumSMTSolver.check_sat()`` at the same seed, and every
+submitted request is accounted for in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server.app import BackgroundServer
+from repro.server.client import SolverClient
+from repro.smt.generator import InstanceGenerator
+from repro.smt.solver import QuantumSMTSolver
+
+from tests.server.conftest import (
+    FAST_SOLVER,
+    PARSE_ERROR_SCRIPT,
+    SAT_SCRIPT,
+    UNSAT_SCRIPT,
+    fast_config,
+)
+
+pytestmark = pytest.mark.server
+
+
+class TestSolveEndpoint:
+    def test_sat_solve_over_the_wire(self, server):
+        with SolverClient(server.host, server.port) as client:
+            reply = client.solve(SAT_SCRIPT)
+        assert reply.ok
+        assert reply.status == "sat"
+        assert reply.model == {"x": "hi"}
+        assert reply.http_status == 200
+        assert reply.envelope.solve_ms > 0.0
+
+    def test_unsat_solve_over_the_wire(self, server):
+        with SolverClient(server.host, server.port) as client:
+            reply = client.solve(UNSAT_SCRIPT)
+        assert reply.ok
+        assert reply.status == "unsat"
+        assert reply.model == {}
+        assert "ground assertion false" in reply.envelope.reason
+
+    def test_server_matches_direct_check_sat_at_same_seed(self, server):
+        # A §4 constraint whose witness is *not* pinned by the assertions:
+        # agreement of the filler characters proves the served solve runs
+        # the identical seeded pipeline, not just the same formula.
+        generator = InstanceGenerator(seed=3, ops="all")
+        scripts = [generator.generate().script for _ in range(3)]
+
+        direct_solver_kwargs = dict(FAST_SOLVER)
+        with SolverClient(server.host, server.port) as client:
+            for script in scripts:
+                reply = client.solve(script)
+                direct = QuantumSMTSolver.from_script_text(
+                    script, **direct_solver_kwargs
+                ).check_sat()
+                assert reply.status == str(direct.status)
+                assert reply.model == direct.model
+
+    def test_repeat_solve_hits_compile_cache(self, server):
+        with SolverClient(server.host, server.port) as client:
+            first = client.solve(SAT_SCRIPT)
+            second = client.solve(SAT_SCRIPT)
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+        assert first.model == second.model
+
+    def test_request_id_echoed(self, server):
+        with SolverClient(server.host, server.port) as client:
+            reply = client.solve(SAT_SCRIPT, request_id="req-42")
+        assert reply.envelope.request_id == "req-42"
+
+    def test_per_request_deadline_accepted(self, server):
+        with SolverClient(server.host, server.port) as client:
+            reply = client.solve(SAT_SCRIPT, deadline_ms=20000)
+        assert reply.ok
+
+
+class TestErrorEnvelopes:
+    def test_parse_error_envelope_with_location(self, server):
+        with SolverClient(server.host, server.port) as client:
+            reply = client.solve(PARSE_ERROR_SCRIPT)
+        assert not reply.ok
+        assert reply.error_type == "parse"
+        assert reply.http_status == 400
+        assert reply.error.line == 1
+        assert reply.error.column == 14
+        assert "unterminated" in reply.error.message
+        # The server survived: next request on the same client works.
+        with SolverClient(server.host, server.port) as client:
+            assert client.solve(SAT_SCRIPT).ok
+
+    def test_garbage_script_is_parse_not_crash(self, server):
+        with SolverClient(server.host, server.port) as client:
+            reply = client.solve(")))) garbage ((((")
+        assert not reply.ok
+        assert reply.error_type == "parse"
+
+    def test_bad_json_body_is_bad_request(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        conn.request(
+            "POST", "/solve", body=b"{broken",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert payload["error"]["type"] == "bad_request"
+
+    def test_unknown_route_404(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        conn.request("GET", "/nope")
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 404
+        assert payload["error"]["type"] == "not_found"
+
+    def test_get_on_solve_is_405(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        conn.request("GET", "/solve")
+        response = conn.getresponse()
+        response.read()
+        conn.close()
+        assert response.status == 405
+
+
+class TestRequestSizeLimit:
+    def test_oversized_payload_rejected_with_typed_envelope(self):
+        with BackgroundServer(fast_config(max_request_bytes=256)) as server:
+            with SolverClient(server.host, server.port) as client:
+                reply = client.solve("(check-sat)" + "; pad\n" * 200)
+                assert not reply.ok
+                assert reply.error_type == "too_large"
+                assert reply.http_status == 413
+            # Server is still healthy and solving afterwards.
+            with SolverClient(server.host, server.port) as client:
+                assert client.healthz()["http_status"] == 200
+                assert client.solve(SAT_SCRIPT).ok
+
+    def test_size_rejection_counted_in_metrics(self):
+        with BackgroundServer(fast_config(max_request_bytes=64)) as server:
+            with SolverClient(server.host, server.port) as client:
+                client.solve("x" * 1000)
+                metrics = client.metrics()
+        counters = metrics["counters"]
+        assert counters["server.rejected.too_large"] == 1
+        assert counters["server.requests"] == 1
+
+
+def _assert_recursively_sorted(payload, path="$"):
+    if isinstance(payload, dict):
+        keys = list(payload)
+        assert keys == sorted(keys), f"unsorted keys at {path}: {keys}"
+        for key, value in payload.items():
+            _assert_recursively_sorted(value, f"{path}.{key}")
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            _assert_recursively_sorted(value, f"{path}[{index}]")
+
+
+class TestObservability:
+    def test_healthz_green_while_serving(self, server):
+        with SolverClient(server.host, server.port) as client:
+            health = client.healthz()
+        assert health["http_status"] == 200
+        assert health["status"] == "ok"
+        assert health["state"] == "serving"
+        assert health["queue_depth"] == 0
+        assert health["in_flight"] == 0
+
+    def test_metrics_output_is_deterministic_sorted_json(self, server):
+        with SolverClient(server.host, server.port) as client:
+            client.solve(SAT_SCRIPT)
+            text = client.metrics_text()
+        payload = json.loads(text)
+        _assert_recursively_sorted(payload)
+        # Deterministic keying: re-serializing with sorted keys is identity.
+        assert text == json.dumps(payload, sort_keys=True)
+
+    def test_metrics_account_for_every_request(self):
+        with BackgroundServer(fast_config()) as server:
+            with SolverClient(server.host, server.port) as client:
+                client.solve(SAT_SCRIPT)
+                client.solve(UNSAT_SCRIPT)
+                client.solve(PARSE_ERROR_SCRIPT)
+                client.solve(SAT_SCRIPT)  # cache hit
+                metrics = client.metrics()
+        counters = metrics["counters"]
+        submitted = counters["server.requests"]
+        completed = counters.get("server.completed", 0)
+        rejected = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("server.rejected.")
+        )
+        timeouts = counters.get("server.timeout", 0)
+        cancelled = counters.get("server.cancelled", 0)
+        internal = counters.get("server.internal", 0)
+        assert submitted == 4
+        assert completed == 3
+        assert rejected == 1
+        assert submitted == completed + rejected + timeouts + cancelled + internal
+
+    def test_metrics_include_queue_gauges_and_cache(self, server):
+        with SolverClient(server.host, server.port) as client:
+            client.solve(SAT_SCRIPT)
+            metrics = client.metrics()
+        assert metrics["server"]["queue_limit"] == 16
+        assert metrics["server"]["workers"] == 2
+        assert metrics["server"]["state"] == "serving"
+        assert metrics["cache"]["misses"] >= 1
+        assert "server.solve_wall" in metrics["histograms"]

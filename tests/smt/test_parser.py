@@ -2,6 +2,7 @@ import pytest
 
 from repro.smt import ast
 from repro.smt.parser import ParseError, parse_script
+from repro.smt.sexpr import SExprError
 
 
 class TestDeclarations:
@@ -165,3 +166,63 @@ class TestCommands:
     def test_set_option_tolerated(self):
         script = parse_script('(set-option :produce-models true)')
         assert script.commands[0][0] == "set-option"
+
+
+class TestExceptionPaths:
+    """Truncated and garbage scripts must raise typed, catchable errors.
+
+    The serving layer (``repro.server``) catches ``ParseError`` and
+    ``SExprError`` at its boundary and maps them to structured
+    ``error: parse`` envelopes — these tests pin that every malformed-input
+    shape surfaces as one of those two types (both ``ValueError``
+    subclasses), never as a crash or a raw ``IndexError``/``TypeError``.
+    """
+
+    TRUNCATED = [
+        '(assert (= x "unterminated',
+        "(declare-const x String",
+        "(assert (= x",
+        "(assert",
+        "(",
+        '(declare-const x String)(assert (str.contains x "a',
+    ]
+
+    GARBAGE = [
+        ")",
+        ")))",
+        "(check-sat))",
+        "\x00\x01\x02 binary junk (((",
+        "(1234 5678)",
+        "(())",
+        '("literal-as-command")',
+        "(assert)",
+        "(declare-const)",
+        "(str.++)",
+    ]
+
+    @pytest.mark.parametrize("script", TRUNCATED)
+    def test_truncated_scripts_raise_typed_errors(self, script):
+        with pytest.raises((ParseError, SExprError)):
+            parse_script(script)
+
+    @pytest.mark.parametrize("script", GARBAGE)
+    def test_garbage_scripts_raise_typed_errors(self, script):
+        with pytest.raises((ParseError, SExprError)):
+            parse_script(script)
+
+    def test_both_error_types_are_value_errors(self):
+        # The server boundary relies on this for a single catch site.
+        assert issubclass(ParseError, ValueError)
+        assert issubclass(SExprError, ValueError)
+
+    def test_unterminated_string_reports_offset(self):
+        with pytest.raises(SExprError, match="offset 13"):
+            parse_script('(assert (= x "unterminated')
+
+    def test_unbalanced_open_reports_depth(self):
+        with pytest.raises(SExprError, match="unclosed"):
+            parse_script("(assert ((")
+
+    def test_undeclared_symbol_message_names_the_symbol(self):
+        with pytest.raises(ParseError, match="'y'"):
+            parse_script('(declare-const x String)(assert (= y "a"))')
