@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1 << 20,
         help="socket-layer request size cap (typed 'too_large' beyond it)",
     )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=60.0,
+        help="seconds a keep-alive connection may sit idle between "
+        "requests before the server closes it",
+    )
     parser.add_argument("--num-reads", type=int, default=64, help="annealer reads")
     parser.add_argument(
         "--num-sweeps", type=int, default=None, help="annealer sweeps per read"
@@ -97,6 +104,7 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         deadline_ms=args.deadline_ms,
         drain_timeout=args.drain_timeout,
         max_request_bytes=args.max_request_bytes,
+        idle_timeout=args.idle_timeout,
         num_reads=args.num_reads,
         seed=args.seed,
         sampler_params=sampler_params,

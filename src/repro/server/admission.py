@@ -6,6 +6,11 @@ The server's concurrency model is two nested bounds:
 * at most ``queue_limit`` further requests are **queued** waiting for a
   slot.
 
+Admission checks the *combined* bound (``in_flight + waiting < workers +
+queue_limit``), so a request that could immediately take a free worker
+slot is never counted against ``queue_limit`` — with ``queue_limit=0`` an
+idle server still serves up to ``workers`` concurrent requests.
+
 A request beyond both bounds is rejected *immediately* with a typed
 :class:`OverloadedError` — the 429-style backpressure signal — instead of
 being buffered. Queued requests carry their deadline into the wait: a
@@ -134,11 +139,19 @@ class AdmissionQueue:
     # ------------------------------------------------------------------ #
 
     def try_admit(self) -> None:
-        """Admit one request into the wait queue or reject it right now."""
+        """Admit one request into the wait queue or reject it right now.
+
+        The admission bound is the *combined* capacity ``workers +
+        queue_limit``: a request that can immediately take a free worker
+        slot is always admitted, and ``queue_limit`` only bounds requests
+        that would genuinely wait. (With ``queue_limit=0`` an idle server
+        still serves up to ``workers`` concurrent requests; the overflow is
+        rejected instead of queued.)
+        """
         if self._draining:
             self.metrics.counter("server.rejected.draining").inc()
             raise DrainingError()
-        if self._waiting >= self.queue_limit:
+        if self._waiting + self._in_flight >= self.workers + self.queue_limit:
             self.metrics.counter("server.rejected.overloaded").inc()
             raise OverloadedError(self._waiting, self.queue_limit)
         self._waiting += 1

@@ -91,6 +91,7 @@ class ServerConfig:
     deadline_ms: float = 30000.0
     drain_timeout: float = 10.0
     max_request_bytes: int = 1 << 20
+    idle_timeout: float = 60.0
     num_reads: int = 64
     seed: Optional[int] = None
     sampler_params: Dict[str, Any] = field(default_factory=dict)
@@ -114,6 +115,10 @@ class ServerConfig:
         if self.max_request_bytes < 1:
             raise ValueError(
                 f"max_request_bytes must be >= 1, got {self.max_request_bytes}"
+            )
+        if self.idle_timeout <= 0:
+            raise ValueError(
+                f"idle_timeout must be positive, got {self.idle_timeout}"
             )
 
 
@@ -155,6 +160,10 @@ class SolverServer:
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[asyncio.Task] = set()
+        #: Connection tasks currently *inside* a request (parse → dispatch →
+        #: response write). Everything in ``_connections`` but not here is
+        #: idle in a keep-alive read and safe to cancel at any time.
+        self._active_requests: Set[asyncio.Task] = set()
         self._stopped = asyncio.Event()
         self._started_at = 0.0
 
@@ -194,8 +203,9 @@ class SolverServer:
            requests on open connections are rejected with ``draining``;
         2. close the listening socket;
         3. wait up to ``drain_timeout`` for queued + in-flight work;
-        4. cancel whatever remains (typed ``cancelled`` envelopes);
-        5. close connections, stop the executor, transition to STOPPED.
+        4. close idle keep-alive connections and cancel whatever request
+           work remains (typed ``cancelled`` envelopes);
+        5. stop the executor, transition to STOPPED.
         """
         if self.state in (ServerState.DRAINING, ServerState.STOPPED):
             await self._stopped.wait()
@@ -204,14 +214,34 @@ class SolverServer:
         self.queue.begin_drain()
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+            # No ``await wait_closed()`` here: on Python 3.12+ it blocks
+            # until every client *transport* closes, which would stall the
+            # drain indefinitely while any keep-alive connection is open.
+            # ``close()`` alone stops the listener from accepting.
 
         drained = await self.queue.wait_idle(timeout=self.config.drain_timeout)
-        if not drained:
-            for task in list(self._connections):
+        # Idle keep-alive connections sit blocked in ``read_request`` and
+        # would pin the shutdown forever if left alone — close them first
+        # (they are between requests; cancelling loses nothing).
+        for task in list(self._connections):
+            if task not in self._active_requests:
                 task.cancel()
+        if drained and self._active_requests:
+            # The queue is empty, so active connections are only flushing
+            # their final response bytes: give them a short grace period.
+            await asyncio.wait(
+                list(self._active_requests),
+                timeout=min(1.0, self.config.drain_timeout or 1.0),
+            )
+        # Whatever survived — stragglers past the drain timeout or slow
+        # flushers — is cancelled with typed ``cancelled`` envelopes.
+        for task in list(self._connections):
+            task.cancel()
         if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
+            # ``asyncio.wait`` (bounded) rather than a bare ``gather``: the
+            # shutdown path must never hang on a connection that refuses to
+            # unwind.
+            await asyncio.wait(list(self._connections), timeout=5.0)
         self.pool.shutdown(wait=False)
         self.state = ServerState.STOPPED
         self._stopped.set()
@@ -242,6 +272,7 @@ class SolverServer:
         finally:
             if task is not None:
                 self._connections.discard(task)
+                self._active_requests.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -251,11 +282,18 @@ class SolverServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
         while True:
             try:
-                request = await httpio.read_request(
-                    reader, self.config.max_request_bytes
+                request = await asyncio.wait_for(
+                    httpio.read_request(reader, self.config.max_request_bytes),
+                    timeout=self.config.idle_timeout,
                 )
+            except asyncio.TimeoutError:
+                # A silent client must not pin a connection task (and with
+                # it, graceful shutdown) forever: idle keep-alive reads are
+                # bounded by ``idle_timeout``.
+                return
             except httpio.RequestTooLarge as exc:
                 # Counted as a submitted-and-rejected request: the
                 # accounting identity must cover every byte the socket saw.
@@ -279,41 +317,51 @@ class SolverServer:
             if request is None:
                 return  # clean EOF
             keep_alive = request.keep_alive
+            if task is not None:
+                # Mark this connection busy: shutdown only force-cancels
+                # connections that are *between* requests; in-request ones
+                # get the drain-timeout grace first.
+                self._active_requests.add(task)
             try:
-                body, status, content_type = await self._dispatch(request)
-            except asyncio.CancelledError:
-                # Shutdown hit after the drain timeout while this request
-                # was mid-flight: best-effort typed envelope, then unwind.
-                envelope = ResponseEnvelope.failure(
-                    ErrorInfo(
-                        type=ERROR_CANCELLED,
-                        message="solve cancelled by server shutdown",
+                try:
+                    body, status, content_type = await self._dispatch(request)
+                except asyncio.CancelledError:
+                    # Shutdown hit after the drain timeout while this
+                    # request was mid-flight: best-effort typed envelope,
+                    # then unwind.
+                    envelope = ResponseEnvelope.failure(
+                        ErrorInfo(
+                            type=ERROR_CANCELLED,
+                            message="solve cancelled by server shutdown",
+                        )
                     )
-                )
+                    writer.write(
+                        httpio.render_response(
+                            envelope.http_status,
+                            envelope.to_json().encode("utf-8"),
+                            close=True,
+                        )
+                    )
+                    raise
+                except Exception as exc:  # noqa: BLE001 — last-resort boundary
+                    envelope = ResponseEnvelope.failure(
+                        ErrorInfo(
+                            type=ERROR_INTERNAL,
+                            message=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    body = envelope.to_json().encode("utf-8")
+                    status = envelope.http_status
+                    content_type = "application/json"
                 writer.write(
                     httpio.render_response(
-                        envelope.http_status,
-                        envelope.to_json().encode("utf-8"),
-                        close=True,
+                        status, body, content_type=content_type, close=not keep_alive
                     )
                 )
-                raise
-            except Exception as exc:  # noqa: BLE001 — last-resort boundary
-                envelope = ResponseEnvelope.failure(
-                    ErrorInfo(
-                        type=ERROR_INTERNAL,
-                        message=f"{type(exc).__name__}: {exc}",
-                    )
-                )
-                body = envelope.to_json().encode("utf-8")
-                status = envelope.http_status
-                content_type = "application/json"
-            writer.write(
-                httpio.render_response(
-                    status, body, content_type=content_type, close=not keep_alive
-                )
-            )
-            await writer.drain()
+                await writer.drain()
+            finally:
+                if task is not None:
+                    self._active_requests.discard(task)
             if not keep_alive:
                 return
 

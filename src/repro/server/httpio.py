@@ -2,8 +2,9 @@
 
 The server speaks just enough HTTP for curl, load balancers and the
 bundled clients: request-line + headers + ``Content-Length`` bodies,
-keep-alive by default, ``Connection: close`` honoured. No external
-dependencies — everything rides on :mod:`asyncio` streams.
+keep-alive by default for HTTP/1.1 (``Connection: close`` honoured),
+default-close for HTTP/1.0 (``Connection: keep-alive`` honoured). No
+external dependencies — everything rides on :mod:`asyncio` streams.
 
 Size enforcement happens **at the socket layer**: the header block is read
 through a bounded ``readuntil`` and the body is only read after its
@@ -73,6 +74,7 @@ class HttpRequest:
     target: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     @property
     def path(self) -> str:
@@ -85,7 +87,16 @@ class HttpRequest:
 
     @property
     def keep_alive(self) -> bool:
-        return self.headers.get("connection", "").lower() != "close"
+        """Connection persistence per the request's HTTP version.
+
+        HTTP/1.1 defaults to keep-alive unless ``Connection: close`` is
+        sent; HTTP/1.0 defaults to *close* unless the client explicitly
+        opts in with ``Connection: keep-alive``.
+        """
+        token = self.headers.get("connection", "").lower()
+        if self.version.upper() == "HTTP/1.0":
+            return token == "keep-alive"
+        return token != "close"
 
 
 async def _read_head(reader: asyncio.StreamReader) -> Optional[bytes]:
@@ -145,7 +156,7 @@ async def read_request(
     parts = lines[0].split()
     if len(parts) != 3 or not parts[2].startswith("HTTP/"):
         raise ProtocolError(f"malformed request line {lines[0]!r}")
-    method, target, _version = parts
+    method, target, version = parts
     headers = _parse_headers(lines[1:])
     if "chunked" in headers.get("transfer-encoding", "").lower():
         raise ProtocolError("chunked transfer encoding is not supported")
@@ -173,7 +184,9 @@ async def read_request(
         body = b"".join(chunks)
     else:
         body = b""
-    return HttpRequest(method=method, target=target, headers=headers, body=body)
+    return HttpRequest(
+        method=method, target=target, headers=headers, body=body, version=version
+    )
 
 
 def render_response(

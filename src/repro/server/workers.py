@@ -21,6 +21,14 @@ and the event-loop side enforces the deadline authoritatively with
 (the same abandonment contract as :class:`RetryPolicy`), so a timed-out
 solve also flips a cancellation event that the retry loop checks between
 attempts — bounding the orphaned work to at most one attempt.
+
+Because the admission slot is released as soon as a deadline fires while
+the abandoned thread may still be mid-attempt, the executor is sized at
+``2 × workers``: the headroom keeps a thread available for each freshly
+admitted request even under a timeout storm where every slot's previous
+occupant is still finishing its last abandoned attempt, so admitted work
+never queues invisibly inside the executor outside the queue_ms /
+deadline accounting.
 """
 
 from __future__ import annotations
@@ -110,8 +118,17 @@ class SolverWorkerPool:
         self.policy = policy if policy is not None else RetryPolicy(max_attempts=3)
         self.cache = cache if cache is not None else CompileCache(maxsize=256)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Sized at 2× the slot count, not 1×: when a deadline expires the
+        # admission slot is released immediately but the abandoned thread
+        # may still run one final attempt. With exactly `workers` threads a
+        # freshly admitted request would then queue *invisibly* inside the
+        # executor (its queue_ms/deadline accounting missing that hidden
+        # wait). The headroom gives every admission slot a thread even if
+        # its previous occupant is finishing an abandoned attempt; solver
+        # concurrency stays bounded by the admission queue's `workers`
+        # slots, so the extra threads are mostly parked.
         self._executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="server-solver"
+            max_workers=workers * 2, thread_name_prefix="server-solver"
         )
 
     # ------------------------------------------------------------------ #

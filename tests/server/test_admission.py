@@ -36,19 +36,42 @@ class TestAdmission:
             metrics = MetricsRegistry()
             queue = AdmissionQueue(queue_limit=1, workers=1, metrics=metrics)
             queue.try_admit()
+            await queue.acquire_slot(1.0)  # occupy the only worker
+            queue.try_admit()  # fills the single queue slot
             with pytest.raises(OverloadedError) as info:
                 queue.try_admit()
             assert info.value.depth == 1 and info.value.limit == 1
             assert metrics.counter("server.rejected.overloaded").value == 1
-            assert metrics.counter("server.admitted").value == 1
+            assert metrics.counter("server.admitted").value == 2
+            queue.release_slot()
 
         run(scenario())
 
-    def test_zero_limit_rejects_everything(self):
+    def test_combined_bound_caps_total_admissions(self):
+        # workers + queue_limit = 3 is the hard cap on concurrently
+        # admitted requests, regardless of how they split between the
+        # slot and the wait queue.
         async def scenario():
-            queue = AdmissionQueue(queue_limit=0, workers=1)
+            queue = AdmissionQueue(queue_limit=2, workers=1)
+            queue.try_admit()
+            queue.try_admit()
+            queue.try_admit()
             with pytest.raises(OverloadedError):
                 queue.try_admit()
+
+        run(scenario())
+
+    def test_zero_limit_admits_free_workers_rejects_waiters(self):
+        # queue_limit=0 means "no waiting room", not "no service": an idle
+        # server still serves up to `workers` concurrent requests.
+        async def scenario():
+            queue = AdmissionQueue(queue_limit=0, workers=1)
+            queue.try_admit()  # idle server: admitted straight to the slot
+            await queue.acquire_slot(1.0)
+            with pytest.raises(OverloadedError):
+                queue.try_admit()  # worker busy, nowhere to wait
+            queue.release_slot()
+            queue.try_admit()  # capacity freed: admitted again
 
         run(scenario())
 

@@ -85,6 +85,23 @@ class TestReadRequest:
         raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
         assert _read(raw).keep_alive is False
 
+    def test_http10_defaults_to_close(self):
+        # HTTP/1.0's default is close; only an explicit opt-in keeps the
+        # connection open.
+        raw = b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n"
+        request = _read(raw)
+        assert request.version == "HTTP/1.0"
+        assert request.keep_alive is False
+
+    def test_http10_explicit_keep_alive_honoured(self):
+        raw = b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        assert _read(raw).keep_alive is True
+
+    def test_http11_defaults_to_keep_alive(self):
+        request = _read(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.version == "HTTP/1.1"
+        assert request.keep_alive is True
+
 
 class TestResponses:
     def test_render_and_read_round_trip(self):

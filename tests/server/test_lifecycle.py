@@ -79,6 +79,15 @@ class TestBackpressure:
                 + counters.get("server.internal", 0)
             )
 
+    def test_zero_queue_limit_still_serves_idle_server(self):
+        # queue_limit bounds *waiting* requests only: with no waiting room
+        # an idle server must still serve up to `workers` requests.
+        config = fast_config(queue_limit=0, workers=1)
+        with BackgroundServer(config) as server:
+            with SolverClient(server.host, server.port) as client:
+                reply = client.solve(SAT_SCRIPT)
+        assert reply.ok and reply.status == "sat"
+
     def test_healthz_reports_load_during_solve(self):
         config = slow_config(0.6, workers=1, queue_limit=4)
         with BackgroundServer(config) as server:
@@ -137,6 +146,71 @@ class TestDeadlines:
                 counters = client.metrics()["counters"]
         assert counters["server.timeout"] == 1
         assert counters["server.timeout.solving"] == 1
+
+
+class TestIdleConnections:
+    def test_shutdown_completes_with_idle_keepalive_connection(self):
+        # Regression: a client that finished its request but keeps its
+        # keep-alive socket open (SolverClient's default) must not pin
+        # graceful shutdown — idle connections are closed once the drain
+        # wait ends, busy ones get the grace period.
+        config = fast_config(drain_timeout=5.0)
+        server = BackgroundServer(config).start()
+        client = SolverClient(server.host, server.port, timeout=30.0)
+        try:
+            reply = client.solve(SAT_SCRIPT)
+            assert reply.ok and reply.status == "sat"
+            started = time.monotonic()
+            server.stop(timeout=30.0)  # idle keep-alive connection is open
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0, f"shutdown took {elapsed:.1f}s with idle conn"
+        finally:
+            client.close()
+            server.stop()
+
+    def test_shutdown_completes_with_connected_but_silent_client(self):
+        # A socket that connected and never sent a byte must not block
+        # shutdown either (the pre-request flavour of the same hang).
+        config = fast_config(drain_timeout=5.0)
+        server = BackgroundServer(config).start()
+        try:
+
+            async def scenario():
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                try:
+                    started = time.monotonic()
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, lambda: server.stop(timeout=30.0)
+                    )
+                    return time.monotonic() - started
+                finally:
+                    writer.close()
+
+            elapsed = asyncio.run(scenario())
+            assert elapsed < 10.0
+        finally:
+            server.stop()
+
+    def test_silent_connection_closed_after_idle_timeout(self):
+        # A silent client cannot hold a connection task forever: the
+        # keep-alive read is bounded by idle_timeout.
+        config = fast_config(idle_timeout=0.3)
+        with BackgroundServer(config) as server:
+
+            async def scenario():
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                try:
+                    # Send nothing; the server should hang up (clean EOF)
+                    # within ~idle_timeout rather than waiting forever.
+                    return await asyncio.wait_for(reader.read(), timeout=5.0)
+                finally:
+                    writer.close()
+
+            assert asyncio.run(scenario()) == b""
 
 
 class TestGracefulDrain:
