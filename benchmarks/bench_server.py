@@ -17,6 +17,16 @@ This file runs two ways:
   library, assert every envelope is well-formed and ``/healthz`` is
   green, exercise graceful shutdown, and exit non-zero on any violation
   — all inside a bounded wall-clock budget.
+
+Scale-out flags: ``--backend process`` swaps the shard-local solve pool
+for worker processes; ``--shards N`` stands up N shard servers behind a
+:class:`~repro.server.router.ShardRouter` and drives the burst through
+the router instead, reporting per-shard request counts and **cache-hit
+concentration** (content-hash placement should keep repeat formulas on
+one shard — visible as per-shard hit rates far above the uniform-spread
+baseline). ``--repeat K`` re-fires the same burst K times so warm-cache
+behaviour shows up in the report. The CI ``router-smoke`` job is
+``--shards 2 --backend process --smoke``.
 """
 
 from __future__ import annotations
@@ -189,6 +199,106 @@ def check_envelopes(report: LoadReport, expect_parse_errors: bool) -> List[str]:
 
 
 # --------------------------------------------------------------------- #
+# sharded mode
+# --------------------------------------------------------------------- #
+
+
+def shard_report_lines(metrics: Dict) -> List[str]:
+    """Per-shard request counts and cache-hit concentration."""
+    lines: List[str] = []
+    shards = metrics.get("shards", {})
+    for shard_id in sorted(shards):
+        payload = shards[shard_id]
+        if "error" in payload:
+            lines.append(f"{shard_id:<10}: unreachable ({payload['error']})")
+            continue
+        counters = payload.get("counters", {})
+        cache = payload.get("cache", {})
+        hits = cache.get("hits", 0)
+        lookups = hits + cache.get("misses", 0)
+        rate = 100.0 * hits / lookups if lookups else 0.0
+        lines.append(
+            f"{shard_id:<10}: requests={counters.get('server.requests', 0):<4} "
+            f"completed={counters.get('server.completed', 0):<4} "
+            f"cache {hits}/{lookups} hits ({rate:.0f} %)"
+        )
+    rollup_cache = metrics.get("cache", {})
+    total_hits = rollup_cache.get("hits", 0)
+    total_lookups = total_hits + rollup_cache.get("misses", 0)
+    if total_lookups:
+        lines.append(
+            f"{'fleet':<10}: cache {total_hits}/{total_lookups} hits "
+            f"({100.0 * total_hits / total_lookups:.0f} %) — content-hash "
+            "placement keeps repeats shard-local"
+        )
+    return lines
+
+
+def run_sharded(args, requests: int, clients: int, scripts: List[str]):
+    """The ``--shards N`` flavour: burst through a ShardRouter.
+
+    Returns ``(reports, metrics, failures)`` — one LoadReport per repeat,
+    the final aggregated router metrics, and any violations found.
+    """
+    from repro.server.router import BackgroundRouter, RouterConfig, ShardSpec
+
+    failures: List[str] = []
+    configs = [
+        ServerConfig(
+            port=0,
+            workers=args.workers,
+            backend=args.backend,
+            queue_limit=args.queue_limit,
+            deadline_ms=args.deadline_ms,
+            drain_timeout=10.0,
+            seed=args.seed,
+            num_reads=args.num_reads,
+            sampler_params={"num_sweeps": args.num_sweeps},
+        )
+        for _ in range(args.shards)
+    ]
+    servers = [BackgroundServer(config).start() for config in configs]
+    router = BackgroundRouter(
+        RouterConfig(
+            port=0,
+            shards=[ShardSpec("127.0.0.1", server.port) for server in servers],
+            health_interval=0.25,
+        )
+    ).start()
+    try:
+        print(
+            f"bench_server: {requests} requests × {args.repeat} over "
+            f"{clients} clients → router {router.host}:{router.port} "
+            f"({args.shards} shards, backend={args.backend}, "
+            f"workers={args.workers}/shard)"
+        )
+        # run_burst only touches .host/.port, so the router passes as the
+        # target transparently.
+        reports = [run_burst(router, scripts, clients) for _ in range(args.repeat)]
+
+        with SolverClient(router.host, router.port) as probe:
+            health = probe.healthz()
+            metrics = probe.metrics()
+        if health.get("http_status") != 200 or health.get("status") != "ok":
+            failures.append(f"router /healthz not green after the burst: {health}")
+        if health.get("healthy_shards") != args.shards:
+            failures.append(
+                f"only {health.get('healthy_shards')}/{args.shards} shards "
+                "healthy after the burst"
+            )
+        for report in reports:
+            failures += check_envelopes(report, expect_parse_errors=True)
+        # The identity must hold on the *aggregated* rollup, exactly as it
+        # does per shard.
+        failures += check_accounting(metrics)
+    finally:
+        router.stop()
+        for server in servers:
+            server.stop()
+    return reports, metrics, failures
+
+
+# --------------------------------------------------------------------- #
 # entry point
 # --------------------------------------------------------------------- #
 
@@ -203,6 +313,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--num-reads", type=int, default=32)
     parser.add_argument("--num-sweeps", type=int, default=200)
     parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="solve backend for the server(s): executor threads or "
+        "long-lived worker processes",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="route the burst through a ShardRouter over this many shard "
+        "servers (0 = single server, the default)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="fire the same burst this many times (repeats expose "
+        "warm-cache concentration in sharded mode)",
+    )
     parser.add_argument(
         "--overload",
         action="store_true",
@@ -220,10 +351,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     clients = min(args.clients, requests)
     queue_limit = 2 if args.overload else args.queue_limit
     workers = 1 if args.overload else args.workers
+    scripts = make_scripts(requests, seed=args.seed)
+
+    if args.shards:
+        started = time.monotonic()
+        reports, metrics, failures = run_sharded(args, requests, clients, scripts)
+        total_elapsed = time.monotonic() - started
+        print()
+        for index, report in enumerate(reports):
+            label = f"burst {index + 1}/{len(reports)}"
+            print(f"  -- {label} " + "-" * max(1, 40 - len(label)))
+            for line in report.lines():
+                print("  " + line)
+        print("  -- per-shard " + "-" * 28)
+        for line in shard_report_lines(metrics):
+            print("  " + line)
+        print(f"  shutdown             : graceful (total wall {total_elapsed:.1f} s)")
+        if args.smoke and total_elapsed > 180.0:
+            failures.append(
+                f"smoke run exceeded its wall-clock budget: {total_elapsed:.1f} s"
+            )
+        if failures:
+            print("\nFAILURES:")
+            for failure in failures:
+                print("  - " + failure)
+            return 1
+        print(
+            "\nOK: envelopes well-formed, router /healthz green, aggregated "
+            "accounting identity holds"
+        )
+        return 0
 
     config = ServerConfig(
         port=0,
         workers=workers,
+        backend=args.backend,
         queue_limit=queue_limit,
         deadline_ms=args.deadline_ms,
         drain_timeout=10.0,
@@ -231,24 +393,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         num_reads=args.num_reads,
         sampler_params={"num_sweeps": args.num_sweeps},
     )
-    scripts = make_scripts(requests, seed=args.seed)
 
     failures: List[str] = []
     started = time.monotonic()
     with BackgroundServer(config) as server:
         print(
-            f"bench_server: {requests} requests over {clients} clients → "
-            f"{server.host}:{server.port} "
-            f"(workers={workers}, queue_limit={queue_limit})"
+            f"bench_server: {requests} requests × {args.repeat} over "
+            f"{clients} clients → {server.host}:{server.port} "
+            f"(workers={workers}, backend={args.backend}, "
+            f"queue_limit={queue_limit})"
         )
-        report = run_burst(server, scripts, clients)
+        reports = [run_burst(server, scripts, clients) for _ in range(args.repeat)]
+        report = reports[-1]
 
         with SolverClient(server.host, server.port) as probe:
             health = probe.healthz()
             metrics = probe.metrics()
         if health.get("http_status") != 200 or health.get("status") != "ok":
             failures.append(f"/healthz not green after the burst: {health}")
-        failures += check_envelopes(report, expect_parse_errors=True)
+        for burst_report in reports:
+            failures += check_envelopes(burst_report, expect_parse_errors=True)
         failures += check_accounting(metrics)
 
     # Context exit exercised the graceful drain; the server must be gone.

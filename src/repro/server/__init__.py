@@ -19,6 +19,13 @@ SMT-LIB instances:
 * :mod:`~repro.server.app` — :class:`SolverServer` (routing,
   ``/solve`` ``/healthz`` ``/metrics``, graceful drain) and
   :class:`BackgroundServer` (embedding helper for tests/benchmarks);
+* :mod:`~repro.server.procpool` — :class:`ProcessSolverBackend`: the
+  ``backend="process"`` worker pool (long-lived solver processes, crash
+  detection with typed ``internal`` envelopes, kill-and-respawn deadline
+  cancellation);
+* :mod:`~repro.server.router` — :class:`ShardRouter`: content-hash
+  scale-out over N shard servers with fail-over, health probing and
+  aggregated metrics (``python -m repro.server.router --shards 4``);
 * :mod:`~repro.server.client` — blocking and asyncio clients.
 
 Run it: ``python -m repro.server --port 8037 --workers 4``.
@@ -44,6 +51,7 @@ from repro.server.protocol import (
     ERROR_PARSE,
     ERROR_TIMEOUT,
     ERROR_TOO_LARGE,
+    ERROR_UPSTREAM,
     ErrorInfo,
     ResponseEnvelope,
     SolveRequest,
@@ -53,6 +61,7 @@ from repro.server.protocol import (
 __all__ = [
     "AdmissionQueue",
     "AsyncSolverClient",
+    "BackgroundRouter",
     "BackgroundServer",
     "DeadlineExceededError",
     "DrainingError",
@@ -64,28 +73,44 @@ __all__ = [
     "ERROR_PARSE",
     "ERROR_TIMEOUT",
     "ERROR_TOO_LARGE",
+    "ERROR_UPSTREAM",
     "ErrorInfo",
     "OverloadedError",
+    "ProcessSolverBackend",
     "ResponseEnvelope",
+    "RouterConfig",
     "ServerConfig",
     "ServerState",
+    "ShardRouter",
+    "ShardSpec",
     "SolveReply",
     "SolveRequest",
     "SolverClient",
     "SolverServer",
     "SolverWorkerPool",
+    "WorkerCrashError",
+    "aggregate_metrics",
     "locate_parse_error",
+    "shard_key",
 ]
 
 _LAZY = {
     "AsyncSolverClient": "repro.server.client",
+    "BackgroundRouter": "repro.server.router",
     "BackgroundServer": "repro.server.app",
+    "ProcessSolverBackend": "repro.server.procpool",
+    "RouterConfig": "repro.server.router",
     "ServerConfig": "repro.server.app",
     "ServerState": "repro.server.app",
+    "ShardRouter": "repro.server.router",
+    "ShardSpec": "repro.server.router",
     "SolveReply": "repro.server.client",
     "SolverClient": "repro.server.client",
     "SolverServer": "repro.server.app",
     "SolverWorkerPool": "repro.server.workers",
+    "WorkerCrashError": "repro.server.procpool",
+    "aggregate_metrics": "repro.server.router",
+    "shard_key": "repro.server.router",
 }
 
 

@@ -42,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, help="concurrent solver slots"
     )
     parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="solve backend: executor threads (one GIL) or long-lived "
+        "worker processes (one solver process per slot)",
+    )
+    parser.add_argument(
         "--queue-limit",
         type=int,
         default=16,
@@ -100,6 +107,7 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        backend=args.backend,
         queue_limit=args.queue_limit,
         deadline_ms=args.deadline_ms,
         drain_timeout=args.drain_timeout,
@@ -131,7 +139,8 @@ async def _run(config: ServerConfig) -> None:
 
     print(
         f"[repro.server] serving on {server.host}:{server.port} "
-        f"(workers={config.workers}, queue_limit={config.queue_limit}, "
+        f"(workers={config.workers}, backend={config.backend}, "
+        f"queue_limit={config.queue_limit}, "
         f"deadline_ms={config.deadline_ms:g})",
         flush=True,
     )

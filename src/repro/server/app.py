@@ -87,6 +87,12 @@ class ServerConfig:
     host: str = "127.0.0.1"
     port: int = 8037
     workers: int = 2
+    #: Solve backend: "thread" (executor threads, one GIL) or "process"
+    #: (long-lived worker processes — see repro.server.procpool).
+    backend: str = "thread"
+    #: multiprocessing start method for backend="process" ("spawn" is the
+    #: safe default alongside asyncio + executor threads).
+    mp_context: str = "spawn"
     queue_limit: int = 16
     deadline_ms: float = 30000.0
     drain_timeout: float = 10.0
@@ -104,6 +110,10 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
         if self.queue_limit < 0:
             raise ValueError(f"queue_limit must be >= 0, got {self.queue_limit}")
         if self.deadline_ms <= 0:
@@ -143,21 +153,38 @@ class SolverServer:
             workers=self.config.workers,
             metrics=self.metrics,
         )
-        self.pool = SolverWorkerPool(
-            workers=self.config.workers,
-            num_reads=self.config.num_reads,
-            seed=self.config.seed,
-            sampler_params=self.config.sampler_params,
-            sampler_factory=self.config.sampler_factory,
-            penalty_strength=self.config.penalty_strength,
-            policy=(
-                self.config.policy
-                if self.config.policy is not None
-                else RetryPolicy(max_attempts=self.config.max_attempts)
-            ),
-            cache=self.cache,
-            metrics=self.metrics,
+        policy = (
+            self.config.policy
+            if self.config.policy is not None
+            else RetryPolicy(max_attempts=self.config.max_attempts)
         )
+        if self.config.backend == "process":
+            from repro.server.procpool import ProcessSolverBackend
+
+            self.pool = ProcessSolverBackend(
+                workers=self.config.workers,
+                num_reads=self.config.num_reads,
+                seed=self.config.seed,
+                sampler_params=self.config.sampler_params,
+                sampler_factory=self.config.sampler_factory,
+                penalty_strength=self.config.penalty_strength,
+                policy=policy,
+                cache_size=self.config.cache_size,
+                metrics=self.metrics,
+                mp_context=self.config.mp_context,
+            )
+        else:
+            self.pool = SolverWorkerPool(
+                workers=self.config.workers,
+                num_reads=self.config.num_reads,
+                seed=self.config.seed,
+                sampler_params=self.config.sampler_params,
+                sampler_factory=self.config.sampler_factory,
+                penalty_strength=self.config.penalty_strength,
+                policy=policy,
+                cache=self.cache,
+                metrics=self.metrics,
+            )
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[asyncio.Task] = set()
         #: Connection tasks currently *inside* a request (parse → dispatch →
@@ -449,9 +476,12 @@ class SolverServer:
         return body, (200 if healthy else 503), "application/json"
 
     def _metrics_endpoint(self):
-        stats = self.cache.stats
+        # The thread backend reads the shared cache; the process backend
+        # aggregates its workers' local caches — one schema either way.
+        stats = self.pool.cache_stats()
         payload = {
             "server": {
+                "backend": self.config.backend,
                 "state": str(self.state),
                 "uptime_s": round(self.uptime, 3),
                 **self.queue.snapshot(),

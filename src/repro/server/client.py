@@ -36,6 +36,23 @@ class ServerConnectionError(ConnectionError):
     """The server could not be reached or the transport failed mid-request."""
 
 
+#: Failures that mean a *kept-alive* connection was closed by the server
+#: between requests (its ``--idle-timeout`` fired while the client sat
+#: idle). They surface on the next use of the stale socket — as a clean
+#: remote hang-up before any response bytes (``RemoteDisconnected``), a
+#: reset, or a broken pipe on send. Retrying on a fresh connection is safe
+#: *only* in this situation, because the request provably never reached a
+#: server that answered: the reply, had one been produced, would have
+#: arrived on the now-dead socket. Deliberately excluded: ``socket.timeout``
+#: and ``IncompleteRead`` — with those the server may be mid-solve, and a
+#: resubmission would double-execute the request.
+_IDLE_CLOSE_ERRORS = (
+    http.client.RemoteDisconnected,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
+
 @dataclass
 class SolveReply:
     """One ``/solve`` answer: envelope fields + transport status."""
@@ -135,6 +152,21 @@ class SolverClient:
             )
         return self._conn
 
+    def _roundtrip(
+        self,
+        conn: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Dict[str, str],
+    ) -> Tuple[int, bytes]:
+        conn.request(method, path, body=body or None, headers=headers)
+        response = conn.getresponse()
+        payload = response.read()
+        if response.will_close:
+            self.close()
+        return response.status, payload
+
     def _request(
         self,
         method: str,
@@ -143,24 +175,39 @@ class SolverClient:
         content_type: str = "text/plain",
     ) -> Tuple[int, bytes]:
         headers = {"Content-Type": content_type, "Content-Length": str(len(body))}
-        for fresh in (False, True):
+        # A surviving self._conn means a previous round trip completed on
+        # it — the precondition for the idle-close reconnect below.
+        reused = self._conn is not None
+        conn = self._connection()
+        try:
+            return self._roundtrip(conn, method, path, body, headers)
+        except _IDLE_CLOSE_ERRORS as exc:
+            self.close()
+            if not reused:
+                # A fresh connection hanging up is a real transport error,
+                # not an idle-timeout race — never retry it.
+                raise ServerConnectionError(
+                    f"{method} {path} to {self.host}:{self.port} failed: {exc}"
+                ) from exc
+            # The server idle-closed the keep-alive socket between requests
+            # (or the reply could only have gone to the dead socket): one
+            # reconnect on a fresh connection, no further retries.
             conn = self._connection()
             try:
-                conn.request(method, path, body=body or None, headers=headers)
-                response = conn.getresponse()
-                payload = response.read()
-                if response.will_close:
-                    self.close()
-                return response.status, payload
-            except (http.client.HTTPException, OSError) as exc:
-                # A dropped keep-alive connection gets one fresh retry;
-                # a fresh connection failing is a real transport error.
+                return self._roundtrip(conn, method, path, body, headers)
+            except (http.client.HTTPException, OSError) as retry_exc:
                 self.close()
-                if fresh:
-                    raise ServerConnectionError(
-                        f"{method} {path} to {self.host}:{self.port} failed: {exc}"
-                    ) from exc
-        raise AssertionError("unreachable")  # pragma: no cover
+                raise ServerConnectionError(
+                    f"{method} {path} to {self.host}:{self.port} failed after "
+                    f"idle-close reconnect: {retry_exc}"
+                ) from retry_exc
+        except (http.client.HTTPException, OSError) as exc:
+            # Mid-request failures (timeout, truncated response, ...): the
+            # server may be mid-solve — resubmitting could double-execute.
+            self.close()
+            raise ServerConnectionError(
+                f"{method} {path} to {self.host}:{self.port} failed: {exc}"
+            ) from exc
 
     def close(self) -> None:
         if self._conn is not None:

@@ -33,6 +33,7 @@ type            HTTP  meaning
 ``draining``    503   server is shutting down, not accepting new work
 ``cancelled``   503   solve cancelled by shutdown after the drain timeout
 ``internal``    500   unexpected server-side failure
+``upstream``    502   router tier: no shard reachable / shard died mid-request
 =============== ===== ==========================================================
 
 Parse failures are *located*: :func:`locate_parse_error` maps the
@@ -58,6 +59,7 @@ __all__ = [
     "ERROR_PARSE",
     "ERROR_TIMEOUT",
     "ERROR_TOO_LARGE",
+    "ERROR_UPSTREAM",
     "ErrorInfo",
     "ResponseEnvelope",
     "SolveRequest",
@@ -75,6 +77,10 @@ ERROR_TIMEOUT = "timeout"
 ERROR_DRAINING = "draining"
 ERROR_CANCELLED = "cancelled"
 ERROR_INTERNAL = "internal"
+#: Router-tier failure: the shard a request hashed to (and every fail-over
+#: candidate) could not be reached, or died mid-request. Emitted only by
+#: repro.server.router — a single SolverServer never produces it.
+ERROR_UPSTREAM = "upstream"
 
 #: error type → HTTP status code (the envelope is the source of truth; the
 #: HTTP code is a transport-level convenience for curl / load balancers).
@@ -87,6 +93,7 @@ _HTTP_STATUS: Dict[str, int] = {
     ERROR_DRAINING: 503,
     ERROR_CANCELLED: 503,
     ERROR_INTERNAL: 500,
+    ERROR_UPSTREAM: 502,
 }
 
 

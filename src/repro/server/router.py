@@ -1,0 +1,1093 @@
+"""Content-hash shard router: horizontal scale-out for the serving layer.
+
+A :class:`ShardRouter` is a thin stdlib-asyncio front process that fans
+``/solve`` requests out to N backend :class:`~repro.server.app.SolverServer`
+instances ("shards"). Placement is **formula content-hash**: the request's
+script is hashed with :func:`shard_key` — the same content hash the
+:class:`~repro.service.cache.CompileCache` keys on — so structurally
+identical formulas always land on the same shard and warm-cache hit rates
+survive scale-out (cache hits *concentrate* per shard instead of being
+diluted N ways by round-robin).
+
+Routing policy (see DESIGN.md Appendix F):
+
+* primary shard = ``int(shard_key[:16], 16) % N`` — a fixed modular hash
+  ring; deterministic across processes and Python runs (sha256, never
+  ``hash()``).
+* **fail-over** walks the ring from the primary, bounded by
+  ``failover_attempts``, and only on *connect* failure — a shard that
+  accepted the request and then died answers with a typed ``upstream``
+  envelope instead (re-sending after acceptance could double-solve).
+* shards marked unhealthy by the background ``/healthz`` prober are
+  skipped during ring walks unless every shard is unhealthy (then the
+  primary is tried anyway — it may have just recovered).
+
+Observability: the router's ``/metrics`` returns every shard's metrics
+under ``shards.shard_<i>`` plus a **rollup** — element-wise summed
+counters and cache statistics — so the PR 5 accounting identity
+(``requests == completed + Σrejected.* + timeouts + cancellations +
+internal``) holds on the aggregate exactly as it does per shard
+(:func:`aggregate_metrics` is the single implementation, shared with the
+fault-injection tests). Router-tier events (fail-overs, upstream errors,
+its own rejections) are accounted separately under ``router.counters``.
+
+``python -m repro.server.router --shards 4 --backend process`` spawns and
+supervises its own shard fleet (ephemeral ports, crash-restart with
+backoff, drain propagated to every shard on SIGTERM); ``--attach
+host:port,host:port`` routes to an externally managed fleet instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import enum
+import hashlib
+import json
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.server import httpio
+from repro.server.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_DRAINING,
+    ERROR_UPSTREAM,
+    ErrorInfo,
+    ResponseEnvelope,
+    SolveRequest,
+)
+from repro.service.cache import compile_cache_key
+from repro.service.metrics import MetricsRegistry
+
+__all__ = [
+    "BackgroundRouter",
+    "RouterConfig",
+    "ShardFleet",
+    "ShardRouter",
+    "ShardSpec",
+    "aggregate_metrics",
+    "shard_key",
+    "shard_index",
+]
+
+
+# --------------------------------------------------------------------- #
+# placement
+# --------------------------------------------------------------------- #
+
+
+def shard_key(script: str) -> str:
+    """The routing hash of one SMT-LIB script (hex sha256).
+
+    Structurally identical formulas — whatever their whitespace or
+    comments — share a key, because the key is computed over the *parsed*
+    assertion conjunction with :func:`~repro.service.cache.
+    compile_cache_key`, the exact content hash the per-shard CompileCache
+    keys on. Scripts that do not parse fall back to a hash of the raw
+    text: they still route deterministically (and the shard answers with
+    its located ``parse`` envelope).
+
+    Stability contract: sha256 end to end — never ``hash()`` — so the
+    key is identical across processes, Python runs and
+    ``PYTHONHASHSEED`` values; a pinned test enforces this.
+    """
+    try:
+        from repro.smt.parser import parse_script
+
+        parsed = parse_script(script)
+        return compile_cache_key(parsed.assertions)
+    except Exception:  # noqa: BLE001 — unparseable input still routes
+        return hashlib.sha256(script.encode("utf-8")).hexdigest()
+
+
+def shard_index(key: str, num_shards: int) -> int:
+    """Map a :func:`shard_key` onto a shard ordinal (fixed modular ring)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return int(key[:16], 16) % num_shards
+
+
+# --------------------------------------------------------------------- #
+# configuration
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Address of one backend SolverServer."""
+
+    host: str
+    port: int
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        host, sep, port = text.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"shard spec must be host:port, got {text!r}")
+        return cls(host=host, port=int(port))
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class RouterConfig:
+    """Everything ``python -m repro.server.router`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 8047
+    shards: List[ShardSpec] = field(default_factory=list)
+    #: Max shards tried per request (primary + fail-overs).
+    failover_attempts: int = 3
+    connect_timeout: float = 2.0
+    #: Hard bound on one proxied request (headroom over the shard's own
+    #: deadline enforcement, so a wedged shard can never hang a client).
+    upstream_timeout: float = 120.0
+    health_interval: float = 0.5
+    probe_timeout: float = 2.0
+    drain_timeout: float = 10.0
+    idle_timeout: float = 60.0
+    max_request_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a router needs at least one shard")
+        if self.failover_attempts < 1:
+            raise ValueError(
+                f"failover_attempts must be >= 1, got {self.failover_attempts}"
+            )
+        if self.health_interval <= 0 or self.probe_timeout <= 0:
+            raise ValueError("health_interval and probe_timeout must be positive")
+        if self.idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive, got {self.idle_timeout}")
+
+
+class _ShardDown(RuntimeError):
+    """Connect-phase failure: safe to fail over to the next shard."""
+
+
+class _ShardMidRequest(RuntimeError):
+    """The shard accepted the request and then failed: no retry."""
+
+
+@dataclass
+class ShardState:
+    """Mutable health record of one shard."""
+
+    spec: ShardSpec
+    healthy: bool = True
+    consecutive_failures: int = 0
+    last_error: str = ""
+
+    def mark_up(self) -> None:
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.last_error = ""
+
+    def mark_down(self, error: str) -> None:
+        self.healthy = False
+        self.consecutive_failures += 1
+        self.last_error = error
+
+
+# --------------------------------------------------------------------- #
+# metrics aggregation (shared with the fault-injection tests)
+# --------------------------------------------------------------------- #
+
+
+def _sum_tree(accumulator: Dict[str, Any], payload: Dict[str, Any]) -> None:
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            _sum_tree(accumulator.setdefault(key, {}), value)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            accumulator[key] = accumulator.get(key, 0) + value
+
+
+def _merge_histograms(
+    accumulator: Dict[str, Any], payload: Dict[str, Any]
+) -> None:
+    """Histogram summaries merge by count/total (additive) and min/max;
+    the mean is recomputed and per-shard percentiles are dropped — they
+    cannot be combined from summaries."""
+    for name, summary in payload.items():
+        if not isinstance(summary, dict):
+            continue
+        merged = accumulator.setdefault(
+            name, {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        )
+        count = summary.get("count", 0)
+        if not count:
+            continue
+        if merged["count"]:
+            merged["min"] = min(merged["min"], summary.get("min", 0.0))
+        else:
+            merged["min"] = summary.get("min", 0.0)
+        merged["max"] = max(merged["max"], summary.get("max", 0.0))
+        merged["count"] += count
+        merged["total"] += summary.get("total", 0.0)
+        merged["mean"] = merged["total"] / merged["count"]
+
+
+def aggregate_metrics(shard_payloads: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Element-wise rollup of per-shard ``/metrics`` payloads.
+
+    Counters and cache tallies add linearly, so every per-shard accounting
+    identity (``server.requests == server.completed + Σserver.rejected.*
+    + server.timeout + server.cancelled + server.internal``) survives
+    summation. Histograms merge by count/total/min/max with the mean
+    recomputed; percentiles are per-shard only. Rates are recomputed,
+    never averaged; non-numeric leaves (state strings, ...) are dropped —
+    they remain visible under ``shards.shard_<i>``.
+    """
+    rollup: Dict[str, Any] = {}
+    histograms: Dict[str, Any] = {}
+    for payload in shard_payloads:
+        for key, value in payload.items():
+            if key == "histograms" and isinstance(value, dict):
+                _merge_histograms(histograms, value)
+            elif isinstance(value, dict):
+                _sum_tree(rollup.setdefault(key, {}), value)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                rollup[key] = rollup.get(key, 0) + value
+    if histograms:
+        rollup["histograms"] = histograms
+    cache = rollup.get("cache")
+    if isinstance(cache, dict):
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        cache["hit_rate"] = cache.get("hits", 0) / lookups if lookups else 0.0
+    return rollup
+
+
+# --------------------------------------------------------------------- #
+# the router
+# --------------------------------------------------------------------- #
+
+
+class RouterState(str, enum.Enum):
+    CREATED = "created"
+    SERVING = "serving"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+    __str__ = str.__str__
+
+
+class ShardRouter:
+    """Asyncio front process sharding ``/solve`` by formula content-hash."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.config = config
+        self.state = RouterState.CREATED
+        self.metrics = MetricsRegistry()
+        self.shards: List[ShardState] = [
+            ShardState(spec=spec) for spec in config.shards
+        ]
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._active_requests: Set[asyncio.Task] = set()
+        self._prober: Optional[asyncio.Task] = None
+        self._stopped = asyncio.Event()
+        self._started_at = 0.0
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self.config.port
+
+    @property
+    def uptime(self) -> float:
+        if not self._started_at:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    async def start(self) -> None:
+        if self.state is not RouterState.CREATED:
+            raise RuntimeError(f"cannot start from state {self.state}")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self._prober = asyncio.create_task(self._probe_loop())
+        self._started_at = time.monotonic()
+        self.state = RouterState.SERVING
+
+    async def serve_forever(self) -> None:
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight proxies, stop.
+
+        Shard processes are *not* touched here — drain propagation to a
+        supervised fleet is the :class:`ShardFleet`'s job (the router may
+        be attached to shards it does not own).
+        """
+        if self.state in (RouterState.DRAINING, RouterState.STOPPED):
+            await self._stopped.wait()
+            return
+        self.state = RouterState.DRAINING
+        if self._server is not None:
+            self._server.close()
+        if self._prober is not None:
+            self._prober.cancel()
+        # In-flight proxied requests get the drain timeout to finish.
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self._active_requests and time.monotonic() < deadline:
+            await asyncio.wait(
+                list(self._active_requests),
+                timeout=max(0.05, deadline - time.monotonic()),
+            )
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.wait(list(self._connections), timeout=5.0)
+        self.state = RouterState.STOPPED
+        self._stopped.set()
+
+    # -------------------------------------------------------------- #
+    # health probing
+    # -------------------------------------------------------------- #
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.gather(
+                *(self._probe_shard(state) for state in self.shards),
+                return_exceptions=True,
+            )
+            await asyncio.sleep(self.config.health_interval)
+
+    async def _probe_shard(self, state: ShardState) -> None:
+        try:
+            status, _headers, _body = await self._raw_request(
+                state.spec, "GET", "/healthz", b"", timeout=self.config.probe_timeout
+            )
+        except (OSError, asyncio.TimeoutError, httpio.ProtocolError) as exc:
+            state.mark_down(f"{type(exc).__name__}: {exc}")
+            return
+        if status == 200:
+            state.mark_up()
+        else:
+            # 503 = shard draining: stop routing new work to it.
+            state.mark_down(f"healthz answered {status}")
+
+    # -------------------------------------------------------------- #
+    # upstream transport
+    # -------------------------------------------------------------- #
+
+    async def _raw_request(
+        self,
+        spec: ShardSpec,
+        method: str,
+        path: str,
+        body: bytes,
+        *,
+        content_type: str = "application/json",
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One upstream round trip; connect errors raise OSError family."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(spec.host, spec.port),
+            timeout=self.config.connect_timeout,
+        )
+        try:
+            writer.write(
+                httpio.render_request(
+                    method,
+                    path,
+                    body,
+                    host=str(spec),
+                    content_type=content_type,
+                    close=True,
+                )
+            )
+            await writer.drain()
+            return await asyncio.wait_for(
+                httpio.read_response(reader),
+                timeout=timeout if timeout is not None else self.config.upstream_timeout,
+            )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def _forward_solve(
+        self, spec: ShardSpec, body: bytes, content_type: str, timeout: float
+    ) -> Tuple[int, bytes]:
+        """Proxy one ``/solve`` body; typed exceptions split the retry rule."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(spec.host, spec.port),
+                timeout=self.config.connect_timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise _ShardDown(f"{spec}: {type(exc).__name__}: {exc}") from exc
+        try:
+            writer.write(
+                httpio.render_request(
+                    "POST",
+                    "/solve",
+                    body,
+                    host=str(spec),
+                    content_type=content_type,
+                    close=True,
+                )
+            )
+            await writer.drain()
+            status, _headers, payload = await asyncio.wait_for(
+                httpio.read_response(reader), timeout=timeout
+            )
+            return status, payload
+        except (OSError, asyncio.TimeoutError, httpio.ProtocolError) as exc:
+            raise _ShardMidRequest(f"{spec}: {type(exc).__name__}: {exc}") from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    # -------------------------------------------------------------- #
+    # routing
+    # -------------------------------------------------------------- #
+
+    def _ring_order(self, primary: int) -> List[int]:
+        """Shard indices to try, bounded: healthy ones walking the ring from
+        the primary; if none is healthy, the primary alone (it may have just
+        recovered — the prober lags by up to ``health_interval``)."""
+        n = len(self.shards)
+        ring = [(primary + step) % n for step in range(n)]
+        healthy = [i for i in ring if self.shards[i].healthy]
+        order = healthy if healthy else [primary]
+        return order[: self.config.failover_attempts]
+
+    async def _route_solve(self, request: httpio.HttpRequest) -> Tuple[bytes, int, str]:
+        self.metrics.counter("router.requests").inc()
+        if self.state is not RouterState.SERVING:
+            self.metrics.counter("router.rejected.draining").inc()
+            envelope = ResponseEnvelope.failure(
+                ErrorInfo(
+                    type=ERROR_DRAINING,
+                    message="router is draining; not accepting new requests",
+                )
+            )
+            return envelope.to_json().encode("utf-8"), envelope.http_status, "application/json"
+        try:
+            solve_request = SolveRequest.from_body(request.body, request.content_type)
+        except ValueError as exc:
+            self.metrics.counter("router.rejected.bad_request").inc()
+            envelope = ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_BAD_REQUEST, message=str(exc))
+            )
+            return envelope.to_json().encode("utf-8"), envelope.http_status, "application/json"
+
+        key = shard_key(solve_request.script)
+        primary = shard_index(key, len(self.shards))
+        timeout = self.config.upstream_timeout
+        if solve_request.deadline_ms is not None:
+            # The shard enforces the deadline; the proxy read just needs
+            # headroom beyond it so a wedged shard cannot hang the client.
+            timeout = min(timeout, solve_request.deadline_ms / 1000.0 + 15.0)
+
+        last_error = "no shard attempted"
+        for attempt, index in enumerate(self._ring_order(primary)):
+            state = self.shards[index]
+            if attempt:
+                self.metrics.counter("router.failover").inc()
+            try:
+                status, payload = await self._forward_solve(
+                    state.spec, request.body, request.content_type, timeout
+                )
+            except _ShardDown as exc:
+                state.mark_down(str(exc))
+                last_error = str(exc)
+                continue
+            except _ShardMidRequest as exc:
+                state.mark_down(str(exc))
+                self.metrics.counter("router.upstream_errors").inc()
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(
+                        type=ERROR_UPSTREAM,
+                        message=f"shard {state.spec} failed mid-request: {exc}",
+                    ),
+                    request_id=solve_request.request_id,
+                )
+                return (
+                    envelope.to_json().encode("utf-8"),
+                    envelope.http_status,
+                    "application/json",
+                )
+            self.metrics.counter("router.forwarded").inc()
+            self.metrics.counter(f"router.shard.{index}.forwarded").inc()
+            return payload, status, "application/json"
+
+        self.metrics.counter("router.upstream_errors").inc()
+        envelope = ResponseEnvelope.failure(
+            ErrorInfo(
+                type=ERROR_UPSTREAM,
+                message=f"no shard reachable for key {key[:16]} "
+                f"(primary shard_{primary}): {last_error}",
+            ),
+            request_id=solve_request.request_id,
+        )
+        return envelope.to_json().encode("utf-8"), envelope.http_status, "application/json"
+
+    # -------------------------------------------------------------- #
+    # endpoints
+    # -------------------------------------------------------------- #
+
+    def _healthz(self) -> Tuple[bytes, int, str]:
+        healthy_shards = sum(1 for s in self.shards if s.healthy)
+        serving = self.state is RouterState.SERVING and healthy_shards > 0
+        payload = {
+            "status": "ok" if serving else str(self.state),
+            "state": str(self.state),
+            "uptime_s": round(self.uptime, 3),
+            "shards": [
+                {
+                    "id": f"shard_{i}",
+                    "host": s.spec.host,
+                    "port": s.spec.port,
+                    "healthy": s.healthy,
+                    "last_error": s.last_error,
+                }
+                for i, s in enumerate(self.shards)
+            ],
+            "healthy_shards": healthy_shards,
+            "total_shards": len(self.shards),
+        }
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return body, (200 if serving else 503), "application/json"
+
+    async def _metrics_endpoint(self) -> Tuple[bytes, int, str]:
+        async def fetch(state: ShardState):
+            try:
+                status, _headers, payload = await self._raw_request(
+                    state.spec,
+                    "GET",
+                    "/metrics",
+                    b"",
+                    timeout=self.config.probe_timeout,
+                )
+                if status != 200:
+                    return {"error": f"/metrics answered {status}"}
+                return json.loads(payload.decode("utf-8"))
+            except (OSError, asyncio.TimeoutError, httpio.ProtocolError, ValueError) as exc:
+                return {"error": f"{type(exc).__name__}: {exc}"}
+
+        shard_payloads = await asyncio.gather(*(fetch(s) for s in self.shards))
+        reachable = [p for p in shard_payloads if "error" not in p]
+        rollup = aggregate_metrics(reachable)
+        payload = {
+            "router": {
+                "state": str(self.state),
+                "uptime_s": round(self.uptime, 3),
+                "healthy_shards": sum(1 for s in self.shards if s.healthy),
+                "total_shards": len(self.shards),
+                "reachable_shards": len(reachable),
+                **self.metrics.export(),
+            },
+            "shards": {
+                f"shard_{i}": shard_payloads[i] for i in range(len(self.shards))
+            },
+            **rollup,
+        }
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return body, 200, "application/json"
+
+    async def _dispatch(self, request: httpio.HttpRequest) -> Tuple[bytes, int, str]:
+        path = request.path
+        if path == "/healthz" and request.method == "GET":
+            return self._healthz()
+        if path == "/metrics" and request.method == "GET":
+            return await self._metrics_endpoint()
+        if path == "/solve":
+            if request.method != "POST":
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(
+                        type=ERROR_BAD_REQUEST,
+                        message=f"/solve requires POST, got {request.method}",
+                    )
+                )
+                return envelope.to_json().encode("utf-8"), 405, "application/json"
+            return await self._route_solve(request)
+        body = json.dumps(
+            {"error": {"type": "not_found", "message": f"no route for {path}"}},
+            sort_keys=True,
+        ).encode("utf-8")
+        return body, 404, "application/json"
+
+    # -------------------------------------------------------------- #
+    # connection handling (same discipline as SolverServer)
+    # -------------------------------------------------------------- #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+                self._active_requests.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    httpio.read_request(reader, self.config.max_request_bytes),
+                    timeout=self.config.idle_timeout,
+                )
+            except asyncio.TimeoutError:
+                return
+            except httpio.RequestTooLarge as exc:
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(type="too_large", message=str(exc))
+                )
+                writer.write(
+                    httpio.render_response(
+                        envelope.http_status,
+                        envelope.to_json().encode("utf-8"),
+                        close=True,
+                    )
+                )
+                await writer.drain()
+                return
+            except httpio.ProtocolError as exc:
+                envelope = ResponseEnvelope.failure(
+                    ErrorInfo(type=ERROR_BAD_REQUEST, message=str(exc))
+                )
+                writer.write(
+                    httpio.render_response(
+                        envelope.http_status,
+                        envelope.to_json().encode("utf-8"),
+                        close=True,
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            keep_alive = request.keep_alive
+            if task is not None:
+                self._active_requests.add(task)
+            try:
+                try:
+                    body, status, content_type = await self._dispatch(request)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — last-resort boundary
+                    envelope = ResponseEnvelope.failure(
+                        ErrorInfo(
+                            type=ERROR_UPSTREAM,
+                            message=f"router dispatch failed: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    body = envelope.to_json().encode("utf-8")
+                    status = envelope.http_status
+                    content_type = "application/json"
+                writer.write(
+                    httpio.render_response(
+                        status, body, content_type=content_type, close=not keep_alive
+                    )
+                )
+                await writer.drain()
+            finally:
+                if task is not None:
+                    self._active_requests.discard(task)
+            if not keep_alive:
+                return
+
+
+# --------------------------------------------------------------------- #
+# embedding helper (tests, benchmarks)
+# --------------------------------------------------------------------- #
+
+
+class BackgroundRouter:
+    """Run a :class:`ShardRouter` on a daemon thread with its own loop.
+
+    The mirror image of :class:`~repro.server.app.BackgroundServer`::
+
+        with BackgroundRouter(RouterConfig(port=0, shards=[...])) as router:
+            SolverClient(router.host, router.port).solve(...)
+    """
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.config = config
+        self.router: Optional[ShardRouter] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._port: Optional[int] = None
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise RuntimeError("router not started")
+        return self._port
+
+    def start(self) -> "BackgroundRouter":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("router failed to start within 30 s")
+        if self._startup_error is not None:
+            raise RuntimeError("router failed to start") from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or self.router is None:
+            return
+        if not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self.router.shutdown(), self._loop
+            )
+            try:
+                future.result(timeout=timeout)
+            except (asyncio.TimeoutError, TimeoutError):  # pragma: no cover
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced via start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.router = ShardRouter(self.config)
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.router.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._port = self.router.port
+        self._ready.set()
+        await self.router.serve_forever()
+
+
+# --------------------------------------------------------------------- #
+# fleet supervision (CLI spawn mode)
+# --------------------------------------------------------------------- #
+
+
+def _free_port(host: str) -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class ShardFleet:
+    """Spawn-and-supervise N ``python -m repro.server`` shard processes.
+
+    Each shard is a real OS process on its own port; a dead shard is
+    restarted (same port, so the router's ring stays stable) with
+    exponential backoff. ``shutdown()`` propagates the graceful drain:
+    SIGTERM to every shard (their signal handler runs the PR 5 drain),
+    bounded wait, SIGKILL stragglers.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        host: str = "127.0.0.1",
+        shard_args: Optional[Sequence[str]] = None,
+        backoff_initial: float = 0.5,
+        backoff_max: float = 10.0,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.host = host
+        self.shard_args = list(shard_args or [])
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self.specs: List[ShardSpec] = [
+            ShardSpec(host=host, port=_free_port(host)) for _ in range(count)
+        ]
+        self._procs: List[Optional[subprocess.Popen]] = [None] * count
+        self._restarts = [0] * count
+        self._next_start = [0.0] * count
+        self._closed = False
+
+    def _command(self, spec: ShardSpec) -> List[str]:
+        return [
+            sys.executable,
+            "-m",
+            "repro.server",
+            "--host",
+            spec.host,
+            "--port",
+            str(spec.port),
+            *self.shard_args,
+        ]
+
+    def start(self) -> List[ShardSpec]:
+        for index in range(len(self.specs)):
+            self._spawn(index)
+        return list(self.specs)
+
+    def _spawn(self, index: int) -> None:
+        self._procs[index] = subprocess.Popen(self._command(self.specs[index]))
+
+    async def wait_ready(self, timeout: float = 60.0) -> None:
+        """Block until every shard's ``/healthz`` answers 200."""
+        deadline = time.monotonic() + timeout
+        pending = set(range(len(self.specs)))
+        while pending:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"shards {sorted(pending)} not healthy within {timeout:g} s"
+                )
+            for index in list(pending):
+                spec = self.specs[index]
+                try:
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(spec.host, spec.port), timeout=1.0
+                    )
+                except (OSError, asyncio.TimeoutError):
+                    continue
+                try:
+                    writer.write(
+                        httpio.render_request("GET", "/healthz", host=str(spec), close=True)
+                    )
+                    await writer.drain()
+                    status, _h, _b = await asyncio.wait_for(
+                        httpio.read_response(reader), timeout=2.0
+                    )
+                    if status == 200:
+                        pending.discard(index)
+                except (OSError, asyncio.TimeoutError, httpio.ProtocolError):
+                    pass
+                finally:
+                    writer.close()
+            if pending:
+                await asyncio.sleep(0.2)
+
+    async def supervise(self, interval: float = 1.0) -> None:
+        """Restart dead shards (same port) with exponential backoff."""
+        while not self._closed:
+            now = time.monotonic()
+            for index, proc in enumerate(self._procs):
+                if self._closed or proc is None or proc.poll() is None:
+                    continue
+                if now < self._next_start[index]:
+                    continue
+                self._restarts[index] += 1
+                delay = min(
+                    self.backoff_max,
+                    self.backoff_initial * (2 ** (self._restarts[index] - 1)),
+                )
+                self._next_start[index] = now + delay
+                print(
+                    f"[repro.router] shard_{index} ({self.specs[index]}) died "
+                    f"(exit {proc.returncode}) — restarting "
+                    f"(attempt {self._restarts[index]}, next backoff {delay:g} s)",
+                    flush=True,
+                )
+                self._spawn(index)
+            await asyncio.sleep(interval)
+
+    def shutdown(self, drain_timeout: float = 15.0) -> None:
+        """Propagate the graceful drain: SIGTERM, bounded wait, SIGKILL."""
+        self._closed = True
+        procs = [p for p in self._procs if p is not None and p.poll() is None]
+        for proc in procs:
+            try:
+                proc.send_signal(signal.SIGTERM)
+            except OSError:  # pragma: no cover
+                pass
+        deadline = time.monotonic() + drain_timeout
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+
+
+# --------------------------------------------------------------------- #
+# CLI: python -m repro.server.router
+# --------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.router",
+        description="Content-hash shard router over N repro.server instances.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8047, help="router port")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="spawn-and-supervise this many repro.server shard processes",
+    )
+    parser.add_argument(
+        "--attach",
+        default="",
+        help="comma-separated host:port list of externally managed shards "
+        "(mutually exclusive with --shards)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="solve backend for spawned shards",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="workers per shard")
+    parser.add_argument("--queue-limit", type=int, default=16)
+    parser.add_argument("--deadline-ms", type=float, default=30000.0)
+    parser.add_argument("--num-reads", type=int, default=64)
+    parser.add_argument("--num-sweeps", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--failover", type=int, default=3, help="max shards tried")
+    parser.add_argument("--health-interval", type=float, default=0.5)
+    parser.add_argument("--drain-timeout", type=float, default=10.0)
+    parser.add_argument("--idle-timeout", type=float, default=60.0)
+    return parser
+
+
+def _shard_cli_args(args: argparse.Namespace) -> List[str]:
+    shard_args = [
+        "--backend",
+        args.backend,
+        "--workers",
+        str(args.workers),
+        "--queue-limit",
+        str(args.queue_limit),
+        "--deadline-ms",
+        str(args.deadline_ms),
+        "--num-reads",
+        str(args.num_reads),
+        "--drain-timeout",
+        str(args.drain_timeout),
+    ]
+    if args.num_sweeps is not None:
+        shard_args += ["--num-sweeps", str(args.num_sweeps)]
+    if args.seed is not None:
+        shard_args += ["--seed", str(args.seed)]
+    return shard_args
+
+
+async def _run(args: argparse.Namespace) -> None:
+    fleet: Optional[ShardFleet] = None
+    if args.shards and args.attach:
+        raise ValueError("--shards and --attach are mutually exclusive")
+    if args.shards:
+        fleet = ShardFleet(
+            args.shards, host=args.host, shard_args=_shard_cli_args(args)
+        )
+        specs = fleet.start()
+        print(
+            f"[repro.router] spawned {len(specs)} shard(s): "
+            + ", ".join(str(s) for s in specs),
+            flush=True,
+        )
+        await fleet.wait_ready()
+    elif args.attach:
+        specs = [ShardSpec.parse(part) for part in args.attach.split(",") if part]
+    else:
+        raise ValueError("need --shards N or --attach host:port[,host:port...]")
+
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        shards=specs,
+        failover_attempts=args.failover,
+        health_interval=args.health_interval,
+        drain_timeout=args.drain_timeout,
+        idle_timeout=args.idle_timeout,
+    )
+    router = ShardRouter(config)
+    await router.start()
+    loop = asyncio.get_running_loop()
+
+    def _request_shutdown(signame: str) -> None:
+        print(f"[repro.router] {signame} received — draining...", flush=True)
+        asyncio.ensure_future(router.shutdown())
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, _request_shutdown, sig.name)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+
+    print(
+        f"[repro.router] routing on {router.host}:{router.port} over "
+        f"{len(specs)} shard(s) (failover={config.failover_attempts})",
+        flush=True,
+    )
+    supervisor = asyncio.create_task(fleet.supervise()) if fleet else None
+    await router.serve_forever()
+    if supervisor is not None:
+        supervisor.cancel()
+    if fleet is not None:
+        # Drain propagation: the shards get their own graceful SIGTERM drain.
+        await loop.run_in_executor(None, fleet.shutdown, args.drain_timeout + 5.0)
+    print("[repro.router] drained and stopped", flush=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_run(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,14 +41,29 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.server.admission import DeadlineExceededError
-from repro.service.cache import CompileCache
+from repro.service.cache import CacheStats, CompileCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.policy import RetryExhaustedError, RetryPolicy
 from repro.smt import ast
 from repro.smt.solver import QuantumSMTSolver, SmtResult
 from repro.utils.timing import Timer
 
-__all__ = ["SolveCancelled", "SolveOutcome", "SolverWorkerPool"]
+__all__ = ["SolveCancelled", "SolveOutcome", "SolverWorkerPool", "clamp_policy"]
+
+
+def clamp_policy(policy: RetryPolicy, remaining: Optional[float]) -> RetryPolicy:
+    """*policy* with its attempt timeout clamped to the remaining deadline.
+
+    Shared by both solve backends (thread pool here, process pool in
+    :mod:`repro.server.procpool`) so deadline composition semantics cannot
+    drift between them.
+    """
+    if remaining is None:
+        return policy
+    remaining = max(remaining, 1e-3)
+    timeout = policy.attempt_timeout
+    clamped = remaining if timeout is None else min(timeout, remaining)
+    return dataclasses.replace(policy, attempt_timeout=clamped)
 
 
 class SolveCancelled(RuntimeError):
@@ -138,12 +153,11 @@ class SolverWorkerPool:
     def effective_policy(self, remaining: Optional[float]) -> RetryPolicy:
         """The configured policy with its attempt timeout clamped to the
         remaining deadline budget."""
-        if remaining is None:
-            return self.policy
-        remaining = max(remaining, 1e-3)
-        timeout = self.policy.attempt_timeout
-        clamped = remaining if timeout is None else min(timeout, remaining)
-        return dataclasses.replace(self.policy, attempt_timeout=clamped)
+        return clamp_policy(self.policy, remaining)
+
+    def cache_stats(self) -> CacheStats:
+        """The shared compile cache's statistics (backend-uniform API)."""
+        return self.cache.stats
 
     # ------------------------------------------------------------------ #
     # solving

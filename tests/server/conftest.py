@@ -3,10 +3,18 @@
 Mirrors the ``tests/service/`` fault-injection style: deterministic fast
 solver settings, a ``SlowSampler`` whose delay is the injection point for
 queue/deadline/drain edge cases, and small helper scripts.
+
+The ``backend="process"`` tests need **picklable** fault injectors: the
+spawn start method pickles every Process argument, so the lambda-wired
+``SlowSampler`` factories the thread-backend tests use cannot cross the
+process boundary. :class:`SlowSamplerFactory` and
+:class:`CrashingSamplerFactory` are their module-level, picklable
+counterparts.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -32,6 +40,32 @@ class SlowSampler(SimulatedAnnealingSampler):
     def sample_model(self, model, **params):
         time.sleep(self.delay)
         return super().sample_model(model, **params)
+
+
+class SlowSamplerFactory:
+    """Picklable ``sampler_factory`` building :class:`SlowSampler` — the
+    process-backend (and router fault-test) flavour of the lambda wiring."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def __call__(self) -> SlowSampler:
+        return SlowSampler(self.delay)
+
+
+class _CrashingSampler(SimulatedAnnealingSampler):
+    """Kills its own process on first sample — simulates a native-code
+    crash (segfault) inside a solver worker, unreachable via exceptions."""
+
+    def sample_model(self, model, **params):
+        os._exit(139)
+
+
+class CrashingSamplerFactory:
+    """Picklable factory for :class:`_CrashingSampler`."""
+
+    def __call__(self) -> _CrashingSampler:
+        return _CrashingSampler()
 
 
 def fast_config(**overrides) -> ServerConfig:

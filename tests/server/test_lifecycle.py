@@ -6,7 +6,10 @@
   (never ``unknown``);
 * graceful drain completes in-flight solves;
 * an exhausted drain timeout cancels the stragglers with typed
-  ``cancelled`` accounting.
+  ``cancelled`` accounting;
+* ``SolverClient`` reconnects exactly once when the server idle-closes
+  its keep-alive socket — and **never** resubmits a request that may
+  already be executing (mid-request failures raise instead).
 
 The injection point is ``SlowSampler`` (a sampler that sleeps), wired in
 through ``ServerConfig.sampler_factory``.
@@ -15,6 +18,7 @@ through ``ServerConfig.sampler_factory``.
 from __future__ import annotations
 
 import asyncio
+import socket
 import threading
 import time
 
@@ -211,6 +215,154 @@ class TestIdleConnections:
                     writer.close()
 
             assert asyncio.run(scenario()) == b""
+
+
+class _ScriptedHttpServer:
+    """A raw-socket HTTP stand-in that counts the requests it receives.
+
+    Serves ``ok_responses`` complete answers on one keep-alive
+    connection, then closes the socket the instant the *next* request
+    arrives — before writing a byte if ``truncate_at`` is 0, or after
+    ``truncate_at`` bytes of a declared-longer response (the mid-response
+    flavour). Whatever the client does next lands on ``self.requests``,
+    which is how the no-resubmission tests observe double-submits.
+    """
+
+    _RESPONSE = (
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+        b"Content-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
+    )
+
+    def __init__(self, ok_responses: int, truncate_at: int = 0) -> None:
+        self.ok_responses = ok_responses
+        self.truncate_at = truncate_at
+        self.requests = 0
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _read_request(self, conn: socket.socket) -> bool:
+        """One full request off the socket; False on client EOF."""
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return False
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(rest) < length:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return False
+            rest += chunk
+        return True
+
+    def _serve(self) -> None:
+        try:
+            conn, _addr = self._listener.accept()
+        except OSError:
+            return
+        with conn:
+            for _ in range(self.ok_responses):
+                if not self._read_request(conn):
+                    return
+                self.requests += 1
+                conn.sendall(self._RESPONSE)
+            if not self._read_request(conn):
+                return
+            self.requests += 1
+            if self.truncate_at:
+                truncated = (
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 4096\r\nConnection: keep-alive\r\n\r\n"
+                )
+                conn.sendall(truncated + b"x" * self.truncate_at)
+            # close mid-request / mid-response; then keep counting any
+            # resubmission attempts on fresh connections.
+        while True:
+            try:
+                self._listener.settimeout(1.0)
+                conn, _addr = self._listener.accept()
+            except (OSError, socket.timeout):
+                return
+            with conn:
+                if self._read_request(conn):
+                    self.requests += 1
+                    conn.sendall(self._RESPONSE)
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+
+
+class TestClientReconnect:
+    def test_idle_closed_socket_reconnects_transparently_once(self):
+        # The server idle-closes keep-alive sockets after 0.3 s. A client
+        # that pauses past that must not surface a transport error on its
+        # next call: the request never reached the server, so exactly one
+        # reconnect is safe — and the answer must be a normal solve.
+        config = fast_config(idle_timeout=0.3)
+        with BackgroundServer(config) as server:
+            with SolverClient(server.host, server.port, timeout=10.0) as client:
+                assert client.solve(SAT_SCRIPT).ok
+                time.sleep(0.8)  # idle timeout fires; server closes socket
+                reply = client.solve(SAT_SCRIPT)  # must not raise
+                assert reply.ok and reply.status == "sat"
+
+    def test_fresh_connection_failure_raises_without_retry(self):
+        # A connect failure on a *fresh* connection is a real transport
+        # error: no silent retry, a clean ServerConnectionError instead.
+        with socket.create_server(("127.0.0.1", 0)) as listener:
+            dead_port = listener.getsockname()[1]
+        client = SolverClient("127.0.0.1", dead_port, timeout=2.0)
+        with pytest.raises(ServerConnectionError):
+            client.solve(SAT_SCRIPT)
+
+    def test_idle_close_reconnect_never_resubmits_mid_request(self):
+        # The reconnect must be driven by the idle-close signature only.
+        # Here the scripted server completes one request (the connection
+        # is now "reused"), then kills the socket *mid-response* on the
+        # second — Content-Length promises 4096 bytes, 32 arrive. The
+        # solve may already be executing server-side, so the client must
+        # raise, not resubmit: the request counter stays at 2.
+        scripted = _ScriptedHttpServer(ok_responses=1, truncate_at=32)
+        try:
+            client = SolverClient("127.0.0.1", scripted.port, timeout=5.0)
+            assert client.solve(SAT_SCRIPT).http_status == 200
+            with pytest.raises(ServerConnectionError):
+                client.solve(SAT_SCRIPT)
+            time.sleep(0.3)  # any illegal retry would land by now
+            assert scripted.requests == 2, (
+                f"client resubmitted a mid-request failure "
+                f"({scripted.requests} requests seen)"
+            )
+            client.close()
+        finally:
+            scripted.close()
+
+    def test_clean_idle_close_retries_exactly_once(self):
+        # The legal flavour: one completed request, then the server closes
+        # the socket cleanly *before* reading the next request. The client
+        # reconnects once and the scripted server answers the retry — so
+        # the total request count is 3 (ok, closed-on, retried).
+        scripted = _ScriptedHttpServer(ok_responses=1, truncate_at=0)
+        try:
+            client = SolverClient("127.0.0.1", scripted.port, timeout=5.0)
+            assert client.solve(SAT_SCRIPT).http_status == 200
+            reply = client.solve(SAT_SCRIPT)  # close → one reconnect
+            assert reply.http_status == 200
+            assert scripted.requests == 3
+            client.close()
+        finally:
+            scripted.close()
 
 
 class TestGracefulDrain:

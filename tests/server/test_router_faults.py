@@ -1,0 +1,272 @@
+"""Router-tier fault injection (mirrors ``test_lifecycle.py`` one tier up):
+
+* a shard killed mid-burst: every client gets either a served answer
+  (fail-over) or a **typed** error envelope — never a hung client, never
+  an untyped 500;
+* the router drained under load: the per-shard accounting identity
+  survives :func:`~repro.server.router.aggregate_metrics` summation;
+* one shard wedged on a slow solve must not stall requests that hash to
+  the healthy shards (shard isolation is the point of sharding).
+
+Fault injectors: :class:`SlowSamplerFactory` (picklable sleep-before-
+sample) and plain ``BackgroundServer.stop()`` as the shard killer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.server.app import BackgroundServer
+from repro.server.client import AsyncSolverClient, ServerConnectionError, SolverClient
+from repro.server.protocol import http_status_for
+from repro.server.router import (
+    BackgroundRouter,
+    RouterConfig,
+    ShardSpec,
+    aggregate_metrics,
+    shard_index,
+    shard_key,
+)
+
+from tests.server.conftest import SlowSamplerFactory, fast_config
+
+pytestmark = pytest.mark.server
+
+#: Error types a client may legitimately see through the router. Anything
+#: outside this set (or a missing type on a failure) is an untyped error —
+#: the failure mode these tests exist to rule out.
+TYPED_ERRORS = {
+    "parse",
+    "bad_request",
+    "too_large",
+    "overloaded",
+    "timeout",
+    "draining",
+    "cancelled",
+    "internal",
+    "upstream",
+}
+
+
+def script_for_shard(target: int, num_shards: int, tag: str = "s") -> str:
+    """A sat script whose content hash routes to shard ``target``."""
+    for i in range(512):
+        script = (
+            f'(declare-const {tag}{i} String)'
+            f'(assert (= {tag}{i} "v{i}"))(check-sat)'
+        )
+        if shard_index(shard_key(script), num_shards) == target:
+            return script
+    raise AssertionError(f"no script found for shard {target}/{num_shards}")
+
+
+def start_fleet(configs):
+    """Background shard servers + a router over them (ephemeral ports)."""
+    servers = [BackgroundServer(config).start() for config in configs]
+    specs = [ShardSpec("127.0.0.1", server.port) for server in servers]
+    router = BackgroundRouter(
+        RouterConfig(port=0, shards=specs, health_interval=0.15)
+    ).start()
+    return servers, router
+
+
+def assert_reply_is_typed(reply) -> None:
+    if reply.ok:
+        return
+    assert reply.error is not None, f"untyped failure: {reply}"
+    assert reply.error.type in TYPED_ERRORS, reply.error.type
+    # The HTTP status must be the taxonomy's mapping, not a bare 500.
+    assert reply.http_status == http_status_for(reply.error.type), reply
+
+
+class TestShardKillMidBurst:
+    def test_killed_shard_fails_over_or_types_the_error(self):
+        # Two slow-ish shards; kill shard 0 while a burst is in flight.
+        configs = [
+            fast_config(workers=1, queue_limit=32,
+                        sampler_factory=SlowSamplerFactory(0.15))
+            for _ in range(2)
+        ]
+        servers, router = start_fleet(configs)
+        try:
+            victim_script = script_for_shard(0, 2, tag="a")
+            client = AsyncSolverClient(router.host, router.port, timeout=30.0)
+
+            async def burst():
+                tasks = [
+                    asyncio.create_task(client.solve(victim_script))
+                    for _ in range(8)
+                ]
+                await asyncio.sleep(0.2)  # burst is in flight on shard 0
+                await asyncio.get_running_loop().run_in_executor(
+                    None, servers[0].stop
+                )
+                return await asyncio.gather(*tasks)
+
+            started = time.monotonic()
+            replies = asyncio.run(burst())
+            elapsed = time.monotonic() - started
+
+            # Nobody hung: the whole burst resolved promptly.
+            assert elapsed < 20.0
+            assert len(replies) == 8
+            for reply in replies:
+                assert_reply_is_typed(reply)
+
+            # The surviving shard keeps serving the dead shard's keys.
+            with SolverClient(router.host, router.port, timeout=30.0) as sync:
+                after = sync.solve(victim_script)
+            assert after.ok and after.status == "sat"
+        finally:
+            router.stop()
+            for server in servers:
+                server.stop()
+
+    def test_dead_fleet_is_typed_upstream_not_a_hang(self):
+        servers, router = start_fleet([fast_config(workers=1) for _ in range(2)])
+        try:
+            for server in servers:
+                server.stop()
+            time.sleep(0.4)  # let the prober notice
+            with SolverClient(router.host, router.port, timeout=10.0) as client:
+                started = time.monotonic()
+                reply = client.solve(script_for_shard(0, 2))
+                elapsed = time.monotonic() - started
+            assert not reply.ok
+            assert reply.error_type == "upstream"
+            assert reply.http_status == 502
+            assert elapsed < 8.0
+        finally:
+            router.stop()
+            for server in servers:
+                server.stop()
+
+
+class TestRouterDrainUnderLoad:
+    def test_drain_under_load_keeps_the_accounting_identity(self):
+        configs = [
+            fast_config(workers=1, queue_limit=32,
+                        sampler_factory=SlowSamplerFactory(0.1))
+            for _ in range(2)
+        ]
+        servers, router = start_fleet(configs)
+        try:
+            scripts = [script_for_shard(i % 2, 2, tag=f"d{i}x") for i in range(10)]
+            outcomes = []
+
+            def burst():
+                async def run():
+                    client = AsyncSolverClient(router.host, router.port, timeout=30.0)
+
+                    async def one(script):
+                        try:
+                            return await client.solve(script)
+                        except ServerConnectionError as exc:
+                            return exc  # clean transport error, not a hang
+
+                    return await asyncio.gather(*(one(s) for s in scripts))
+
+                outcomes.extend(asyncio.run(run()))
+
+            thread = threading.Thread(target=burst)
+            thread.start()
+            time.sleep(0.25)  # several solves in flight through the router
+            router.stop(timeout=30.0)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "burst hung through router drain"
+            assert len(outcomes) == len(scripts)
+            for outcome in outcomes:
+                if not isinstance(outcome, ServerConnectionError):
+                    assert_reply_is_typed(outcome)
+
+            # The shards survive the router; their summed metrics must
+            # still satisfy the per-shard identity exactly.
+            payloads = []
+            for server in servers:
+                with SolverClient(server.host, server.port, timeout=10.0) as c:
+                    payloads.append(c.metrics())
+            rollup = aggregate_metrics(payloads)
+            counters = rollup["counters"]
+            rejected = sum(
+                v for k, v in counters.items() if k.startswith("server.rejected.")
+            )
+            assert counters.get("server.requests", 0) >= 1
+            assert counters["server.requests"] == (
+                counters.get("server.completed", 0)
+                + rejected
+                + counters.get("server.timeout", 0)
+                + counters.get("server.cancelled", 0)
+                + counters.get("server.internal", 0)
+            ), counters
+        finally:
+            router.stop()
+            for server in servers:
+                server.stop()
+
+    def test_draining_router_rejects_with_typed_draining(self):
+        servers, router = start_fleet([fast_config(workers=1)])
+        try:
+            # Force the state check without racing the listener close: the
+            # router object is reachable through the background wrapper.
+            assert router.router is not None
+            with SolverClient(router.host, router.port, timeout=10.0) as client:
+                assert client.solve(script_for_shard(0, 1)).ok
+            router.stop(timeout=30.0)
+            with pytest.raises(ServerConnectionError):
+                SolverClient(router.host, router.port, timeout=2.0).solve(
+                    script_for_shard(0, 1)
+                )
+        finally:
+            router.stop()
+            for server in servers:
+                server.stop()
+
+
+class TestWedgedShardIsolation:
+    def test_wedged_shard_does_not_stall_healthy_shards(self):
+        # Shard 0 wedges on a 2.5 s solve (one worker, so it is fully
+        # occupied); requests hashing to shard 1 must keep completing in
+        # ordinary time while shard 0 is stuck.
+        wedge_delay = 2.5
+        configs = [
+            fast_config(workers=1, queue_limit=8,
+                        sampler_factory=SlowSamplerFactory(wedge_delay)),
+            fast_config(workers=1, queue_limit=8),
+        ]
+        servers, router = start_fleet(configs)
+        try:
+            wedge_script = script_for_shard(0, 2, tag="w")
+            healthy_script = script_for_shard(1, 2, tag="h")
+
+            wedge_result = {}
+
+            def wedge():
+                with SolverClient(router.host, router.port, timeout=60.0) as c:
+                    wedge_result["reply"] = c.solve(wedge_script)
+
+            wedger = threading.Thread(target=wedge)
+            wedger.start()
+            time.sleep(0.3)  # shard 0 is now wedged mid-solve
+
+            with SolverClient(router.host, router.port, timeout=30.0) as client:
+                started = time.monotonic()
+                replies = [client.solve(healthy_script) for _ in range(3)]
+                elapsed = time.monotonic() - started
+
+            assert all(r.ok and r.status == "sat" for r in replies), replies
+            # The healthy shard answered all three well inside the wedge
+            # window — it never waited behind shard 0's solve.
+            assert elapsed < wedge_delay, (
+                f"healthy shard stalled {elapsed:.2f}s behind the wedged one"
+            )
+
+            wedger.join(timeout=30.0)
+            assert wedge_result["reply"].ok  # the wedge itself completes
+        finally:
+            router.stop()
+            for server in servers:
+                server.stop()
