@@ -20,7 +20,7 @@ from repro.core.formulation import StringFormulation
 from repro.utils.rng import SeedLike, spawn_rngs
 from repro.utils.timing import Timer
 
-__all__ = ["StringQuboSolver", "SolveResult"]
+__all__ = ["StringQuboSolver", "SolveResult", "result_from_sampleset"]
 
 
 @dataclass
@@ -111,45 +111,63 @@ class StringQuboSolver:
         wall = timer.elapsed
 
         with self._stage("decode"):
-            best = sampleset.first
-            best_state = best.state(sampleset.variables)
-            output = formulation.decode(best_state)
-            ok = bool(formulation.verify(output))
-            success_rate = self._success_rate(formulation, sampleset)
-        return SolveResult(
-            formulation=formulation,
-            sampleset=sampleset,
-            output=output,
-            ok=ok,
-            energy=best.energy,
-            ground_energy=formulation.ground_energy(),
-            success_rate=success_rate,
-            wall_time=wall,
-            info=dict(sampleset.info),
-        )
+            return result_from_sampleset(formulation, sampleset, wall_time=wall)
 
     @staticmethod
     def _success_rate(
         formulation: StringFormulation, sampleset: SampleSet
     ) -> float:
-        """Occurrence-weighted fraction of reads whose decoding verifies.
+        return _success_rate(formulation, sampleset)
 
-        Decodes straight off the ``(R, n)`` state matrix through the
-        formulation's batched :meth:`~StringFormulation.decode_states`
-        instead of materializing a per-row :class:`Sample` dict and
-        re-decoding in a Python loop — the historical hot spot for large
-        read counts.
-        """
-        if len(sampleset) == 0:
-            return 0.0
-        decoded = formulation.decode_states(sampleset.states)
-        weights = sampleset.num_occurrences
-        total = int(weights.sum())
-        if not total:
-            return 0.0
-        good = sum(
-            int(weight)
-            for output, weight in zip(decoded, weights)
-            if formulation.verify(output)
-        )
-        return good / total
+
+def result_from_sampleset(
+    formulation: StringFormulation,
+    sampleset: SampleSet,
+    wall_time: float = 0.0,
+) -> SolveResult:
+    """Decode, verify and score a sample set into a :class:`SolveResult`.
+
+    The back half of :meth:`StringQuboSolver.solve`, shared with the fused
+    batch engine (:mod:`repro.service.fused`), which produces sample sets
+    through tiled solves rather than per-formulation ``sample_model``
+    calls but reports results in the identical shape.
+    """
+    best = sampleset.first
+    best_state = best.state(sampleset.variables)
+    output = formulation.decode(best_state)
+    ok = bool(formulation.verify(output))
+    return SolveResult(
+        formulation=formulation,
+        sampleset=sampleset,
+        output=output,
+        ok=ok,
+        energy=best.energy,
+        ground_energy=formulation.ground_energy(),
+        success_rate=_success_rate(formulation, sampleset),
+        wall_time=wall_time,
+        info=dict(sampleset.info),
+    )
+
+
+def _success_rate(formulation: StringFormulation, sampleset: SampleSet) -> float:
+    """Occurrence-weighted fraction of reads whose decoding verifies.
+
+    Decodes straight off the ``(R, n)`` state matrix through the
+    formulation's batched :meth:`~StringFormulation.decode_states`
+    instead of materializing a per-row :class:`Sample` dict and
+    re-decoding in a Python loop — the historical hot spot for large
+    read counts.
+    """
+    if len(sampleset) == 0:
+        return 0.0
+    decoded = formulation.decode_states(sampleset.states)
+    weights = sampleset.num_occurrences
+    total = int(weights.sum())
+    if not total:
+        return 0.0
+    good = sum(
+        int(weight)
+        for output, weight in zip(decoded, weights)
+        if formulation.verify(output)
+    )
+    return good / total

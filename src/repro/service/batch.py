@@ -135,9 +135,20 @@ class BatchSolver:
     num_workers:
         Worker-pool width for ``executor="thread"``.
     executor:
-        ``"thread"`` (default) or ``"serial"`` — the serial mode runs the
-        identical code path without a pool and is the reproducibility
-        reference, mirroring :class:`~repro.anneal.parallel.ParallelSampler`.
+        ``"thread"`` (default), ``"serial"``, or ``"fused"``. The serial
+        mode runs the identical code path without a pool and is the
+        reproducibility reference, mirroring
+        :class:`~repro.anneal.parallel.ParallelSampler`. ``"fused"``
+        routes the batch through :func:`repro.service.fused.solve_batch_fused`,
+        which block-diagonally tiles the items' QUBOs into joint kernel
+        calls (at most ``tile_max`` blocks per call) — one fused sweep
+        loop instead of one per item. Items whose single fused pass fails
+        verification fall back to the per-item path, so statuses keep the
+        same soundness contract; see :mod:`repro.service.fused` for the
+        determinism fine print.
+    tile_max:
+        Maximum QUBO blocks fused per kernel call (``executor="fused"``
+        only; default 16).
 
     Examples
     --------
@@ -165,13 +176,16 @@ class BatchSolver:
         metrics: Optional[MetricsRegistry] = None,
         num_workers: int = 4,
         executor: str = "thread",
+        tile_max: int = 16,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-        if executor not in ("thread", "serial"):
+        if executor not in ("thread", "serial", "fused"):
             raise ValueError(
-                f"executor must be 'thread' or 'serial', got {executor!r}"
+                f"executor must be 'thread', 'serial' or 'fused', got {executor!r}"
             )
+        if tile_max < 1:
+            raise ValueError(f"tile_max must be >= 1, got {tile_max}")
         if seed is not None and not isinstance(seed, int):
             raise TypeError(
                 "BatchSolver needs a reproducible seed (int or None); live "
@@ -189,6 +203,7 @@ class BatchSolver:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.num_workers = num_workers
         self.executor = executor
+        self.tile_max = tile_max
 
     # ------------------------------------------------------------------ #
     # submission
@@ -202,7 +217,9 @@ class BatchSolver:
         results: List[Optional[BatchItemResult]] = [None] * len(assertion_sets)
 
         with Timer() as timer:
-            if self.executor == "serial" or len(assertion_sets) <= 1:
+            if self.executor == "fused":
+                results = self._solve_fused(assertion_sets, solve_params)
+            elif self.executor == "serial" or len(assertion_sets) <= 1:
                 for index, assertions in enumerate(assertion_sets):
                     results[index] = self._solve_one(index, assertions, solve_params)
             else:
@@ -232,6 +249,49 @@ class BatchSolver:
     def solve_scripts(self, scripts: Sequence[str], **solve_params: Any) -> BatchReport:
         """Convenience alias: every item is SMT-LIB source text."""
         return self.solve_batch(list(scripts), **solve_params)
+
+    def _solve_fused(
+        self,
+        assertion_sets: List[List[ast.Term]],
+        solve_params: Dict[str, Any],
+    ) -> List[BatchItemResult]:
+        """The ``executor="fused"`` path: tile QUBOs across items.
+
+        Delegates to :func:`repro.service.fused.solve_batch_fused` (which
+        shares this solver's cache, metrics and retry policy) and maps its
+        outcomes onto :class:`BatchItemResult` with the same ``batch.*``
+        counters the per-item executors emit.
+        """
+        from repro.service.fused import solve_batch_fused
+
+        outcomes = solve_batch_fused(
+            assertion_sets,
+            sampler_factory=self.sampler_factory,
+            num_reads=self.num_reads,
+            seed=self.seed,
+            sampler_params=self.sampler_params,
+            penalty_strength=self.penalty_strength,
+            policy=self.policy,
+            cache=self.cache,
+            metrics=self.metrics,
+            tile_max=self.tile_max,
+            solve_params=solve_params,
+        )
+        results: List[BatchItemResult] = []
+        for index, outcome in enumerate(outcomes):
+            self.metrics.counter("batch.items").inc()
+            item = BatchItemResult(
+                index=index,
+                result=outcome.result,
+                cache_hit=outcome.cache_hit,
+                wall_time=outcome.wall_time,
+                error=outcome.error,
+                error_type=outcome.error_type,
+            )
+            self.metrics.observe("batch.item_wall", item.wall_time)
+            self.metrics.counter(f"batch.{item.status}").inc()
+            results.append(item)
+        return results
 
     # ------------------------------------------------------------------ #
     # per-item work
