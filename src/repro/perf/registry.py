@@ -17,7 +17,11 @@ Suites map 1:1 onto the committed baseline files:
 * ``sparse``  → ``BENCH_sparse.json``  — the raw annealing kernels
   (dense vs CSR coupling forms) from PR 2;
 * ``service`` → ``BENCH_service.json`` — the batch service layer
-  (compile cache cold/warm, serial/threaded executors).
+  (compile cache cold/warm, serial/threaded executors);
+* ``incremental`` → ``BENCH_incremental.json`` — push/pop session
+  replay and the warm-vs-cold re-check pair backing the incremental
+  architecture's headline claim (warm re-check after a single-assert
+  change beats the from-scratch solve on the same instance).
 
 Workload kinds understood by the runner:
 
@@ -30,7 +34,9 @@ Workload kinds understood by the runner:
 * ``kernel`` — one :class:`SimulatedAnnealingSampler` call on a prebuilt
   model with a forced ``coupling_mode``;
 * ``batch``  — one :class:`~repro.service.batch.BatchSolver` batch over a
-  script workload, cold or warm compile cache.
+  script workload, cold or warm compile cache;
+* ``session`` — incremental :class:`~repro.smt.session.SolverSession`
+  workloads (``mode`` selects replay / cold_recheck / warm_recheck).
 """
 
 from __future__ import annotations
@@ -50,10 +56,10 @@ __all__ = [
 ]
 
 #: The tracked suites, one committed baseline file each.
-SUITES: Tuple[str, ...] = ("core", "sparse", "service", "tile")
+SUITES: Tuple[str, ...] = ("core", "sparse", "service", "tile", "incremental")
 
 #: Workload kinds the runner knows how to build.
-KINDS: Tuple[str, ...] = ("smt", "solve", "kernel", "batch")
+KINDS: Tuple[str, ...] = ("smt", "solve", "kernel", "batch", "session")
 
 
 def baseline_filename(suite: str) -> str:
@@ -328,4 +334,50 @@ register(BenchmarkSpec(
         "num_sweeps": 200, "seed": 2025, "tile_max": 16,
     },
     description="16-item batch fused block-diagonally (one kernel call/tile)",
+))
+
+# incremental — push/pop sessions: replay + warm-vs-cold re-check -------
+# The *-recheck pair shares one instance (base equality + one extra
+# length assert): the cold spec compiles and anneals base+extra from
+# scratch every repeat; the warm spec answers the identical state through
+# a primed session (re-push memo hit), which is the incremental
+# architecture's fast path. The gate claim is warm ≥ 3× faster than cold.
+
+_RECHECK_INSTANCE = {
+    "base": '(declare-const x String)(assert (= x "gold"))',
+    "extra": '(assert (= (str.len x) 4))',
+    "seed": 2025, "num_reads": 48, "num_sweeps": 400,
+}
+
+register(BenchmarkSpec(
+    name="incremental",
+    suite="incremental",
+    kind="session",
+    params={
+        "mode": "replay", "instances": 3, "queries": 4,
+        "min_length": 3, "max_length": 4, "max_constraints": 2,
+        "gen_seed": 17, "solver_seed": 2025,
+        "num_reads": 32, "num_sweeps": 300,
+    },
+    description="replay 3 generated push/pop sessions (4 queries each) "
+    "through SolverSession",
+))
+
+register(BenchmarkSpec(
+    name="incremental-cold-recheck",
+    suite="incremental",
+    kind="session",
+    params=dict(_RECHECK_INSTANCE, mode="cold_recheck"),
+    description="from-scratch compile+anneal of base+extra after a "
+    "single-assert change",
+))
+
+register(BenchmarkSpec(
+    name="incremental-warm-recheck",
+    suite="incremental",
+    kind="session",
+    params=dict(_RECHECK_INSTANCE, mode="warm_recheck"),
+    description="session re-check of the same change "
+    "(push/assert/check/pop on warm caches)",
+    tolerance=3.0,
 ))

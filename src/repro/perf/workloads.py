@@ -257,11 +257,130 @@ def _build_batch(spec: BenchmarkSpec) -> Workload:
     return Workload(spec, run, metadata)
 
 
+def _result_fingerprint(result) -> Dict[str, Any]:
+    """Deterministic projection of one :class:`SmtResult`."""
+    return {
+        "status": str(result.status),
+        "model": dict(sorted(result.model.items())),
+        "energies": {
+            name: round(float(r.energy), _ENERGY_DECIMALS)
+            for name, r in sorted(result.solve_results.items())
+        },
+    }
+
+
+def _build_session(spec: BenchmarkSpec) -> Workload:
+    from repro.service import CompileCache
+    from repro.smt.generator import InstanceGenerator
+    from repro.smt.session import SolverSession
+
+    p = dict(spec.params)
+    mode = str(p["mode"])
+
+    if mode == "replay":
+        generator = InstanceGenerator(
+            min_length=int(p["min_length"]),
+            max_length=int(p["max_length"]),
+            max_constraints=int(p["max_constraints"]),
+            seed=int(p["gen_seed"]),
+            sessions=int(p["queries"]),
+        )
+        instances = [generator.generate() for _ in range(int(p["instances"]))]
+        scripts = [inst.script for inst in instances]
+        metadata = {
+            "instances": len(scripts),
+            "queries": sum(len(inst.expected_statuses) for inst in instances),
+            "scripts_digest": round_trip_digest(*scripts),
+        }
+
+        def run(metrics: MetricsRegistry) -> Dict[str, Any]:
+            fingerprints: List[List[Dict[str, Any]]] = []
+            for script in scripts:
+                session = SolverSession(
+                    num_reads=int(p["num_reads"]),
+                    seed=int(p["solver_seed"]),
+                    sampler_params={"num_sweeps": int(p["num_sweeps"])},
+                    metrics=metrics,
+                )
+                results = session.run_script_text(script)
+                fingerprints.append(
+                    [_result_fingerprint(r) for r in results]
+                )
+            return {
+                "scripts_digest": metadata["scripts_digest"],
+                "queries": fingerprints,
+            }
+
+        return Workload(spec, run, metadata)
+
+    if mode not in ("cold_recheck", "warm_recheck"):
+        raise ValueError(f"unknown session workload mode {mode!r}")
+
+    base = str(p["base"])
+    extra = str(p["extra"])
+    solver_kwargs = dict(
+        num_reads=int(p["num_reads"]),
+        seed=int(p["seed"]),
+        sampler_params={"num_sweeps": int(p["num_sweeps"])},
+    )
+    metadata = {
+        "mode": mode,
+        "scripts_digest": round_trip_digest(base, extra),
+    }
+
+    if mode == "cold_recheck":
+        # From-scratch reference: each timed repeat compiles and anneals
+        # the changed conjunction (base + extra) with a fresh solver and a
+        # fresh cache, exactly what a non-incremental client pays.
+
+        def run(metrics: MetricsRegistry) -> Dict[str, Any]:
+            session = SolverSession(
+                cache=CompileCache(maxsize=8), metrics=metrics, **solver_kwargs
+            )
+            session.assert_text(base)
+            session.push()
+            session.assert_text(extra)
+            result = session.check_sat()
+            return {
+                "scripts_digest": metadata["scripts_digest"],
+                "result": _result_fingerprint(result),
+            }
+
+        return Workload(spec, run, metadata)
+
+    # warm_recheck: one shared session primed untimed at build — the base
+    # state and the base+extra state are both solved once here — so every
+    # timed repeat measures the incremental fast path: push, re-assert the
+    # change, answer from the per-state memo, pop.
+    shared = SolverSession(
+        cache=CompileCache(maxsize=8), metrics=MetricsRegistry(), **solver_kwargs
+    )
+    shared.assert_text(base)
+    shared.check_sat()
+    shared.push()
+    shared.assert_text(extra)
+    shared.check_sat()
+    shared.pop()
+
+    def run(metrics: MetricsRegistry) -> Dict[str, Any]:
+        shared.push()
+        shared.assert_text(extra)
+        result = shared.check_sat()
+        shared.pop()
+        return {
+            "scripts_digest": metadata["scripts_digest"],
+            "result": _result_fingerprint(result),
+        }
+
+    return Workload(spec, run, metadata)
+
+
 _BUILDERS: Dict[str, Callable[[BenchmarkSpec], Workload]] = {
     "smt": _build_smt,
     "solve": _build_solve,
     "kernel": _build_kernel,
     "batch": _build_batch,
+    "session": _build_session,
 }
 
 

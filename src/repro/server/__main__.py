@@ -110,6 +110,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-size", type=int, default=256, help="compile-cache entries"
     )
+    parser.add_argument(
+        "--session-idle-timeout",
+        type=float,
+        default=300.0,
+        help="seconds a sticky /session/* session may idle before expiry",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="live sticky sessions allowed at once (typed 'overloaded' beyond)",
+    )
+    parser.add_argument(
+        "--session-warm",
+        action="store_true",
+        help="enable session warm starts (previous-model re-verification + "
+        "annealer initial_states seeding; trades bit-identity with a fresh "
+        "solver for repeat-solve speed)",
+    )
     return parser
 
 
@@ -135,6 +154,9 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         max_attempts=args.max_attempts,
         penalty_strength=args.penalty,
         cache_size=args.cache_size,
+        session_idle_timeout=args.session_idle_timeout,
+        max_sessions=args.max_sessions,
+        session_warm_start=args.session_warm,
     )
 
 

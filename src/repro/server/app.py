@@ -51,14 +51,21 @@ from repro.server.protocol import (
     ERROR_TOO_LARGE,
     ErrorInfo,
     ResponseEnvelope,
+    SessionRequest,
     SolveRequest,
     locate_parse_error,
+)
+from repro.server.sessions import (
+    SessionGoneError,
+    SessionLimitError,
+    SessionManager,
 )
 from repro.server.workers import SolverWorkerPool
 from repro.service.cache import CompileCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.policy import RetryPolicy
 from repro.smt.parser import ParseError, parse_script
+from repro.smt.session import SessionError, SolverSession
 from repro.smt.sexpr import SExprError
 
 __all__ = ["BackgroundServer", "ServerConfig", "ServerState", "SolverServer"]
@@ -115,6 +122,16 @@ class ServerConfig:
     max_attempts: int = 3
     policy: Optional[RetryPolicy] = None
     cache_size: int = 256
+    #: Sticky ``/session/*`` sessions: idle sessions expire after this many
+    #: seconds (lazily, never mid-solve).
+    session_idle_timeout: float = 300.0
+    #: Live sessions allowed at once; /session/open past the limit is
+    #: rejected with a typed ``overloaded`` envelope.
+    max_sessions: int = 64
+    #: Opt sessions into warm starts (previous-model re-verification +
+    #: initial_states seeding). Off by default: warm mode trades the
+    #: bit-identity-with-fresh-solver contract for repeat-solve speed.
+    session_warm_start: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -150,6 +167,15 @@ class ServerConfig:
         if self.idle_timeout <= 0:
             raise ValueError(
                 f"idle_timeout must be positive, got {self.idle_timeout}"
+            )
+        if self.session_idle_timeout <= 0:
+            raise ValueError(
+                f"session_idle_timeout must be positive, got "
+                f"{self.session_idle_timeout}"
+            )
+        if self.max_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
             )
 
 
@@ -208,6 +234,15 @@ class SolverServer:
                 batch_window_ms=self.config.batch_window_ms,
                 batch_max=self.config.batch_max,
             )
+        # Sticky sessions always solve on the event-loop process (thread
+        # executor) against the shared compile cache, whatever the /solve
+        # backend — process workers cannot hold live Python sessions.
+        self.sessions = SessionManager(
+            factory=self._new_session,
+            idle_timeout=self.config.session_idle_timeout,
+            max_sessions=self.config.max_sessions,
+            metrics=self.metrics,
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[asyncio.Task] = set()
         #: Connection tasks currently *inside* a request (parse → dispatch →
@@ -216,6 +251,20 @@ class SolverServer:
         self._active_requests: Set[asyncio.Task] = set()
         self._stopped = asyncio.Event()
         self._started_at = 0.0
+
+    def _new_session(self) -> SolverSession:
+        return SolverSession(
+            num_reads=self.config.num_reads,
+            seed=self.config.seed,
+            sampler_params=self.config.sampler_params,
+            sampler_factory=self.config.sampler_factory,
+            max_attempts=self.config.max_attempts,
+            penalty_strength=self.config.penalty_strength,
+            retry_policy=self.config.policy,
+            cache=self.cache,
+            warm_start=self.config.session_warm_start,
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -270,6 +319,10 @@ class SolverServer:
             # ``close()`` alone stops the listener from accepting.
 
         drained = await self.queue.wait_idle(timeout=self.config.drain_timeout)
+        # Sticky sessions: close every live session, waiting out any check
+        # still running on the executor (bounded by the drain above — new
+        # session work was already rejected as draining).
+        await self.sessions.close_all()
         # Idle keep-alive connections sit blocked in ``read_request`` and
         # would pin the shutdown forever if left alone — close them first
         # (they are between requests; cancelling loses nothing).
@@ -477,6 +530,27 @@ class SolverServer:
                 envelope.http_status,
                 "application/json",
             )
+        if path.startswith("/session/"):
+            op = path[len("/session/"):]
+            if op in ("open", "assert", "push", "pop", "check", "close"):
+                if request.method != "POST":
+                    envelope = ResponseEnvelope.failure(
+                        ErrorInfo(
+                            type=ERROR_BAD_REQUEST,
+                            message=f"{path} requires POST, got {request.method}",
+                        )
+                    )
+                    return (
+                        envelope.to_json().encode("utf-8"),
+                        405,
+                        "application/json",
+                    )
+                envelope = await self._session_endpoint(request, op)
+                return (
+                    envelope.to_json().encode("utf-8"),
+                    envelope.http_status,
+                    "application/json",
+                )
         body = json.dumps(
             {"error": {"type": "not_found", "message": f"no route for {path}"}},
             sort_keys=True,
@@ -509,6 +583,7 @@ class SolverServer:
                 "uptime_s": round(self.uptime, 3),
                 **self.queue.snapshot(),
             },
+            "sessions": self.sessions.snapshot(),
             "cache": {
                 "hits": stats.hits,
                 "misses": stats.misses,
@@ -630,6 +705,250 @@ class SolverServer:
             solve_ms=solve_ms,
             request_id=solve_request.request_id,
         )
+
+
+    # ------------------------------------------------------------------ #
+    # sticky sessions (/session/*)
+    # ------------------------------------------------------------------ #
+
+    async def _session_endpoint(
+        self, request: httpio.HttpRequest, op: str
+    ) -> ResponseEnvelope:
+        self.metrics.counter("server.requests").inc()
+        try:
+            return await self._session_inner(request, op)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — keep the accounting identity
+            self.metrics.counter("server.internal").inc()
+            return ResponseEnvelope.failure(
+                ErrorInfo(
+                    type=ERROR_INTERNAL, message=f"{type(exc).__name__}: {exc}"
+                )
+            )
+
+    def _session_reject(
+        self, error_type: str, message: str, *, request_id: Optional[str] = None
+    ) -> ResponseEnvelope:
+        counter = {
+            ERROR_BAD_REQUEST: "server.rejected.bad_request",
+            ERROR_DRAINING: "server.rejected.draining",
+            ERROR_OVERLOADED: "server.rejected.overloaded",
+        }[error_type]
+        self.metrics.counter(counter).inc()
+        return ResponseEnvelope.failure(
+            ErrorInfo(type=error_type, message=message), request_id=request_id
+        )
+
+    async def _session_inner(
+        self, request: httpio.HttpRequest, op: str
+    ) -> ResponseEnvelope:
+        try:
+            req = SessionRequest.from_body(request.body, request.content_type)
+        except ValueError as exc:
+            return self._session_reject(ERROR_BAD_REQUEST, str(exc))
+        rid = req.request_id or req.session_id
+
+        if op == "open":
+            if self.state is not ServerState.SERVING:
+                return self._session_reject(
+                    ERROR_DRAINING,
+                    "server is draining; not opening new sessions",
+                    request_id=rid,
+                )
+            try:
+                managed = self.sessions.open(req.session_id)
+            except SessionLimitError as exc:
+                return self._session_reject(
+                    ERROR_OVERLOADED, str(exc), request_id=rid
+                )
+            except ValueError as exc:
+                return self._session_reject(
+                    ERROR_BAD_REQUEST, str(exc), request_id=rid
+                )
+            self.metrics.counter("server.completed").inc()
+            return ResponseEnvelope.success(
+                "open", request_id=req.request_id or managed.session_id
+            )
+
+        # Every other op addresses an existing session.
+        if not req.session_id:
+            return self._session_reject(
+                ERROR_BAD_REQUEST,
+                f"/session/{op} needs a 'session' id",
+                request_id=rid,
+            )
+        try:
+            managed = self.sessions.get(req.session_id)
+        except SessionGoneError as exc:
+            return self._session_reject(ERROR_BAD_REQUEST, str(exc), request_id=rid)
+
+        if op == "close":
+            # Drain-aware: close is allowed in every state and waits out a
+            # check still running on the executor before acknowledging.
+            self.sessions.close(req.session_id)
+            async with managed.lock:
+                pass
+            self.metrics.counter("server.completed").inc()
+            return ResponseEnvelope.success(
+                "closed",
+                reason=f"depth={managed.session.depth}",
+                request_id=rid,
+            )
+
+        if op == "check":
+            return await self._session_check(managed, req)
+
+        # Mutations (assert/push/pop): rejected while draining, serialized
+        # against any in-flight check by the session lock.
+        if self.state is not ServerState.SERVING:
+            return self._session_reject(
+                ERROR_DRAINING,
+                "server is draining; not accepting session mutations",
+                request_id=rid,
+            )
+        async with managed.lock:
+            session = managed.session
+            if op == "assert":
+                try:
+                    added = session.assert_text(req.script)
+                except (ParseError, SExprError) as exc:
+                    self.metrics.counter("server.rejected.parse").inc()
+                    return ResponseEnvelope.failure(
+                        locate_parse_error(req.script, exc), request_id=rid
+                    )
+                except SessionError as exc:
+                    return self._session_reject(
+                        ERROR_BAD_REQUEST, str(exc), request_id=rid
+                    )
+                reason = f"depth={session.depth} added={added}"
+            elif op == "push":
+                session.push(req.levels)
+                reason = f"depth={session.depth}"
+            else:  # pop
+                try:
+                    session.pop(req.levels)
+                except SessionError as exc:
+                    return self._session_reject(
+                        ERROR_BAD_REQUEST, str(exc), request_id=rid
+                    )
+                reason = f"depth={session.depth}"
+            managed.touch()
+        self.metrics.counter("server.completed").inc()
+        return ResponseEnvelope.success("ok", reason=reason, request_id=rid)
+
+    async def _session_check(
+        self, managed, req: SessionRequest
+    ) -> ResponseEnvelope:
+        rid = req.request_id or req.session_id
+        deadline_ms = (
+            req.deadline_ms if req.deadline_ms is not None else self.config.deadline_ms
+        )
+        deadline = time.monotonic() + deadline_ms / 1000.0
+
+        try:
+            self.queue.try_admit()
+        except OverloadedError as exc:
+            return ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_OVERLOADED, message=str(exc)), request_id=rid
+            )
+        except DrainingError as exc:
+            return ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_DRAINING, message=str(exc)), request_id=rid
+            )
+
+        queue_timer = time.monotonic()
+        try:
+            await self.queue.acquire_slot(deadline - time.monotonic())
+        except DeadlineExceededError as exc:
+            return ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_TIMEOUT, message=str(exc)),
+                status="timeout",
+                queue_ms=(time.monotonic() - queue_timer) * 1000.0,
+                request_id=rid,
+            )
+        except asyncio.CancelledError:
+            self.metrics.counter("server.cancelled").inc()
+            raise
+
+        solve_timer = time.monotonic()
+        try:
+            # Serialize against mutations and concurrent checks on the same
+            # session; bound the lock wait by the remaining deadline.
+            try:
+                await asyncio.wait_for(
+                    managed.lock.acquire(), timeout=deadline - time.monotonic()
+                )
+            except asyncio.TimeoutError:
+                self.metrics.counter("server.timeout").inc()
+                self.metrics.counter("server.timeout.queued").inc()
+                return ResponseEnvelope.failure(
+                    ErrorInfo(
+                        type=ERROR_TIMEOUT,
+                        message="deadline exceeded waiting on the session lock",
+                    ),
+                    status="timeout",
+                    queue_ms=(time.monotonic() - queue_timer) * 1000.0,
+                    request_id=rid,
+                )
+            queue_ms = (time.monotonic() - queue_timer) * 1000.0
+            session = managed.session
+            hits_before = session.stats.memo_hits + session.stats.warm_hits
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(None, session.check_sat)
+            # The lock is released when the *thread* finishes — even if the
+            # await below times out first — so a straggling solve can never
+            # race a later mutation, and expiry (which skips locked
+            # sessions) can never reap a session mid-solve.
+            future.add_done_callback(lambda _f: self._release_session(managed))
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=deadline - time.monotonic()
+                )
+            except asyncio.TimeoutError:
+                self.metrics.counter("server.timeout").inc()
+                self.metrics.counter("server.timeout.solving").inc()
+                return ResponseEnvelope.failure(
+                    ErrorInfo(
+                        type=ERROR_TIMEOUT,
+                        message=(
+                            f"deadline exceeded after {deadline_ms:.0f} ms "
+                            "(session check still completing in background)"
+                        ),
+                    ),
+                    status="timeout",
+                    queue_ms=queue_ms,
+                    solve_ms=(time.monotonic() - solve_timer) * 1000.0,
+                    request_id=rid,
+                )
+            except asyncio.CancelledError:
+                self.metrics.counter("server.cancelled").inc()
+                raise
+        finally:
+            self.queue.release_slot()
+
+        solve_ms = (time.monotonic() - solve_timer) * 1000.0
+        cache_hit = (
+            session.stats.memo_hits + session.stats.warm_hits > hits_before
+        )
+        self.metrics.counter("server.completed").inc()
+        self.metrics.counter(f"server.status.{result.status}").inc()
+        self.metrics.observe("server.queue_wait", queue_ms / 1000.0)
+        self.metrics.observe("server.solve_wall", solve_ms / 1000.0)
+        return ResponseEnvelope.success(
+            result.status,
+            result.model,
+            reason=result.reason or f"depth={session.depth}",
+            cache_hit=cache_hit,
+            queue_ms=queue_ms,
+            solve_ms=solve_ms,
+            request_id=rid,
+        )
+
+    def _release_session(self, managed) -> None:
+        managed.touch()
+        if managed.lock.locked():
+            managed.lock.release()
 
 
 # --------------------------------------------------------------------- #

@@ -256,6 +256,52 @@ class SolverClient:
         _status, payload = self._request("GET", "/metrics")
         return payload.decode("utf-8")
 
+    # -------------------------------------------------------------- #
+    # sticky sessions (/session/*)
+    # -------------------------------------------------------------- #
+
+    def _session_request(
+        self, op: str, payload: Dict[str, Any]
+    ) -> SolveReply:
+        body = json.dumps(
+            {k: v for k, v in payload.items() if v is not None}
+        ).encode("utf-8")
+        status, reply = self._request(
+            "POST", f"/session/{op}", body, "application/json"
+        )
+        return _parse_reply(status, reply)
+
+    def session_open(self, *, session_id: Optional[str] = None) -> SolveReply:
+        """Open a sticky session; the reply's ``id`` is the session id."""
+        return self._session_request("open", {"session": session_id})
+
+    def session_assert(self, session_id: str, script: str) -> SolveReply:
+        """Add declare-const/assert commands to the session's top frame."""
+        return self._session_request(
+            "assert", {"session": session_id, "script": script}
+        )
+
+    def session_push(self, session_id: str, levels: int = 1) -> SolveReply:
+        return self._session_request(
+            "push", {"session": session_id, "levels": levels}
+        )
+
+    def session_pop(self, session_id: str, levels: int = 1) -> SolveReply:
+        return self._session_request(
+            "pop", {"session": session_id, "levels": levels}
+        )
+
+    def session_check(
+        self, session_id: str, *, deadline_ms: Optional[float] = None
+    ) -> SolveReply:
+        """Check-sat the session's flattened frame stack."""
+        return self._session_request(
+            "check", {"session": session_id, "deadline_ms": deadline_ms}
+        )
+
+    def session_close(self, session_id: str) -> SolveReply:
+        return self._session_request("close", {"session": session_id})
+
 
 # --------------------------------------------------------------------- #
 # asyncio client

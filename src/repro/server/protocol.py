@@ -62,6 +62,7 @@ __all__ = [
     "ERROR_UPSTREAM",
     "ErrorInfo",
     "ResponseEnvelope",
+    "SessionRequest",
     "SolveRequest",
     "http_status_for",
     "locate_parse_error",
@@ -152,6 +153,73 @@ class SolveRequest:
         if request_id is not None and not isinstance(request_id, str):
             raise ValueError(f"request id must be a string, got {request_id!r}")
         return cls(script=script, deadline_ms=deadline_ms, request_id=request_id)
+
+
+@dataclass
+class SessionRequest:
+    """One parsed ``/session/*`` request body (always JSON).
+
+    All fields are optional at the wire level — which ones an operation
+    requires is the endpoint's decision (``open`` needs nothing, every
+    other op needs ``session``; ``assert`` needs ``script``; ``push`` /
+    ``pop`` read ``levels``). An empty body is a valid ``open``.
+    """
+
+    session_id: Optional[str] = None
+    script: str = ""
+    levels: int = 1
+    deadline_ms: Optional[float] = None
+    request_id: Optional[str] = None
+
+    #: Sanity cap on push/pop levels per request (a frame costs memory).
+    MAX_LEVELS = 1024
+
+    @classmethod
+    def from_body(cls, body: bytes, content_type: str = "") -> "SessionRequest":
+        """Decode a session request body; ``ValueError`` on malformed input."""
+        text = body.decode("utf-8", errors="replace")
+        if not text.strip():
+            return cls()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"JSON request body must be an object, got {type(payload).__name__}"
+            )
+        session_id = payload.get("session")
+        if session_id is not None and not isinstance(session_id, str):
+            raise ValueError(f"session must be a string, got {session_id!r}")
+        script = payload.get("script", "")
+        if not isinstance(script, str):
+            raise ValueError(f"script must be a string, got {script!r}")
+        levels = payload.get("levels", 1)
+        if (
+            isinstance(levels, bool)
+            or not isinstance(levels, int)
+            or not (0 <= levels <= cls.MAX_LEVELS)
+        ):
+            raise ValueError(
+                f"levels must be an integer in [0, {cls.MAX_LEVELS}], got {levels!r}"
+            )
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                raise ValueError(
+                    f"deadline_ms must be a positive number, got {deadline_ms!r}"
+                )
+            deadline_ms = float(deadline_ms)
+        request_id = payload.get("id")
+        if request_id is not None and not isinstance(request_id, str):
+            raise ValueError(f"request id must be a string, got {request_id!r}")
+        return cls(
+            session_id=session_id,
+            script=script,
+            levels=levels,
+            deadline_ms=deadline_ms,
+            request_id=request_id,
+        )
 
 
 # --------------------------------------------------------------------- #

@@ -50,6 +50,7 @@ import subprocess
 import sys
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -72,6 +73,7 @@ __all__ = [
     "ShardRouter",
     "ShardSpec",
     "aggregate_metrics",
+    "session_shard_key",
     "shard_key",
     "shard_index",
 ]
@@ -104,6 +106,18 @@ def shard_key(script: str) -> str:
         return compile_cache_key(parsed.assertions)
     except Exception:  # noqa: BLE001 — unparseable input still routes
         return hashlib.sha256(script.encode("utf-8")).hexdigest()
+
+
+def session_shard_key(session_id: str) -> str:
+    """The routing hash of one sticky session id (hex sha256).
+
+    Sessions are **server-side state**: every ``/session/*`` request with
+    the same id must land on the shard holding the live
+    :class:`~repro.smt.session.SolverSession`, so placement hashes the id
+    itself — never the request content. Same stability contract as
+    :func:`shard_key`: sha256, never ``hash()``.
+    """
+    return hashlib.sha256(session_id.encode("utf-8")).hexdigest()
 
 
 def shard_index(key: str, num_shards: int) -> int:
@@ -426,9 +440,14 @@ class ShardRouter:
                 pass
 
     async def _forward_solve(
-        self, spec: ShardSpec, body: bytes, content_type: str, timeout: float
+        self,
+        spec: ShardSpec,
+        body: bytes,
+        content_type: str,
+        timeout: float,
+        path: str = "/solve",
     ) -> Tuple[int, bytes]:
-        """Proxy one ``/solve`` body; typed exceptions split the retry rule."""
+        """Proxy one POST body to *path*; typed exceptions split the retry rule."""
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(spec.host, spec.port),
@@ -440,7 +459,7 @@ class ShardRouter:
             writer.write(
                 httpio.render_request(
                     "POST",
-                    "/solve",
+                    path,
                     body,
                     host=str(spec),
                     content_type=content_type,
@@ -546,6 +565,93 @@ class ShardRouter:
         )
         return envelope.to_json().encode("utf-8"), envelope.http_status, "application/json"
 
+    async def _route_session(
+        self, request: httpio.HttpRequest, op: str
+    ) -> Tuple[bytes, int, str]:
+        """Sticky routing for ``/session/*``: the id pins the shard.
+
+        Placement hashes the session id (injected here on an id-less
+        ``open``, so the client's reply and every follow-up use the same
+        id). There is **no fail-over**: the session state lives on exactly
+        one shard, so a down shard is an ``upstream`` error — replaying
+        the op elsewhere would silently run against a fresh empty session.
+        """
+        self.metrics.counter("router.requests").inc()
+        if self.state is not RouterState.SERVING:
+            self.metrics.counter("router.rejected.draining").inc()
+            envelope = ResponseEnvelope.failure(
+                ErrorInfo(
+                    type=ERROR_DRAINING,
+                    message="router is draining; not accepting new requests",
+                )
+            )
+            return envelope.to_json().encode("utf-8"), envelope.http_status, "application/json"
+
+        text = request.body.decode("utf-8", errors="replace")
+        try:
+            payload = json.loads(text) if text.strip() else {}
+        except json.JSONDecodeError as exc:
+            payload = None
+            bad = f"request body is not valid JSON: {exc}"
+        else:
+            bad = "" if isinstance(payload, dict) else (
+                f"JSON request body must be an object, got {type(payload).__name__}"
+            )
+        session_id = payload.get("session") if isinstance(payload, dict) else None
+        if not bad and session_id is not None and not isinstance(session_id, str):
+            bad = f"session must be a string, got {session_id!r}"
+        if not bad and not session_id:
+            if op == "open":
+                # Inject the id here so the sticky placement decision and
+                # the id the client learns are the same thing.
+                session_id = uuid.uuid4().hex
+                payload["session"] = session_id
+            else:
+                bad = f"/session/{op} needs a 'session' id"
+        if bad:
+            self.metrics.counter("router.rejected.bad_request").inc()
+            envelope = ResponseEnvelope.failure(
+                ErrorInfo(type=ERROR_BAD_REQUEST, message=bad)
+            )
+            return envelope.to_json().encode("utf-8"), envelope.http_status, "application/json"
+
+        body = json.dumps(payload).encode("utf-8")
+        index = shard_index(session_shard_key(session_id), len(self.shards))
+        state = self.shards[index]
+        timeout = self.config.upstream_timeout
+        deadline_ms = payload.get("deadline_ms")
+        if isinstance(deadline_ms, (int, float)) and deadline_ms > 0:
+            timeout = min(timeout, float(deadline_ms) / 1000.0 + 15.0)
+        try:
+            status, reply = await self._forward_solve(
+                state.spec,
+                body,
+                "application/json",
+                timeout,
+                path=f"/session/{op}",
+            )
+        except (_ShardDown, _ShardMidRequest) as exc:
+            state.mark_down(str(exc))
+            self.metrics.counter("router.upstream_errors").inc()
+            envelope = ResponseEnvelope.failure(
+                ErrorInfo(
+                    type=ERROR_UPSTREAM,
+                    message=(
+                        f"session shard {state.spec} (shard_{index}) "
+                        f"unavailable: {exc}"
+                    ),
+                ),
+                request_id=session_id,
+            )
+            return (
+                envelope.to_json().encode("utf-8"),
+                envelope.http_status,
+                "application/json",
+            )
+        self.metrics.counter("router.forwarded").inc()
+        self.metrics.counter(f"router.shard.{index}.forwarded").inc()
+        return reply, status, "application/json"
+
     # -------------------------------------------------------------- #
     # endpoints
     # -------------------------------------------------------------- #
@@ -625,6 +731,18 @@ class ShardRouter:
                 )
                 return envelope.to_json().encode("utf-8"), 405, "application/json"
             return await self._route_solve(request)
+        if path.startswith("/session/"):
+            op = path[len("/session/"):]
+            if op in ("open", "assert", "push", "pop", "check", "close"):
+                if request.method != "POST":
+                    envelope = ResponseEnvelope.failure(
+                        ErrorInfo(
+                            type=ERROR_BAD_REQUEST,
+                            message=f"{path} requires POST, got {request.method}",
+                        )
+                    )
+                    return envelope.to_json().encode("utf-8"), 405, "application/json"
+                return await self._route_session(request, op)
         body = json.dumps(
             {"error": {"type": "not_found", "message": f"no route for {path}"}},
             sort_keys=True,

@@ -1,0 +1,205 @@
+"""Sticky server-side solving sessions (the ``/session/*`` endpoints).
+
+A :class:`SessionManager` owns the living
+:class:`~repro.smt.session.SolverSession` objects behind the server's
+``/session/open|assert|push|pop|check|close`` routes: bounded in number,
+expired after idling, each protected by an :class:`asyncio.Lock` so a
+mutation can never race a check in flight on the executor.
+
+Expiry is **lazy and solve-safe**: :meth:`SessionManager.sweep` runs at
+every manager touch-point, and a session whose lock is held (a ``check``
+is running on a worker thread) is never expired mid-solve — it becomes
+eligible once the solve finishes and the lock is released. Closed and
+expired ids are remembered in a bounded tombstone ring so clients get a
+precise ``bad_request`` ("session expired" vs "unknown session") instead
+of a generic miss.
+
+Sessions are event-loop-process state: session checks always execute on
+the loop's thread executor against the server's shared
+:class:`~repro.service.cache.CompileCache`, independent of the configured
+``/solve`` backend (process workers cannot hold sticky Python sessions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro.service.metrics import MetricsRegistry
+from repro.smt.session import SolverSession
+
+__all__ = ["ManagedSession", "SessionGoneError", "SessionLimitError", "SessionManager"]
+
+#: Remembered closed/expired session ids (for precise error messages).
+_TOMBSTONE_LIMIT = 256
+
+
+class SessionGoneError(KeyError):
+    """The session id is not live: unknown, expired, or closed."""
+
+    def __init__(self, session_id: str, reason: str) -> None:
+        super().__init__(session_id)
+        self.session_id = session_id
+        self.reason = reason
+
+    def __str__(self) -> str:
+        if self.reason == "unknown":
+            return f"unknown session {self.session_id!r}"
+        return f"session {self.session_id!r} is {self.reason}"
+
+
+class SessionLimitError(RuntimeError):
+    """``max_sessions`` live sessions already exist."""
+
+
+class ManagedSession:
+    """One live session plus its bookkeeping (lock, id, idle clock)."""
+
+    __slots__ = ("session_id", "session", "lock", "last_used", "opened_at")
+
+    def __init__(self, session_id: str, session: SolverSession) -> None:
+        self.session_id = session_id
+        self.session = session
+        self.lock = asyncio.Lock()
+        self.opened_at = time.monotonic()
+        self.last_used = self.opened_at
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    @property
+    def idle_for(self) -> float:
+        return time.monotonic() - self.last_used
+
+
+class SessionManager:
+    """Bounded registry of live sessions with idle expiry and tombstones."""
+
+    def __init__(
+        self,
+        *,
+        factory: Callable[[], SolverSession],
+        idle_timeout: float = 300.0,
+        max_sessions: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.factory = factory
+        self.idle_timeout = idle_timeout
+        self.max_sessions = max_sessions
+        self.metrics = metrics
+        self._sessions: Dict[str, ManagedSession] = {}
+        self._tombstones: "OrderedDict[str, str]" = OrderedDict()
+        self.opened = 0
+        self.closed = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _bury(self, session_id: str, reason: str) -> None:
+        self._tombstones[session_id] = reason
+        self._tombstones.move_to_end(session_id)
+        while len(self._tombstones) > _TOMBSTONE_LIMIT:
+            self._tombstones.popitem(last=False)
+
+    def sweep(self) -> int:
+        """Expire idle sessions; returns how many were expired.
+
+        A locked session (check in flight on the executor) is skipped —
+        never expire a session mid-solve — and becomes eligible on the
+        next sweep after its lock is released.
+        """
+        expired = [
+            ms.session_id
+            for ms in self._sessions.values()
+            if ms.idle_for > self.idle_timeout and not ms.lock.locked()
+        ]
+        for session_id in expired:
+            del self._sessions[session_id]
+            self._bury(session_id, "expired")
+            self.expired += 1
+            self._count("server.sessions.expired")
+        return len(expired)
+
+    # ------------------------------------------------------------------ #
+
+    def open(self, session_id: Optional[str] = None) -> ManagedSession:
+        """Create a session; generates an id when none is supplied."""
+        self.sweep()
+        if session_id is None:
+            session_id = uuid.uuid4().hex
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        if len(self._sessions) >= self.max_sessions:
+            raise SessionLimitError(
+                f"session limit reached ({self.max_sessions} live sessions)"
+            )
+        managed = ManagedSession(session_id, self.factory())
+        self._sessions[session_id] = managed
+        self._tombstones.pop(session_id, None)
+        self.opened += 1
+        self._count("server.sessions.opened")
+        return managed
+
+    def get(self, session_id: str) -> ManagedSession:
+        """The live session for *session_id*; touches its idle clock."""
+        self.sweep()
+        managed = self._sessions.get(session_id)
+        if managed is None:
+            raise SessionGoneError(
+                session_id, self._tombstones.get(session_id, "unknown")
+            )
+        managed.touch()
+        return managed
+
+    def close(self, session_id: str) -> ManagedSession:
+        """Remove the session from the registry (caller may still hold it)."""
+        self.sweep()
+        managed = self._sessions.pop(session_id, None)
+        if managed is None:
+            raise SessionGoneError(
+                session_id, self._tombstones.get(session_id, "unknown")
+            )
+        self._bury(session_id, "closed")
+        self.closed += 1
+        self._count("server.sessions.closed")
+        return managed
+
+    async def close_all(self) -> None:
+        """Drain-time teardown: close every session, waiting out live checks."""
+        for session_id in list(self._sessions):
+            try:
+                managed = self.close(session_id)
+            except SessionGoneError:
+                continue
+            async with managed.lock:
+                pass
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active(self) -> int:
+        return len(self._sessions)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Gauges + counters for the ``/metrics`` sessions section."""
+        busy = sum(1 for ms in self._sessions.values() if ms.lock.locked())
+        return {
+            "active": len(self._sessions),
+            "busy": busy,
+            "opened": self.opened,
+            "closed": self.closed,
+            "expired": self.expired,
+            "max_sessions": self.max_sessions,
+            "idle_timeout_s": self.idle_timeout,
+        }

@@ -75,7 +75,16 @@ class CompositeFormulation(StringFormulation):
         super().__init__(penalty_strength=children[0].penalty_strength)
         self.variable = variable
         self.children = list(children)
-        self.string_bits = min(c.build_model().num_variables for c in children)
+        # Children that carry auxiliary bits advertise their true string
+        # prefix via ``num_string_bits``; for the rest the model width IS
+        # the prefix. Taking the min over raw widths alone mis-sizes the
+        # prefix when *every* child has ancillas (e.g. two not-equals
+        # constraints on one variable) and decode then slices aux bits
+        # into the string.
+        self.string_bits = min(
+            getattr(c, "num_string_bits", None) or c.build_model().num_variables
+            for c in children
+        )
 
     def _build(self) -> QuboModel:
         from repro.qubo.algebra import relabel_variables

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.smt import ast
-from repro.smt.printer import render_script
+from repro.smt.printer import render_assertion, render_script
 from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["InstanceGenerator", "GeneratedInstance", "ALL_OPS"]
@@ -74,6 +74,10 @@ class GeneratedInstance:
     satisfiable: bool = True
     #: Names of the constraint operators drawn for this instance.
     ops: List[str] = field(default_factory=list)
+    #: Session mode only: the expected status of each ``check-sat`` query
+    #: in ``script`` order (``"sat"``/``"unsat"``); empty for single-query
+    #: instances.
+    expected_statuses: List[str] = field(default_factory=list)
 
 
 class InstanceGenerator:
@@ -91,6 +95,12 @@ class InstanceGenerator:
         :data:`ALL_OPS`).
     seed:
         RNG seed.
+    sessions:
+        ``None`` (the default) keeps the historical single-query output —
+        the legacy RNG stream is byte-preserved. An int ``k >= 1`` switches
+        :meth:`generate` to **session mode**: multi-frame push/pop scripts
+        with exactly ``k`` ``check-sat`` queries and per-query expected
+        statuses (for fuzzing incremental solving).
     """
 
     def __init__(
@@ -100,6 +110,7 @@ class InstanceGenerator:
         max_constraints: int = 3,
         seed: SeedLike = None,
         ops: Optional[Sequence[str]] = None,
+        sessions: Optional[int] = None,
     ) -> None:
         if not (1 <= min_length <= max_length):
             raise ValueError(
@@ -123,6 +134,9 @@ class InstanceGenerator:
             if not ops:
                 raise ValueError("ops must not be empty")
             self.ops = tuple(ops)
+        if sessions is not None and sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {sessions}")
+        self.sessions = sessions
         self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------ #
@@ -132,7 +146,13 @@ class InstanceGenerator:
         return "".join(_ALPHABET[int(c)] for c in codes)
 
     def generate(self, variable: str = "x") -> GeneratedInstance:
-        """One satisfiable instance: plant a witness, describe it."""
+        """One instance: plant a witness, describe it.
+
+        In session mode (``sessions=k``) the instance is a multi-frame
+        push/pop script with ``k`` queries; see :meth:`_generate_session`.
+        """
+        if self.sessions is not None:
+            return self._generate_session(variable)
         rng = self._rng
         length = int(rng.integers(self.min_length, self.max_length + 1))
         witness = self._random_word(length)
@@ -216,6 +236,87 @@ class InstanceGenerator:
             script=render_script(assertions, {variable: ast.StringSort}),
             satisfiable=False,
             ops=ops_used,
+        )
+
+    # ------------------------------------------------------------------ #
+    # session mode: multi-frame push/pop scripts
+    # ------------------------------------------------------------------ #
+
+    def _witness_constraint(self, var: ast.StrVar, witness: str) -> Tuple[ast.Term, str]:
+        """One random witness-satisfying constraint (term, op name)."""
+        rng = self._rng
+        if self.ops is None:
+            pick = int(rng.integers(0, 5))
+            return (
+                self._constraint_from_witness(var, witness, pick),
+                _LEGACY_OPS[pick],
+            )
+        while True:
+            op = self.ops[int(rng.integers(0, len(self.ops)))]
+            term = self._op_constraint(op, var, witness)
+            if term is not None:
+                return term, op
+
+    def _generate_session(self, variable: str = "x") -> GeneratedInstance:
+        """A multi-frame script with exactly ``self.sessions`` queries.
+
+        The base frame plants a witness (length fact + witness-satisfying
+        constraints), so query 0 expects ``sat``. Each further query first
+        mutates the stack — push + satisfying extension, push + a planted
+        contradiction (two equalities to distinct same-length words, unsat
+        in any context), or pop — then checks. The expected status at each
+        query is ``unsat`` iff a contradiction frame is live, which the
+        frame bookkeeping tracks exactly.
+        """
+        rng = self._rng
+        queries = int(self.sessions or 1)
+        length = int(rng.integers(self.min_length, self.max_length + 1))
+        witness = self._random_word(length)
+        var = ast.StrVar(variable)
+        base: List[ast.Term] = [ast.Eq(ast.Length(var), ast.IntLit(length))]
+        ops_used: List[str] = ["length"]
+        for _ in range(int(rng.integers(1, self.max_constraints + 1))):
+            term, op = self._witness_constraint(var, witness)
+            base.append(term)
+            ops_used.append(op)
+
+        lines: List[str] = [f"(declare-const {variable} String)"]
+        lines.extend(render_assertion(term) for term in base)
+        lines.append("(check-sat)")
+        expected: List[str] = ["sat"]
+        # One bool per frame above the base: does it plant a contradiction?
+        contradicts: List[bool] = []
+        for _ in range(queries - 1):
+            action = int(rng.integers(0, 3))
+            if action == 2 and contradicts:
+                lines.append("(pop 1)")
+                contradicts.pop()
+            elif action == 1:
+                # Planted contradiction: x equals two distinct words.
+                a = self._random_word(length)
+                b = a
+                while b == a:
+                    b = self._random_word(length)
+                lines.append("(push 1)")
+                lines.append(render_assertion(ast.Eq(var, ast.StrLit(a))))
+                lines.append(render_assertion(ast.Eq(var, ast.StrLit(b))))
+                contradicts.append(True)
+                ops_used.extend(["equality", "equality"])
+            else:
+                term, op = self._witness_constraint(var, witness)
+                lines.append("(push 1)")
+                lines.append(render_assertion(term))
+                contradicts.append(False)
+                ops_used.append(op)
+            lines.append("(check-sat)")
+            expected.append("unsat" if any(contradicts) else "sat")
+        return GeneratedInstance(
+            assertions=base,
+            witness={variable: witness},
+            script="\n".join(lines) + "\n",
+            satisfiable=expected[0] == "sat",
+            ops=ops_used,
+            expected_statuses=expected,
         )
 
     # ------------------------------------------------------------------ #

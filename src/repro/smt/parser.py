@@ -51,9 +51,20 @@ _SORTS = {
 }
 
 
-def parse_script(text: str) -> SmtScript:
-    """Parse a whole SMT-LIB script."""
+def parse_script(
+    text: str, initial_declarations: Optional[Dict[str, Any]] = None
+) -> SmtScript:
+    """Parse a whole SMT-LIB script.
+
+    ``initial_declarations`` seeds the symbol table with already-declared
+    constants (an incremental session parsing an ``assert`` fragment
+    against its live declarations). Inherited declarations participate in
+    term parsing and duplicate-declaration checks but are **not** replayed
+    into ``script.commands``.
+    """
     script = SmtScript()
+    if initial_declarations:
+        script.declarations.update(initial_declarations)
     for expr in parse_sexprs(text):
         if not isinstance(expr, list) or not expr:
             raise ParseError(f"expected a command list, got {expr!r}")

@@ -21,7 +21,9 @@ __all__ = [
     "quote_string",
     "render_term",
     "render_assertion",
+    "render_command",
     "render_script",
+    "render_full_script",
 ]
 
 
@@ -97,6 +99,54 @@ def _app(op: str, args: Iterable[ast.Term]) -> str:
 def render_assertion(term: ast.Term) -> str:
     """One ``(assert ...)`` command."""
     return f"(assert {render_term(term)})"
+
+
+def render_command(command: "tuple") -> str:
+    """Render one parsed ``(head, payload)`` command back to SMT-LIB.
+
+    Covers every command shape the parser can leave in
+    ``SmtScript.commands`` except the free-form pass-throughs
+    (``set-option``/``set-info``/``echo``, whose payloads keep raw
+    s-expression atoms). ``push``/``pop`` always render their level count
+    explicitly — the parser normalizes ``(push)`` to ``("push", 1)``, so
+    the rendered form reparses to the identical command tuple.
+    """
+    head, payload = command
+    if head == "set-logic":
+        return f"(set-logic {payload})"
+    if head == "declare-const":
+        name, sort_name = payload
+        return f"(declare-const {name} {sort_name})"
+    if head == "assert":
+        return render_assertion(payload)
+    if head == "check-sat":
+        return "(check-sat)"
+    if head == "get-model":
+        return "(get-model)"
+    if head == "get-value":
+        inner = " ".join(render_term(term) for term in payload)
+        return f"(get-value ({inner}))"
+    if head in ("push", "pop"):
+        return f"({head} {payload})"
+    if head == "exit":
+        return "(exit)"
+    raise PrintError(f"no printer for command {head!r}")
+
+
+def render_full_script(script: "object") -> str:
+    """Render a parsed :class:`~repro.smt.parser.SmtScript` command-exactly.
+
+    Unlike :func:`render_script` (assertions + a single trailing
+    ``check-sat``), this reproduces the *command sequence* — push/pop
+    frames, interleaved check-sats, get-model — such that
+    ``parse_script(render_full_script(s)) == s`` for every script in the
+    parser's image (pinned by the printer round-trip property suite).
+    """
+    return (
+        "\n".join(render_command(c) for c in script.commands) + "\n"
+        if script.commands
+        else ""
+    )
 
 
 def render_script(

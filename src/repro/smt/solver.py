@@ -183,6 +183,11 @@ class QuantumSMTSolver:
         :class:`~repro.service.cache.CompileCache` so repeated
         formulations skip compilation entirely.
         """
+        # Optional per-variable annealer starting states (incremental
+        # sessions seed these from the previous frame's model). Popped
+        # here so the per-variable vectors never leak to sampler kwargs.
+        warm_states = solve_params.pop("warm_states", None)
+
         if problem.trivially_unsat:
             failed = [a for a, truth in problem.ground_results if not truth]
             self._last = SmtResult(
@@ -194,7 +199,10 @@ class QuantumSMTSolver:
         model: Dict[str, str] = {}
         solve_results: Dict[str, SolveResult] = {}
         for variable, formulation in problem.formulations.items():
-            result = self._solve_with_retries(formulation, **solve_params)
+            params = dict(solve_params)
+            if warm_states and variable in warm_states:
+                params["initial_states"] = warm_states[variable]
+            result = self._solve_with_retries(formulation, **params)
             solve_results[variable] = result
             if not result.ok:
                 self._last = SmtResult(

@@ -18,7 +18,11 @@ This subpackage stress-tests that claim end to end:
   :class:`repro.smt.InstanceGenerator` with coverage counters, budgets,
   deterministic JSON reports and metrics wiring.
 * :mod:`~repro.verify.corpus` — a checked-in SMT-LIB regression corpus
-  (``tests/corpus/``) replayed through the oracle.
+  (``tests/corpus/``) replayed through the oracle, including multi-query
+  push/pop cases with one ``; expect:`` header per ``check-sat``.
+* :mod:`~repro.verify.sessions` — seeded campaigns pinning incremental
+  :class:`repro.smt.session.SolverSession` answers bit-identical to
+  from-scratch solves at every frame depth.
 
 Run ``python -m repro.verify campaign --instances 30`` for a quick
 smoke campaign.
@@ -45,6 +49,10 @@ from repro.verify.corpus import (
     replay_corpus,
     save_case,
 )
+from repro.verify.sessions import (
+    SessionCampaignReport,
+    run_session_campaign,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -57,12 +65,14 @@ __all__ = [
     "MetamorphicViolation",
     "OracleReport",
     "RELATIONS",
+    "SessionCampaignReport",
     "ShrinkResult",
     "Verdict",
     "check_relation",
     "load_corpus",
     "replay_corpus",
     "run_campaign",
+    "run_session_campaign",
     "save_case",
     "shrink",
 ]

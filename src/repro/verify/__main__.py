@@ -14,13 +14,19 @@ Subcommands
 
         python -m repro.verify corpus --dir tests/corpus
 
+``sessions``
+    Fuzz incremental push/pop sessions against from-scratch solving::
+
+        python -m repro.verify sessions --instances 20 --seed 0 \\
+            --json out/sessions.json
+
 ``shrink``
     Delta-debug one failing SMT-LIB script down to a minimal repro::
 
         python -m repro.verify shrink failing.smt2 --expect sat
 
-Exit status is non-zero when a soundness bug (or metamorphic violation)
-is found, so all three subcommands gate cleanly in CI.
+Exit status is non-zero when a soundness bug, equivalence mismatch or
+metamorphic violation is found, so every subcommand gates cleanly in CI.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.smt.status import SolveStatus
 from repro.verify.campaign import CampaignConfig, run_campaign
 from repro.verify.corpus import replay_corpus
 from repro.verify.oracle import DifferentialOracle
+from repro.verify.sessions import run_session_campaign
 from repro.verify.shrink import shrink
 
 
@@ -79,6 +86,22 @@ def _build_parser() -> argparse.ArgumentParser:
     corp.add_argument("--seed", type=int, default=0)
     corp.add_argument("--num-reads", type=int, default=64)
     corp.add_argument("--json", dest="json_path", default=None)
+
+    sess = sub.add_parser(
+        "sessions", help="fuzz incremental sessions vs from-scratch solving"
+    )
+    sess.add_argument("--instances", type=int, default=20)
+    sess.add_argument("--seed", type=int, default=0)
+    sess.add_argument("--queries", type=int, default=4,
+                      help="check-sat queries per generated session")
+    sess.add_argument("--min-length", type=int, default=2)
+    sess.add_argument("--max-length", type=int, default=4)
+    sess.add_argument("--max-constraints", type=int, default=2)
+    sess.add_argument("--num-reads", type=int, default=64)
+    sess.add_argument("--num-sweeps", type=int, default=None)
+    sess.add_argument("--max-attempts", type=int, default=3)
+    sess.add_argument("--json", dest="json_path", default=None,
+                      help="write the deterministic JSON report here")
 
     shr = sub.add_parser("shrink", help="minimize a failing SMT-LIB script")
     shr.add_argument("script", help="path to the .smt2 file to minimize")
@@ -131,6 +154,26 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    report = run_session_campaign(
+        instances=args.instances,
+        seed=args.seed,
+        queries=args.queries,
+        min_length=args.min_length,
+        max_length=args.max_length,
+        max_constraints=args.max_constraints,
+        num_reads=args.num_reads,
+        num_sweeps=args.num_sweeps,
+        max_attempts=args.max_attempts,
+    )
+    print(report.text_report())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"json report: {args.json_path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_shrink(args: argparse.Namespace) -> int:
     with open(args.script, "r", encoding="utf-8") as handle:
         script = parse_script(handle.read())
@@ -170,6 +213,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "corpus":
         return _cmd_corpus(args)
+    if args.command == "sessions":
+        return _cmd_sessions(args)
     return _cmd_shrink(args)
 
 

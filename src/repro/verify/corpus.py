@@ -16,11 +16,15 @@ File format — plain SMT-LIB 2.6 with a machine-readable comment header:
 
 ``; expect:`` declares the ground-truth status (``sat``/``unsat``/
 ``unknown``); every other leading ``;`` line is free-form provenance.
-The replay harness feeds each case through
-:meth:`~repro.verify.oracle.DifferentialOracle.check` with the declared
-expectation; a corpus replay **fails** only on soundness bugs — a
-completeness miss on a known-sat case is recorded but tolerated, because
-annealing misses are stochastic facts, not regressions.
+A *multi-query* case — a script with ``push``/``pop`` and several
+``check-sat`` commands — carries one ``; expect:`` line per query, in
+query order, and is replayed query by query: the harness walks the
+assertion stack with :func:`~repro.smt.session.iter_check_states` and
+feeds each flattened frame state through
+:meth:`~repro.verify.oracle.DifferentialOracle.check` with its declared
+expectation. A corpus replay **fails** only on soundness bugs — a
+completeness miss on a known-sat query is recorded but tolerated,
+because annealing misses are stochastic facts, not regressions.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.smt import ast
 from repro.smt.parser import parse_script
 from repro.smt.printer import render_script
+from repro.smt.session import iter_check_states
 from repro.smt.status import SolveStatus
 from repro.verify.oracle import DifferentialOracle, OracleReport, Verdict
 
@@ -57,12 +62,17 @@ class CorpusCase:
     script: str
     assertions: List[ast.Term]
     expected: Optional[SolveStatus] = None
+    #: One entry per ``; expect:`` header line, in query order
+    #: (``expected`` stays the first entry for single-query callers).
+    expected_statuses: List[SolveStatus] = field(default_factory=list)
+    #: The flattened assertion stack at each ``check-sat``.
+    queries: List[List[ast.Term]] = field(default_factory=list)
 
     def __repr__(self) -> str:
         expect = self.expected.value if self.expected else "?"
         return (
             f"CorpusCase({self.name!r}, {len(self.assertions)} assertions, "
-            f"expect={expect})"
+            f"{max(len(self.queries), 1)} queries, expect={expect})"
         )
 
 
@@ -114,8 +124,9 @@ def load_corpus(directory: str) -> List[CorpusCase]:
         path = os.path.join(directory, entry)
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()
-        match = _EXPECT_RE.search(text)
-        expected = SolveStatus.from_value(match.group(1)) if match else None
+        expected_statuses = [
+            SolveStatus.from_value(value) for value in _EXPECT_RE.findall(text)
+        ]
         script = parse_script(text)
         cases.append(
             CorpusCase(
@@ -123,7 +134,11 @@ def load_corpus(directory: str) -> List[CorpusCase]:
                 path=path,
                 script=text,
                 assertions=list(script.assertions),
-                expected=expected,
+                expected=expected_statuses[0] if expected_statuses else None,
+                expected_statuses=expected_statuses,
+                queries=[
+                    flattened for _index, flattened in iter_check_states(script)
+                ],
             )
         )
     return cases
@@ -157,26 +172,78 @@ def save_case(
     return path
 
 
-def replay_corpus(
-    directory: str,
-    oracle: Optional[DifferentialOracle] = None,
-) -> CorpusReport:
-    """Replay every corpus case through the differential oracle."""
-    oracle = oracle if oracle is not None else DifferentialOracle(seed=0)
-    report = CorpusReport()
-    for case in load_corpus(directory):
+#: Verdicts ordered least- to most-severe; a multi-query case reports the
+#: worst of its per-query verdicts at case level.
+_SEVERITY = (
+    Verdict.AGREE_SAT,
+    Verdict.AGREE_UNSAT,
+    Verdict.UNRESOLVED,
+    Verdict.COMPLETENESS_MISS,
+    Verdict.SOUNDNESS_BUG,
+)
+
+
+def _replay_case(
+    case: CorpusCase, oracle: DifferentialOracle
+) -> Dict[str, Any]:
+    """One case record: single-query direct, multi-query stack-walked."""
+    if len(case.queries) <= 1:
         oracle_report: OracleReport = oracle.check(
             case.assertions, expected=case.expected
         )
-        verdict = oracle_report.verdict.value
-        report.verdicts[verdict] = report.verdicts.get(verdict, 0) + 1
-        report.cases.append(
+        return {
+            "name": case.name,
+            "expected": case.expected.value if case.expected else None,
+            "verdict": oracle_report.verdict.value,
+            "quantum_status": oracle_report.quantum_status.value,
+            "reference_status": oracle_report.reference_status.value,
+        }
+
+    queries: List[Dict[str, Any]] = []
+    worst = _SEVERITY[0]
+    for index, flattened in enumerate(case.queries):
+        expected = (
+            case.expected_statuses[index]
+            if index < len(case.expected_statuses)
+            else None
+        )
+        oracle_report = oracle.check(flattened, expected=expected)
+        if _SEVERITY.index(oracle_report.verdict) > _SEVERITY.index(worst):
+            worst = oracle_report.verdict
+        queries.append(
             {
-                "name": case.name,
-                "expected": case.expected.value if case.expected else None,
-                "verdict": verdict,
+                "query": index,
+                "expected": expected.value if expected else None,
+                "verdict": oracle_report.verdict.value,
                 "quantum_status": oracle_report.quantum_status.value,
                 "reference_status": oracle_report.reference_status.value,
             }
         )
+    return {
+        "name": case.name,
+        "expected": case.expected.value if case.expected else None,
+        "verdict": worst.value,
+        "quantum_status": queries[-1]["quantum_status"],
+        "reference_status": queries[-1]["reference_status"],
+        "queries": queries,
+    }
+
+
+def replay_corpus(
+    directory: str,
+    oracle: Optional[DifferentialOracle] = None,
+) -> CorpusReport:
+    """Replay every corpus case through the differential oracle.
+
+    The per-case verdict counted into the report is the case's worst
+    per-query verdict, so a soundness bug at *any* frame depth fails the
+    replay.
+    """
+    oracle = oracle if oracle is not None else DifferentialOracle(seed=0)
+    report = CorpusReport()
+    for case in load_corpus(directory):
+        record = _replay_case(case, oracle)
+        verdict = record["verdict"]
+        report.verdicts[verdict] = report.verdicts.get(verdict, 0) + 1
+        report.cases.append(record)
     return report

@@ -1,0 +1,13 @@
+; expect: sat
+; expect: unsat
+; expect: sat
+; hand seed: pushed contradiction, then popped away (one expect per query)
+(declare-const x String)
+(assert (= (str.len x) 2))
+(check-sat)
+(push 1)
+(assert (= x "aa"))
+(assert (= x "bb"))
+(check-sat)
+(pop 1)
+(check-sat)

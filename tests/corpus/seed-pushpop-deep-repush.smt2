@@ -1,0 +1,16 @@
+; expect: sat
+; expect: unsat
+; expect: sat
+; expect: unsat
+; hand seed: depth-2 length conflict, pop 2, re-push the same conflict
+(declare-const x String)
+(assert (= (str.len x) 2))
+(check-sat)
+(push 2)
+(assert (= (str.len x) 3))
+(check-sat)
+(pop 2)
+(check-sat)
+(push 1)
+(assert (= (str.len x) 3))
+(check-sat)

@@ -1,0 +1,9 @@
+; expect: sat
+; expect: sat
+; hand seed: each frame refines the witness, both queries stay sat
+(declare-const x String)
+(assert (= (str.len x) 3))
+(check-sat)
+(push 1)
+(assert (str.contains x "b"))
+(check-sat)

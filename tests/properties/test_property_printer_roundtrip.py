@@ -14,7 +14,13 @@ from hypothesis import strategies as st
 from repro.smt import ast
 from repro.smt.generator import InstanceGenerator
 from repro.smt.parser import parse_script
-from repro.smt.printer import quote_string, render_script, render_term
+from repro.smt.printer import (
+    quote_string,
+    render_assertion,
+    render_full_script,
+    render_script,
+    render_term,
+)
 
 # --------------------------------------------------------------------- #
 # strategies — one per AST family, covering every constructor
@@ -135,6 +141,75 @@ class TestPrinterRoundTrip:
         term = ast.Eq(ast.StrVar("x"), ast.StrLit(value))
         parsed = parse_script(render_script([term])).assertions[0]
         assert parsed.rhs.value == value
+
+
+# --------------------------------------------------------------------- #
+# full scripts: push/pop, multiple check-sats, get-model
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def _session_script_texts(draw) -> str:
+    """A random multi-query script over one declared variable.
+
+    Stack validity is *not* required — ``(pop 3)`` at depth 0 is a legal
+    thing to print and parse; only execution rejects it — so pops are
+    drawn freely.
+    """
+    lines = []
+    if draw(st.booleans()):
+        lines.append("(set-logic QF_S)")
+    # The shared _assertions strategy draws variables from {x, y, z}.
+    lines.extend(f"(declare-const {name} String)" for name in "xyz")
+    for _ in range(draw(st.integers(min_value=2, max_value=8))):
+        kind = draw(
+            st.sampled_from(
+                ["assert", "push", "pop", "check-sat", "get-model"]
+            )
+        )
+        if kind == "assert":
+            lines.append(render_assertion(draw(_assertions)))
+        elif kind in ("push", "pop"):
+            lines.append(f"({kind} {draw(st.integers(1, 3))})")
+        else:
+            lines.append(f"({kind})")
+    lines.append("(check-sat)")
+    if draw(st.booleans()):
+        lines.append("(exit)")
+    return "\n".join(lines) + "\n"
+
+
+class TestFullScriptRoundTrip:
+    @given(_session_script_texts())
+    @settings(max_examples=150, deadline=None)
+    def test_parse_render_parse_is_identity(self, text):
+        script = parse_script(text)
+        assert parse_script(render_full_script(script)) == script
+
+    @given(_session_script_texts())
+    @settings(max_examples=50, deadline=None)
+    def test_render_full_script_is_canonical(self, text):
+        once = render_full_script(parse_script(text))
+        again = render_full_script(parse_script(once))
+        assert once == again
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_session_scripts_round_trip(self, seed):
+        gen = InstanceGenerator(
+            seed=seed, max_length=4, max_constraints=2, sessions=4
+        )
+        inst = gen.generate()
+        script = parse_script(inst.script)
+        assert parse_script(render_full_script(script)) == script
+
+    def test_bare_push_renders_with_explicit_level(self):
+        # (push) parses as level 1 and must render back with the numeral
+        # so the reparse compares equal.
+        script = parse_script("(declare-const x String)(push)(pop)")
+        rendered = render_full_script(script)
+        assert "(push 1)" in rendered and "(pop 1)" in rendered
+        assert parse_script(rendered) == script
 
 
 class TestQuoteDoublingPins:

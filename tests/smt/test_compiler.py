@@ -263,3 +263,38 @@ class TestCompositeFormulation:
     def test_empty_rejected(self):
         with pytest.raises(CompilationError):
             CompositeFormulation("v", [])
+
+    def test_all_auxiliary_children_keep_the_true_string_prefix(self):
+        # Regression: when *every* child carries auxiliary bits (two
+        # disequalities on one variable), the string prefix must come
+        # from num_string_bits, not min(child widths) — the old width
+        # heuristic sliced aux bits into decode and crashed.
+        import numpy as np
+
+        from repro.core.encoding import encode_string
+        from repro.core.notequals import StringNotEquals
+
+        composite = CompositeFormulation(
+            "v", [StringNotEquals("ab", seed=0), StringNotEquals("ba", seed=1)]
+        )
+        assert composite.string_bits == 14
+        # 14 shared string bits + each child's 13 private auxiliaries.
+        assert composite.build_model().num_variables == 14 + 2 * 13
+        state = np.zeros(composite.build_model().num_variables, dtype=np.int8)
+        state[:14] = encode_string("zz")
+        assert composite.decode(state) == "zz"
+        assert composite.verify("zz")
+
+    def test_two_disequalities_solve_end_to_end(self):
+        from repro.smt.solver import QuantumSMTSolver
+
+        solver = QuantumSMTSolver.from_script_text(
+            '(declare-const x String)(assert (= (str.len x) 2))'
+            '(assert (not (= x "ab")))(assert (not (= x "ba")))(check-sat)',
+            num_reads=24,
+            seed=0,
+            sampler_params={"num_sweeps": 200},
+        )
+        result = solver.check_sat()
+        assert str(result.status) == "sat"
+        assert result.model["x"] not in ("ab", "ba")

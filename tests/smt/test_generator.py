@@ -131,3 +131,80 @@ class TestSeedStability:
         assert inst.witness == {"x": "feccaaab"}
         assert '(assert (= (str.len x) 8))' in inst.script
         assert '(assert (str.suffixof "ccaaab" x))' in inst.script
+
+
+class TestSessionMode:
+    def test_sessions_validation(self):
+        with pytest.raises(ValueError):
+            InstanceGenerator(seed=0, sessions=0)
+
+    def test_query_count_and_expected_statuses(self):
+        gen = InstanceGenerator(seed=5, sessions=4)
+        for _ in range(10):
+            inst = gen.generate()
+            script = parse_script(inst.script)
+            checks = sum(
+                1 for command, _ in script.commands if command == "check-sat"
+            )
+            assert checks == 4
+            assert len(inst.expected_statuses) == 4
+            assert inst.expected_statuses[0] == "sat"
+            assert inst.satisfiable
+
+    def test_scripts_never_over_pop(self):
+        from repro.smt.session import iter_check_states
+
+        gen = InstanceGenerator(seed=9, sessions=6)
+        for _ in range(10):
+            script = parse_script(gen.generate().script)
+            # iter_check_states raises SessionError on any over-pop.
+            states = list(iter_check_states(script))
+            assert len(states) == 6
+
+    def test_witness_satisfies_every_expected_sat_query(self):
+        from repro.smt.session import iter_check_states
+
+        gen = InstanceGenerator(seed=21, sessions=5)
+        for _ in range(10):
+            inst = gen.generate()
+            script = parse_script(inst.script)
+            for index, flattened in iter_check_states(script):
+                if inst.expected_statuses[index] != "sat":
+                    continue
+                assert all(
+                    eval_formula(term, inst.witness) for term in flattened
+                ), f"witness fails expected-sat query {index}"
+
+    def test_expected_unsat_queries_have_a_live_contradiction(self):
+        # The classical solver must agree with the planted expectation.
+        from repro.smt.session import iter_check_states
+
+        gen = InstanceGenerator(seed=2, max_length=3, sessions=4)
+        solver = ClassicalStringSolver()
+        for _ in range(5):
+            inst = gen.generate()
+            script = parse_script(inst.script)
+            for index, flattened in iter_check_states(script):
+                status = solver.solve(flattened).status
+                assert status == inst.expected_statuses[index]
+
+    def test_legacy_rng_stream_is_untouched_by_session_mode(self):
+        # The sessions= feature must not perturb legacy instance streams:
+        # this digest was computed before session mode existed.
+        import hashlib
+
+        h = hashlib.sha256()
+        gen = InstanceGenerator(seed=42)
+        for _ in range(5):
+            inst = gen.generate()
+            h.update(inst.script.encode())
+            h.update(repr(sorted(inst.witness.items())).encode())
+        h.update(gen.generate_unsat().script.encode())
+        gen = InstanceGenerator(seed=11, ops="all")
+        for _ in range(5):
+            h.update(gen.generate().script.encode())
+        for _ in range(3):
+            h.update(gen.generate_unsat().script.encode())
+        assert h.hexdigest() == (
+            "902c250bb2d4d5e1665272f8c6675a2bd2f021391cbe2d5c47d4c33911cba8af"
+        )
