@@ -21,7 +21,12 @@ Suites map 1:1 onto the committed baseline files:
 * ``incremental`` → ``BENCH_incremental.json`` — push/pop session
   replay and the warm-vs-cold re-check pair backing the incremental
   architecture's headline claim (warm re-check after a single-assert
-  change beats the from-scratch solve on the same instance).
+  change beats the from-scratch solve on the same instance);
+* ``refine`` → ``BENCH_refine.json`` — the CEGAR refinement loop
+  (:class:`~repro.smt.refine.RefinementEngine`) vs the direct pipeline
+  on the same domain-prunable instances; the refined specs' fingerprints
+  record per-anneal QUBO variable counts and pruned-bit totals, so the
+  strictly-fewer-variables claim is baseline-checked, not just asserted.
 
 Workload kinds understood by the runner:
 
@@ -36,7 +41,11 @@ Workload kinds understood by the runner:
 * ``batch``  — one :class:`~repro.service.batch.BatchSolver` batch over a
   script workload, cold or warm compile cache;
 * ``session`` — incremental :class:`~repro.smt.session.SolverSession`
-  workloads (``mode`` selects replay / cold_recheck / warm_recheck).
+  workloads (``mode`` selects replay / cold_recheck / warm_recheck);
+* ``refine`` — one SMT-LIB script solved end to end with
+  :class:`QuantumSMTSolver` under an explicit ``strategy``
+  (direct or refine); refined runs fingerprint the
+  :class:`~repro.smt.refine.RefineStats` counters.
 """
 
 from __future__ import annotations
@@ -56,10 +65,12 @@ __all__ = [
 ]
 
 #: The tracked suites, one committed baseline file each.
-SUITES: Tuple[str, ...] = ("core", "sparse", "service", "tile", "incremental")
+SUITES: Tuple[str, ...] = (
+    "core", "sparse", "service", "tile", "incremental", "refine",
+)
 
 #: Workload kinds the runner knows how to build.
-KINDS: Tuple[str, ...] = ("smt", "solve", "kernel", "batch", "session")
+KINDS: Tuple[str, ...] = ("smt", "solve", "kernel", "batch", "session", "refine")
 
 
 def baseline_filename(suite: str) -> str:
@@ -380,4 +391,62 @@ register(BenchmarkSpec(
     description="session re-check of the same change "
     "(push/assert/check/pop on warm caches)",
     tolerance=3.0,
+))
+
+# refine — CEGAR loop vs the direct pipeline on prunable instances ------
+# Each pair shares one script and read budget; the *-cegar spec solves it
+# with strategy="refine", whose fingerprint records the per-anneal QUBO
+# variable counts and pruned-bit totals (the strictly-fewer-variables
+# claim lives in the committed baseline, not in prose).
+
+_REFINE_PIN = {
+    "script": '(declare-const x String)'
+    '(assert (= (str.len x) 6))'
+    '(assert (str.prefixof "qua" x))'
+    '(assert (str.suffixof "um" x))'
+    '(check-sat)',
+    "seed": 2025, "num_reads": 48, "num_sweeps": 300,
+}
+
+_REFINE_CHAIN = {
+    "script": '(declare-const y String)'
+    '(assert (= y "spin"))'
+    '(assert (not (= y "spun")))'
+    '(check-sat)',
+    "seed": 2025, "num_reads": 48, "num_sweeps": 300,
+}
+
+register(BenchmarkSpec(
+    name="refine-pin-direct",
+    suite="refine",
+    kind="refine",
+    params=dict(_REFINE_PIN, strategy="direct"),
+    description="prefix+suffix pinned n=6 instance, direct pipeline "
+    "(42-var QUBO, refinement reference)",
+))
+
+register(BenchmarkSpec(
+    name="refine-pin-cegar",
+    suite="refine",
+    kind="refine",
+    params=dict(_REFINE_PIN, strategy="refine", refine_max_rounds=4),
+    description="prefix+suffix pinned n=6 instance through the CEGAR "
+    "loop (35 bits clamped, 7-var reduced QUBO)",
+))
+
+register(BenchmarkSpec(
+    name="refine-chain-direct",
+    suite="refine",
+    kind="refine",
+    params=dict(_REFINE_CHAIN, strategy="direct"),
+    description="equality + disequality n=4 instance, direct pipeline",
+))
+
+register(BenchmarkSpec(
+    name="refine-chain-cegar",
+    suite="refine",
+    kind="refine",
+    params=dict(_REFINE_CHAIN, strategy="refine", refine_max_rounds=4),
+    description="equality + disequality n=4 instance through the CEGAR "
+    "loop (string prefix fully determined by propagation)",
 ))

@@ -375,12 +375,58 @@ def _build_session(spec: BenchmarkSpec) -> Workload:
     return Workload(spec, run, metadata)
 
 
+def _build_refine(spec: BenchmarkSpec) -> Workload:
+    from repro.smt.solver import QuantumSMTSolver
+
+    p = dict(spec.params)
+    script = str(p["script"])
+    strategy = str(p.get("strategy", "direct"))
+    metadata = {
+        "strategy": strategy,
+        "scripts_digest": round_trip_digest(script),
+    }
+
+    def run(metrics: MetricsRegistry) -> Dict[str, Any]:
+        solver = QuantumSMTSolver.from_script_text(
+            script,
+            num_reads=int(p["num_reads"]),
+            seed=int(p["seed"]),
+            sampler_params={"num_sweeps": int(p["num_sweeps"])},
+            metrics=metrics,
+            strategy=strategy,
+            refine_max_rounds=int(p.get("refine_max_rounds", 4)),
+        )
+        result = solver.check_sat()
+        fingerprint = dict(
+            _result_fingerprint(result),
+            scripts_digest=metadata["scripts_digest"],
+        )
+        stats = solver.last_refine_stats
+        if strategy == "refine" and stats is not None:
+            # The reduction itself is part of the tracked contract: a
+            # regression that stops pruning (qubo_variables creeping back
+            # to full_variables) must show up as a fingerprint mismatch.
+            fingerprint["refine"] = {
+                "rounds": int(stats.rounds),
+                "pruned_bits": int(stats.pruned_bits),
+                "lemmas": int(stats.lemmas),
+                "fallbacks": int(stats.fallbacks),
+                "determined": int(stats.determined),
+                "qubo_variables": [int(v) for v in stats.qubo_variables],
+                "full_variables": [int(v) for v in stats.full_variables],
+            }
+        return fingerprint
+
+    return Workload(spec, run, metadata)
+
+
 _BUILDERS: Dict[str, Callable[[BenchmarkSpec], Workload]] = {
     "smt": _build_smt,
     "solve": _build_solve,
     "kernel": _build_kernel,
     "batch": _build_batch,
     "session": _build_session,
+    "refine": _build_refine,
 }
 
 

@@ -11,7 +11,13 @@ from typing import Dict, Mapping, Tuple
 
 from repro.qubo.model import QuboModel
 
-__all__ = ["add_models", "scale_model", "relabel_variables", "fix_variables"]
+__all__ = [
+    "add_models",
+    "scale_model",
+    "relabel_variables",
+    "fix_variables",
+    "expand_states",
+]
 
 
 def add_models(a: QuboModel, b: QuboModel) -> QuboModel:
@@ -126,3 +132,34 @@ def fix_variables(
         else:
             out.add_quadratic(new_index[i], new_index[j], value)
     return out, new_index
+
+
+def expand_states(
+    states, assignment: Mapping[int, int], num_variables: int
+):
+    """Re-insert fixed variables into reduced sample states.
+
+    The inverse of :func:`fix_variables`'s column removal: given ``(R, m)``
+    states over the reduced index space (survivors in ascending original
+    order, matching ``fix_variables``'s ``new_index``), returns ``(R, n)``
+    states over the original space with every fixed variable's column set
+    to its assigned value. Because the fold in :func:`fix_variables` is
+    exact, the reduced energies *are* the full-model energies of the
+    expanded states.
+    """
+    import numpy as np
+
+    states = np.atleast_2d(np.asarray(states, dtype=np.int8))
+    survivors = [v for v in range(num_variables) if v not in assignment]
+    if states.shape[1] != len(survivors):
+        raise ValueError(
+            f"states have {states.shape[1]} columns but {len(survivors)} "
+            f"variables survive the assignment"
+        )
+    out = np.empty((states.shape[0], num_variables), dtype=np.int8)
+    out[:, survivors] = states
+    for var, value in assignment.items():
+        if not (0 <= var < num_variables):
+            raise IndexError(f"variable {var} out of range")
+        out[:, var] = value
+    return out

@@ -94,6 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="max requests fused per micro-batch (with --batch-window-ms)",
     )
+    parser.add_argument(
+        "--strategy",
+        choices=("direct", "refine"),
+        default="direct",
+        help="solve strategy: the unrefined pipeline, or the CEGAR "
+        "refinement loop (classical propagation clamps implied bits, the "
+        "annealer samples the reduced QUBO, blocking lemmas refine "
+        "counterexamples, guaranteed fallback to the direct solve)",
+    )
+    parser.add_argument(
+        "--refine-max-rounds",
+        type=int,
+        default=4,
+        help="refinement round budget per check (with --strategy refine); "
+        "0 always takes the fallback, bit-identical to --strategy direct",
+    )
     parser.add_argument("--num-reads", type=int, default=64, help="annealer reads")
     parser.add_argument(
         "--num-sweeps", type=int, default=None, help="annealer sweeps per read"
@@ -157,6 +173,8 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         session_idle_timeout=args.session_idle_timeout,
         max_sessions=args.max_sessions,
         session_warm_start=args.session_warm,
+        strategy=args.strategy,
+        refine_max_rounds=args.refine_max_rounds,
     )
 
 

@@ -132,6 +132,13 @@ class ServerConfig:
     #: initial_states seeding). Off by default: warm mode trades the
     #: bit-identity-with-fresh-solver contract for repeat-solve speed.
     session_warm_start: bool = False
+    #: Solve strategy: "direct" (unrefined pipeline) or "refine" (the
+    #: CEGAR loop — classical propagation clamps implied bits, the
+    #: annealer samples the reduced QUBO, failed verifications become
+    #: blocking lemmas, guaranteed fallback to the unrefined solve).
+    strategy: str = "direct"
+    #: Refinement round budget per check (strategy="refine" only).
+    refine_max_rounds: int = 4
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -139,6 +146,20 @@ class ServerConfig:
         if self.backend not in ("thread", "process"):
             raise ValueError(
                 f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
+        if self.strategy not in ("direct", "refine"):
+            raise ValueError(
+                f"strategy must be 'direct' or 'refine', got {self.strategy!r}"
+            )
+        if self.refine_max_rounds < 0:
+            raise ValueError(
+                f"refine_max_rounds must be >= 0, got {self.refine_max_rounds}"
+            )
+        if self.batch_window_ms > 0 and self.strategy != "direct":
+            raise ValueError(
+                "micro-batching (batch_window_ms > 0) requires "
+                "strategy='direct'; fused tiles bypass the per-request "
+                "refinement loop"
             )
         if self.batch_window_ms < 0:
             raise ValueError(
@@ -219,6 +240,8 @@ class SolverServer:
                 cache_size=self.config.cache_size,
                 metrics=self.metrics,
                 mp_context=self.config.mp_context,
+                strategy=self.config.strategy,
+                refine_max_rounds=self.config.refine_max_rounds,
             )
         else:
             self.pool = SolverWorkerPool(
@@ -233,6 +256,8 @@ class SolverServer:
                 metrics=self.metrics,
                 batch_window_ms=self.config.batch_window_ms,
                 batch_max=self.config.batch_max,
+                strategy=self.config.strategy,
+                refine_max_rounds=self.config.refine_max_rounds,
             )
         # Sticky sessions always solve on the event-loop process (thread
         # executor) against the shared compile cache, whatever the /solve
@@ -264,6 +289,8 @@ class SolverServer:
             cache=self.cache,
             warm_start=self.config.session_warm_start,
             metrics=self.metrics,
+            strategy=self.config.strategy,
+            refine_max_rounds=self.config.refine_max_rounds,
         )
 
     # ------------------------------------------------------------------ #

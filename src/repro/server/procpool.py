@@ -121,6 +121,11 @@ def _worker_main(conn, settings: Dict[str, Any]) -> None:
                 sampler_params=settings["sampler_params"],
                 penalty_strength=settings["penalty_strength"],
                 retry_policy=policy,
+                strategy=settings.get("strategy", "direct"),
+                refine_max_rounds=settings.get("refine_max_rounds", 4),
+                compile_cache=(
+                    cache if settings.get("strategy") == "refine" else None
+                ),
             )
             solver.assertions = list(assertions)
             problem, hit = cache.get_or_compile(
@@ -207,9 +212,15 @@ class ProcessSolverBackend:
         mp_context: str = "spawn",
         backoff_initial: float = 0.1,
         backoff_max: float = 5.0,
+        strategy: str = "direct",
+        refine_max_rounds: int = 4,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if strategy not in ("direct", "refine"):
+            raise ValueError(
+                f"strategy must be 'direct' or 'refine', got {strategy!r}"
+            )
         if seed is not None and not isinstance(seed, int):
             raise TypeError(
                 "the process backend needs a reproducible seed (int or None); "
@@ -228,6 +239,8 @@ class ProcessSolverBackend:
             "sampler_factory": sampler_factory,
             "penalty_strength": penalty_strength,
             "cache_size": cache_size,
+            "strategy": strategy,
+            "refine_max_rounds": refine_max_rounds,
         }
         self._ctx = multiprocessing.get_context(mp_context)
         self._ids = itertools.count()

@@ -145,9 +145,20 @@ class SolverWorkerPool:
         metrics: Optional[MetricsRegistry] = None,
         batch_window_ms: float = 0.0,
         batch_max: int = 8,
+        strategy: str = "direct",
+        refine_max_rounds: int = 4,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if strategy not in ("direct", "refine"):
+            raise ValueError(
+                f"strategy must be 'direct' or 'refine', got {strategy!r}"
+            )
+        if batch_window_ms > 0 and strategy != "direct":
+            raise ValueError(
+                "micro-batching requires strategy='direct'; fused tiles "
+                "bypass the per-request refinement loop"
+            )
         if batch_window_ms < 0:
             raise ValueError(
                 f"batch_window_ms must be >= 0, got {batch_window_ms}"
@@ -168,6 +179,8 @@ class SolverWorkerPool:
         self.policy = policy if policy is not None else RetryPolicy(max_attempts=3)
         self.cache = cache if cache is not None else CompileCache(maxsize=256)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.strategy = strategy
+        self.refine_max_rounds = refine_max_rounds
         # Sized at 2× the slot count, not 1×: when a deadline expires the
         # admission slot is released immediately but the abandoned thread
         # may still run one final attempt. With exactly `workers` threads a
@@ -379,6 +392,9 @@ class SolverWorkerPool:
             penalty_strength=self.penalty_strength,
             retry_policy=_CancellablePolicy.wrap(policy, context.cancelled),
             metrics=self.metrics,
+            strategy=self.strategy,
+            refine_max_rounds=self.refine_max_rounds,
+            compile_cache=self.cache if self.strategy == "refine" else None,
         )
         solver.assertions = list(assertions)
         try:

@@ -177,9 +177,20 @@ class BatchSolver:
         num_workers: int = 4,
         executor: str = "thread",
         tile_max: int = 16,
+        strategy: str = "direct",
+        refine_max_rounds: int = 4,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if strategy not in ("direct", "refine"):
+            raise ValueError(
+                f"strategy must be 'direct' or 'refine', got {strategy!r}"
+            )
+        if executor == "fused" and strategy != "direct":
+            raise ValueError(
+                "executor='fused' requires strategy='direct'; fused tiles "
+                "bypass the per-item refinement loop"
+            )
         if executor not in ("thread", "serial", "fused"):
             raise ValueError(
                 f"executor must be 'thread', 'serial' or 'fused', got {executor!r}"
@@ -204,6 +215,8 @@ class BatchSolver:
         self.num_workers = num_workers
         self.executor = executor
         self.tile_max = tile_max
+        self.strategy = strategy
+        self.refine_max_rounds = refine_max_rounds
 
     # ------------------------------------------------------------------ #
     # submission
@@ -320,6 +333,9 @@ class BatchSolver:
             penalty_strength=self.penalty_strength,
             retry_policy=self.policy,
             metrics=self.metrics,
+            strategy=self.strategy,
+            refine_max_rounds=self.refine_max_rounds,
+            compile_cache=self.cache if self.strategy == "refine" else None,
         )
 
     def _solve_one(

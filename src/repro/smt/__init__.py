@@ -53,6 +53,12 @@ from repro.smt.classical import ClassicalStringSolver
 from repro.smt.dpll import CdclSolver, DpllResult
 from repro.smt.dpllt import DpllTSolver
 from repro.smt.generator import ALL_OPS, GeneratedInstance, InstanceGenerator
+from repro.smt.refine import (
+    RefinementEngine,
+    RefineStats,
+    UnsoundPropagationError,
+)
+from repro.smt.session import SolverSession
 
 __all__ = [
     "ALL_OPS",
@@ -78,6 +84,8 @@ __all__ = [
     "QuantumSMTSolver",
     "ReConcat",
     "ReLit",
+    "RefineStats",
+    "RefinementEngine",
     "RePlus",
     "ReRange",
     "ReUnion",
@@ -87,6 +95,8 @@ __all__ = [
     "SmtResult",
     "SmtScript",
     "SolveStatus",
+    "SolverSession",
+    "UnsoundPropagationError",
     "StringSort",
     "StrLit",
     "StrVar",

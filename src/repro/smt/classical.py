@@ -371,6 +371,34 @@ def _propagate(
                 for k, c in enumerate(needle):
                     domains[p + k] = frozenset(c)
                 return [domains]
+    if (
+        isinstance(assertion, ast.PrefixOf)
+        and isinstance(assertion.string, ast.StrVar)
+        and assertion.string.name == variable
+    ):
+        prefix = _try_ground(assertion.prefix)
+        if prefix is None:
+            return None
+        if len(prefix) > length:
+            return []
+        pinned: List[Optional[FrozenSet[str]]] = [None] * length
+        for k, c in enumerate(prefix):
+            pinned[k] = frozenset(c)
+        return [pinned]
+    if (
+        isinstance(assertion, ast.SuffixOf)
+        and isinstance(assertion.string, ast.StrVar)
+        and assertion.string.name == variable
+    ):
+        suffix = _try_ground(assertion.suffix)
+        if suffix is None:
+            return None
+        if len(suffix) > length:
+            return []
+        pinned = [None] * length
+        for k, c in enumerate(suffix):
+            pinned[length - len(suffix) + k] = frozenset(c)
+        return [pinned]
     if isinstance(assertion, ast.Contains) and isinstance(
         assertion.haystack, ast.StrVar
     ):

@@ -38,6 +38,8 @@ class DpllTResult:
     model: Dict[str, str] = field(default_factory=dict)
     boolean_assignment: Dict[int, bool] = field(default_factory=dict)
     theory_calls: int = 0
+    #: Distinct theory lemmas learned (blocking clauses, deduplicated).
+    lemmas_learned: int = 0
     reason: str = ""
 
     def __post_init__(self) -> None:
@@ -122,6 +124,7 @@ class DpllTSolver:
     def solve(self) -> DpllTResult:
         """Run the lazy DPLL(T) loop."""
         learned: List[List[int]] = []
+        seen_lemmas: set = set()
         theory_calls = 0
         while theory_calls < self.max_theory_calls:
             sat_solver = CdclSolver(len(self.atoms), self.clauses + learned)
@@ -130,6 +133,7 @@ class DpllTSolver:
                 return DpllTResult(
                     status=UNSAT,
                     theory_calls=theory_calls,
+                    lemmas_learned=len(learned),
                     reason="boolean abstraction exhausted",
                 )
             assignment = boolean.assignment
@@ -143,19 +147,37 @@ class DpllTSolver:
                     model=dict(getattr(outcome, "model", {})),
                     boolean_assignment=assignment,
                     theory_calls=theory_calls,
+                    lemmas_learned=len(learned),
                 )
             if status == UNKNOWN:
                 return DpllTResult(
                     status=UNKNOWN,
                     boolean_assignment=assignment,
                     theory_calls=theory_calls,
+                    lemmas_learned=len(learned),
                     reason=f"theory solver: {getattr(outcome, 'reason', '')}",
                 )
-            # Theory-inconsistent: block this assignment.
-            learned.append(self._blocking_clause(assignment))
+            # Theory-inconsistent: block this assignment. A blocking
+            # clause the SAT core has already been given means it handed
+            # back an assignment its CNF forbids — re-learning it would
+            # loop forever, so surface the inconsistency instead.
+            lemma = self._blocking_clause(assignment)
+            key = frozenset(lemma)
+            if key in seen_lemmas:
+                return DpllTResult(
+                    status=UNKNOWN,
+                    boolean_assignment=assignment,
+                    theory_calls=theory_calls,
+                    lemmas_learned=len(learned),
+                    reason="duplicate theory lemma: the SAT core returned "
+                    "an already-blocked assignment",
+                )
+            seen_lemmas.add(key)
+            learned.append(lemma)
         return DpllTResult(
             status=UNKNOWN,
             theory_calls=theory_calls,
+            lemmas_learned=len(learned),
             reason=f"theory-call budget ({self.max_theory_calls}) exhausted",
         )
 

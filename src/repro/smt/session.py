@@ -116,6 +116,12 @@ class SolverSession:
     warm_start:
         Opt into the previous-model fast path and ``initial_states``
         seeding (see the module docstring for the bit-identity caveat).
+    strategy, refine_max_rounds:
+        Solve strategy per check: ``"direct"`` or ``"refine"`` (the CEGAR
+        loop of :mod:`repro.smt.refine`). Refined checks compile their
+        lemma-frame states through this session's shared
+        :class:`~repro.service.cache.CompileCache`, so lemma states
+        learned in one check delta-compile for free in later ones.
     """
 
     def __init__(
@@ -132,7 +138,13 @@ class SolverSession:
         memo_size: int = 256,
         warm_start: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        strategy: str = "direct",
+        refine_max_rounds: int = 4,
     ) -> None:
+        if strategy not in ("direct", "refine"):
+            raise SessionError(
+                f"strategy must be 'direct' or 'refine', got {strategy!r}"
+            )
         self.num_reads = num_reads
         self.seed = seed
         self.sampler_params = dict(sampler_params or {})
@@ -143,6 +155,8 @@ class SolverSession:
         self.cache = cache if cache is not None else CompileCache(maxsize=256)
         self.warm_start = warm_start
         self.metrics = metrics
+        self.strategy = strategy
+        self.refine_max_rounds = refine_max_rounds
         self.declarations: Dict[str, Any] = {}
         self._frames: List[List[ast.Term]] = [[]]
         self._memo = LruCache(maxsize=memo_size)
@@ -247,6 +261,9 @@ class SolverSession:
             penalty_strength=self.penalty_strength,
             retry_policy=self.retry_policy,
             metrics=self.metrics,
+            strategy=self.strategy,
+            refine_max_rounds=self.refine_max_rounds,
+            compile_cache=self.cache,
         )
         solver.declarations = dict(self.declarations)
         return solver

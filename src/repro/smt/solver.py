@@ -78,6 +78,21 @@ class QuantumSMTSolver:
         Optional :class:`~repro.service.metrics.MetricsRegistry`; when
         given, compile/anneal stage timings and check-sat outcome counters
         are recorded into it.
+    strategy:
+        ``"direct"`` (the default pipeline) or ``"refine"`` — the CEGAR
+        loop of :mod:`repro.smt.refine`: classical propagation clamps
+        implied bits, the annealer samples the reduced QUBO, failed
+        verifications become blocking lemmas, and the loop falls back to
+        the unrefined solve under a round budget.
+    refine_max_rounds:
+        Round budget for ``strategy="refine"``; ``0`` makes every check
+        take the guaranteed fallback, bit-identical to ``"direct"`` at
+        the same seed.
+    compile_cache:
+        Optional shared :class:`~repro.service.cache.CompileCache` the
+        refinement engine compiles lemma-frame states through (sessions
+        and the server pass theirs in, so lemma states delta-compile once
+        per content hash). Unused by the direct strategy.
     """
 
     def __init__(
@@ -90,10 +105,25 @@ class QuantumSMTSolver:
         penalty_strength: float = 1.0,
         retry_policy: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        strategy: str = "direct",
+        refine_max_rounds: int = 4,
+        compile_cache: Optional[Any] = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if strategy not in ("direct", "refine"):
+            raise ValueError(
+                f"strategy must be 'direct' or 'refine', got {strategy!r}"
+            )
+        if refine_max_rounds < 0:
+            raise ValueError(
+                f"refine_max_rounds must be >= 0, got {refine_max_rounds}"
+            )
         self.metrics = metrics
+        self.strategy = strategy
+        self.refine_max_rounds = refine_max_rounds
+        self.compile_cache = compile_cache
+        self.last_refine_stats = None
         self._driver = StringQuboSolver(
             sampler=sampler,
             num_reads=num_reads,
@@ -181,8 +211,28 @@ class QuantumSMTSolver:
         ``check_sat`` is ``solve_compiled(self.compile())``; the batch
         service calls this directly with problems from the
         :class:`~repro.service.cache.CompileCache` so repeated
-        formulations skip compilation entirely.
+        formulations skip compilation entirely. With ``strategy="refine"``
+        the CEGAR engine drives the solve (reduced QUBOs, blocking
+        lemmas, guaranteed fallback); the direct pipeline runs otherwise.
         """
+        if self.strategy == "refine":
+            from repro.smt.refine import RefinementEngine
+
+            engine = RefinementEngine(
+                self,
+                max_rounds=self.refine_max_rounds,
+                cache=self.compile_cache,
+            )
+            result = engine.solve(problem, **solve_params)
+            self.last_refine_stats = engine.stats
+            self._last = result
+            return result
+        return self._solve_direct(problem, **solve_params)
+
+    def _solve_direct(
+        self, problem: CompiledProblem, **solve_params: Any
+    ) -> SmtResult:
+        """The unrefined pipeline (also the refinement engine's fallback)."""
         # Optional per-variable annealer starting states (incremental
         # sessions seed these from the previous frame's model). Popped
         # here so the per-variable vectors never leak to sampler kwargs.

@@ -66,6 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--num-reads", type=int, default=64)
     camp.add_argument("--num-sweeps", type=int, default=None)
     camp.add_argument("--max-attempts", type=int, default=3)
+    camp.add_argument("--strategy", choices=("direct", "refine"),
+                      default="direct",
+                      help="quantum-side solve strategy (refine = CEGAR loop)")
+    camp.add_argument("--refine-max-rounds", type=int, default=4,
+                      help="refinement round budget (with --strategy refine)")
     camp.add_argument("--reference", choices=("classical", "dpllt"),
                       default="classical")
     camp.add_argument("--max-wall-time", type=float, default=None,
@@ -85,6 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
     corp.add_argument("--dir", dest="directory", default="tests/corpus")
     corp.add_argument("--seed", type=int, default=0)
     corp.add_argument("--num-reads", type=int, default=64)
+    corp.add_argument("--strategy", choices=("direct", "refine"),
+                      default="direct",
+                      help="quantum-side solve strategy for the replay")
+    corp.add_argument("--refine-max-rounds", type=int, default=4)
     corp.add_argument("--json", dest="json_path", default=None)
 
     sess = sub.add_parser(
@@ -128,6 +137,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         num_reads=args.num_reads,
         num_sweeps=args.num_sweeps,
         max_attempts=args.max_attempts,
+        strategy=args.strategy,
+        refine_max_rounds=args.refine_max_rounds,
         reference=args.reference,
         max_wall_time=args.max_wall_time,
         shrink_failures=not args.no_shrink,
@@ -145,7 +156,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
-    oracle = DifferentialOracle(seed=args.seed, num_reads=args.num_reads)
+    oracle = DifferentialOracle(
+        seed=args.seed,
+        num_reads=args.num_reads,
+        strategy=args.strategy,
+        refine_max_rounds=args.refine_max_rounds,
+    )
     report = replay_corpus(args.directory, oracle)
     print(report.text_report())
     if args.json_path:

@@ -71,6 +71,10 @@ class CampaignConfig:
     max_attempts: int = 3
     num_sweeps: Optional[int] = None
     penalty_strength: float = 1.0
+    #: Quantum-side solve strategy: "direct" or "refine" (the CEGAR loop).
+    strategy: str = "direct"
+    #: Refinement round budget per check (strategy="refine" only).
+    refine_max_rounds: int = 4
     #: Reference engine: "classical" or "dpllt".
     reference: str = "classical"
     reference_max_length: int = 12
@@ -110,6 +114,8 @@ class CampaignConfig:
             "max_attempts": self.max_attempts,
             "num_sweeps": self.num_sweeps,
             "penalty_strength": self.penalty_strength,
+            "strategy": self.strategy,
+            "refine_max_rounds": self.refine_max_rounds,
             "reference": self.reference,
             "shrink_failures": self.shrink_failures,
             "metamorphic": self.metamorphic,
@@ -285,6 +291,8 @@ def run_campaign(
         max_length=config.reference_max_length,
         cache=cache,
         metrics=metrics,
+        strategy=config.strategy,
+        refine_max_rounds=config.refine_max_rounds,
     )
 
     instances = _draw_instances(config)
@@ -356,6 +364,8 @@ def _precompute_quantum(
         metrics=metrics,
         num_workers=config.num_workers,
         executor="thread",
+        strategy=config.strategy,
+        refine_max_rounds=config.refine_max_rounds,
     )
     batch_report = batch.solve_batch([inst.assertions for inst in instances])
     return [item.result for item in batch_report.items]

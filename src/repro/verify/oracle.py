@@ -143,10 +143,16 @@ class DifferentialOracle:
         node_budget: int = 2_000_000,
         cache: Optional[CompileCache] = None,
         metrics: Optional[MetricsRegistry] = None,
+        strategy: str = "direct",
+        refine_max_rounds: int = 4,
     ) -> None:
         if reference not in ("classical", "dpllt"):
             raise ValueError(
                 f"reference must be 'classical' or 'dpllt', got {reference!r}"
+            )
+        if strategy not in ("direct", "refine"):
+            raise ValueError(
+                f"strategy must be 'direct' or 'refine', got {strategy!r}"
             )
         if seed is not None and not isinstance(seed, int):
             raise TypeError(
@@ -163,6 +169,8 @@ class DifferentialOracle:
         self.node_budget = node_budget
         self.cache = cache
         self.metrics = metrics
+        self.strategy = strategy
+        self.refine_max_rounds = refine_max_rounds
 
     # ------------------------------------------------------------------ #
     # solver runs
@@ -181,6 +189,9 @@ class DifferentialOracle:
             max_attempts=self.max_attempts,
             penalty_strength=self.penalty_strength,
             metrics=self.metrics,
+            strategy=self.strategy,
+            refine_max_rounds=self.refine_max_rounds,
+            compile_cache=self.cache if self.strategy == "refine" else None,
         )
         solver.assertions = list(assertions)
         if self.cache is None:

@@ -1,0 +1,9 @@
+; expect: sat
+; hand seed: chained equalities + a disequality — propagation fully
+; determines the string prefix while the disequality contributes
+; ancilla bits the refiner must never clamp (paper 4.1/4.2)
+(declare-const x String)
+(assert (= x "spin"))
+(assert (= x "spin"))
+(assert (not (= x "spun")))
+(check-sat)

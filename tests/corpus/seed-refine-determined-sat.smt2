@@ -1,0 +1,7 @@
+; expect: sat
+; hand seed: a prefix covering the whole length — every bit implied,
+; the refined anneal runs a 0-variable QUBO (decode-only fast path)
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.prefixof "abc" x))
+(check-sat)

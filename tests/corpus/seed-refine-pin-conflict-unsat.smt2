@@ -1,0 +1,8 @@
+; expect: unsat
+; hand seed: prefix longer than the asserted length — propagation sees
+; a conflict but must *skip pruning*, not answer unsat itself; the
+; ground refutation comes from the ordinary pipeline
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (str.prefixof "abc" x))
+(check-sat)

@@ -1,0 +1,8 @@
+; expect: sat
+; hand seed: prefix+suffix pinning leaves one free position — the
+; refinement loop clamps 21 of 28 bits (paper 4.6/4.7)
+(declare-const x String)
+(assert (= (str.len x) 4))
+(assert (str.prefixof "ab" x))
+(assert (str.suffixof "d" x))
+(check-sat)

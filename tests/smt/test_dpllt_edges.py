@@ -1,0 +1,204 @@
+"""Edge coverage backfill for the SAT core and the DPLL(T) driver.
+
+Pins the corners the mainline suites skip: conflicts at decision level 0
+(unit-clause contradictions resolved before any branching), restart
+behaviour on conflict-heavy instances (learned clauses must survive the
+trail rewind), theory-lemma deduplication, and the duplicate-lemma guard
+that turns a misbehaving SAT core into a diagnosed ``unknown`` instead
+of an infinite learn loop.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import pytest
+
+import repro.smt.dpllt as dpllt_mod
+from repro.smt.dpll import CdclSolver
+from repro.smt.dpllt import DpllTSolver
+from repro.smt.parser import parse_script
+
+
+def _atoms(*bodies, decls="(declare-const x String)"):
+    out = []
+    for body in bodies:
+        out.extend(parse_script(decls + f"(assert {body})").assertions)
+    return out
+
+
+def _pigeonhole(pigeons: int, holes: int) -> List[List[int]]:
+    """PHP CNF: pigeon p in some hole; no hole holds two pigeons."""
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+# --------------------------------------------------------------------- #
+# CdclSolver edges
+# --------------------------------------------------------------------- #
+
+
+class TestConflictAtLevelZero:
+    def test_unit_contradiction_needs_no_decisions(self):
+        result = CdclSolver(1, [[1], [-1]]).solve()
+        assert not result.satisfiable
+        assert result.decisions == 0
+
+    def test_propagated_contradiction_at_root(self):
+        # 1 is forced, 1 -> 2, 1 -> -2: the conflict surfaces during
+        # root-level propagation, before the first decision.
+        result = CdclSolver(2, [[1], [-1, 2], [-1, -2]]).solve()
+        assert not result.satisfiable
+        assert result.decisions == 0
+
+    def test_learned_unit_backtracks_to_root(self):
+        # Branch-heavy but satisfiable: conflicts drive learned units
+        # back to level 0 and the solve must still land on a model.
+        clauses = [[1, 2], [1, -2], [-1, 2, 3], [-1, 2, -3]]
+        result = CdclSolver(3, clauses).solve()
+        assert result.satisfiable
+        for clause in clauses:
+            assert any(
+                result.assignment[abs(l)] == (l > 0) for l in clause
+            )
+
+
+class TestRestartsCarryLearnedClauses:
+    def test_php_unsat_across_restarts(self):
+        # Pigeonhole 6->5 generates enough conflicts to cross the Luby
+        # restart thresholds; unsatisfiability must survive every trail
+        # rewind, which it only can if learned clauses are carried over.
+        result = CdclSolver(30, _pigeonhole(6, 5)).solve()
+        assert not result.satisfiable
+        assert result.conflicts > 0
+        assert result.restarts > 0
+
+    def test_sat_instance_correct_after_restarts(self):
+        # Near-PHP but satisfiable (equal pigeons and holes): the model
+        # found after restarts must genuinely satisfy the CNF.
+        clauses = _pigeonhole(4, 4)
+        result = CdclSolver(16, clauses).solve()
+        assert result.satisfiable
+        for clause in clauses:
+            assert any(
+                result.assignment[abs(l)] == (l > 0) for l in clause
+            )
+
+
+# --------------------------------------------------------------------- #
+# DPLL(T) lemma accounting
+# --------------------------------------------------------------------- #
+
+
+class _AlwaysUnsatTheory:
+    """Rejects every conjunction — drives maximal lemma learning."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def solve(self, assertions):
+        self.calls += 1
+
+        @dataclass
+        class _Out:
+            status: str = "unsat"
+            model: Dict[str, str] = field(default_factory=dict)
+
+        return _Out()
+
+
+class TestTheoryLemmaDedup:
+    def test_lemmas_are_distinct_until_exhaustion(self):
+        # 2 free atoms => 4 assignments; a theory rejecting all of them
+        # must learn exactly 4 distinct lemmas then conclude unsat.
+        atoms = _atoms('(= x "aa")', '(= x "bb")')
+        theory = _AlwaysUnsatTheory()
+        solver = DpllTSolver(
+            atoms, clauses=[[1, -1]], theory_solver=theory
+        )
+        result = solver.solve()
+        assert result.status == "unsat"
+        assert result.lemmas_learned == 4
+        assert theory.calls == 4
+        assert result.reason == "boolean abstraction exhausted"
+
+    def test_sat_result_reports_lemmas(self):
+        # The first candidate assignment is rejected (one lemma), the
+        # second accepted — the sat result must surface the count.
+        class _RejectFirst:
+            def __init__(self):
+                self.calls = 0
+
+            def solve(self, assertions):
+                self.calls += 1
+                first = self.calls == 1
+
+                @dataclass
+                class _Out:
+                    status: str = "unsat" if first else "sat"
+                    model: Dict[str, str] = field(
+                        default_factory=lambda: {} if first else {"x": "aa"}
+                    )
+
+                return _Out()
+
+        atoms = _atoms('(= x "aa")', '(= x "bb")')
+        result = DpllTSolver(
+            atoms, clauses=[[1, 2]], theory_solver=_RejectFirst()
+        ).solve()
+        assert result.status == "sat"
+        assert result.lemmas_learned == 1
+        assert result.theory_calls == 2
+
+    def test_budget_exhaustion_reports_lemma_count(self):
+        atoms = _atoms('(= x "aa")', '(= x "bb")')
+        solver = DpllTSolver(
+            atoms,
+            clauses=[[1, -1]],
+            theory_solver=_AlwaysUnsatTheory(),
+            max_theory_calls=2,
+        )
+        result = solver.solve()
+        assert result.status == "unknown"
+        assert result.lemmas_learned == 2
+        assert "budget" in result.reason
+
+
+class TestDuplicateLemmaGuard:
+    def test_broken_sat_core_diagnosed_not_looped(self, monkeypatch):
+        # A SAT core ignoring learned clauses would re-propose the same
+        # assignment forever; the driver must detect the repeat lemma and
+        # answer unknown with a diagnosis instead of spinning to the
+        # theory-call budget.
+        class _StuckCore:
+            def __init__(self, num_vars, clauses):
+                self.num_vars = num_vars
+
+            def solve(self):
+                @dataclass
+                class _Boolean:
+                    satisfiable: bool = True
+                    assignment: Dict[int, bool] = field(
+                        default_factory=lambda: {1: True}
+                    )
+
+                return _Boolean()
+
+        monkeypatch.setattr(dpllt_mod, "CdclSolver", _StuckCore)
+        atoms = _atoms('(= x "aa")')
+        theory = _AlwaysUnsatTheory()
+        solver = DpllTSolver(
+            atoms, theory_solver=theory, max_theory_calls=64
+        )
+        result = solver.solve()
+        assert result.status == "unknown"
+        assert "duplicate theory lemma" in result.reason
+        assert theory.calls == 2  # one learn, one repeat — never 64
+        assert result.lemmas_learned == 1
