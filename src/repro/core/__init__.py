@@ -39,8 +39,10 @@ from repro.core.affixes import (
     StringSuffixOf,
 )
 from repro.core.notequals import StringNotEquals
+from repro.core.closest import ClosestStringFormulation
 
 __all__ = [
+    "ClosestStringFormulation",
     "ConstraintPipeline",
     "StringCharAt",
     "StringNotEquals",

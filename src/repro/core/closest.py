@@ -1,0 +1,208 @@
+"""Closest String as a QUBO over the 7-bit encoding (arXiv 2310.12852).
+
+Given K reference strings of a common length L, find the string minimizing
+its Hamming distance to the references **measured over the 7-bit encoding**
+(the number of differing encoded bits). Two objectives are supported:
+
+``metric="total"``
+    Minimize the *sum* of the bit-Hamming distances. Each encoded bit is
+    independent, so the QUBO is purely diagonal: bit ``v`` with ``k_v``
+    references voting 1 gets linear coefficient ``A (K - 2 k_v)`` and
+    contributes ``A k_v`` to the offset, making the energy exactly
+    ``A * total_distance``. The optimum is the bitwise majority vote.
+
+``metric="max"``
+    Minimize the *maximum* bit-Hamming distance (the classical Closest
+    String objective). The bound ``U`` and one slack ``s_r`` per reference
+    are binary-expanded into auxiliary bits, and each reference contributes
+    the squared-residual penalty ``P (dist_r(x) + s_r - U)^2``; the
+    objective term is ``A * U``. With ``P = 2 A`` a unit under-bid of ``U``
+    costs more penalty than it saves objective (savings ``A δ`` vs penalty
+    ``P δ²``), so every energy minimum has ``U = max_r dist_r(x)`` and
+    energy ``A * U`` — no bound can be bought by violating a residual.
+
+The string bits occupy indices ``[0, 7 L)`` as in every §4 formulation;
+``metric="max"`` appends its auxiliary counters after them, advertised via
+``num_string_bits`` so composition and decoding slice correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.encoding import encode_string, state_to_string
+from repro.core.formulation import FormulationError, StringFormulation
+from repro.qubo.model import QuboModel
+from repro.utils.asciitab import CHAR_BITS
+
+__all__ = ["ClosestStringFormulation"]
+
+
+def _add_squared_linear(
+    model: QuboModel, coeffs: Dict[int, float], constant: float, scale: float
+) -> None:
+    """Accumulate ``scale * (constant + sum_i coeffs[i] x_i)^2`` into *model*.
+
+    Uses ``x² = x`` for binary variables, so squares fold onto the diagonal.
+    """
+    model.offset = model.offset + scale * constant * constant
+    items = sorted(coeffs.items())
+    for pos, (i, ci) in enumerate(items):
+        model.add_linear(i, scale * (ci * ci + 2.0 * constant * ci))
+        for j, cj in items[pos + 1 :]:
+            model.add_quadratic(i, j, scale * 2.0 * ci * cj)
+
+
+class ClosestStringFormulation(StringFormulation):
+    """Closest String over K same-length references (see module docstring)."""
+
+    name = "closest_string"
+
+    def __init__(
+        self,
+        references: Sequence[str],
+        metric: str = "total",
+        penalty_strength: float = 1.0,
+    ) -> None:
+        super().__init__(penalty_strength)
+        refs = list(references)
+        if not refs:
+            raise FormulationError("closest string needs at least one reference")
+        length = len(refs[0])
+        if any(len(r) != length for r in refs):
+            raise FormulationError(
+                f"all references must share one length, got {sorted(set(map(len, refs)))}"
+            )
+        if length == 0:
+            raise FormulationError("references must be non-empty")
+        if metric not in ("total", "max"):
+            raise FormulationError(f"metric must be 'total' or 'max', got {metric!r}")
+        self.references = refs
+        self.metric = metric
+        self.length = length
+        #: Encoded reference bits, shape (K, 7 L).
+        self._ref_bits = np.stack([encode_string(r) for r in refs])
+        self.num_string_bits = length * CHAR_BITS
+
+    # ------------------------------------------------------------------ #
+    # model construction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _bound_bits(self) -> int:
+        """Bits in the binary expansion of the bound / each slack counter."""
+        return int(self.num_string_bits).bit_length()
+
+    def _build(self) -> QuboModel:
+        a = self.penalty_strength
+        n = self.num_string_bits
+        ones = self._ref_bits.sum(axis=0)  # votes for 1 per encoded bit
+        k = len(self.references)
+        if self.metric == "total":
+            model = QuboModel(n)
+            for v in range(n):
+                model.set_linear(v, a * (k - 2.0 * ones[v]))
+            model.offset = a * float(ones.sum())
+            return model
+        # metric == "max": x | U bits | one slack block per reference.
+        b = self._bound_bits
+        model = QuboModel(n + b * (1 + k))
+        bound_base = n
+        for j in range(b):
+            model.add_linear(bound_base + j, a * (1 << j))
+        penalty = 2.0 * a
+        for r in range(k):
+            slack_base = n + b * (1 + r)
+            # dist_r(x) + s_r - U as a linear form over binary variables.
+            coeffs: Dict[int, float] = {}
+            for v in range(n):
+                coeffs[v] = 1.0 - 2.0 * float(self._ref_bits[r, v])
+            for j in range(b):
+                coeffs[slack_base + j] = float(1 << j)
+                coeffs[bound_base + j] = -float(1 << j)
+            _add_squared_linear(
+                model, coeffs, constant=float(self._ref_bits[r].sum()), scale=penalty
+            )
+        return model
+
+    # ------------------------------------------------------------------ #
+    # decode / objective / verify
+    # ------------------------------------------------------------------ #
+
+    def decode(self, state) -> str:
+        return state_to_string(np.asarray(state)[: self.num_string_bits])
+
+    def distances(self, candidate: str) -> List[int]:
+        """Bit-Hamming distance of *candidate* to each reference."""
+        if len(candidate) != self.length:
+            raise FormulationError(
+                f"candidate length {len(candidate)} != reference length {self.length}"
+            )
+        bits = encode_string(candidate)
+        return [int(np.sum(bits != row)) for row in self._ref_bits]
+
+    def objective(self, candidate: str) -> int:
+        """The metric value of *candidate* (total or max bit distance)."""
+        dists = self.distances(candidate)
+        return max(dists) if self.metric == "max" else int(sum(dists))
+
+    def optimum(self) -> int:
+        """The true optimal objective value.
+
+        ``total`` has the closed-form majority-vote optimum. ``max`` is
+        solved by scanning candidate bounds: bit positions where all
+        references agree are free; a candidate built from per-bit majority
+        is optimal for even vote splits too, so the optimum is computed by
+        exhaustive search over the at-most-``min(K-1, n)`` contested
+        patterns via majority rounding — for the small reference sets this
+        formulation targets, a direct exhaustive check over reference
+        combinations is exact and cheap.
+        """
+        k = len(self.references)
+        ones = self._ref_bits.sum(axis=0)
+        if self.metric == "total":
+            return int(np.minimum(ones, k - ones).sum())
+        # Exhaustive over bit choices restricted to contested positions is
+        # exponential; instead binary-search the bound with a greedy
+        # certificate only when K <= 2, else brute-force contested bits up
+        # to a budget.
+        if k == 1:
+            return 0
+        contested = np.flatnonzero((ones > 0) & (ones < k))
+        if len(contested) <= 20:
+            best = None
+            base = self._ref_bits[0].copy()
+            agree = ones == k  # bits that are 1 everywhere
+            base[:] = 0
+            base[agree] = 1
+            for mask in range(1 << len(contested)):
+                cand = base.copy()
+                for idx, v in enumerate(contested):
+                    cand[v] = (mask >> idx) & 1
+                worst = int(np.max(np.sum(cand[None, :] != self._ref_bits, axis=1)))
+                if best is None or worst < best:
+                    best = worst
+            return int(best)
+        raise FormulationError(
+            f"exact max-metric optimum needs <= 20 contested bits, "
+            f"got {len(contested)}"
+        )
+
+    def verify(self, decoded: str) -> bool:
+        """Feasibility check: any string of the reference length qualifies."""
+        return isinstance(decoded, str) and len(decoded) == self.length
+
+    def ground_energy(self):
+        """``A * optimum`` — exact for both metrics (see ``optimum``)."""
+        try:
+            return self.penalty_strength * float(self.optimum())
+        except FormulationError:
+            return None
+
+    def describe(self) -> str:
+        return (
+            f"ClosestStringFormulation(K={len(self.references)}, L={self.length}, "
+            f"metric={self.metric!r}, A={self.penalty_strength})"
+        )

@@ -1,0 +1,38 @@
+"""``repro.opt`` — anytime weighted-MaxSMT optimization.
+
+The optimization vertical over the solver stack: ``assert-soft`` weighted
+constraints (parsed by :mod:`repro.smt.parser`) compile through
+:func:`~repro.opt.weighted.compile_weighted` into gap-calibrated weighted
+QUBOs, and :class:`~repro.opt.driver.AnytimeOptimizer` tightens objective
+bounds across annealer restarts under a deadline budget. Results are typed
+:class:`~repro.opt.result.OptimizeResult` envelopes with an
+``optimal | feasible | infeasible | unknown`` status, per-soft-assertion
+breakdown, and the weight-calibration gap certificate.
+"""
+
+from repro.opt.driver import AnytimeOptimizer, audit_cost
+from repro.opt.result import (
+    OptimizeResult,
+    OptStatus,
+    SoftReport,
+    solve_status_for,
+)
+from repro.opt.weighted import (
+    WeightedFormulation,
+    WeightedProblem,
+    compile_weighted,
+    model_spread,
+)
+
+__all__ = [
+    "AnytimeOptimizer",
+    "OptStatus",
+    "OptimizeResult",
+    "SoftReport",
+    "WeightedFormulation",
+    "WeightedProblem",
+    "audit_cost",
+    "compile_weighted",
+    "model_spread",
+    "solve_status_for",
+]

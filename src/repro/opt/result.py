@@ -1,0 +1,168 @@
+"""Typed results for the weighted MaxSMT optimization mode.
+
+:class:`OptimizeResult` is to :mod:`repro.opt` what
+:class:`~repro.smt.solver.SmtResult` is to ``check_sat``: the single
+envelope every front end (driver, session, batch, server, verify) passes
+around. The status taxonomy follows MaxSMT convention:
+
+* ``optimal`` — a feasible model whose objective is *proven* minimal
+  (exhaustive finishing pass, or the objective hit its lower bound);
+* ``feasible`` — a model satisfying every hard assertion was found, with
+  ``lower_bound <= objective <= upper_bound`` but no optimality proof;
+* ``infeasible`` — the hard assertions alone are unsatisfiable;
+* ``unknown`` — no feasible model surfaced within the budget.
+
+The *objective* is the total weight of violated soft assertions
+(minimized); ``satisfied_weight`` reports the maximization view of the
+same quantity. Bounds always bracket the true optimum: ``lower_bound``
+never exceeds it, ``upper_bound`` is the best audited feasible cost.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["OptStatus", "SoftReport", "OptimizeResult", "solve_status_for"]
+
+
+class OptStatus(str, enum.Enum):
+    """Canonical optimization outcome (a str-mixin, like ``SolveStatus``)."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # match SolveStatus: print the bare value
+        return str.__str__(self)
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when the result carries a hard-satisfying model."""
+        return self in (OptStatus.OPTIMAL, OptStatus.FEASIBLE)
+
+    @classmethod
+    def from_value(cls, value: Any) -> "OptStatus":
+        if isinstance(value, cls):
+            return value
+        text = str(value).strip().lower()
+        for member in cls:
+            if member.value == text:
+                return member
+        alias = _ALIASES.get(text)
+        if alias is not None:
+            return alias
+        raise ValueError(f"not an optimization status: {value!r}")
+
+
+_ALIASES = {
+    "opt": OptStatus.OPTIMAL,
+    "sat": OptStatus.FEASIBLE,
+    "unsat": OptStatus.INFEASIBLE,
+    "timeout": OptStatus.UNKNOWN,
+    "indeterminate": OptStatus.UNKNOWN,
+}
+
+
+def solve_status_for(status: "OptStatus") -> str:
+    """Project an optimization status onto the sat/unsat/unknown axis.
+
+    The service layer (batch, server) reports results through
+    :class:`~repro.smt.solver.SmtResult`, whose status is pinned to
+    ``SolveStatus`` — the optimization refinement rides in dedicated
+    ``objective``/bound fields next to it.
+    """
+    status = OptStatus.from_value(status)
+    if status.is_feasible:
+        return "sat"
+    if status is OptStatus.INFEASIBLE:
+        return "unsat"
+    return "unknown"
+
+
+@dataclass
+class SoftReport:
+    """Per-soft-assertion outcome in the best model."""
+
+    term_text: str
+    weight: float
+    group: str = ""
+    #: None when no feasible model was found to evaluate against.
+    satisfied: Optional[bool] = None
+    #: False when the soft term fell outside the QUBO fragment and was
+    #: audit-only (it still counts toward the objective).
+    encoded: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "term": self.term_text,
+            "weight": self.weight,
+            "group": self.group,
+            "satisfied": self.satisfied,
+            "encoded": self.encoded,
+        }
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of one anytime weighted-MaxSMT optimization."""
+
+    status: OptStatus
+    model: Dict[str, str] = field(default_factory=dict)
+    #: Total violated soft weight of ``model`` (None when infeasible/unknown).
+    objective: Optional[float] = None
+    lower_bound: float = 0.0
+    upper_bound: float = math.inf
+    breakdown: List[SoftReport] = field(default_factory=list)
+    #: The weighted compiler's gap certificate (see repro.opt.weighted).
+    certificate: Dict[str, Any] = field(default_factory=dict)
+    reason: str = ""
+    restarts: int = 0
+    reads_used: int = 0
+    wall_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.status = OptStatus.from_value(self.status)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all soft-assertion weights."""
+        return float(sum(entry.weight for entry in self.breakdown))
+
+    @property
+    def satisfied_weight(self) -> Optional[float]:
+        """The maximization view: total weight minus the objective."""
+        if self.objective is None:
+            return None
+        return self.total_weight - self.objective
+
+    @property
+    def bounds(self) -> Dict[str, Optional[float]]:
+        """JSON-friendly ``{lower, upper}`` (None encodes +inf)."""
+        upper = None if math.isinf(self.upper_bound) else self.upper_bound
+        return {"lower": self.lower_bound, "upper": upper}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON form (campaign reports, server envelopes)."""
+        return {
+            "status": self.status.value,
+            "model": dict(sorted(self.model.items())),
+            "objective": self.objective,
+            "bounds": self.bounds,
+            "satisfied_weight": self.satisfied_weight,
+            "breakdown": [entry.to_dict() for entry in self.breakdown],
+            "certificate": dict(self.certificate),
+            "reason": self.reason,
+            "restarts": self.restarts,
+            "reads_used": self.reads_used,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizeResult(status={self.status.value!r}, "
+            f"objective={self.objective!r}, bounds=[{self.lower_bound}, "
+            f"{self.upper_bound}])"
+        )

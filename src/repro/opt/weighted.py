@@ -1,0 +1,358 @@
+"""The weighted MaxSMT compiler pass: hard + soft assertions → one QUBO.
+
+Each soft assertion's §4 penalty block is scaled by its weight; the hard
+assertions' blocks are scaled by an auto-calibrated factor so that **no
+weighted sum of soft violations can ever pay for a hard violation**:
+
+* every soft block's weighted energy spread is bounded above by
+  ``weight * sum(|coefficients|)`` (binary variables make each term range
+  over ``{0, c}``), so the total soft budget ``W`` bounds how much energy
+  the soft side could possibly offer;
+* every hard block compiled at penalty strength ``A`` has an integral
+  energy spectrum in units of ``A`` (each §4 formulation penalizes in
+  whole ±A quanta), so the cheapest hard violation costs at least ``A``;
+* the hard side is therefore scaled by ``hard_scale = floor(W / A) + 1``,
+  making the cheapest scaled hard violation ``hard_scale * A > W``.
+
+The resulting **gap certificate** ``{hard_scale, hard_gap, soft_budget}``
+is recorded on the compiled problem and travels into every
+:class:`~repro.opt.result.OptimizeResult`; the property
+``hard_scale * hard_gap > soft_budget`` is what the campaign's
+gap-certificate test asserts.
+
+Soft terms outside the QUBO fragment (or trivially decided at the
+inferred length) degrade to **audit-only**: they contribute no penalty
+block — the annealer is not guided by them — but they still count toward
+the objective, which is always re-audited under the concrete semantics.
+
+One hard block is deliberately *not* scaled wholesale:
+:class:`~repro.core.length.StringLength` in ``decodable`` mode carries a
+random printable **content preference** on the first ``7 L`` diagonal
+entries — pure guidance that varies *within* the feasible set (every
+feasible string satisfies the length either way). Amplifying it by
+``hard_scale`` would let that arbitrary preference outbid every real soft
+weight and steer the annealer to the preference's random target instead
+of the objective. The weighted build therefore splits the block: pad
+pinning (actual length enforcement) scales by ``hard_scale``; the content
+preference keeps its native strength, small enough that any encoded soft
+block dominates it at its position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.formulation import FormulationError, StringFormulation
+from repro.qubo.algebra import add_models, relabel_variables, scale_model
+from repro.qubo.model import QuboModel
+from repro.smt import ast
+from repro.smt.compiler import (
+    CompilationError,
+    CompiledProblem,
+    _compile_one,
+    _infer_length,
+    compile_assertions,
+)
+from repro.smt.theory import eval_formula
+from repro.utils.asciitab import CHAR_BITS
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["WeightedFormulation", "WeightedProblem", "compile_weighted", "model_spread"]
+
+#: Mixed into the soft-compiler RNG stream so soft blocks never replay the
+#: hard compiler's per-child seed sequence.
+_SOFT_SEED_SALT = 0x50F7
+
+
+def model_spread(model: QuboModel) -> float:
+    """Upper bound on ``max E - min E`` of a QUBO: ``sum |coefficients|``."""
+    return float(sum(abs(value) for _, _, value in model.iter_coefficients()))
+
+
+def _model_floor(model: QuboModel) -> float:
+    """Lower bound on a QUBO's energy: offset plus all negative terms."""
+    return float(
+        model.offset
+        + sum(min(value, 0.0) for _, _, value in model.iter_coefficients())
+    )
+
+
+def _iter_hard_children(hard: StringFormulation):
+    """The conjuncts of one variable's hard side (composite-aware)."""
+    from repro.smt.compiler import CompositeFormulation
+
+    if isinstance(hard, CompositeFormulation):
+        for child in hard.children:
+            yield child
+    else:
+        yield hard
+
+
+def _split_scale_length(
+    model: QuboModel, boundary: int, hard_scale: float
+) -> QuboModel:
+    """Scale a diagonal length block, exempting its content preference.
+
+    Diagonal entries below *boundary* (the ``7 L`` content bits) are the
+    decodable-mode printable preference — intra-feasible guidance, kept at
+    native strength; everything else (NUL pad pinning, i.e. the actual
+    length constraint) scales by *hard_scale*.
+    """
+    out = QuboModel(model.num_variables)
+    for i, j, value in model.iter_coefficients():
+        scale = 1.0 if (i == j and i < boundary) else hard_scale
+        if i == j:
+            out.set_linear(i, scale * value)
+        else:
+            out.add_quadratic(i, j, scale * value)
+    out.offset = float(model.offset)
+    return out
+
+
+def _scaled_hard_blocks(
+    hard: StringFormulation, hard_scale: float
+) -> List[QuboModel]:
+    """The hard side as per-conjunct blocks at the calibrated scale.
+
+    See the module docstring: :class:`StringLength`'s decodable content
+    preference must not be amplified, so length blocks are split-scaled.
+    """
+    from repro.core.length import StringLength
+
+    blocks: List[QuboModel] = []
+    for child in _iter_hard_children(hard):
+        model = child.build_model()
+        if (
+            isinstance(child, StringLength)
+            and child.mode == "decodable"
+            and not model.num_interactions
+        ):
+            blocks.append(
+                _split_scale_length(model, CHAR_BITS * child.length, hard_scale)
+            )
+        else:
+            blocks.append(scale_model(model, hard_scale))
+    return blocks
+
+
+def _string_prefix(formulation: StringFormulation) -> int:
+    """The formulation's string-bit prefix (aux bits come after it)."""
+    for attr in ("num_string_bits", "string_bits"):
+        value = getattr(formulation, attr, None)
+        if value:
+            return int(value)
+    return formulation.build_model().num_variables
+
+
+class WeightedFormulation(StringFormulation):
+    """One variable's weighted QUBO: scaled hard block + weighted soft blocks.
+
+    The hard child (a plain compiled formulation, possibly a
+    :class:`~repro.smt.compiler.CompositeFormulation`) is scaled by
+    ``hard_scale``; each soft child is scaled by its assertion's weight and
+    shifted so a satisfied soft block contributes (close to) zero energy.
+    Children share the ``7 L`` string-bit prefix; auxiliary blocks are
+    relabelled onto disjoint fresh indices, exactly as in composite
+    conjunction.
+    """
+
+    name = "weighted"
+
+    def __init__(
+        self,
+        variable: str,
+        length: int,
+        hard: Optional[StringFormulation],
+        soft_children: List[Tuple[ast.SoftAssertion, StringFormulation]],
+        hard_scale: float,
+        penalty_strength: float = 1.0,
+    ) -> None:
+        super().__init__(penalty_strength)
+        if hard is None and not soft_children:
+            raise CompilationError(f"nothing to optimize for {variable!r}")
+        self.variable = variable
+        self.length = length
+        self.hard = hard
+        self.soft_children = list(soft_children)
+        self.hard_scale = float(hard_scale)
+        self.num_string_bits = length * CHAR_BITS
+
+    def _build(self) -> QuboModel:
+        prefix = self.num_string_bits
+        scaled: List[QuboModel] = []
+        if self.hard is not None:
+            scaled.extend(_scaled_hard_blocks(self.hard, self.hard_scale))
+        for soft, child in self.soft_children:
+            block = scale_model(child.build_model(), float(soft.weight))
+            # Shift so the block's minimum possible contribution is zero:
+            # satisfied soft assertions then cost (at most) nothing and the
+            # combined energy stays a sum of non-negative violation terms.
+            block.offset = block.offset - _model_floor(block)
+            scaled.append(block)
+        widths = [m.num_variables for m in scaled]
+        total = prefix + sum(max(w - prefix, 0) for w in widths)
+        combined = QuboModel(total)
+        next_aux = prefix
+        for block, width in zip(scaled, widths):
+            mapping = {i: i for i in range(min(prefix, width))}
+            for j in range(prefix, width):
+                mapping[j] = next_aux
+                next_aux += 1
+            combined = add_models(combined, relabel_variables(block, mapping, total))
+        return combined
+
+    def decode(self, state) -> str:
+        from repro.core.encoding import state_to_string
+
+        return state_to_string(np.asarray(state)[: self.num_string_bits])
+
+    def verify(self, decoded: str) -> bool:
+        """Hard feasibility only — soft assertions never gate a model."""
+        if self.hard is not None:
+            return self.hard.verify(decoded)
+        return isinstance(decoded, str) and len(decoded) == self.length
+
+    def describe(self) -> str:
+        hard = self.hard.describe() if self.hard is not None else "none"
+        return (
+            f"WeightedFormulation({self.variable!r}: hard={hard} "
+            f"x{self.hard_scale:g}, soft={len(self.soft_children)})"
+        )
+
+
+@dataclass
+class WeightedProblem:
+    """A compiled weighted instance: everything the anytime driver needs."""
+
+    formulations: Dict[str, WeightedFormulation] = field(default_factory=dict)
+    #: The hard-side compile result (ground truths, per-variable asserts).
+    hard: CompiledProblem = field(default_factory=CompiledProblem)
+    soft: List[ast.SoftAssertion] = field(default_factory=list)
+    per_variable_soft: Dict[str, List[ast.SoftAssertion]] = field(default_factory=dict)
+    #: Ground soft assertions with their fixed truth value.
+    ground_soft: List[Tuple[ast.SoftAssertion, bool]] = field(default_factory=list)
+    #: Non-ground softs compiled to no block (objective audit still counts them).
+    audit_only: List[ast.SoftAssertion] = field(default_factory=list)
+    certificate: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def trivially_infeasible(self) -> bool:
+        return self.hard.trivially_unsat
+
+    @property
+    def ground_cost(self) -> float:
+        """Objective contribution fixed before any model is chosen."""
+        return float(
+            sum(soft.weight for soft, truth in self.ground_soft if not truth)
+        )
+
+
+def compile_weighted(
+    assertions: List[ast.Term],
+    soft_assertions: List[ast.SoftAssertion],
+    penalty_strength: float = 1.0,
+    seed: SeedLike = None,
+) -> WeightedProblem:
+    """Compile hard + soft assertions into a :class:`WeightedProblem`.
+
+    The hard conjunction compiles exactly as in
+    :func:`~repro.smt.compiler.compile_assertions` (same RNG discipline,
+    so the hard blocks are bit-identical to an unweighted compile at the
+    same seed); soft blocks draw from a salted stream.
+    """
+    hard_problem = compile_assertions(
+        list(assertions), penalty_strength=penalty_strength, seed=seed
+    )
+    problem = WeightedProblem(hard=hard_problem, soft=list(soft_assertions))
+
+    if isinstance(seed, (int, np.integer)):
+        soft_rng = ensure_rng(int(seed) ^ _SOFT_SEED_SALT)
+    else:
+        soft_rng = ensure_rng(seed)
+
+    # Partition soft assertions: ground / single-variable / out-of-fragment.
+    grouped: Dict[str, List[ast.SoftAssertion]] = {}
+    for soft in soft_assertions:
+        variables = ast.free_string_variables(soft.term)
+        if not variables:
+            problem.ground_soft.append((soft, bool(eval_formula(soft.term, {}))))
+            continue
+        if len(variables) > 1:
+            raise CompilationError(
+                f"soft assertion relates several string variables "
+                f"({sorted(variables)}); only single-variable constraints are "
+                f"in the QUBO fragment: {soft.term!r}"
+            )
+        (variable,) = variables
+        grouped.setdefault(variable, []).append(soft)
+    problem.per_variable_soft = {k: list(v) for k, v in grouped.items()}
+
+    # Per-variable lengths: hard facts first, soft facts as a fallback for
+    # soft-only variables (a soft length conflict is a genuine error there).
+    lengths: Dict[str, int] = {}
+    soft_blocks: Dict[str, List[Tuple[ast.SoftAssertion, StringFormulation]]] = {}
+    all_variables = list(hard_problem.formulations)
+    for variable in grouped:
+        if variable not in lengths and variable not in hard_problem.formulations:
+            all_variables.append(variable)
+    for variable in all_variables:
+        hard_group = hard_problem.per_variable.get(variable, [])
+        try:
+            lengths[variable] = _infer_length(variable, hard_group)
+        except CompilationError:
+            soft_terms = [s.term for s in grouped.get(variable, [])]
+            lengths[variable] = _infer_length(variable, hard_group + soft_terms)
+
+    soft_budget = 0.0
+    num_encoded = 0
+    for variable, softs in grouped.items():
+        length = lengths[variable]
+        blocks: List[Tuple[ast.SoftAssertion, StringFormulation]] = []
+        for soft in softs:
+            child: Optional[StringFormulation]
+            try:
+                child = _compile_one(
+                    variable, soft.term, length, penalty_strength, soft_rng,
+                    [soft.term],
+                )
+            except (CompilationError, FormulationError):
+                # Out-of-fragment or out-of-buffer soft terms (e.g. a soft
+                # length fact contradicting the hard-pinned length) cannot
+                # steer the annealer, but the objective audit still counts
+                # them.
+                child = None
+            if child is None:
+                problem.audit_only.append(soft)
+                continue
+            blocks.append((soft, child))
+            soft_budget += float(soft.weight) * model_spread(child.build_model())
+            num_encoded += 1
+        soft_blocks[variable] = blocks
+
+    # Gap calibration: the cheapest hard violation costs >= A (integral
+    # spectra in units of the penalty strength), so scaling the hard side
+    # by floor(W / A) + 1 puts it strictly above the whole soft budget.
+    hard_gap = float(penalty_strength)
+    hard_scale = float(int(soft_budget / hard_gap) + 1) if num_encoded else 1.0
+    problem.certificate = {
+        "hard_scale": hard_scale,
+        "hard_gap": hard_gap,
+        "soft_budget": soft_budget,
+        "num_soft_encoded": num_encoded,
+        "num_soft_audit_only": len(problem.audit_only),
+    }
+
+    for variable in all_variables:
+        hard_child = hard_problem.formulations.get(variable)
+        problem.formulations[variable] = WeightedFormulation(
+            variable,
+            lengths[variable],
+            hard_child,
+            soft_blocks.get(variable, []),
+            hard_scale,
+            penalty_strength=penalty_strength,
+        )
+    return problem

@@ -110,6 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="refinement round budget per check (with --strategy refine); "
         "0 always takes the fallback, bit-identical to --strategy direct",
     )
+    parser.add_argument(
+        "--opt-max-restarts",
+        type=int,
+        default=4,
+        help="anytime restart budget for weighted (assert-soft) requests",
+    )
+    parser.add_argument(
+        "--opt-exhaustive-bits",
+        type=int,
+        default=16,
+        help="exhaustive-finish threshold in string bits for weighted "
+        "requests (variables at or under it are enumerated exactly, "
+        "proving optimality)",
+    )
     parser.add_argument("--num-reads", type=int, default=64, help="annealer reads")
     parser.add_argument(
         "--num-sweeps", type=int, default=None, help="annealer sweeps per read"
@@ -175,6 +189,8 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         session_warm_start=args.session_warm,
         strategy=args.strategy,
         refine_max_rounds=args.refine_max_rounds,
+        opt_max_restarts=args.opt_max_restarts,
+        opt_exhaustive_bits=args.opt_exhaustive_bits,
     )
 
 

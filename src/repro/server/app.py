@@ -139,6 +139,11 @@ class ServerConfig:
     strategy: str = "direct"
     #: Refinement round budget per check (strategy="refine" only).
     refine_max_rounds: int = 4
+    #: Anytime restart budget for weighted (``assert-soft``) requests.
+    opt_max_restarts: int = 4
+    #: Exhaustive-finish threshold in string bits for weighted requests:
+    #: variables at or under it are enumerated exactly (proven optimal).
+    opt_exhaustive_bits: int = 16
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -198,6 +203,14 @@ class ServerConfig:
             raise ValueError(
                 f"max_sessions must be >= 1, got {self.max_sessions}"
             )
+        if self.opt_max_restarts < 1:
+            raise ValueError(
+                f"opt_max_restarts must be >= 1, got {self.opt_max_restarts}"
+            )
+        if self.opt_exhaustive_bits < 0:
+            raise ValueError(
+                f"opt_exhaustive_bits must be >= 0, got {self.opt_exhaustive_bits}"
+            )
 
 
 class SolverServer:
@@ -242,6 +255,8 @@ class SolverServer:
                 mp_context=self.config.mp_context,
                 strategy=self.config.strategy,
                 refine_max_rounds=self.config.refine_max_rounds,
+                opt_max_restarts=self.config.opt_max_restarts,
+                opt_exhaustive_bits=self.config.opt_exhaustive_bits,
             )
         else:
             self.pool = SolverWorkerPool(
@@ -258,6 +273,8 @@ class SolverServer:
                 batch_max=self.config.batch_max,
                 strategy=self.config.strategy,
                 refine_max_rounds=self.config.refine_max_rounds,
+                opt_max_restarts=self.config.opt_max_restarts,
+                opt_exhaustive_bits=self.config.opt_exhaustive_bits,
             )
         # Sticky sessions always solve on the event-loop process (thread
         # executor) against the shared compile cache, whatever the /solve
@@ -696,12 +713,20 @@ class SolverServer:
             raise
         queue_ms = (time.monotonic() - queue_timer) * 1000.0
 
-        # 5. solve on the worker pool
+        # 5. solve on the worker pool — scripts carrying assert-soft
+        #    commands route to the weighted-MaxSMT optimize path instead.
         solve_timer = time.monotonic()
         try:
-            outcome = await self.pool.solve(
-                script.assertions, remaining=deadline - time.monotonic()
-            )
+            if script.soft_assertions:
+                outcome = await self.pool.optimize(
+                    script.assertions,
+                    script.soft_assertions,
+                    remaining=deadline - time.monotonic(),
+                )
+            else:
+                outcome = await self.pool.solve(
+                    script.assertions, remaining=deadline - time.monotonic()
+                )
         except DeadlineExceededError as exc:
             return ResponseEnvelope.failure(
                 ErrorInfo(type=ERROR_TIMEOUT, message=str(exc)),
@@ -721,6 +746,8 @@ class SolverServer:
 
         self.metrics.counter("server.completed").inc()
         self.metrics.counter(f"server.status.{outcome.status}").inc()
+        if outcome.opt_status:
+            self.metrics.counter(f"server.opt.{outcome.opt_status}").inc()
         self.metrics.observe("server.queue_wait", queue_ms / 1000.0)
         self.metrics.observe("server.solve_wall", solve_ms / 1000.0)
         return ResponseEnvelope.success(
@@ -731,6 +758,10 @@ class SolverServer:
             queue_ms=queue_ms,
             solve_ms=solve_ms,
             request_id=solve_request.request_id,
+            opt_status=outcome.opt_status,
+            objective=outcome.objective,
+            lower_bound=outcome.lower_bound,
+            upper_bound=outcome.upper_bound,
         )
 
 

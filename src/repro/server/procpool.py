@@ -111,8 +111,21 @@ def _worker_main(conn, settings: Dict[str, Any]) -> None:
             return  # parent went away
         if job is None:
             return
-        assertions, policy, solve_params = job
+        assertions, policy, solve_params, soft_assertions, remaining = job
         timer = Timer().start()
+        if soft_assertions:
+            outcome = _optimize_in_worker(
+                assertions, soft_assertions, remaining, solve_params,
+                settings, timer,
+            )
+            stats = cache.stats
+            try:
+                conn.send(
+                    (outcome, (stats.hits, stats.misses, stats.evictions, stats.size))
+                )
+            except (BrokenPipeError, OSError):
+                return
+            continue
         try:
             solver = QuantumSMTSolver(
                 sampler=sampler_factory() if sampler_factory else None,
@@ -159,6 +172,53 @@ def _worker_main(conn, settings: Dict[str, Any]) -> None:
             conn.send((outcome, (stats.hits, stats.misses, stats.evictions, stats.size)))
         except (BrokenPipeError, OSError):
             return
+
+
+def _optimize_in_worker(
+    assertions: List[ast.Term],
+    soft_assertions: List[Any],
+    remaining: Optional[float],
+    solve_params: Dict[str, Any],
+    settings: Dict[str, Any],
+    timer: Timer,
+) -> SolveOutcome:
+    """One weighted-MaxSMT job inside a worker process.
+
+    Mirrors the thread backend's ``_optimize_blocking``: the remaining
+    deadline budget becomes the driver's anytime ``deadline_ms``; the
+    parent's ``wait_for`` (and worker kill) stays authoritative.
+    """
+    from repro.opt import AnytimeOptimizer
+    from repro.server.workers import outcome_from_optimize
+    from repro.smt.solver import SmtResult
+
+    sampler_factory = settings.get("sampler_factory")
+    try:
+        optimizer = AnytimeOptimizer(
+            sampler=sampler_factory() if sampler_factory else None,
+            num_reads=settings["num_reads"],
+            seed=settings["seed"],
+            sampler_params=settings["sampler_params"],
+            penalty_strength=settings["penalty_strength"],
+            max_restarts=settings.get("opt_max_restarts", 4),
+            deadline_ms=(
+                None if remaining is None else max(remaining, 1e-3) * 1000.0
+            ),
+            exhaustive_bits=settings.get("opt_exhaustive_bits", 16),
+        )
+        result = optimizer.optimize(assertions, soft_assertions, **solve_params)
+        return outcome_from_optimize(result, wall_time=timer.stop())
+    except Exception as exc:  # noqa: BLE001 — boundary: degrade, don't crash
+        return SolveOutcome(
+            result=SmtResult(
+                status="unknown", reason=f"{type(exc).__name__}: {exc}"
+            ),
+            cache_hit=False,
+            wall_time=timer.stop(),
+            error=str(exc),
+            error_type=type(exc).__name__,
+            opt_status="unknown",
+        )
 
 
 class _WorkerHandle:
@@ -214,6 +274,8 @@ class ProcessSolverBackend:
         backoff_max: float = 5.0,
         strategy: str = "direct",
         refine_max_rounds: int = 4,
+        opt_max_restarts: int = 4,
+        opt_exhaustive_bits: int = 16,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -241,6 +303,8 @@ class ProcessSolverBackend:
             "cache_size": cache_size,
             "strategy": strategy,
             "refine_max_rounds": refine_max_rounds,
+            "opt_max_restarts": opt_max_restarts,
+            "opt_exhaustive_bits": opt_exhaustive_bits,
         }
         self._ctx = multiprocessing.get_context(mp_context)
         self._ids = itertools.count()
@@ -351,6 +415,35 @@ class ProcessSolverBackend:
         *remaining* elapses first (the worker is killed and respawned) and
         :class:`WorkerCrashError` when the worker dies mid-job.
         """
+        return await self._submit(
+            assertions, None, remaining=remaining, solve_params=solve_params
+        )
+
+    async def optimize(
+        self,
+        assertions: Sequence[ast.Term],
+        soft_assertions: Sequence[Any],
+        *,
+        remaining: Optional[float] = None,
+        solve_params: Optional[Dict[str, Any]] = None,
+    ) -> SolveOutcome:
+        """Run one weighted-MaxSMT optimization on a worker process."""
+        self.metrics.counter("server.optimizes").inc()
+        return await self._submit(
+            assertions,
+            list(soft_assertions),
+            remaining=remaining,
+            solve_params=solve_params,
+        )
+
+    async def _submit(
+        self,
+        assertions: Sequence[ast.Term],
+        soft_assertions: Optional[List[Any]],
+        *,
+        remaining: Optional[float],
+        solve_params: Optional[Dict[str, Any]],
+    ) -> SolveOutcome:
         loop = asyncio.get_running_loop()
         self._loop = loop
         handle = await self._checkout(remaining)
@@ -358,6 +451,8 @@ class ProcessSolverBackend:
             list(assertions),
             self.effective_policy(remaining),
             dict(solve_params or {}),
+            soft_assertions,
+            remaining,
         )
         self.metrics.counter("server.solves").inc()
         try:

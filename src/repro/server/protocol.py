@@ -10,13 +10,25 @@ the load generator and the CI smoke job can all consume one schema:
       "cache_hit": false,
       "error": null,
       "id": "req-1",
+      "lower_bound": null,
       "model": {"x": "hi"},
+      "objective": null,
       "ok": true,
+      "opt_status": "",
       "queue_ms": 0.21,
       "reason": "",
       "solve_ms": 31.7,
-      "status": "sat"
+      "status": "sat",
+      "upper_bound": null
     }
+
+Scripts carrying ``assert-soft`` commands are optimized rather than
+decided: ``status`` stays on the sat/unsat/unknown axis (feasible results
+are ``sat``), while ``opt_status`` carries the refinement
+(``optimal``/``feasible``/``infeasible``/``unknown``) and ``objective`` /
+``lower_bound`` / ``upper_bound`` report the violated-soft-weight
+objective and its anytime bracket. Plain solves leave all four at their
+null defaults.
 
 Failures set ``ok: false`` and carry a typed ``error`` object instead of a
 model. The error taxonomy (one stable string per failure class) is the
@@ -46,6 +58,7 @@ exception repr.
 from __future__ import annotations
 
 import json
+import math
 import re
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -264,6 +277,12 @@ class ResponseEnvelope:
     solve_ms: float = 0.0
     request_id: Optional[str] = None
     error: Optional[ErrorInfo] = None
+    #: Optimization-mode fields (scripts with ``assert-soft``); plain
+    #: solves keep the null defaults.
+    opt_status: str = ""
+    objective: Optional[float] = None
+    lower_bound: Optional[float] = None
+    upper_bound: Optional[float] = None
 
     # -------------------------------------------------------------- #
     # constructors
@@ -280,6 +299,10 @@ class ResponseEnvelope:
         queue_ms: float = 0.0,
         solve_ms: float = 0.0,
         request_id: Optional[str] = None,
+        opt_status: str = "",
+        objective: Optional[float] = None,
+        lower_bound: Optional[float] = None,
+        upper_bound: Optional[float] = None,
     ) -> "ResponseEnvelope":
         return cls(
             ok=True,
@@ -290,6 +313,10 @@ class ResponseEnvelope:
             queue_ms=queue_ms,
             solve_ms=solve_ms,
             request_id=request_id,
+            opt_status=str(opt_status),
+            objective=objective,
+            lower_bound=lower_bound,
+            upper_bound=upper_bound,
         )
 
     @classmethod
@@ -320,16 +347,26 @@ class ResponseEnvelope:
         return http_status_for(self.error.type if self.error else None)
 
     def to_dict(self) -> Dict[str, Any]:
+        def bound(value: Optional[float]) -> Optional[float]:
+            # JSON has no Infinity; an unbounded bracket side is null.
+            if value is None or not math.isfinite(value):
+                return None
+            return float(value)
+
         return {
             "cache_hit": self.cache_hit,
             "error": self.error.to_dict() if self.error else None,
             "id": self.request_id,
+            "lower_bound": bound(self.lower_bound),
             "model": dict(self.model),
+            "objective": bound(self.objective),
             "ok": self.ok,
+            "opt_status": self.opt_status,
             "queue_ms": round(float(self.queue_ms), 3),
             "reason": self.reason,
             "solve_ms": round(float(self.solve_ms), 3),
             "status": self.status,
+            "upper_bound": bound(self.upper_bound),
         }
 
     def to_json(self) -> str:
@@ -342,6 +379,10 @@ class ResponseEnvelope:
         if not isinstance(payload, dict):
             raise ValueError(f"envelope must be a JSON object, got {text[:80]!r}")
         error = payload.get("error")
+
+        def bound(value: Any) -> Optional[float]:
+            return None if value is None else float(value)
+
         return cls(
             ok=bool(payload.get("ok", False)),
             status=str(payload.get("status", "")),
@@ -352,6 +393,10 @@ class ResponseEnvelope:
             solve_ms=float(payload.get("solve_ms", 0.0)),
             request_id=payload.get("id"),
             error=ErrorInfo.from_dict(error) if error else None,
+            opt_status=str(payload.get("opt_status", "") or ""),
+            objective=bound(payload.get("objective")),
+            lower_bound=bound(payload.get("lower_bound")),
+            upper_bound=bound(payload.get("upper_bound")),
         )
 
 

@@ -88,15 +88,50 @@ class SolveCancelled(RuntimeError):
     """Raised inside a worker thread when its request was abandoned."""
 
 
+def outcome_from_optimize(result: Any, wall_time: float = 0.0) -> SolveOutcome:
+    """Fold an :class:`~repro.opt.result.OptimizeResult` into a
+    :class:`SolveOutcome` (shared by the thread and process backends).
+
+    The MaxSMT status is projected onto the sat/unsat/unknown axis for the
+    ``SmtResult`` (feasible → sat) while the full optimization refinement
+    rides in the outcome's dedicated fields.
+    """
+    import math
+
+    from repro.opt.result import solve_status_for
+
+    upper = float(result.upper_bound)
+    return SolveOutcome(
+        result=SmtResult(
+            status=solve_status_for(result.status),
+            model=dict(result.model),
+            reason=result.reason,
+        ),
+        cache_hit=False,
+        wall_time=wall_time,
+        opt_status=str(result.status),
+        objective=result.objective,
+        lower_bound=float(result.lower_bound),
+        upper_bound=None if math.isinf(upper) else upper,
+    )
+
+
 @dataclass
 class SolveOutcome:
-    """One completed in-pool solve."""
+    """One completed in-pool solve (or weighted optimization)."""
 
     result: SmtResult
     cache_hit: bool = False
     wall_time: float = 0.0
     error: str = ""
     error_type: str = ""
+    #: Optimization-mode refinement (requests with ``assert-soft``):
+    #: the MaxSMT status plus the objective/bound bracket. Plain solves
+    #: keep the null defaults.
+    opt_status: str = ""
+    objective: Optional[float] = None
+    lower_bound: Optional[float] = None
+    upper_bound: Optional[float] = None
 
     @property
     def status(self) -> str:
@@ -147,6 +182,8 @@ class SolverWorkerPool:
         batch_max: int = 8,
         strategy: str = "direct",
         refine_max_rounds: int = 4,
+        opt_max_restarts: int = 4,
+        opt_exhaustive_bits: int = 16,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -181,6 +218,8 @@ class SolverWorkerPool:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.strategy = strategy
         self.refine_max_rounds = refine_max_rounds
+        self.opt_max_restarts = opt_max_restarts
+        self.opt_exhaustive_bits = opt_exhaustive_bits
         # Sized at 2× the slot count, not 1×: when a deadline expires the
         # admission slot is released immediately but the abandoned thread
         # may still run one final attempt. With exactly `workers` threads a
@@ -256,6 +295,85 @@ class SolverWorkerPool:
         except asyncio.CancelledError:
             context.cancelled.set()
             raise
+
+    async def optimize(
+        self,
+        assertions: Sequence[ast.Term],
+        soft_assertions: Sequence[ast.SoftAssertion],
+        *,
+        remaining: Optional[float] = None,
+        solve_params: Optional[Dict[str, Any]] = None,
+    ) -> SolveOutcome:
+        """Run one weighted-MaxSMT optimization on a worker thread.
+
+        Weighted requests never micro-batch — the fused tiler solves
+        sat-only QUBOs, and the anytime driver manages its own restart
+        schedule. The remaining deadline budget is handed to the driver as
+        its anytime ``deadline_ms`` (it stops opening restarts past it);
+        the event-loop ``wait_for`` stays authoritative.
+        """
+        context = _RequestContext()
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor,
+            self._optimize_blocking,
+            list(assertions),
+            list(soft_assertions),
+            remaining,
+            dict(solve_params or {}),
+            context,
+        )
+        try:
+            if remaining is None:
+                return await future
+            return await asyncio.wait_for(future, timeout=max(remaining, 1e-3))
+        except asyncio.TimeoutError:
+            context.cancelled.set()
+            self.metrics.counter("server.timeout").inc()
+            self.metrics.counter("server.timeout.solving").inc()
+            raise DeadlineExceededError("solving", remaining or 0.0) from None
+        except asyncio.CancelledError:
+            context.cancelled.set()
+            raise
+
+    def _optimize_blocking(
+        self,
+        assertions: List[ast.Term],
+        soft_assertions: List[ast.SoftAssertion],
+        remaining: Optional[float],
+        solve_params: Dict[str, Any],
+        context: _RequestContext,
+    ) -> SolveOutcome:
+        from repro.opt import AnytimeOptimizer
+
+        timer = Timer().start()
+        self.metrics.counter("server.solves").inc()
+        self.metrics.counter("server.optimizes").inc()
+        try:
+            optimizer = AnytimeOptimizer(
+                sampler=self.sampler_factory() if self.sampler_factory else None,
+                num_reads=self.num_reads,
+                seed=self.seed,
+                sampler_params=self.sampler_params,
+                penalty_strength=self.penalty_strength,
+                max_restarts=self.opt_max_restarts,
+                deadline_ms=None if remaining is None else max(remaining, 1e-3) * 1000.0,
+                exhaustive_bits=self.opt_exhaustive_bits,
+                metrics=self.metrics,
+            )
+            result = optimizer.optimize(assertions, soft_assertions, **solve_params)
+            return outcome_from_optimize(result, wall_time=timer.stop())
+        except Exception as exc:  # noqa: BLE001 — boundary: degrade, don't crash
+            return SolveOutcome(
+                result=SmtResult(
+                    status="unknown", reason=f"{type(exc).__name__}: {exc}"
+                ),
+                cache_hit=False,
+                wall_time=timer.stop(),
+                error=str(exc),
+                error_type=type(exc).__name__,
+                opt_status="unknown",
+            )
 
     # ------------------------------------------------------------------ #
     # micro-batching

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import concurrent.futures as cf
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.anneal.base import Sampler
 from repro.service.cache import CompileCache
@@ -59,6 +59,13 @@ class BatchItemResult:
     wall_time: float = 0.0
     error: str = ""
     error_type: str = ""
+    #: Optimization-mode refinement (items carrying soft assertions):
+    #: MaxSMT status plus the objective/bound bracket; plain items keep
+    #: the null defaults.
+    opt_status: str = ""
+    objective: Optional[float] = None
+    lower_bound: Optional[float] = None
+    upper_bound: Optional[float] = None
 
     @property
     def status(self) -> str:
@@ -69,6 +76,12 @@ class BatchItemResult:
         return self.result.model
 
     def __repr__(self) -> str:
+        if self.opt_status:
+            return (
+                f"BatchItemResult(index={self.index}, "
+                f"opt_status={self.opt_status!r}, "
+                f"objective={self.objective!r})"
+            )
         return (
             f"BatchItemResult(index={self.index}, status={self.status!r}, "
             f"cache_hit={self.cache_hit})"
@@ -179,6 +192,9 @@ class BatchSolver:
         tile_max: int = 16,
         strategy: str = "direct",
         refine_max_rounds: int = 4,
+        opt_max_restarts: int = 4,
+        opt_deadline_ms: Optional[float] = None,
+        opt_exhaustive_bits: int = 16,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -217,6 +233,9 @@ class BatchSolver:
         self.tile_max = tile_max
         self.strategy = strategy
         self.refine_max_rounds = refine_max_rounds
+        self.opt_max_restarts = opt_max_restarts
+        self.opt_deadline_ms = opt_deadline_ms
+        self.opt_exhaustive_bits = opt_exhaustive_bits
 
     # ------------------------------------------------------------------ #
     # submission
@@ -226,23 +245,27 @@ class BatchSolver:
         self, items: Sequence[BatchItem], **solve_params: Any
     ) -> BatchReport:
         """Solve every item; results come back in submission order."""
-        assertion_sets = [self._coerce(item) for item in items]
-        results: List[Optional[BatchItemResult]] = [None] * len(assertion_sets)
+        pairs = [self._coerce(item) for item in items]
+        results: List[Optional[BatchItemResult]] = [None] * len(pairs)
 
         with Timer() as timer:
             if self.executor == "fused":
-                results = self._solve_fused(assertion_sets, solve_params)
-            elif self.executor == "serial" or len(assertion_sets) <= 1:
-                for index, assertions in enumerate(assertion_sets):
-                    results[index] = self._solve_one(index, assertions, solve_params)
+                results = self._solve_fused(pairs, solve_params)
+            elif self.executor == "serial" or len(pairs) <= 1:
+                for index, (assertions, soft) in enumerate(pairs):
+                    results[index] = self._solve_one(
+                        index, assertions, soft, solve_params
+                    )
             else:
-                width = min(self.num_workers, len(assertion_sets))
+                width = min(self.num_workers, len(pairs))
                 with cf.ThreadPoolExecutor(
                     max_workers=width, thread_name_prefix="batch-solver"
                 ) as pool:
                     futures = {
-                        pool.submit(self._solve_one, index, assertions, solve_params): index
-                        for index, assertions in enumerate(assertion_sets)
+                        pool.submit(
+                            self._solve_one, index, assertions, soft, solve_params
+                        ): index
+                        for index, (assertions, soft) in enumerate(pairs)
                     }
                     for future in cf.as_completed(futures):
                         results[futures[future]] = future.result()
@@ -265,7 +288,7 @@ class BatchSolver:
 
     def _solve_fused(
         self,
-        assertion_sets: List[List[ast.Term]],
+        pairs: List[Tuple[List[ast.Term], List[ast.SoftAssertion]]],
         solve_params: Dict[str, Any],
     ) -> List[BatchItemResult]:
         """The ``executor="fused"`` path: tile QUBOs across items.
@@ -273,12 +296,21 @@ class BatchSolver:
         Delegates to :func:`repro.service.fused.solve_batch_fused` (which
         shares this solver's cache, metrics and retry policy) and maps its
         outcomes onto :class:`BatchItemResult` with the same ``batch.*``
-        counters the per-item executors emit.
+        counters the per-item executors emit. Weighted items cannot join a
+        fused tile (the tiler solves sat-only QUBOs); they take the
+        per-item optimize path and are stitched back in submission order.
         """
         from repro.service.fused import solve_batch_fused
 
+        results: List[Optional[BatchItemResult]] = [None] * len(pairs)
+        plain = [(i, hard) for i, (hard, soft) in enumerate(pairs) if not soft]
+        for index, (hard, soft) in enumerate(pairs):
+            if soft:
+                results[index] = self._solve_one(index, hard, soft, solve_params)
+        if not plain:
+            return [r for r in results if r is not None]
         outcomes = solve_batch_fused(
-            assertion_sets,
+            [hard for _, hard in plain],
             sampler_factory=self.sampler_factory,
             num_reads=self.num_reads,
             seed=self.seed,
@@ -290,8 +322,7 @@ class BatchSolver:
             tile_max=self.tile_max,
             solve_params=solve_params,
         )
-        results: List[BatchItemResult] = []
-        for index, outcome in enumerate(outcomes):
+        for (index, _), outcome in zip(plain, outcomes):
             self.metrics.counter("batch.items").inc()
             item = BatchItemResult(
                 index=index,
@@ -303,21 +334,32 @@ class BatchSolver:
             )
             self.metrics.observe("batch.item_wall", item.wall_time)
             self.metrics.counter(f"batch.{item.status}").inc()
-            results.append(item)
-        return results
+            results[index] = item
+        return [r for r in results if r is not None]
 
     # ------------------------------------------------------------------ #
     # per-item work
     # ------------------------------------------------------------------ #
 
-    def _coerce(self, item: BatchItem) -> List[ast.Term]:
-        """Normalize one batch item to an assertion conjunction."""
+    def _coerce(
+        self, item: BatchItem
+    ) -> Tuple[List[ast.Term], List[ast.SoftAssertion]]:
+        """Normalize one batch item to ``(hard, soft)`` conjunctions.
+
+        Scripts carry their ``assert-soft`` commands through; sequences
+        may mix :class:`~repro.smt.ast.SoftAssertion` records into the
+        hard terms and are partitioned here. Items with any soft
+        assertion route to the weighted-MaxSMT optimize path.
+        """
         if isinstance(item, str):
-            return list(parse_script(item).assertions)
+            script = parse_script(item)
+            return list(script.assertions), list(script.soft_assertions)
         if isinstance(item, SmtScript):
-            return list(item.assertions)
+            return list(item.assertions), list(item.soft_assertions)
         if isinstance(item, (list, tuple)):
-            return list(item)
+            hard = [t for t in item if not isinstance(t, ast.SoftAssertion)]
+            soft = [t for t in item if isinstance(t, ast.SoftAssertion)]
+            return hard, soft
         raise TypeError(
             "batch items must be SMT-LIB text, an SmtScript, or a sequence "
             f"of assertions; got {type(item)!r}"
@@ -342,8 +384,13 @@ class BatchSolver:
         self,
         index: int,
         assertions: List[ast.Term],
+        soft_assertions: List[ast.SoftAssertion],
         solve_params: Dict[str, Any],
     ) -> BatchItemResult:
+        if soft_assertions:
+            return self._optimize_one(
+                index, assertions, soft_assertions, solve_params
+            )
         timer = Timer().start()
         self.metrics.counter("batch.items").inc()
         solver = self._make_solver()
@@ -385,6 +432,71 @@ class BatchSolver:
             )
         self.metrics.observe("batch.item_wall", item.wall_time)
         self.metrics.counter(f"batch.{item.status}").inc()
+        return item
+
+    def _optimize_one(
+        self,
+        index: int,
+        assertions: List[ast.Term],
+        soft_assertions: List[ast.SoftAssertion],
+        solve_params: Dict[str, Any],
+    ) -> BatchItemResult:
+        """One weighted-MaxSMT item: anytime optimize instead of decide.
+
+        The MaxSMT status is projected onto the sat/unsat/unknown axis
+        for the item's :class:`SmtResult` (feasible → sat); the full
+        refinement rides in the item's ``opt_*``/bound fields.
+        """
+        import math
+
+        from repro.opt import AnytimeOptimizer, solve_status_for
+
+        timer = Timer().start()
+        self.metrics.counter("batch.items").inc()
+        self.metrics.counter("batch.optimizes").inc()
+        optimizer = AnytimeOptimizer(
+            sampler=self.sampler_factory() if self.sampler_factory else None,
+            num_reads=self.num_reads,
+            seed=self.seed,
+            sampler_params=self.sampler_params,
+            penalty_strength=self.penalty_strength,
+            max_restarts=self.opt_max_restarts,
+            deadline_ms=self.opt_deadline_ms,
+            exhaustive_bits=self.opt_exhaustive_bits,
+            metrics=self.metrics,
+        )
+        try:
+            result = optimizer.optimize(
+                assertions, soft_assertions, **solve_params
+            )
+            upper = float(result.upper_bound)
+            item = BatchItemResult(
+                index=index,
+                result=SmtResult(
+                    status=solve_status_for(result.status),
+                    model=dict(result.model),
+                    reason=result.reason,
+                ),
+                cache_hit=False,
+                wall_time=timer.stop(),
+                opt_status=str(result.status),
+                objective=result.objective,
+                lower_bound=float(result.lower_bound),
+                upper_bound=None if math.isinf(upper) else upper,
+            )
+        except RetryExhaustedError as exc:
+            item = BatchItemResult(
+                index=index,
+                result=SmtResult(status="unknown", reason=str(exc)),
+                cache_hit=False,
+                wall_time=timer.stop(),
+                error=str(exc),
+                error_type=type(exc).__name__,
+                opt_status="unknown",
+            )
+        self.metrics.observe("batch.item_wall", item.wall_time)
+        self.metrics.counter(f"batch.{item.status}").inc()
+        self.metrics.counter(f"batch.opt.{item.opt_status}").inc()
         return item
 
     # ------------------------------------------------------------------ #

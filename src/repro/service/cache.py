@@ -176,10 +176,19 @@ def compile_cache_key(
     assertions: Sequence[Any],
     penalty_strength: float = 1.0,
     seed: Any = None,
+    soft: Optional[Sequence[Any]] = None,
 ) -> str:
-    """Content hash of one compile request (see module docstring)."""
+    """Content hash of one compile request (see module docstring).
+
+    ``soft`` extends the key with a weighted conjunction's soft
+    assertions; an empty/absent ``soft`` produces the exact bytes the
+    unweighted key always produced, so existing cache entries and pinned
+    state keys survive the optimization mode.
+    """
     payload = "\x1e".join(repr(a) for a in assertions)
     payload += f"\x1f A={float(penalty_strength)!r}\x1f seed={_canonical_seed(seed)}"
+    if soft:
+        payload += "\x1f soft=" + "\x1e".join(repr(s) for s in soft)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

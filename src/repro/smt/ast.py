@@ -42,6 +42,7 @@ __all__ = [
     "RePlus",
     "ReConcat",
     "ReRange",
+    "SoftAssertion",
     "sort_of",
     "free_string_variables",
 ]
@@ -257,6 +258,33 @@ class ReRange:
             raise ValueError("re.range endpoints must be single characters")
         if ord(self.hi) < ord(self.lo):
             raise ValueError(f"inverted re.range {self.lo!r}..{self.hi!r}")
+
+
+# --------------------------------------------------------------------- #
+# weighted (MaxSMT) assertions
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SoftAssertion:
+    """An ``(assert-soft term :weight w [:id group])`` record.
+
+    Not a :data:`Term` — soft assertions live beside the hard assertion
+    conjunction in a script, and violating one costs ``weight`` in the
+    MaxSMT objective instead of making the instance unsatisfiable.
+    ``group`` labels related soft assertions (SMT-LIB ``:id``); the empty
+    string means ungrouped.
+    """
+
+    term: "Term"
+    weight: float = 1.0
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        if not (self.weight > 0):
+            raise ValueError(
+                f"soft-assertion weight must be > 0, got {self.weight!r}"
+            )
 
 
 Term = Union[

@@ -6,7 +6,7 @@ string space with constraint propagation. The algorithm:
 1. infer each variable's length (exactly, or scan a length range),
 2. build per-position character **domains** by propagating the structural
    constraints (equalities fix characters; regex membership restricts
-   positions to class sets; containment/index-of pin windows — branching
+   positions to class sets; containment/index-of/substr pin windows — branching
    over the feasible placements and regex expansions),
 3. run a depth-first search over the remaining free positions (restricted
    to a *fill alphabet*: the characters occurring in the constraints plus a
@@ -370,6 +370,31 @@ def _propagate(
                 domains: List[Optional[FrozenSet[str]]] = [None] * length
                 for k, c in enumerate(needle):
                     domains[p + k] = frozenset(c)
+                return [domains]
+            if (
+                isinstance(a, ast.Substr)
+                and isinstance(a.source, ast.StrVar)
+                and a.source.name == variable
+                and isinstance(a.offset, ast.IntLit)
+                and isinstance(a.count, ast.IntLit)
+            ):
+                value = _try_ground(b)
+                if value is None:
+                    return None
+                offset, count = a.offset.value, a.count.value
+                if offset < 0 or count < 0 or offset > length:
+                    # SMT-LIB clamp: an out-of-range substr is "" for every
+                    # candidate, so the equation constrains no position.
+                    return [[None] * length] if value == "" else []
+                # In-range windows clamp to the end of the string; the
+                # equation is only satisfiable when the ground side has
+                # exactly the clamped width.
+                window = min(count, length - offset)
+                if len(value) != window:
+                    return []
+                domains = [None] * length
+                for k, c in enumerate(value):
+                    domains[offset + k] = frozenset(c)
                 return [domains]
     if (
         isinstance(assertion, ast.PrefixOf)

@@ -74,6 +74,9 @@ class GeneratedInstance:
     satisfiable: bool = True
     #: Names of the constraint operators drawn for this instance.
     ops: List[str] = field(default_factory=list)
+    #: Weighted mode only (``soft=k``): the drawn soft assertions, in
+    #: script order; empty for plain decision instances.
+    soft_assertions: List[ast.SoftAssertion] = field(default_factory=list)
     #: Session mode only: the expected status of each ``check-sat`` query
     #: in ``script`` order (``"sat"``/``"unsat"``); empty for single-query
     #: instances.
@@ -101,6 +104,14 @@ class InstanceGenerator:
         :meth:`generate` to **session mode**: multi-frame push/pop scripts
         with exactly ``k`` ``check-sat`` queries and per-query expected
         statuses (for fuzzing incremental solving).
+    soft:
+        ``None``/``0`` (the default) generates plain decision instances.
+        An int ``k >= 1`` appends ``k`` weighted ``assert-soft``
+        constraints to every instance (for the :mod:`repro.opt` campaigns).
+        Soft draws happen strictly **after** every legacy draw, so at a
+        fixed seed the hard side of a weighted instance is byte-identical
+        to the unweighted instance — the digest-pin test holds the legacy
+        stream to that contract.
     """
 
     def __init__(
@@ -111,6 +122,7 @@ class InstanceGenerator:
         seed: SeedLike = None,
         ops: Optional[Sequence[str]] = None,
         sessions: Optional[int] = None,
+        soft: Optional[int] = None,
     ) -> None:
         if not (1 <= min_length <= max_length):
             raise ValueError(
@@ -136,7 +148,10 @@ class InstanceGenerator:
             self.ops = tuple(ops)
         if sessions is not None and sessions < 1:
             raise ValueError(f"sessions must be >= 1, got {sessions}")
+        if soft is not None and soft < 0:
+            raise ValueError(f"soft must be >= 0, got {soft}")
         self.sessions = sessions
+        self.soft = soft
         self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------ #
@@ -181,12 +196,20 @@ class InstanceGenerator:
                 if term is not None:
                     assertions.append(term)
                 ops_used.append(op)
-        script = render_script(assertions, {variable: ast.StringSort})
+        # Soft draws come after every hard draw: the legacy stream prefix
+        # (and therefore the hard side of the instance) is seed-stable.
+        soft_assertions = self._draw_soft(var, witness) if self.soft else []
+        script = render_script(
+            assertions,
+            {variable: ast.StringSort},
+            soft_assertions=soft_assertions,
+        )
         return GeneratedInstance(
             assertions=assertions,
             witness={variable: witness},
             script=script,
             ops=ops_used,
+            soft_assertions=soft_assertions,
         )
 
     def generate_unsat(self, variable: str = "x") -> GeneratedInstance:
@@ -230,13 +253,65 @@ class InstanceGenerator:
                 ast.Contains(var, ast.StrLit(needle)),
             ]
             ops_used = ["length", "contains"]
+        # Weighted mode attaches softs to refutations too (the optimizer
+        # must report infeasible no matter how much soft weight is dangled).
+        soft_witness = self._random_word(length) if self.soft else ""
+        soft_assertions = (
+            self._draw_soft(var, soft_witness) if self.soft else []
+        )
         return GeneratedInstance(
             assertions=assertions,
             witness={},
-            script=render_script(assertions, {variable: ast.StringSort}),
+            script=render_script(
+                assertions,
+                {variable: ast.StringSort},
+                soft_assertions=soft_assertions,
+            ),
             satisfiable=False,
             ops=ops_used,
+            soft_assertions=soft_assertions,
         )
+
+    # ------------------------------------------------------------------ #
+    # weighted mode: soft-constraint draws
+    # ------------------------------------------------------------------ #
+
+    def _draw_soft(
+        self, var: ast.StrVar, witness: str
+    ) -> List[ast.SoftAssertion]:
+        """``self.soft`` weighted soft assertions around a witness.
+
+        A mix of witness-agreeing and witness-disagreeing preferences, so
+        the optimum is usually a genuine trade-off rather than "satisfy
+        everything". Weights are small integers (render canonically).
+        """
+        rng = self._rng
+        n = len(witness)
+        softs: List[ast.SoftAssertion] = []
+        for _ in range(int(self.soft or 0)):
+            weight = int(rng.integers(1, 10))
+            shape = int(rng.integers(0, 4))
+            if shape == 0 and n:  # agree with the witness at one position
+                index = int(rng.integers(0, n))
+                term: ast.Term = ast.Eq(
+                    ast.At(var, ast.IntLit(index)), ast.StrLit(witness[index])
+                )
+            elif shape == 1 and n:  # disagree at one position
+                index = int(rng.integers(0, n))
+                other = witness[index]
+                while other == witness[index]:
+                    other = _ALPHABET[int(rng.integers(0, len(_ALPHABET)))]
+                term = ast.Eq(
+                    ast.At(var, ast.IntLit(index)), ast.StrLit(other)
+                )
+            elif shape == 2:  # prefer a whole different word
+                term = ast.Eq(var, ast.StrLit(self._random_word(max(n, 1))))
+            else:  # prefer containing a short window
+                size = int(rng.integers(1, min(2, max(n, 1)) + 1))
+                term = ast.Contains(var, ast.StrLit(self._random_word(size)))
+            group = f"g{int(rng.integers(0, 2))}" if rng.random() < 0.25 else ""
+            softs.append(ast.SoftAssertion(term, weight, group))
+        return softs
 
     # ------------------------------------------------------------------ #
     # session mode: multi-frame push/pop scripts

@@ -6,8 +6,10 @@ Turns script text into an :class:`SmtScript`: declarations, assertions (as
 separate assertions (conjunction of soft objectives = QUBO addition later).
 
 Supported commands: ``set-logic``, ``set-option``, ``set-info``,
-``declare-const``, ``declare-fun`` (0-ary), ``assert``, ``check-sat``,
-``get-model``, ``get-value``, ``echo``, ``exit``.
+``declare-const``, ``declare-fun`` (0-ary), ``assert``, ``assert-soft``
+(with ``:weight`` / ``:id``, collected into ``SmtScript.soft_assertions``
+for the MaxSMT mode in :mod:`repro.opt`), ``check-sat``, ``get-model``,
+``get-value``, ``echo``, ``exit``.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ class SmtScript:
     declarations: Dict[str, Any] = field(default_factory=dict)
     assertions: List[ast.Term] = field(default_factory=list)
     commands: List[Tuple[str, Any]] = field(default_factory=list)
+    soft_assertions: List[ast.SoftAssertion] = field(default_factory=list)
 
     def string_variables(self) -> List[str]:
         """Declared String-sorted constants, in declaration order."""
@@ -98,6 +101,10 @@ def _dispatch_command(script: SmtScript, head: str, expr: list) -> None:
         for conjunct in _flatten_and(formula):
             script.assertions.append(conjunct)
             script.commands.append(("assert", conjunct))
+    elif head == "assert-soft":
+        soft = _parse_assert_soft(expr, script.declarations)
+        script.soft_assertions.append(soft)
+        script.commands.append(("assert-soft", soft))
     elif head == "check-sat":
         _arity(expr, 1)
         script.commands.append(("check-sat", None))
@@ -141,6 +148,59 @@ def _declare(script: SmtScript, name: Any, sort: Any) -> None:
         raise ParseError(f"duplicate declaration of {name!r}")
     script.declarations[str(name)] = _SORTS[sort_name]
     script.commands.append(("declare-const", (str(name), sort_name)))
+
+
+def _parse_assert_soft(expr: list, declarations: Dict[str, Any]) -> ast.SoftAssertion:
+    """``(assert-soft <term> [:weight <w>] [:id <group>])``.
+
+    Keywords may appear in either order; ``:weight`` defaults to 1 and
+    ``:id`` to the empty (ungrouped) label. ``and`` is rejected inside a
+    soft term — each soft assertion is a single weighted unit.
+    """
+    if len(expr) < 2:
+        raise ParseError(f"assert-soft expects a term: {expr!r}")
+    formula = parse_term(expr[1], declarations)
+    if isinstance(formula, _AndMarker):
+        raise ParseError(
+            f"'and' is not supported inside assert-soft (split it into "
+            f"separate weighted assertions): {expr!r}"
+        )
+    weight: float = 1
+    group = ""
+    rest = expr[2:]
+    i = 0
+    while i < len(rest):
+        key = rest[i]
+        if not isinstance(key, Symbol) or not str(key).startswith(":"):
+            raise ParseError(f"expected a :keyword in assert-soft, got {key!r}")
+        if i + 1 >= len(rest):
+            raise ParseError(f"assert-soft keyword {key!r} is missing its value")
+        value = rest[i + 1]
+        if str(key) == ":weight":
+            weight = _parse_weight(value, expr)
+        elif str(key) == ":id":
+            if not isinstance(value, Symbol):
+                raise ParseError(f":id expects a symbol, got {value!r}")
+            group = str(value)
+        else:
+            raise ParseError(f"unsupported assert-soft keyword {key!r}")
+        i += 2
+    try:
+        return ast.SoftAssertion(term=formula, weight=weight, group=group)
+    except ValueError as exc:
+        raise ParseError(f"{exc}: {expr!r}")
+
+
+def _parse_weight(value: Any, expr: list) -> float:
+    """A positive numeral or decimal weight (decimals tokenize as symbols)."""
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Symbol):
+        try:
+            return float(str(value))
+        except ValueError:
+            pass
+    raise ParseError(f":weight expects a positive number, got {value!r} in {expr!r}")
 
 
 def _flatten_and(term: ast.Term) -> List[ast.Term]:

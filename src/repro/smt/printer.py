@@ -21,6 +21,8 @@ __all__ = [
     "quote_string",
     "render_term",
     "render_assertion",
+    "render_soft_assertion",
+    "render_weight",
     "render_command",
     "render_script",
     "render_full_script",
@@ -101,6 +103,21 @@ def render_assertion(term: ast.Term) -> str:
     return f"(assert {render_term(term)})"
 
 
+def render_weight(weight: float) -> str:
+    """A weight numeral: integral weights print without a decimal point."""
+    if isinstance(weight, int) or float(weight).is_integer():
+        return str(int(weight))
+    return repr(float(weight))
+
+
+def render_soft_assertion(soft: ast.SoftAssertion) -> str:
+    """One ``(assert-soft ...)`` command, ``:id`` omitted when ungrouped."""
+    text = f"(assert-soft {render_term(soft.term)} :weight {render_weight(soft.weight)}"
+    if soft.group:
+        text += f" :id {soft.group}"
+    return text + ")"
+
+
 def render_command(command: "tuple") -> str:
     """Render one parsed ``(head, payload)`` command back to SMT-LIB.
 
@@ -119,6 +136,8 @@ def render_command(command: "tuple") -> str:
         return f"(declare-const {name} {sort_name})"
     if head == "assert":
         return render_assertion(payload)
+    if head == "assert-soft":
+        return render_soft_assertion(payload)
     if head == "check-sat":
         return "(check-sat)"
     if head == "get-model":
@@ -153,6 +172,7 @@ def render_script(
     assertions: Sequence[ast.Term],
     declarations: Optional[Dict[str, object]] = None,
     *,
+    soft_assertions: Sequence[ast.SoftAssertion] = (),
     check_sat: bool = True,
     get_model: bool = False,
     logic: Optional[str] = None,
@@ -162,8 +182,9 @@ def render_script(
 
     ``declarations`` maps names to sorts (``repro.smt.ast`` sort
     singletons); when omitted, every free string variable of the
-    assertions is declared with sort ``String``, in sorted name order.
-    ``header`` lines are emitted verbatim as leading ``;`` comments.
+    assertions (hard and soft) is declared with sort ``String``, in
+    sorted name order. ``header`` lines are emitted verbatim as leading
+    ``;`` comments.
     """
     lines: List[str] = [f"; {text}" if text else ";" for text in header]
     if logic:
@@ -172,6 +193,8 @@ def render_script(
         names: set = set()
         for assertion in assertions:
             names |= ast.free_string_variables(assertion)
+        for soft in soft_assertions:
+            names |= ast.free_string_variables(soft.term)
         declarations = {name: ast.StringSort for name in sorted(names)}
     for name, sort in declarations.items():
         sort_name = _SORT_NAMES.get(id(sort))
@@ -180,6 +203,8 @@ def render_script(
         lines.append(f"(declare-const {name} {sort_name})")
     for assertion in assertions:
         lines.append(render_assertion(assertion))
+    for soft in soft_assertions:
+        lines.append(render_soft_assertion(soft))
     if check_sat:
         lines.append("(check-sat)")
     if get_model:

@@ -285,13 +285,19 @@ class RefinementEngine:
         blocked: Dict[str, Set[str]] = {v: set() for v in problem.formulations}
         clamp_log: Dict[str, Dict[int, int]] = {}
         current = problem
+        # Clamp-aware warm starts: caller-supplied states seed round 0,
+        # and every later round reuses the previous round's best
+        # *full-width* state per variable — `_sample_reduced` projects it
+        # onto whatever index space survives that round's clamps.
+        round_warm: Dict[str, np.ndarray] = dict(warm_states or {})
 
         for _round in range(self.max_rounds):
             self.stats.rounds += 1
             self._count("refine.rounds")
             result = self._solve_round(
-                current, problem, warm_states, clamp_log, dict(solve_params)
+                current, problem, round_warm or None, clamp_log, dict(solve_params)
             )
+            self._harvest_warm(result, round_warm)
             if result.status is SolveStatus.SAT:
                 self._cross_check(result.model, clamp_log)
                 solver._count(SolveStatus.SAT)
@@ -371,6 +377,14 @@ class RefinementEngine:
             status=SolveStatus.SAT, model=model, solve_results=solve_results
         )
 
+    def _harvest_warm(self, result: Any, round_warm: Dict[str, np.ndarray]) -> None:
+        """Keep each variable's best full-width state for the next round."""
+        for variable, solve_result in result.solve_results.items():
+            sampleset = getattr(solve_result, "sampleset", None)
+            if sampleset is None or len(sampleset) == 0:
+                continue
+            round_warm[variable] = np.array(sampleset.states[0], dtype=np.int8)
+
     def _clamps_for(
         self, variable: str, problem: CompiledProblem, formulation: Any
     ) -> Dict[int, int]:
@@ -441,11 +455,16 @@ class RefinementEngine:
                     reduced, _new_index = fix_variables(model, clamps)
                 else:
                     reduced = model
-            if warm_state is not None and len(warm_state) == full_width:
+            if warm_state is not None:
+                warm = np.asarray(warm_state, dtype=np.int8).ravel()
+                if len(warm) < full_width:
+                    # Lemma frames can widen the model with fresh aux bits;
+                    # seed those at 0 and let the annealer re-derive them.
+                    warm = np.concatenate(
+                        [warm, np.zeros(full_width - len(warm), dtype=np.int8)]
+                    )
                 survivors = [v for v in range(full_width) if v not in clamps]
-                params["initial_states"] = np.asarray(
-                    warm_state, dtype=np.int8
-                )[survivors]
+                params["initial_states"] = warm[:full_width][survivors]
             with self._stage("anneal"):
                 sampleset = driver.sampler.sample_model(reduced, **params)
         wall = timer.elapsed

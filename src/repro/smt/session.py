@@ -81,8 +81,12 @@ class SessionStats:
     """Point-in-time counters of one session's incremental behaviour."""
 
     checks: int = 0
+    #: Weighted-MaxSMT optimize() calls at any depth.
+    optimizes: int = 0
     #: Checks answered from the per-state result memo (re-push fast path).
     memo_hits: int = 0
+    #: optimize() calls answered from the weighted-state memo.
+    opt_memo_hits: int = 0
     #: Compiles answered by the shared CompileCache without recompiling.
     compile_hits: int = 0
     compile_misses: int = 0
@@ -140,6 +144,9 @@ class SolverSession:
         metrics: Optional[MetricsRegistry] = None,
         strategy: str = "direct",
         refine_max_rounds: int = 4,
+        opt_max_restarts: int = 4,
+        opt_deadline_ms: Optional[float] = None,
+        opt_exhaustive_bits: int = 16,
     ) -> None:
         if strategy not in ("direct", "refine"):
             raise SessionError(
@@ -157,9 +164,14 @@ class SolverSession:
         self.metrics = metrics
         self.strategy = strategy
         self.refine_max_rounds = refine_max_rounds
+        self.opt_max_restarts = opt_max_restarts
+        self.opt_deadline_ms = opt_deadline_ms
+        self.opt_exhaustive_bits = opt_exhaustive_bits
         self.declarations: Dict[str, Any] = {}
         self._frames: List[List[ast.Term]] = [[]]
+        self._soft_frames: List[List[ast.SoftAssertion]] = [[]]
         self._memo = LruCache(maxsize=memo_size)
+        self._opt_memo = LruCache(maxsize=memo_size)
         self._warm_model: Optional[Dict[str, str]] = None
         self.stats = SessionStats()
         self._last: Optional[SmtResult] = None
@@ -177,12 +189,17 @@ class SolverSession:
         """The asserted conjunction at the current depth, oldest first."""
         return [term for frame in self._frames for term in frame]
 
+    def flattened_soft(self) -> List[ast.SoftAssertion]:
+        """The soft assertions at the current depth, oldest first."""
+        return [soft for frame in self._soft_frames for soft in frame]
+
     def push(self, levels: int = 1) -> int:
         """Open *levels* new frames; returns the new depth."""
         if levels < 0:
             raise SessionError(f"push levels must be >= 0, got {levels}")
         for _ in range(levels):
             self._frames.append([])
+            self._soft_frames.append([])
         self.stats.pushes += levels
         return self.depth
 
@@ -201,6 +218,7 @@ class SolverSession:
             )
         for _ in range(levels):
             self._frames.pop()
+            self._soft_frames.pop()
         self.stats.pops += levels
         self._last = None
         return self.depth
@@ -220,10 +238,27 @@ class SolverSession:
         self.stats.asserts += 1
         self._last = None
 
+    def assert_soft(
+        self, term: ast.Term, weight: float = 1.0, group: str = ""
+    ) -> None:
+        """Add one weighted soft assertion to the top frame.
+
+        Soft assertions pop with their frame like hard ones, but never
+        influence :meth:`check_sat` — satisfiability is decided on the
+        hard conjunction alone; softs only shape :meth:`optimize`.
+        """
+        soft = (
+            term
+            if isinstance(term, ast.SoftAssertion)
+            else ast.SoftAssertion(term=term, weight=weight, group=group)
+        )
+        self._soft_frames[-1].append(soft)
+        self.stats.asserts += 1
+
     def assert_text(self, fragment: str) -> int:
-        """Parse an SMT-LIB fragment of ``declare-const``/``assert``
-        commands against the session's declarations and apply it to the
-        top frame; returns the number of assertions added."""
+        """Parse an SMT-LIB fragment of ``declare-const``/``assert``/
+        ``assert-soft`` commands against the session's declarations and
+        apply it to the top frame; returns the number of assertions added."""
         script = parse_script(fragment, initial_declarations=self.declarations)
         added = 0
         for command, payload in script.commands:
@@ -233,10 +268,13 @@ class SolverSession:
             elif command == "assert":
                 self.assert_term(payload)
                 added += 1
+            elif command == "assert-soft":
+                self.assert_soft(payload)
+                added += 1
             else:
                 raise SessionError(
-                    f"only declare-const/assert are allowed in an assert "
-                    f"fragment, got {command!r}"
+                    f"only declare-const/assert/assert-soft are allowed in "
+                    f"an assert fragment, got {command!r}"
                 )
         return added
 
@@ -245,9 +283,24 @@ class SolverSession:
     # ------------------------------------------------------------------ #
 
     def state_key(self) -> str:
-        """Content hash of the current flattened frame-stack state."""
+        """Content hash of the current flattened frame-stack state.
+
+        Hard assertions only — soft assertions never influence
+        ``check_sat``, so the sat-side key (and with it the re-push memo
+        and the shared compile cache) stays byte-identical to a session
+        that never asserted a soft constraint.
+        """
         return compile_cache_key(
             self.flattened(), self.penalty_strength, self.seed
+        )
+
+    def opt_state_key(self) -> str:
+        """Content hash of the weighted frame-stack state (hard + soft)."""
+        return compile_cache_key(
+            self.flattened(),
+            self.penalty_strength,
+            self.seed,
+            soft=self.flattened_soft(),
         )
 
     def _new_solver(self) -> QuantumSMTSolver:
@@ -318,6 +371,43 @@ class SolverSession:
         result = solver.solve_compiled(problem, **solve_params)
         self._memo.put(key, result)
         return self._finish(result)
+
+    def optimize(self, **solve_params: Any) -> Any:
+        """Weighted-MaxSMT optimization of the current frame-stack state.
+
+        Minimizes the total violated soft weight subject to the hard
+        conjunction via :class:`repro.opt.AnytimeOptimizer`, configured
+        with this session's solver settings and ``opt_*`` budgets.
+        Results are memoized per weighted state key (hard + soft), so a
+        popped-and-re-pushed weighted state is answered without
+        re-annealing — the same delta contract as :meth:`check_sat`.
+        Returns an :class:`~repro.opt.result.OptimizeResult`.
+        """
+        from repro.opt import AnytimeOptimizer
+
+        self.stats.optimizes += 1
+        key = self.opt_state_key()
+        cached = self._opt_memo.get(key)
+        if cached is not None:
+            self.stats.opt_memo_hits += 1
+            return cached
+        sampler = self.sampler_factory() if self.sampler_factory else None
+        optimizer = AnytimeOptimizer(
+            sampler=sampler,
+            num_reads=self.num_reads,
+            seed=self.seed,
+            sampler_params=self.sampler_params,
+            penalty_strength=self.penalty_strength,
+            max_restarts=self.opt_max_restarts,
+            deadline_ms=self.opt_deadline_ms,
+            exhaustive_bits=self.opt_exhaustive_bits,
+            metrics=self.metrics,
+        )
+        result = optimizer.optimize(
+            self.flattened(), self.flattened_soft(), **solve_params
+        )
+        self._opt_memo.put(key, result)
+        return result
 
     def _finish(self, result: SmtResult) -> SmtResult:
         if result.status is SolveStatus.SAT:
@@ -410,6 +500,8 @@ class SolverSession:
         for command, payload in script.commands:
             if command == "assert":
                 self.assert_term(payload)
+            elif command == "assert-soft":
+                self.assert_soft(payload)
             elif command == "push":
                 self.push(payload)
             elif command == "pop":

@@ -23,6 +23,10 @@ This subpackage stress-tests that claim end to end:
 * :mod:`~repro.verify.sessions` — seeded campaigns pinning incremental
   :class:`repro.smt.session.SolverSession` answers bit-identical to
   from-scratch solves at every frame depth.
+* :mod:`~repro.verify.optimality` — :class:`OptimalityOracle` checks the
+  weighted-MaxSMT optimizer against an exhaustive classical reference
+  (:class:`OptVerdict` taxonomy), audits gap certificates, and runs
+  seeded weighted campaigns with deterministic JSON reports.
 
 Run ``python -m repro.verify campaign --instances 30`` for a quick
 smoke campaign.
@@ -53,6 +57,17 @@ from repro.verify.sessions import (
     SessionCampaignReport,
     run_session_campaign,
 )
+from repro.verify.optimality import (
+    OptCampaignConfig,
+    OptCampaignReport,
+    OptimalityOracle,
+    OptOracleReport,
+    OptVerdict,
+    ReferenceOptimum,
+    certificate_violation,
+    replay_opt_corpus,
+    run_opt_campaign,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -63,15 +78,24 @@ __all__ = [
     "FailureRecord",
     "MetamorphicRelation",
     "MetamorphicViolation",
+    "OptCampaignConfig",
+    "OptCampaignReport",
+    "OptOracleReport",
+    "OptVerdict",
+    "OptimalityOracle",
     "OracleReport",
     "RELATIONS",
+    "ReferenceOptimum",
     "SessionCampaignReport",
     "ShrinkResult",
     "Verdict",
+    "certificate_violation",
     "check_relation",
     "load_corpus",
     "replay_corpus",
+    "replay_opt_corpus",
     "run_campaign",
+    "run_opt_campaign",
     "run_session_campaign",
     "save_case",
     "shrink",

@@ -20,6 +20,13 @@ Subcommands
         python -m repro.verify sessions --instances 20 --seed 0 \\
             --json out/sessions.json
 
+``opt``
+    Run a weighted-MaxSMT optimality campaign (and/or replay the
+    weighted corpus)::
+
+        python -m repro.verify opt --instances 30 --seed 0 \\
+            --corpus-dir tests/corpus/opt --json out/opt.json
+
 ``shrink``
     Delta-debug one failing SMT-LIB script down to a minimal repro::
 
@@ -112,6 +119,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sess.add_argument("--json", dest="json_path", default=None,
                       help="write the deterministic JSON report here")
 
+    opt = sub.add_parser(
+        "opt", help="weighted-MaxSMT optimality campaign + corpus replay"
+    )
+    opt.add_argument("--instances", type=int, default=100)
+    opt.add_argument("--seed", type=int, default=0)
+    opt.add_argument(
+        "--ops",
+        default="all",
+        help=f"'all' or comma-separated subset of: {', '.join(ALL_OPS)}",
+    )
+    opt.add_argument("--soft", type=int, default=3,
+                     help="soft assertions drawn per instance")
+    opt.add_argument("--infeasible-ratio", type=float, default=0.1)
+    opt.add_argument("--max-length", type=int, default=3)
+    opt.add_argument("--num-reads", type=int, default=64)
+    opt.add_argument("--num-sweeps", type=int, default=None)
+    opt.add_argument("--max-restarts", type=int, default=4)
+    opt.add_argument("--exhaustive-bits", type=int, default=16,
+                     help="exhaustive-finish threshold in string bits")
+    opt.add_argument("--deadline-ms", type=float, default=None,
+                     help="anytime wall-clock budget per optimize call")
+    opt.add_argument("--max-wall-time", type=float, default=None,
+                     help="campaign wall-clock budget in seconds")
+    opt.add_argument("--corpus-dir", default=None,
+                     help="also replay this weighted corpus directory")
+    opt.add_argument("--json", dest="json_path", default=None,
+                     help="write the deterministic JSON report here")
+
     shr = sub.add_parser("shrink", help="minimize a failing SMT-LIB script")
     shr.add_argument("script", help="path to the .smt2 file to minimize")
     shr.add_argument("--expect", choices=("sat", "unsat"), default="sat",
@@ -190,6 +225,60 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_opt(args: argparse.Namespace) -> int:
+    from repro.opt import AnytimeOptimizer
+    from repro.verify.optimality import (
+        OptCampaignConfig,
+        OptimalityOracle,
+        replay_opt_corpus,
+        run_opt_campaign,
+    )
+
+    ops = "all" if args.ops == "all" else [
+        op.strip() for op in args.ops.split(",") if op.strip()
+    ]
+    config = OptCampaignConfig(
+        instances=args.instances,
+        seed=args.seed,
+        ops=ops,
+        soft=args.soft,
+        infeasible_ratio=args.infeasible_ratio,
+        max_length=args.max_length,
+        num_reads=args.num_reads,
+        num_sweeps=args.num_sweeps,
+        max_restarts=args.max_restarts,
+        exhaustive_bits=args.exhaustive_bits,
+        deadline_ms=args.deadline_ms,
+        max_wall_time=args.max_wall_time,
+    )
+    report = run_opt_campaign(config)
+    print(report.text_report())
+    ok = report.ok
+    payload = report.to_dict()
+    if args.corpus_dir:
+        corpus_report = replay_opt_corpus(
+            args.corpus_dir,
+            optimizer=AnytimeOptimizer(
+                seed=args.seed, num_reads=args.num_reads
+            ),
+            oracle=OptimalityOracle(),
+        )
+        print(
+            f"opt corpus replay: {corpus_report['total']} cases, "
+            f"{corpus_report['failures']} failures"
+        )
+        for case in corpus_report["cases"]:
+            marker = "ok" if case["ok"] else f"FAIL: {case['reason']}"
+            print(f"  {case['name']:<40s} {case['status']:<10s} {marker}")
+        ok = ok and corpus_report["ok"]
+        payload = {"campaign": payload, "corpus": corpus_report}
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2) + "\n")
+        print(f"json report: {args.json_path}")
+    return 0 if ok else 1
+
+
 def _cmd_shrink(args: argparse.Namespace) -> int:
     with open(args.script, "r", encoding="utf-8") as handle:
         script = parse_script(handle.read())
@@ -231,6 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_corpus(args)
     if args.command == "sessions":
         return _cmd_sessions(args)
+    if args.command == "opt":
+        return _cmd_opt(args)
     return _cmd_shrink(args)
 
 

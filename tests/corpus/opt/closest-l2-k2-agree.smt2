@@ -1,0 +1,9 @@
+; expect: optimal
+; expect-objective: 0
+; identical references: the closest string is the reference itself
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert-soft (= (str.at x 0) "a") :weight 1 :id ref0)
+(assert-soft (= (str.at x 1) "b") :weight 1 :id ref0)
+(assert-soft (= (str.at x 0) "a") :weight 1 :id ref1)
+(assert-soft (= (str.at x 1) "b") :weight 1 :id ref1)

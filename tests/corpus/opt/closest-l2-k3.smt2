@@ -1,0 +1,12 @@
+; expect: optimal
+; expect-objective: 3
+; closest string K=3 L=2 (hi/ho/my): majority 'h?' pays 1 at position 0
+; and any choice pays 2 at the three-way contested position 1
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert-soft (= (str.at x 0) "h") :weight 1 :id ref0)
+(assert-soft (= (str.at x 1) "i") :weight 1 :id ref0)
+(assert-soft (= (str.at x 0) "h") :weight 1 :id ref1)
+(assert-soft (= (str.at x 1) "o") :weight 1 :id ref1)
+(assert-soft (= (str.at x 0) "m") :weight 1 :id ref2)
+(assert-soft (= (str.at x 1) "y") :weight 1 :id ref2)

@@ -1,0 +1,10 @@
+; expect: optimal
+; expect-objective: 1
+; weighted references: matching the weight-3 reference exactly costs
+; only the weight-1 reference's contested position
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert-soft (= (str.at x 0) "a") :weight 3 :id ref0)
+(assert-soft (= (str.at x 1) "b") :weight 3 :id ref0)
+(assert-soft (= (str.at x 0) "c") :weight 1 :id ref1)
+(assert-soft (= (str.at x 1) "b") :weight 1 :id ref1)

@@ -1,0 +1,20 @@
+; expect: feasible
+; expect-objective: 2
+; closest string K=3 L=4 (kale/male/mole) above the exhaustive-bits
+; threshold: the annealed weighted QUBO answers, so the status stays
+; feasible (the bound pair does not close) even when the audited
+; objective lands on the true optimum 2 ("male")
+(declare-const x String)
+(assert (= (str.len x) 4))
+(assert-soft (= (str.at x 0) "k") :weight 1 :id ref0)
+(assert-soft (= (str.at x 1) "a") :weight 1 :id ref0)
+(assert-soft (= (str.at x 2) "l") :weight 1 :id ref0)
+(assert-soft (= (str.at x 3) "e") :weight 1 :id ref0)
+(assert-soft (= (str.at x 0) "m") :weight 1 :id ref1)
+(assert-soft (= (str.at x 1) "a") :weight 1 :id ref1)
+(assert-soft (= (str.at x 2) "l") :weight 1 :id ref1)
+(assert-soft (= (str.at x 3) "e") :weight 1 :id ref1)
+(assert-soft (= (str.at x 0) "m") :weight 1 :id ref2)
+(assert-soft (= (str.at x 1) "o") :weight 1 :id ref2)
+(assert-soft (= (str.at x 2) "l") :weight 1 :id ref2)
+(assert-soft (= (str.at x 3) "e") :weight 1 :id ref2)

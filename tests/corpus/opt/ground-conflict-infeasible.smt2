@@ -1,0 +1,6 @@
+; expect: infeasible
+; a ground-false hard assertion refutes the instance regardless of
+; any soft weight on offer
+(declare-const x String)
+(assert (= "a" "b"))
+(assert-soft (= x "a") :weight 5)

@@ -1,0 +1,6 @@
+; expect: optimal
+; expect-objective: 2
+; ground soft assertions decide their cost before any model is chosen:
+; the false one pays its weight, the true one is free
+(assert-soft (= "a" "b") :weight 2)
+(assert-soft (= "a" "a") :weight 1)

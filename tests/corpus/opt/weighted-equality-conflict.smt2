@@ -1,0 +1,8 @@
+; expect: optimal
+; expect-objective: 1
+; two conflicting whole-string equalities: the heavier one wins,
+; paying the lighter weight
+(declare-const x String)
+(assert (= (str.len x) 1))
+(assert-soft (= x "a") :weight 1)
+(assert-soft (= x "b") :weight 3)

@@ -1,0 +1,147 @@
+"""ClosestStringFormulation: both metrics, optima, energy identities."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.closest import ClosestStringFormulation
+from repro.core.encoding import encode_string
+from repro.core.formulation import FormulationError
+from repro.utils.asciitab import CHAR_BITS
+
+pytestmark = pytest.mark.opt
+
+
+def _string_state(formulation, value, extra=0):
+    state = np.zeros(formulation.num_string_bits + extra, dtype=np.int8)
+    state[: formulation.num_string_bits] = encode_string(value)
+    return state
+
+
+class TestValidation:
+    def test_empty_references_rejected(self):
+        with pytest.raises(FormulationError, match="at least one"):
+            ClosestStringFormulation([])
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(FormulationError, match="one length"):
+            ClosestStringFormulation(["ab", "abc"])
+
+    def test_empty_strings_rejected(self):
+        with pytest.raises(FormulationError, match="non-empty"):
+            ClosestStringFormulation(["", ""])
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(FormulationError, match="metric"):
+            ClosestStringFormulation(["ab"], metric="median")
+
+
+class TestTotalMetric:
+    def test_model_is_diagonal(self):
+        model = ClosestStringFormulation(["hi", "ho", "my"]).build_model()
+        assert model.num_variables == 2 * CHAR_BITS
+        assert model.num_interactions == 0
+
+    def test_energy_equals_scaled_total_distance(self):
+        formulation = ClosestStringFormulation(
+            ["hi", "ho", "my"], penalty_strength=2.0
+        )
+        model = formulation.build_model()
+        for candidate in ("hi", "ho", "my", "hy", "zz"):
+            energy = model.energy(_string_state(formulation, candidate))
+            assert energy == pytest.approx(
+                2.0 * formulation.objective(candidate)
+            )
+
+    def test_majority_vote_optimum(self):
+        formulation = ClosestStringFormulation(["hi", "ho", "my"])
+        # Per encoded bit the best choice is the majority vote; with two
+        # "h?" references the bitwise majority decodes to "hi".
+        assert formulation.objective("hi") == formulation.optimum()
+        # No reference string can beat the closed-form optimum.
+        assert all(
+            formulation.objective(r) >= formulation.optimum()
+            for r in formulation.references
+        )
+
+    def test_ground_energy_matches_optimum(self):
+        formulation = ClosestStringFormulation(["ab", "ad"], penalty_strength=3.0)
+        assert formulation.ground_energy() == 3.0 * formulation.optimum()
+
+    def test_identical_references_have_zero_optimum(self):
+        formulation = ClosestStringFormulation(["ab", "ab"])
+        assert formulation.optimum() == 0
+        assert formulation.objective("ab") == 0
+
+
+class TestMaxMetric:
+    def test_model_width(self):
+        formulation = ClosestStringFormulation(["hi", "ho"], metric="max")
+        n = formulation.num_string_bits
+        b = n.bit_length()
+        # x | bound U | one slack block per reference.
+        assert formulation.build_model().num_variables == n + b * (1 + 2)
+
+    def test_min_energy_over_aux_is_scaled_max_distance(self):
+        formulation = ClosestStringFormulation(["ab", "ad"], metric="max")
+        model = formulation.build_model()
+        n = formulation.num_string_bits
+        aux = model.num_variables - n
+        for candidate in ("ab", "ad", "af"):
+            best = min(
+                model.energy(
+                    np.concatenate(
+                        [
+                            _string_state(formulation, candidate),
+                            np.array(bits, dtype=np.int8),
+                        ]
+                    )
+                )
+                for bits in itertools.product((0, 1), repeat=aux)
+            )
+            assert best == pytest.approx(
+                formulation.penalty_strength * formulation.objective(candidate)
+            )
+
+    def test_single_reference_optimum_is_zero(self):
+        assert ClosestStringFormulation(["abc"], metric="max").optimum() == 0
+
+    def test_small_contested_optimum_bracketed(self):
+        formulation = ClosestStringFormulation(["ab", "ad", "af"], metric="max")
+        optimum = formulation.optimum()
+        # The optimum cannot beat half the reference diameter and one of
+        # the references itself gives an upper bound.
+        assert optimum <= min(
+            formulation.objective(r) for r in formulation.references
+        )
+        assert optimum >= 1  # the references genuinely disagree
+
+    def test_objective_max_vs_total(self):
+        refs = ["ab", "ad"]
+        total = ClosestStringFormulation(refs, metric="total")
+        maximum = ClosestStringFormulation(refs, metric="max")
+        assert maximum.objective("ab") == max(total.distances("ab"))
+        assert total.objective("ab") == sum(total.distances("ab"))
+
+
+class TestDecodeAndVerify:
+    def test_round_trip(self):
+        formulation = ClosestStringFormulation(["hi", "ho"])
+        assert formulation.decode(_string_state(formulation, "hi")) == "hi"
+
+    def test_distances_require_reference_length(self):
+        formulation = ClosestStringFormulation(["hi", "ho"])
+        with pytest.raises(FormulationError, match="length"):
+            formulation.distances("hip")
+
+    def test_verify_accepts_any_reference_length_string(self):
+        formulation = ClosestStringFormulation(["hi", "ho"])
+        assert formulation.verify("zz")
+        assert not formulation.verify("z")
+
+    def test_describe_mentions_shape(self):
+        text = ClosestStringFormulation(["hi", "ho"], metric="max").describe()
+        assert "K=2" in text and "L=2" in text and "max" in text

@@ -1,0 +1,124 @@
+"""Front-end coverage for ``assert-soft``: AST, parser, printer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smt import ast
+from repro.smt.parser import ParseError, parse_script
+from repro.smt.printer import (
+    render_full_script,
+    render_script,
+    render_soft_assertion,
+    render_weight,
+)
+
+pytestmark = pytest.mark.opt
+
+
+class TestSoftAssertionAst:
+    def test_defaults(self):
+        soft = ast.SoftAssertion(ast.Eq(ast.StrVar("x"), ast.StrLit("a")))
+        assert soft.weight == 1.0
+        assert soft.group == ""
+
+    def test_weight_must_be_positive(self):
+        term = ast.Eq(ast.StrVar("x"), ast.StrLit("a"))
+        with pytest.raises(ValueError):
+            ast.SoftAssertion(term, weight=0.0)
+        with pytest.raises(ValueError):
+            ast.SoftAssertion(term, weight=-2.0)
+
+
+class TestParser:
+    def test_minimal_soft(self):
+        script = parse_script(
+            '(declare-const x String)(assert-soft (= x "a"))'
+        )
+        assert len(script.assertions) == 0
+        assert len(script.soft_assertions) == 1
+        soft = script.soft_assertions[0]
+        assert soft.weight == 1.0
+        assert soft.group == ""
+
+    def test_weight_and_id(self):
+        script = parse_script(
+            '(declare-const x String)'
+            '(assert-soft (str.contains x "ab") :weight 2.5 :id grp)'
+        )
+        (soft,) = script.soft_assertions
+        assert soft.weight == 2.5
+        assert soft.group == "grp"
+        assert isinstance(soft.term, ast.Contains)
+
+    def test_hard_asserts_unaffected(self):
+        script = parse_script(
+            '(declare-const x String)'
+            '(assert (= (str.len x) 2))'
+            '(assert-soft (= x "ab") :weight 3)'
+            "(check-sat)"
+        )
+        assert len(script.assertions) == 1
+        assert len(script.soft_assertions) == 1
+
+    def test_and_inside_soft_rejected(self):
+        with pytest.raises(ParseError, match="and"):
+            parse_script(
+                "(declare-const x String)"
+                '(assert-soft (and (= x "a") (= x "b")))'
+            )
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(ParseError, match="keyword"):
+            parse_script(
+                '(declare-const x String)(assert-soft (= x "a") :priority 1)'
+            )
+
+    def test_missing_keyword_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script(
+                '(declare-const x String)(assert-soft (= x "a") :weight)'
+            )
+
+
+class TestPrinter:
+    def _round_trip(self, soft: ast.SoftAssertion) -> ast.SoftAssertion:
+        text = "(declare-const x String)" + render_soft_assertion(soft)
+        (parsed,) = parse_script(text).soft_assertions
+        return parsed
+
+    def test_round_trip_weight_and_group(self):
+        soft = ast.SoftAssertion(
+            ast.Eq(ast.StrVar("x"), ast.StrLit("ab")), weight=2.0, group="g1"
+        )
+        parsed = self._round_trip(soft)
+        assert parsed == soft
+
+    def test_round_trip_fractional_weight_ungrouped(self):
+        soft = ast.SoftAssertion(
+            ast.PrefixOf(ast.StrLit("a"), ast.StrVar("x")), weight=0.25
+        )
+        parsed = self._round_trip(soft)
+        assert parsed == soft
+        assert ":id" not in render_soft_assertion(soft)
+
+    def test_integral_weights_render_without_point(self):
+        assert render_weight(3.0) == "3"
+        assert render_weight(0.5) == "0.5"
+
+    def test_render_script_declares_soft_only_variables(self):
+        soft = ast.SoftAssertion(ast.Eq(ast.StrVar("y"), ast.StrLit("b")))
+        text = render_script([], soft_assertions=[soft])
+        assert "(declare-const y String)" in text
+        reparsed = parse_script(text)
+        assert reparsed.soft_assertions == [soft]
+
+    def test_render_full_script_command_exact(self):
+        text = (
+            "(declare-const x String)\n"
+            '(assert (= (str.len x) 1))\n'
+            '(assert-soft (= x "a") :weight 2 :id g)\n'
+            "(check-sat)\n"
+        )
+        script = parse_script(text)
+        assert parse_script(render_full_script(script)) == script

@@ -1,0 +1,189 @@
+"""The weighted compiler pass: calibration, certificates, degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import encode_string
+from repro.opt.weighted import WeightedFormulation, compile_weighted, model_spread
+from repro.service.cache import compile_cache_key
+from repro.smt import ast
+from repro.smt.compiler import CompilationError, compile_assertions
+from repro.smt.parser import parse_script
+
+pytestmark = pytest.mark.opt
+
+
+def _parsed(text: str):
+    script = parse_script("(declare-const x String)" + text)
+    return list(script.assertions), list(script.soft_assertions)
+
+
+def _energy(model, value: str) -> float:
+    bits = encode_string(value)
+    state = np.zeros(model.num_variables, dtype=np.int8)
+    state[: len(bits)] = bits
+    return float(model.energy(state))
+
+
+class TestCompile:
+    def test_deterministic_at_fixed_seed(self):
+        hard, soft = _parsed(
+            '(assert (= (str.len x) 2))'
+            '(assert-soft (= (str.at x 0) "a") :weight 2)'
+            '(assert-soft (= (str.at x 1) "b"))'
+        )
+        one = compile_weighted(hard, soft, seed=11).formulations["x"]
+        two = compile_weighted(hard, soft, seed=11).formulations["x"]
+        assert one.build_model().to_dict() == two.build_model().to_dict()
+
+    def test_hard_blocks_match_unweighted_compile(self):
+        # The hard conjunction must compile bit-identically to an
+        # unweighted compile at the same seed (same RNG discipline).
+        hard, soft = _parsed(
+            '(assert (= x "ab"))'
+            '(assert-soft (str.prefixof "a" x) :weight 2)'
+        )
+        weighted = compile_weighted(hard, soft, seed=5)
+        unweighted = compile_assertions(hard, seed=5)
+        assert (
+            weighted.formulations["x"].hard.build_model().to_dict()
+            == unweighted.formulations["x"].build_model().to_dict()
+        )
+
+    def test_gap_certificate_property(self):
+        hard, soft = _parsed(
+            '(assert (= (str.len x) 2))'
+            '(assert-soft (= (str.at x 0) "a") :weight 4)'
+            '(assert-soft (= (str.at x 1) "b") :weight 0.5)'
+        )
+        problem = compile_weighted(hard, soft, seed=0)
+        cert = problem.certificate
+        assert cert["num_soft_encoded"] == 2
+        assert cert["hard_scale"] * cert["hard_gap"] > cert["soft_budget"]
+        # The budget is the weighted sum of per-block spreads.
+        expected = sum(
+            float(s.weight) * model_spread(child.build_model())
+            for s, child in problem.formulations["x"].soft_children
+        )
+        assert cert["soft_budget"] == pytest.approx(expected)
+
+    def test_ground_soft_fixed_before_solve(self):
+        hard, soft = _parsed(
+            '(assert-soft (= "a" "b") :weight 2)'
+            '(assert-soft (= "a" "a") :weight 1)'
+        )
+        problem = compile_weighted(hard, soft)
+        truths = {s.weight: truth for s, truth in problem.ground_soft}
+        assert truths == {2.0: False, 1.0: True}
+        assert problem.ground_cost == 2.0
+
+    def test_out_of_fragment_soft_degrades_to_audit_only(self):
+        # A soft length fact contradicting the hard-pinned length cannot
+        # compile at that length; it must degrade to audit-only, never
+        # fail the whole compile.
+        hard, soft = _parsed(
+            '(assert (= (str.len x) 1))'
+            '(assert-soft (= (str.len x) 5) :weight 2)'
+        )
+        problem = compile_weighted(hard, soft)
+        assert problem.audit_only == soft
+        assert problem.certificate["num_soft_audit_only"] == 1
+        assert problem.formulations["x"].soft_children == []
+
+    def test_multi_variable_soft_rejected(self):
+        script = parse_script(
+            "(declare-const x String)(declare-const y String)"
+            "(assert-soft (= x y))"
+        )
+        with pytest.raises(CompilationError, match="several string variables"):
+            compile_weighted(
+                list(script.assertions), list(script.soft_assertions)
+            )
+
+    def test_soft_only_variable_gets_length_from_softs(self):
+        hard, soft = _parsed('(assert-soft (= x "abc") :weight 1)')
+        problem = compile_weighted(hard, soft)
+        assert problem.formulations["x"].length == 3
+
+
+class TestGuidance:
+    """Regression: the weighted QUBO must rank candidates by objective.
+
+    ``StringLength`` in decodable mode carries a random printable content
+    preference; scaled by ``hard_scale`` it used to dominate the soft
+    blocks and steer the annealer to its arbitrary target instead of the
+    MaxSMT objective.
+    """
+
+    def _closest_problem(self, seed=2025):
+        hard, soft = _parsed(
+            "(assert (= (str.len x) 4))"
+            + "".join(
+                f'(assert-soft (= (str.at x {i}) "{c}") :weight 1 :id ref{r})'
+                for r, ref in enumerate(("kale", "male", "mole"))
+                for i, c in enumerate(ref)
+            )
+        )
+        return compile_weighted(hard, soft, seed=seed)
+
+    def test_majority_string_beats_length_preference_target(self):
+        problem = self._closest_problem()
+        formulation = problem.formulations["x"]
+        model = formulation.build_model()
+        # "male" is the true optimum (objective 2); the length block's
+        # random content preference is some other printable string.
+        target = formulation.hard.content_characters()
+        if target != "male":
+            assert _energy(model, "male") < _energy(model, target)
+
+    def test_energy_order_tracks_objective(self):
+        problem = self._closest_problem()
+        model = problem.formulations["x"].build_model()
+        # objective("male")=2 < objective("kale")=4 <= objective("zzzz")=12
+        assert _energy(model, "male") < _energy(model, "kale")
+        assert _energy(model, "kale") < _energy(model, "zzzz")
+
+    def test_pad_pinning_still_scaled(self):
+        # With a buffer longer than the pinned length the NUL pad pinning
+        # is a real constraint and must stay above the soft budget.
+        hard, soft = _parsed(
+            "(assert (str.prefixof \"ab\" x))"
+            "(assert (= (str.len x) 2))"
+            '(assert-soft (= (str.at x 0) "z") :weight 1)'
+        )
+        problem = compile_weighted(hard, soft, seed=3)
+        formulation = problem.formulations["x"]
+        assert isinstance(formulation, WeightedFormulation)
+        cert = problem.certificate
+        assert cert["hard_scale"] * cert["hard_gap"] > cert["soft_budget"]
+
+
+class TestCacheKey:
+    ASSERTS, SOFT = (), ()
+
+    def setup_method(self):
+        hard, soft = _parsed(
+            '(assert (= x "ab"))(assert-soft (str.contains x "a") :weight 2)'
+        )
+        self.hard, self.soft = hard, soft
+
+    def test_unweighted_keys_byte_compatible(self):
+        base = compile_cache_key(self.hard, 1.0, 7)
+        assert compile_cache_key(self.hard, 1.0, 7, soft=None) == base
+        assert compile_cache_key(self.hard, 1.0, 7, soft=[]) == base
+
+    def test_soft_changes_key(self):
+        base = compile_cache_key(self.hard, 1.0, 7)
+        weighted = compile_cache_key(self.hard, 1.0, 7, soft=self.soft)
+        assert weighted != base
+
+    def test_weight_changes_key(self):
+        reweighted = [
+            ast.SoftAssertion(s.term, weight=s.weight + 1, group=s.group)
+            for s in self.soft
+        ]
+        assert compile_cache_key(
+            self.hard, 1.0, 7, soft=self.soft
+        ) != compile_cache_key(self.hard, 1.0, 7, soft=reweighted)

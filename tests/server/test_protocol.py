@@ -95,8 +95,9 @@ class TestEnvelope:
         assert list(payload) == sorted(payload)
         # Key set is the envelope contract — a change here is a wire break.
         assert list(payload) == [
-            "cache_hit", "error", "id", "model", "ok", "queue_ms", "reason",
-            "solve_ms", "status",
+            "cache_hit", "error", "id", "lower_bound", "model", "objective",
+            "ok", "opt_status", "queue_ms", "reason", "solve_ms", "status",
+            "upper_bound",
         ]
 
     def test_http_status_mapping(self):

@@ -151,3 +151,67 @@ class TestLimits:
     def test_nodes_reported(self):
         result = ClassicalStringSolver().solve(_assertions('(assert (= x "ab"))'))
         assert result.nodes_explored >= 1
+
+
+class TestSubstrPropagation:
+    """Domain propagation for ground ``(= (str.substr x i n) "...")``."""
+
+    def _propagate(self, body, length):
+        from repro.smt.classical import _propagate
+
+        (assertion,) = _assertions(body)
+        return _propagate("x", assertion, length)
+
+    def test_in_range_window_pins_positions(self):
+        (alternative,) = self._propagate(
+            '(assert (= (str.substr x 1 2) "bc"))', 4
+        )
+        assert alternative == [None, frozenset("b"), frozenset("c"), None]
+
+    def test_window_clamped_at_end(self):
+        # substr(x, 2, 5) on a length-4 string is a 2-char window.
+        (alternative,) = self._propagate(
+            '(assert (= (str.substr x 2 5) "cd"))', 4
+        )
+        assert alternative == [None, None, frozenset("c"), frozenset("d")]
+
+    def test_width_mismatch_infeasible(self):
+        assert self._propagate('(assert (= (str.substr x 1 2) "b"))', 4) == []
+
+    def test_out_of_range_empty_result_is_vacuous(self):
+        # SMT-LIB clamps out-of-range substr to "": the equation holds for
+        # every string, so no position is constrained.
+        (alternative,) = self._propagate(
+            '(assert (= (str.substr x 9 1) ""))', 3
+        )
+        assert alternative == [None, None, None]
+
+    def test_out_of_range_nonempty_infeasible(self):
+        assert self._propagate('(assert (= (str.substr x 9 1) "a"))', 3) == []
+        assert self._propagate('(assert (= (str.substr x 0 -1) "a"))', 3) == []
+
+    def test_reversed_equation_sides(self):
+        (alternative,) = self._propagate(
+            '(assert (= "bc" (str.substr x 1 2)))', 4
+        )
+        assert alternative[1] == frozenset("b")
+
+    def test_solver_end_to_end(self):
+        assertions = _assertions(
+            "(assert (= (str.len x) 4))"
+            '(assert (= (str.substr x 1 2) "bc"))'
+            '(assert (str.prefixof "a" x))'
+        )
+        result = ClassicalStringSolver().solve(assertions)
+        _check_model(result, assertions)
+        assert result.model["x"][:3] == "abc"
+
+    def test_solver_end_to_end_unsat(self):
+        result = ClassicalStringSolver().solve(
+            _assertions(
+                "(assert (= (str.len x) 3))"
+                '(assert (= (str.substr x 0 2) "ab"))'
+                '(assert (= (str.at x 0) "z"))'
+            )
+        )
+        assert result.status == "unsat"

@@ -289,3 +289,123 @@ class TestRefineThroughSession:
         assert session.check_sat().model == {"x": "no"}
         session.pop()
         assert session.check_sat().status is SolveStatus.SAT
+
+
+class TestWarmStarts:
+    """Clamp-aware warm starts: caller seeds and cross-round reuse."""
+
+    SCRIPT = (
+        "(declare-const x String)"
+        "(assert (= (str.len x) 3))"
+        '(assert (str.prefixof "ab" x))'
+        "(check-sat)"
+    )
+
+    def test_caller_supplied_warm_states_accepted(self):
+        solver = _solver(self.SCRIPT)
+        warm = {"x": encode_string("abc")}
+        result = solver.check_sat(warm_states=warm)
+        assert result.status is SolveStatus.SAT
+        assert result.model["x"].startswith("ab")
+
+    def test_warm_state_projected_onto_surviving_bits(self, monkeypatch):
+        # The initial_states handed to the sampler must have exactly the
+        # reduced width (full bits minus clamped bits).
+        import repro.smt.refine as refine_mod
+
+        seen = []
+        solver = _solver(self.SCRIPT)
+        engine = RefinementEngine(solver, max_rounds=1)
+        sampler = solver._driver.sampler
+        original = sampler.sample_model
+
+        def spy(model, **params):
+            if "initial_states" in params:
+                seen.append(
+                    (model.num_variables, len(params["initial_states"]))
+                )
+            return original(model, **params)
+
+        monkeypatch.setattr(sampler, "sample_model", spy)
+        problem = solver.compile()
+        result = engine.solve(problem, warm_states={"x": encode_string("abc")})
+        assert result.status is SolveStatus.SAT
+        assert seen, "warm state was never handed to the sampler"
+        for reduced_width, warm_width in seen:
+            assert warm_width == reduced_width
+
+    def test_short_warm_state_zero_padded(self):
+        solver = _solver(self.SCRIPT)
+        # One character's worth of bits for a 21-bit model: the engine
+        # pads with zeros instead of failing.
+        result = solver.check_sat(warm_states={"x": encode_string("a")})
+        assert result.status is SolveStatus.SAT
+
+    def test_fallback_reattaches_caller_warm_states(self, monkeypatch):
+        import repro.smt.refine as refine_mod
+
+        solver = _solver(self.SCRIPT, refine_max_rounds=0)
+        engine = RefinementEngine(solver, max_rounds=0)
+        captured = {}
+        original = solver._solve_direct
+
+        def spy(problem, **solve_params):
+            captured.update(solve_params)
+            return original(problem, **solve_params)
+
+        monkeypatch.setattr(solver, "_solve_direct", spy)
+        warm = {"x": encode_string("abc")}
+        result = engine.solve(solver.compile(), warm_states=warm)
+        assert result.status is SolveStatus.SAT
+        assert "warm_states" in captured
+
+
+class TestUnsoundClampCrossCheck:
+    def test_mispinned_domain_raises_typed_error(self, monkeypatch):
+        # Force the propagator to derive a wrong fact: position 0 pinned
+        # to "z" although the hard constraints demand "ab...". The round
+        # model fails verification, the fallback finds the real model,
+        # and the cross-check must refuse to return it silently.
+        import repro.smt.refine as refine_mod
+        from repro.smt.refine import UnsoundPropagationError
+
+        def lying_domains(variable, assertions, length):
+            return [frozenset("z")] + [None] * (length - 1)
+
+        monkeypatch.setattr(refine_mod, "implied_domains", lying_domains)
+        solver = _solver(
+            "(declare-const x String)"
+            "(assert (= (str.len x) 2))"
+            '(assert (= x "ab"))'
+            "(check-sat)"
+        )
+        with pytest.raises(UnsoundPropagationError, match="unsound"):
+            solver.check_sat()
+
+    def test_unsound_counter_emitted(self, monkeypatch):
+        import repro.smt.refine as refine_mod
+        from repro.smt.refine import UnsoundPropagationError
+
+        def lying_domains(variable, assertions, length):
+            return [frozenset("z")] + [None] * (length - 1)
+
+        monkeypatch.setattr(refine_mod, "implied_domains", lying_domains)
+        metrics = MetricsRegistry()
+        solver = _solver(
+            '(declare-const x String)(assert (= x "ab"))(check-sat)',
+            metrics=metrics,
+        )
+        with pytest.raises(UnsoundPropagationError):
+            solver.check_sat()
+        assert metrics.snapshot().counters["refine.unsound"] == 1
+
+    def test_sound_clamps_never_trip_the_guard(self):
+        solver = _solver(
+            "(declare-const x String)"
+            "(assert (= (str.len x) 3))"
+            '(assert (str.prefixof "ab" x))'
+            "(check-sat)"
+        )
+        result = solver.check_sat()
+        assert result.status is SolveStatus.SAT
+        assert result.model["x"].startswith("ab")
